@@ -1,0 +1,181 @@
+//! Criterion micro-benchmarks for the hot kernels: chain viability
+//! checks (with and without Corollary-2 skipping), popcount part
+//! distances, signature enumeration, k-combination signatures, content
+//! filter bounds, banded edit-distance verification, set-overlap merges,
+//! subgraph embedding, and threshold-pruned GED.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pigeonring_core::viability::{
+    find_prefix_viable, find_prefix_viable_noskip, Direction, ThresholdScheme,
+};
+use pigeonring_editdist::content::{char_mask, min_window_bound, window_masks};
+use pigeonring_editdist::verify::{edit_distance, edit_distance_within};
+use pigeonring_hamming::index::enumerate_within;
+use pigeonring_hamming::BitVector;
+use rand::{Rng, SeedableRng};
+
+fn rng() -> rand::rngs::SmallRng {
+    rand::rngs::SmallRng::seed_from_u64(0xBEEF)
+}
+
+fn bench_chain_check(c: &mut Criterion) {
+    let mut r = rng();
+    let boxes: Vec<Vec<i64>> =
+        (0..256).map(|_| (0..16).map(|_| r.gen_range(0..8)).collect()).collect();
+    let scheme = ThresholdScheme::uniform(48i64, 16);
+    c.bench_function("chain_check/skip", |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for bx in &boxes {
+                if find_prefix_viable(black_box(bx), &scheme, Direction::Le, 5).is_some() {
+                    found += 1;
+                }
+            }
+            found
+        })
+    });
+    c.bench_function("chain_check/noskip", |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for bx in &boxes {
+                if find_prefix_viable_noskip(black_box(bx), &scheme, Direction::Le, 5)
+                    .is_some()
+                {
+                    found += 1;
+                }
+            }
+            found
+        })
+    });
+}
+
+fn bench_part_distance(c: &mut Criterion) {
+    let mut r = rng();
+    let a = BitVector::from_bits((0..256).map(|_| r.gen::<bool>()));
+    let b = BitVector::from_bits((0..256).map(|_| r.gen::<bool>()));
+    c.bench_function("hamming/full_distance", |bch| {
+        bch.iter(|| black_box(&a).distance(black_box(&b)))
+    });
+    c.bench_function("hamming/part_distance_16", |bch| {
+        bch.iter(|| {
+            (0..16u32)
+                .map(|i| a.part_distance(&b, (i as usize) * 16, (i as usize + 1) * 16))
+                .sum::<u32>()
+        })
+    });
+}
+
+fn bench_signature_enumeration(c: &mut Criterion) {
+    c.bench_function("hamming/enumerate_r2_w16", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            enumerate_within(black_box(0xBEEF), 16, 2, &mut |_, _| n += 1);
+            n
+        })
+    });
+    c.bench_function("hamming/enumerate_r4_w16", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            enumerate_within(black_box(0xBEEF), 16, 4, &mut |_, _| n += 1);
+            n
+        })
+    });
+}
+
+fn bench_content_filter(c: &mut Criterion) {
+    let mut r = rng();
+    let text: Vec<u8> = (0..101).map(|_| b'a' + r.gen_range(0..26)).collect();
+    let masks = window_masks(&text, 6);
+    let gram = char_mask(b"ringed");
+    c.bench_function("editdist/window_masks_101", |b| {
+        b.iter(|| window_masks(black_box(&text), 6))
+    });
+    c.bench_function("editdist/min_window_bound", |b| {
+        b.iter(|| min_window_bound(black_box(gram), &masks, 20, 44))
+    });
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let mut r = rng();
+    let a: Vec<u8> = (0..101).map(|_| b'a' + r.gen_range(0..26)).collect();
+    let mut bb = a.clone();
+    for _ in 0..6 {
+        let p = r.gen_range(0..bb.len());
+        bb[p] = b'a' + r.gen_range(0..26);
+    }
+    c.bench_function("editdist/full_dp_101", |bch| {
+        bch.iter(|| edit_distance(black_box(&a), black_box(&bb)))
+    });
+    c.bench_function("editdist/banded_tau6_101", |bch| {
+        bch.iter(|| edit_distance_within(black_box(&a), black_box(&bb), 6))
+    });
+}
+
+fn bench_set_kernels(c: &mut Criterion) {
+    use pigeonring_setsim::pkwise::{for_each_combination, signature_hash};
+    use pigeonring_setsim::types::{overlap, overlap_at_least};
+    let mut r = rng();
+    let mut mk = |n: usize| -> Vec<u32> {
+        let mut v: Vec<u32> = (0..n).map(|_| r.gen_range(0..5000)).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let a = mk(142);
+    let b = mk(142);
+    c.bench_function("setsim/overlap_merge_142", |bch| {
+        bch.iter(|| overlap(black_box(&a), black_box(&b)))
+    });
+    c.bench_function("setsim/overlap_at_least_142", |bch| {
+        bch.iter(|| overlap_at_least(black_box(&a), black_box(&b), 100))
+    });
+    let toks: Vec<u32> = (0..11).collect();
+    c.bench_function("setsim/combos_11_choose_3", |bch| {
+        bch.iter(|| {
+            let mut acc = 0u64;
+            for_each_combination(black_box(&toks), 3, &mut |combo| {
+                acc ^= signature_hash(combo);
+            });
+            acc
+        })
+    });
+}
+
+fn bench_graph_kernels(c: &mut Criterion) {
+    use pigeonring_graph::{ged_within, part_embeds, partition_graph, Graph};
+    let mut r = rng();
+    let mut mk = |n: usize, labels: u32| -> Graph {
+        let mut g = Graph::new((0..n).map(|_| r.gen_range(0..labels)).collect());
+        for v in 1..n as u32 {
+            let u = r.gen_range(0..v);
+            g.add_edge(u, v, r.gen_range(0..3));
+        }
+        g
+    };
+    let x = mk(16, 20);
+    let q = mk(16, 20);
+    let parts = partition_graph(&x, 5);
+    c.bench_function("graph/part_embeds_16v", |bch| {
+        bch.iter(|| {
+            parts.iter().filter(|p| part_embeds(black_box(p), black_box(&q))).count()
+        })
+    });
+    c.bench_function("graph/ged_within_tau4_dissimilar", |bch| {
+        bch.iter(|| ged_within(black_box(&x), black_box(&q), 4))
+    });
+    c.bench_function("graph/ged_within_tau4_self", |bch| {
+        bch.iter(|| ged_within(black_box(&x), black_box(&x), 4))
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_chain_check,
+    bench_part_distance,
+    bench_signature_enumeration,
+    bench_content_filter,
+    bench_verify,
+    bench_set_kernels,
+    bench_graph_kernels
+);
+criterion_main!(kernels);

@@ -1,0 +1,182 @@
+//! Shared harness for the figure-reproduction binary and the Criterion
+//! benches: reduced-scale dataset presets, timing helpers, and tabular /
+//! CSV reporting.
+//!
+//! Scale note (DESIGN.md §4): dataset sizes are 10–100× smaller than the
+//! paper's so `repro all` finishes in minutes on one machine. `Scale`
+//! controls the reduction; `Scale::Quick` is used by the smoke tests.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Dataset scale for the harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-long smoke runs (CI / tests).
+    Quick,
+    /// The default reproduction scale (minutes for `repro all`).
+    Full,
+}
+
+impl Scale {
+    /// Parses `--quick` style flags.
+    pub fn from_args(args: &[String]) -> Scale {
+        if args.iter().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Full
+        }
+    }
+
+    /// Scales a full-size count down for quick runs.
+    pub fn n(&self, full: usize) -> usize {
+        match self {
+            Scale::Quick => (full / 10).max(50),
+            Scale::Full => full,
+        }
+    }
+
+    /// Number of queries to run.
+    pub fn queries(&self, full: usize) -> usize {
+        match self {
+            Scale::Quick => (full / 5).max(5),
+            Scale::Full => full,
+        }
+    }
+}
+
+/// Measures average per-query wall time in milliseconds over a closure
+/// invoked once per query id.
+pub fn time_per_query<T>(query_ids: &[usize], mut run: impl FnMut(usize) -> T) -> (f64, Vec<T>) {
+    let start = Instant::now();
+    let outs: Vec<T> = query_ids.iter().map(|&qid| run(qid)).collect();
+    let total = start.elapsed().as_secs_f64() * 1e3;
+    (total / query_ids.len().max(1) as f64, outs)
+}
+
+/// Accumulates rows and renders both an aligned console table and a CSV
+/// file under `results/`.
+pub struct Report {
+    name: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Starts a report for one experiment (e.g. `"fig5_gist"`).
+    pub fn new(name: &str, header: &[&str]) -> Self {
+        Report {
+            name: name.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds one row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience: formats mixed cells.
+    pub fn rowf(&mut self, cells: &[&dyn std::fmt::Display]) {
+        self.row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    }
+
+    /// Renders the aligned console table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.name);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Prints the table and writes `results/<name>.csv`. IO errors are
+    /// reported to stderr but do not abort the run.
+    pub fn emit(&self) {
+        print!("{}", self.render());
+        if let Err(e) = std::fs::create_dir_all("results") {
+            eprintln!("warning: cannot create results/: {e}");
+            return;
+        }
+        let quote = |c: &String| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.clone()
+            }
+        };
+        let mut csv = self.header.join(",") + "\n";
+        for row in &self.rows {
+            csv.push_str(&row.iter().map(quote).collect::<Vec<_>>().join(","));
+            csv.push('\n');
+        }
+        let path = format!("results/{}.csv", self.name);
+        if let Err(e) = std::fs::write(&path, csv) {
+            eprintln!("warning: cannot write {path}: {e}");
+        }
+    }
+}
+
+/// Formats a float with 3 significant decimals for table cells.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 1 decimal for table cells.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_aligned() {
+        let mut r = Report::new("t", &["a", "long_header"]);
+        r.row(&["1".into(), "2".into()]);
+        let s = r.render();
+        assert!(s.contains("== t =="));
+        assert!(s.contains("long_header"));
+    }
+
+    #[test]
+    fn scale_reduces_counts() {
+        assert_eq!(Scale::Quick.n(10_000), 1000);
+        assert_eq!(Scale::Full.n(10_000), 10_000);
+        assert!(Scale::Quick.queries(50) >= 5);
+    }
+
+    #[test]
+    fn time_per_query_runs_all() {
+        let ids = vec![0, 1, 2, 3];
+        let (ms, outs) = time_per_query(&ids, |q| q * 2);
+        assert!(ms >= 0.0);
+        assert_eq!(outs, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn row_arity_checked() {
+        let mut r = Report::new("t", &["a", "b"]);
+        r.row(&["only-one".into()]);
+    }
+}

@@ -1,0 +1,248 @@
+//! The universal filtering framework `⟨F, B, D⟩` of §5.
+//!
+//! A filtering instance is a triple of a *featuring function* `F` (feature
+//! extraction), a sequence of *boxes* `B(x, q)` (functions of subbags of
+//! features), and a *bounding function* `D` mapping the threshold `τ` to
+//! the bound `n` on `‖B(x, q)‖₁`. The instance is usable for filtering the
+//! constraint `f(x, q) ≤ τ` when it is **complete** (Definition 1:
+//! `‖B(x, q)‖₁ ≤ D(τ)` is a necessary condition), and its candidates at
+//! chain length `l = m` equal the results exactly when it is **tight**
+//! (Definition 2: necessary and sufficient).
+//!
+//! [`FilterInstance`] encodes the triple as a trait; feature extraction is
+//! folded into the implementor's state (indexes precompute features), and
+//! `boxes` returns `B(x, q)`. [`check_complete`] and [`check_tight`] test
+//! the sufficient-and-necessary conditions of Lemmata 6 and 7 on a finite
+//! sample of object pairs — the general-perspective answer the paper gives
+//! to "when may I use the principle safely".
+
+use crate::viability::{Direction, ThresholdScheme};
+
+/// A pigeonring filtering instance `⟨F, B, D⟩` for a τ-selection problem
+/// with selection function `f`.
+///
+/// Box values are `f64` here because the framework must cover the general
+/// real-valued statement; the production engines use `i64` boxes
+/// internally and only implement this trait for conformance testing.
+pub trait FilterInstance {
+    /// The object universe `O` (or the representation of its members).
+    type Object: ?Sized;
+
+    /// The selection function `f(x, q)` this instance filters for.
+    fn selection(&self, x: &Self::Object, q: &Self::Object) -> f64;
+
+    /// The box sequence `B(x, q) = (b_0(x,q), …, b_{m−1}(x,q))`.
+    fn boxes(&self, x: &Self::Object, q: &Self::Object) -> Vec<f64>;
+
+    /// The bounding function `D(τ)`. Identity for Hamming/set/GED
+    /// instances; e.g. `2τ` for the content-based edit-distance filter.
+    fn bound(&self, tau: f64) -> f64;
+
+    /// The comparison direction of the problem (`≤` by default).
+    fn direction(&self) -> Direction {
+        Direction::Le
+    }
+
+    /// Whether `x` is a candidate for query `q` at threshold `tau` under
+    /// the strong-form pigeonring condition with chain length `l` and the
+    /// uniform scheme `n = D(τ)`.
+    fn is_candidate(&self, x: &Self::Object, q: &Self::Object, tau: f64, l: usize) -> bool {
+        let boxes = self.boxes(x, q);
+        let scheme = ThresholdScheme::uniform(self.bound(tau), boxes.len());
+        let l = l.min(boxes.len());
+        crate::viability::find_prefix_viable(&boxes, &scheme, self.direction(), l).is_some()
+    }
+}
+
+/// A witness that a completeness or tightness condition fails on a sample:
+/// the indices of the offending pair(s) in the sample slice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// Condition 1 fails for the pair at this index: `‖B‖₁` is not bounded
+    /// by `D(f)` in the instance's direction.
+    Bound(usize),
+    /// Condition 2 fails for the ordered pair of indices `(i, j)` with
+    /// `f_i` strictly closer than `f_j`.
+    CrossPair(usize, usize),
+}
+
+/// Checks the sufficient-and-necessary completeness conditions of Lemma 6
+/// on a finite sample of `(f(x,q), ‖B(x,q)‖₁)` observations.
+///
+/// Direction ≤ (Lemma 6 verbatim): (1) `‖B‖₁ ≤ D(f)` for every pair;
+/// (2) no two pairs with `f₁ < f₂` and `‖B₁‖₁ > D(f₂)`. Direction ≥ is the
+/// mirror image. Passing on a sample does not prove completeness over all
+/// of `O × O`, but a violation disproves it; engines pair this with
+/// end-to-end equality tests against linear scan.
+pub fn check_complete(
+    pairs: &[(f64, f64)],
+    bound: impl Fn(f64) -> f64,
+    dir: Direction,
+) -> Result<(), Violation> {
+    for (i, &(f, norm)) in pairs.iter().enumerate() {
+        let ok = match dir {
+            Direction::Le => norm <= bound(f),
+            Direction::Ge => norm >= bound(f),
+        };
+        if !ok {
+            return Err(Violation::Bound(i));
+        }
+    }
+    for (i, &(f1, n1)) in pairs.iter().enumerate() {
+        for (j, &(f2, _)) in pairs.iter().enumerate() {
+            let bad = match dir {
+                Direction::Le => f1 < f2 && n1 > bound(f2),
+                Direction::Ge => f1 > f2 && n1 < bound(f2),
+            };
+            if bad {
+                return Err(Violation::CrossPair(i, j));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks the tightness conditions of Lemma 7 on a finite sample.
+///
+/// Direction ≤: (1) as in [`check_complete`]; (2) no two pairs with
+/// `f₁ < f₂` and `D(f₁) ≥ ‖B₂‖₁` — i.e. the bound at a strictly smaller
+/// `f` must not already admit the larger pair's norm.
+pub fn check_tight(
+    pairs: &[(f64, f64)],
+    bound: impl Fn(f64) -> f64,
+    dir: Direction,
+) -> Result<(), Violation> {
+    check_complete(pairs, &bound, dir)?;
+    for (i, &(f1, _)) in pairs.iter().enumerate() {
+        for (j, &(f2, n2)) in pairs.iter().enumerate() {
+            let bad = match dir {
+                Direction::Le => f1 < f2 && bound(f1) >= n2,
+                Direction::Ge => f1 > f2 && bound(f1) <= n2,
+            };
+            if bad {
+                return Err(Violation::CrossPair(i, j));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The trivial complete-but-useless instance of §5 (`m = 1`, `b₀ = −1`,
+/// `D(τ) = 0`): everything is a candidate. Kept as a documented example
+/// and a degenerate-case test fixture.
+pub struct TrivialInstance<F>(pub F);
+
+impl<F: Fn(&[f64], &[f64]) -> f64> FilterInstance for TrivialInstance<F> {
+    type Object = [f64];
+
+    fn selection(&self, x: &[f64], q: &[f64]) -> f64 {
+        (self.0)(x, q)
+    }
+
+    fn boxes(&self, _x: &[f64], _q: &[f64]) -> Vec<f64> {
+        vec![-1.0]
+    }
+
+    fn bound(&self, _tau: f64) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Hamming instance: f = Hamming distance over disjoint parts,
+    /// ‖B‖₁ = f exactly, D = identity. Complete and tight (Lemma 7).
+    fn hamming_pairs() -> Vec<(f64, f64)> {
+        (0..20).map(|k| (k as f64, k as f64)).collect()
+    }
+
+    #[test]
+    fn identity_instance_is_complete_and_tight() {
+        let pairs = hamming_pairs();
+        assert_eq!(check_complete(&pairs, |t| t, Direction::Le), Ok(()));
+        assert_eq!(check_tight(&pairs, |t| t, Direction::Le), Ok(()));
+    }
+
+    #[test]
+    fn lower_bound_instance_is_complete_not_tight() {
+        // Pivotal/Pars style: ‖B‖₁ ≤ f (strict for some pairs), D = id.
+        // Complete, but tightness Condition 2 fails: some pair with larger
+        // f has norm ≤ D of a smaller f.
+        let pairs = vec![(0.0, 0.0), (2.0, 1.0), (3.0, 3.0), (5.0, 2.0)];
+        assert_eq!(check_complete(&pairs, |t| t, Direction::Le), Ok(()));
+        assert!(matches!(
+            check_tight(&pairs, |t| t, Direction::Le),
+            Err(Violation::CrossPair(_, _))
+        ));
+    }
+
+    #[test]
+    fn bound_violation_detected() {
+        // A pair whose norm exceeds D(f) is not complete.
+        let pairs = vec![(1.0, 2.0)];
+        assert_eq!(check_complete(&pairs, |t| t, Direction::Le), Err(Violation::Bound(0)));
+    }
+
+    #[test]
+    fn cross_pair_violation_detected() {
+        // f1 < f2 but ‖B1‖ > D(f2): filtering at τ = f2 would miss pair 1.
+        // Needs a decreasing D so Condition 1 holds for both pairs while
+        // Condition 2 fails.
+        let pairs = vec![(1.0, 3.0), (2.0, 1.0)];
+        let d = |t: f64| if t < 1.5 { 3.0 } else { 2.0 };
+        assert_eq!(
+            check_complete(&pairs, d, Direction::Le),
+            Err(Violation::CrossPair(0, 1))
+        );
+    }
+
+    #[test]
+    fn ge_direction_mirrors() {
+        // Overlap-style: ‖B‖₁ = f, D = id, direction ≥.
+        let pairs = hamming_pairs();
+        assert_eq!(check_complete(&pairs, |t| t, Direction::Ge), Ok(()));
+        assert_eq!(check_tight(&pairs, |t| t, Direction::Ge), Ok(()));
+        // An upper-bounding instance (‖B‖ ≥ f) is complete for ≥…
+        let ub = vec![(1.0, 2.0), (3.0, 3.0)];
+        assert_eq!(check_complete(&ub, |t| t, Direction::Ge), Ok(()));
+        // …but a norm below D(f) is not.
+        let bad = vec![(3.0, 1.0)];
+        assert_eq!(check_complete(&bad, |t| t, Direction::Ge), Err(Violation::Bound(0)));
+    }
+
+    #[test]
+    fn trivial_instance_admits_everything() {
+        let inst = TrivialInstance(|x: &[f64], q: &[f64]| {
+            x.iter().zip(q).map(|(a, b)| (a - b).abs()).sum()
+        });
+        let x = [1.0, 2.0];
+        let q = [9.0, 9.0];
+        // f is large but the trivial instance still marks it a candidate.
+        assert!(inst.selection(&x, &q) > 10.0);
+        assert!(inst.is_candidate(&x, &q, 0.5, 1));
+    }
+
+    #[test]
+    fn is_candidate_respects_chain_length() {
+        struct Ident;
+        impl FilterInstance for Ident {
+            type Object = [f64];
+            fn selection(&self, x: &[f64], q: &[f64]) -> f64 {
+                x.iter().zip(q).map(|(a, b)| (a - b).abs()).sum()
+            }
+            fn boxes(&self, x: &[f64], q: &[f64]) -> Vec<f64> {
+                x.iter().zip(q).map(|(a, b)| (a - b).abs()).collect()
+            }
+            fn bound(&self, tau: f64) -> f64 {
+                tau
+            }
+        }
+        // Example 1 layout again, as per-dimension absolute differences.
+        let x = [2.0, 1.0, 2.0, 2.0, 1.0];
+        let q = [0.0; 5];
+        assert!(Ident.is_candidate(&x, &q, 5.0, 1));
+        assert!(!Ident.is_candidate(&x, &q, 5.0, 2));
+    }
+}

@@ -1,0 +1,115 @@
+//! A minimal FxHash-style hasher for hot, integer-keyed hash maps.
+//!
+//! The default SipHash is HashDoS-resistant but measurably slow for the
+//! short integer and byte-string keys that dominate the inverted indexes
+//! in this workspace (per-part Hamming signatures, token ids, q-gram ids).
+//! The `rustc-hash` crate is outside the allowed dependency set, so we
+//! implement the same multiply-and-rotate construction here (~20 lines).
+//! It is **not** collision-resistant against adversarial keys; all keys in
+//! this workspace come from our own generators and indexes.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx (Firefox) hash: a word-at-a-time multiply-rotate hasher.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+            // Length-tag so "ab" and "ab\0" differ.
+            self.add(rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, usize> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 17, i as usize);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i * 17)), Some(&(i as usize)));
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn byte_keys_distinguish_length() {
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let bh = BuildHasherDefault::<FxHasher>::default();
+        let h1 = bh.hash_one(b"ab".as_slice());
+        let h2 = bh.hash_one(b"ab\0".as_slice());
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn spreads_sequential_keys() {
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let bh = BuildHasherDefault::<FxHasher>::default();
+        let mut buckets = [0usize; 16];
+        for i in 0..4096u64 {
+            buckets[(bh.hash_one(i) >> 60) as usize] += 1;
+        }
+        // No bucket should be empty or hold more than half the keys.
+        for &b in &buckets {
+            assert!(b > 0 && b < 2048, "poor distribution: {buckets:?}");
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! The continuous (integral) form of the principles — Appendix B.
+//!
+//! Theorem 8 extends the pigeonhole principle to Riemann-integrable box
+//! functions: if `∫_u^{u+m} b(x) dx ≤ n` then some point has
+//! `b(x) ≤ n/m`. Theorem 9 is the pigeonring counterpart for *periodic*
+//! `b` (period `m` — the continuous ring): there exists `x₁` such that
+//! **every** window `[x₁, x₂]` with `x₂ ≤ x₁ + m` satisfies
+//! `∫_{x₁}^{x₂} b ≤ (x₂ − x₁)·n/m` — the continuous analogue of a
+//! prefix-viable chain.
+//!
+//! We work with piecewise-constant functions ([`StepFun`]): they are
+//! dense in the Riemann-integrable functions, make every integral exact
+//! rational arithmetic in `f64`, and are exactly the box sequences of the
+//! discrete principle when the pieces have unit width — which the tests
+//! exploit to check that the continuous statements *contain* the
+//! discrete ones.
+//!
+//! The witness search mirrors Appendix A's geometric interpretation: for
+//! the cumulative function `g(x) = ∫_0^x b`, a start `x₁` heads an
+//! all-prefix-viable window iff the line through `(x₁, g(x₁))` with slope
+//! `n/m` stays on or above `g` over `[x₁, x₁ + m]`; the witness is the
+//! point attaining the maximal `g(x) − x·n/m` (the "greatest y-intercept"
+//! line L of Figure 13).
+
+/// A piecewise-constant function on `[0, m)`, extended periodically.
+/// Piece `i` covers `[edges[i], edges[i+1])` with value `values[i]`.
+#[derive(Clone, Debug)]
+pub struct StepFun {
+    edges: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl StepFun {
+    /// Builds a step function from breakpoints `edges` (strictly
+    /// increasing, starting at 0) and per-piece `values`
+    /// (`values.len() + 1 == edges.len()`).
+    ///
+    /// # Panics
+    /// Panics on malformed input.
+    pub fn new(edges: Vec<f64>, values: Vec<f64>) -> Self {
+        assert!(edges.len() >= 2, "need at least one piece");
+        assert_eq!(edges.len(), values.len() + 1, "one value per piece");
+        assert_eq!(edges[0], 0.0, "domain starts at 0");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be strictly increasing"
+        );
+        assert!(values.iter().all(|v| v.is_finite()), "values must be finite");
+        StepFun { edges, values }
+    }
+
+    /// A step function with unit-width pieces — exactly a discrete box
+    /// sequence laid on the line.
+    pub fn from_boxes(boxes: &[f64]) -> Self {
+        let edges = (0..=boxes.len()).map(|i| i as f64).collect();
+        StepFun::new(edges, boxes.to_vec())
+    }
+
+    /// The period `m` (domain length).
+    pub fn period(&self) -> f64 {
+        *self.edges.last().expect("non-empty edges")
+    }
+
+    /// `b(x)` with periodic extension.
+    pub fn eval(&self, x: f64) -> f64 {
+        let m = self.period();
+        let xm = x.rem_euclid(m);
+        let i = match self.edges.binary_search_by(|e| e.partial_cmp(&xm).expect("finite")) {
+            Ok(i) => i.min(self.values.len() - 1),
+            Err(i) => i - 1,
+        };
+        self.values[i]
+    }
+
+    /// Exact `∫_0^x b` for `x ∈ [0, m]` (no periodic wrap).
+    fn cumulative_within(&self, x: f64) -> f64 {
+        let mut acc = 0.0;
+        for (i, v) in self.values.iter().enumerate() {
+            let lo = self.edges[i];
+            let hi = self.edges[i + 1];
+            if x <= lo {
+                break;
+            }
+            acc += v * (x.min(hi) - lo);
+        }
+        acc
+    }
+
+    /// Exact `g(x) = ∫_0^x b` for any `x ≥ 0` (periodic extension).
+    pub fn cumulative(&self, x: f64) -> f64 {
+        assert!(x >= 0.0, "cumulative defined for x ≥ 0");
+        let m = self.period();
+        let whole = (x / m).floor();
+        whole * self.cumulative_within(m) + self.cumulative_within(x - whole * m)
+    }
+
+    /// Exact `∫_{x1}^{x2} b` for `0 ≤ x1 ≤ x2`.
+    pub fn integral(&self, x1: f64, x2: f64) -> f64 {
+        assert!(0.0 <= x1 && x1 <= x2, "invalid interval");
+        self.cumulative(x2) - self.cumulative(x1)
+    }
+
+    /// Candidate witness points: piece edges within one period (the
+    /// extrema of `g(x) − x·s` for piecewise-constant `b` lie on edges).
+    fn breakpoints(&self) -> impl Iterator<Item = f64> + '_ {
+        self.edges.iter().copied()
+    }
+}
+
+/// Theorem 8 (integral pigeonhole): if `∫_0^m b ≤ n`, returns a point
+/// `x` with `b(x) ≤ n/m`. Returns `None` only when the hypothesis fails.
+pub fn integral_pigeonhole(b: &StepFun, n: f64) -> Option<f64> {
+    let m = b.period();
+    let slope = n / m;
+    // For a step function the minimum value is attained on some piece.
+    let (i, v) = b
+        .values
+        .iter()
+        .enumerate()
+        .min_by(|a, bb| a.1.partial_cmp(bb.1).expect("finite values"))?;
+    (*v <= slope + 1e-12).then(|| b.edges[i])
+}
+
+/// Theorem 9 (integral pigeonring): if `∫_0^m b ≤ n` for the periodic
+/// `b`, returns `x₁` such that every `x₂ ∈ [x₁, x₁ + m]` satisfies
+/// `∫_{x₁}^{x₂} b ≤ (x₂ − x₁)·n/m`. The witness maximizes
+/// `g(x) − x·n/m` over one period (Appendix A's line argument).
+pub fn integral_pigeonring(b: &StepFun, n: f64) -> Option<f64> {
+    let m = b.period();
+    if b.integral(0.0, m) > n + 1e-9 {
+        return None; // hypothesis fails
+    }
+    let slope = n / m;
+    // x₁ = argmax g(x) − slope·x over the breakpoints of one period.
+    let x1 = b
+        .breakpoints()
+        .max_by(|&p, &q| {
+            let fp = b.cumulative(p) - slope * p;
+            let fq = b.cumulative(q) - slope * q;
+            fp.partial_cmp(&fq).expect("finite")
+        })
+        .expect("non-empty breakpoints");
+    Some(x1 % m)
+}
+
+/// Checks the Theorem 9 witness property on a grid (test helper): every
+/// prefix window from `x1` satisfies the quota up to tolerance.
+pub fn prefix_windows_viable(b: &StepFun, n: f64, x1: f64, grid: usize) -> bool {
+    let m = b.period();
+    let slope = n / m;
+    (1..=grid).all(|k| {
+        let x2 = x1 + m * k as f64 / grid as f64;
+        b.integral(x1, x2) <= slope * (x2 - x1) + 1e-9
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_eval_and_integrals() {
+        let b = StepFun::new(vec![0.0, 1.0, 2.5, 4.0], vec![2.0, 0.0, 1.0]);
+        assert_eq!(b.period(), 4.0);
+        assert_eq!(b.eval(0.5), 2.0);
+        assert_eq!(b.eval(2.0), 0.0);
+        assert_eq!(b.eval(3.0), 1.0);
+        assert_eq!(b.eval(4.5), 2.0); // periodic wrap
+        assert!((b.integral(0.0, 4.0) - 3.5).abs() < 1e-12);
+        assert!((b.integral(0.5, 2.0) - 1.0).abs() < 1e-12);
+        // Across the period boundary.
+        assert!((b.integral(3.0, 5.0) - (1.0 + 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem8_finds_low_point() {
+        let b = StepFun::new(vec![0.0, 1.0, 3.0], vec![5.0, 0.5]);
+        // ∫ = 5 + 1 = 6 over m = 3 ⇒ n = 6 works: some b(x) ≤ 2.
+        let x = integral_pigeonhole(&b, 6.0).expect("hypothesis holds");
+        assert!(b.eval(x) <= 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn theorem9_witness_is_all_prefix_viable() {
+        let layouts: [&[f64]; 4] = [
+            &[2.0, 1.0, 2.0, 2.0, 1.0],
+            &[2.0, 0.0, 3.0, 1.0, 2.0],
+            &[0.0, 0.0, 0.0, 0.0, 8.0],
+            &[1.5, 1.5, 1.5, 1.5, 1.5],
+        ];
+        for boxes in layouts {
+            let b = StepFun::from_boxes(boxes);
+            let n = boxes.iter().sum::<f64>();
+            let x1 = integral_pigeonring(&b, n).expect("∫ = n satisfies the hypothesis");
+            assert!(
+                prefix_windows_viable(&b, n, x1, 50),
+                "witness {x1} fails for {boxes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem9_contains_discrete_strong_form() {
+        // With unit pieces, window quotas at integer x₂ are exactly the
+        // discrete chain quotas, so the integral witness implies a
+        // discrete prefix-viable chain exists at its ceiling start.
+        let boxes = [2.0f64, 1.0, 2.0, 2.0, 1.0];
+        let b = StepFun::from_boxes(&boxes);
+        let n = 8.0; // ≥ the sum, hypothesis holds
+        let x1 = integral_pigeonring(&b, n).expect("hypothesis holds");
+        assert!(prefix_windows_viable(&b, n, x1, 100));
+        // And the discrete principle agrees something exists at n = 8.
+        let ds: Vec<i64> = boxes.iter().map(|&v| v as i64).collect();
+        let scheme = crate::viability::ThresholdScheme::uniform(8i64, 5);
+        assert!(crate::viability::find_prefix_viable(
+            &ds,
+            &scheme,
+            crate::viability::Direction::Le,
+            5
+        )
+        .is_some());
+    }
+
+    #[test]
+    fn theorem9_rejects_violated_hypothesis() {
+        let b = StepFun::from_boxes(&[3.0, 3.0, 3.0]);
+        assert!(integral_pigeonring(&b, 8.0).is_none()); // ∫ = 9 > 8
+    }
+
+    #[test]
+    fn fractional_edges_work() {
+        let b = StepFun::new(vec![0.0, 0.25, 1.0, 2.0], vec![4.0, 0.25, 1.0]);
+        let total = b.integral(0.0, 2.0);
+        let x1 = integral_pigeonring(&b, total).expect("hypothesis holds");
+        assert!(prefix_windows_viable(&b, total, x1, 64));
+    }
+}

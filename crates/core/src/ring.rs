@@ -1,0 +1,215 @@
+//! Chains over a ring of boxes.
+//!
+//! The paper organizes `m` boxes `b_0, …, b_{m−1}` clockwise in a ring where
+//! `b_{m−1}` is adjacent to `b_0`. A *chain* `c^l_i` is the sequence of `l`
+//! consecutive boxes starting at `b_i`, wrapping modulo `m`. This module
+//! provides the small amount of modular-index machinery shared by the
+//! viability predicates, the theorem validators, and the per-problem
+//! engines, without allocating: a [`Chain`] is a cheap view over a box
+//! slice.
+
+/// A chain `c^l_i`: `len` consecutive boxes of `boxes`, starting at
+/// `start`, wrapping modulo `boxes.len()`.
+///
+/// Invariants: `boxes` is non-empty, `start < boxes.len()`, and
+/// `len ≤ boxes.len()` (the paper restricts chain length to at most `m`;
+/// `len == 0` is the empty chain with sum 0).
+#[derive(Clone, Copy, Debug)]
+pub struct Chain<'a, T> {
+    boxes: &'a [T],
+    start: usize,
+    len: usize,
+}
+
+impl<'a, T: Copy + core::iter::Sum> Chain<'a, T> {
+    /// Creates the chain `c^len_start` over `boxes`.
+    ///
+    /// # Panics
+    /// Panics if `boxes` is empty, `start ≥ boxes.len()`, or
+    /// `len > boxes.len()`.
+    pub fn new(boxes: &'a [T], start: usize, len: usize) -> Self {
+        assert!(!boxes.is_empty(), "a ring needs at least one box");
+        assert!(start < boxes.len(), "chain start out of range");
+        assert!(len <= boxes.len(), "chain longer than the ring");
+        Chain { boxes, start, len }
+    }
+
+    /// The number of boxes in the chain.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether this is the empty chain (`‖c‖₁ = 0` by definition).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The start index `i` of `c^l_i`.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Iterates over the boxes of the chain in ring (clockwise) order.
+    pub fn iter(&self) -> impl Iterator<Item = T> + 'a {
+        let m = self.boxes.len();
+        let boxes = self.boxes;
+        let start = self.start;
+        (0..self.len).map(move |k| boxes[(start + k) % m])
+    }
+
+    /// `‖c^l_i‖₁`: the sum of the boxes in the chain.
+    pub fn sum(&self) -> T {
+        self.iter().sum()
+    }
+
+    /// The `l'`-prefix `c^{l'}_i` of this chain (paper §3: for
+    /// `l' ∈ [1..l]`, `c^{l'}_i` is an `l'`-prefix of `c^l_i`).
+    ///
+    /// # Panics
+    /// Panics if `l_prime > self.len()`.
+    pub fn prefix(&self, l_prime: usize) -> Chain<'a, T> {
+        assert!(l_prime <= self.len, "prefix longer than chain");
+        Chain { boxes: self.boxes, start: self.start, len: l_prime }
+    }
+
+    /// The `l'`-suffix `c^{l'}_{i+l−l'}` of this chain.
+    ///
+    /// # Panics
+    /// Panics if `l_prime > self.len()`.
+    pub fn suffix(&self, l_prime: usize) -> Chain<'a, T> {
+        assert!(l_prime <= self.len, "suffix longer than chain");
+        let m = self.boxes.len();
+        Chain {
+            boxes: self.boxes,
+            start: (self.start + self.len - l_prime) % m,
+            len: l_prime,
+        }
+    }
+
+    /// Whether `other` is a subchain of `self` in the sense of §3: a chain
+    /// `c^{l'}_j` is a subchain of `c^l_i` if `j ≥ i` and `j + l' ≤ i + l`
+    /// (indices taken on the unrolled ring starting at `i`).
+    pub fn contains(&self, other: &Chain<'_, T>) -> bool {
+        if !core::ptr::eq(self.boxes, other.boxes) {
+            return false;
+        }
+        let m = self.boxes.len();
+        // Offset of `other.start` from `self.start` going clockwise.
+        let off = (other.start + m - self.start) % m;
+        off + other.len <= self.len
+    }
+
+    /// Whether this is a complete chain `c^m_i` (every box appears once).
+    pub fn is_complete(&self) -> bool {
+        self.len == self.boxes.len()
+    }
+}
+
+/// Sum of all elements of `boxes` (`‖B‖₁` in the paper).
+pub fn norm1<T: Copy + core::iter::Sum>(boxes: &[T]) -> T {
+    boxes.iter().copied().sum()
+}
+
+/// Rolling sums of every length-`l` chain: entry `i` is `‖c^l_i‖₁`.
+///
+/// Computed incrementally in `O(m)` time after the first window. Useful for
+/// basic-form (Theorem 2) checks and for tests; the production filters use
+/// the incremental prefix-viability scan in [`crate::viability`] instead.
+pub fn window_sums<T>(boxes: &[T], l: usize) -> Vec<T>
+where
+    T: Copy + core::ops::Add<Output = T> + core::ops::Sub<Output = T> + core::iter::Sum,
+{
+    let m = boxes.len();
+    assert!(l >= 1 && l <= m, "window length must be in [1..m]");
+    let mut out = Vec::with_capacity(m);
+    let mut sum: T = boxes[..l].iter().copied().sum();
+    for i in 0..m {
+        out.push(sum);
+        // Slide: drop b_i, add b_{i+l}.
+        sum = sum - boxes[i] + boxes[(i + l) % m];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Figure 1(a) of the paper: B = (2, 1, 2, 2, 1), n = 5, m = 5.
+    const FIG1A: [i64; 5] = [2, 1, 2, 2, 1];
+
+    #[test]
+    fn example_4_chain_sums() {
+        // Example 4: c^4_3 = (b3, b4, b0, b1), ‖c^4_3‖₁ = 2+1+2+1 = 6.
+        let c = Chain::new(&FIG1A, 3, 4);
+        assert_eq!(c.sum(), 6);
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![2, 1, 2, 1]);
+    }
+
+    #[test]
+    fn example_4_prefix_suffix_subchain() {
+        let c43 = Chain::new(&FIG1A, 3, 4);
+        // c^2_3 is a 2-prefix of c^4_3.
+        let p = c43.prefix(2);
+        assert_eq!((p.start(), p.len()), (3, 2));
+        // c^3_4 is a 3-suffix of c^4_3.
+        let s = c43.suffix(3);
+        assert_eq!((s.start(), s.len()), (4, 3));
+        // c^2_4 is a subchain of c^4_3.
+        let sub = Chain::new(&FIG1A, 4, 2);
+        assert!(c43.contains(&sub));
+        // c^2_2 is not (starts before i = 3).
+        let not_sub = Chain::new(&FIG1A, 2, 2);
+        assert!(!c43.contains(&not_sub));
+        // c^5_3 is a complete chain.
+        let complete = Chain::new(&FIG1A, 3, 5);
+        assert!(complete.is_complete());
+        assert_eq!(complete.sum(), norm1(&FIG1A));
+    }
+
+    #[test]
+    fn empty_chain_sums_to_zero() {
+        let c = Chain::new(&FIG1A, 0, 0);
+        assert!(c.is_empty());
+        assert_eq!(c.sum(), 0);
+    }
+
+    #[test]
+    fn window_sums_match_example_5() {
+        // Example 5: for B(x¹,q) = (2,1,2,2,1), l = 2 the chain sums are
+        // (3, 3, 4, 3, 3).
+        assert_eq!(window_sums(&FIG1A, 2), vec![3, 3, 4, 3, 3]);
+        // And for B(x²,q) = (0,2,0,2,1): (2, 2, 2, 3, 1).
+        assert_eq!(window_sums(&[0i64, 2, 0, 2, 1], 2), vec![2, 2, 2, 3, 1]);
+    }
+
+    #[test]
+    fn window_sums_wrap_correctly() {
+        let b = [1i64, 2, 3, 4];
+        assert_eq!(window_sums(&b, 3), vec![6, 9, 8, 7]);
+        assert_eq!(window_sums(&b, 4), vec![10, 10, 10, 10]);
+        assert_eq!(window_sums(&b, 1), b.to_vec());
+    }
+
+    #[test]
+    fn chain_wraps_modulo_m() {
+        let c = Chain::new(&FIG1A, 4, 3); // b4, b0, b1
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![1, 2, 1]);
+        assert_eq!(c.sum(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "chain longer than the ring")]
+    fn overlong_chain_panics() {
+        let _ = Chain::new(&FIG1A, 0, 6);
+    }
+
+    #[test]
+    fn subchain_of_wrapping_chain() {
+        let c = Chain::new(&FIG1A, 3, 4); // covers 3,4,0,1
+        let wrap_sub = Chain::new(&FIG1A, 4, 3); // covers 4,0,1
+        assert!(c.contains(&wrap_sub));
+        let beyond = Chain::new(&FIG1A, 1, 2); // covers 1,2 — 2 not in c
+        assert!(!c.contains(&beyond));
+    }
+}

@@ -1,0 +1,159 @@
+//! Zipfian token sets (Enron-like / DBLP-like).
+//!
+//! Token use in text is heavily skewed; prefix filtering exploits exactly
+//! that skew (rare tokens make selective prefixes). Sets draw tokens from
+//! a Zipf universe, sizes follow a lognormal around the dataset's average
+//! (Enron ≈ 142 tokens, DBLP ≈ 14), and a fraction of records are planted
+//! near-duplicates of earlier records (a few tokens substituted) so that
+//! Jaccard queries at τ ∈ [0.7, 0.95] have non-empty results.
+
+use crate::rng;
+use crate::zipf::Zipf;
+use rand::Rng;
+
+/// Configuration for the token-set generator.
+#[derive(Clone, Debug)]
+pub struct SetConfig {
+    /// Number of records.
+    pub count: usize,
+    /// Average set size.
+    pub avg_size: usize,
+    /// Token universe size.
+    pub universe: usize,
+    /// Zipf exponent of token frequencies.
+    pub zipf_s: f64,
+    /// Fraction of records that are mutated copies of earlier records.
+    pub dup_frac: f64,
+    /// Fraction of a duplicated record's tokens that are substituted.
+    pub mutate_frac: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SetConfig {
+    /// Enron-like: long sets (avg ≈ 142 tokens) over a large universe.
+    pub fn enron_like(count: usize) -> Self {
+        SetConfig {
+            count,
+            avg_size: 142,
+            universe: 20_000,
+            zipf_s: 0.9,
+            dup_frac: 0.35,
+            mutate_frac: 0.06,
+            seed: 0x456e_726f,
+        }
+    }
+
+    /// DBLP-like: short sets (avg ≈ 14 tokens).
+    pub fn dblp_like(count: usize) -> Self {
+        SetConfig {
+            count,
+            avg_size: 14,
+            universe: 5_000,
+            zipf_s: 0.8,
+            dup_frac: 0.35,
+            mutate_frac: 0.1,
+            seed: 0x4442_4c50,
+        }
+    }
+
+    /// Generates raw token sets (deduplicated within each record; feed to
+    /// `setsim::Collection::new`).
+    pub fn generate(&self) -> Vec<Vec<u32>> {
+        assert!(self.count > 0 && self.avg_size >= 2 && self.universe > self.avg_size);
+        let mut r = rng(self.seed);
+        let zipf = Zipf::new(self.universe, self.zipf_s);
+        let mut out: Vec<Vec<u32>> = Vec::with_capacity(self.count);
+        for i in 0..self.count {
+            if i > 0 && r.gen::<f64>() < self.dup_frac {
+                // Mutated copy of a recent record.
+                let src = &out[r.gen_range(0..i)];
+                let mut copy = src.clone();
+                let edits = ((copy.len() as f64 * self.mutate_frac).ceil() as usize).max(1);
+                for _ in 0..edits {
+                    if copy.is_empty() {
+                        break;
+                    }
+                    let pos = r.gen_range(0..copy.len());
+                    copy[pos] = zipf.sample(&mut r) as u32;
+                }
+                copy.sort_unstable();
+                copy.dedup();
+                out.push(copy);
+            } else {
+                // Lognormal-ish size around the average.
+                let factor = (r.gen::<f64>() + r.gen::<f64>() + r.gen::<f64>()) * 2.0 / 3.0;
+                let size = ((self.avg_size as f64 * (0.4 + factor)).round() as usize).max(2);
+                let mut s: Vec<u32> = Vec::with_capacity(size);
+                while s.len() < size {
+                    s.push(zipf.sample(&mut r) as u32);
+                    s.sort_unstable();
+                    s.dedup();
+                }
+                out.push(s);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_and_rough_sizes() {
+        let cfg = SetConfig::dblp_like(300);
+        let data = cfg.generate();
+        assert_eq!(data.len(), 300);
+        let avg: f64 = data.iter().map(|s| s.len() as f64).sum::<f64>() / 300.0;
+        assert!((8.0..22.0).contains(&avg), "avg size {avg}");
+        for s in &data {
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted+deduped");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = SetConfig::enron_like(60);
+        assert_eq!(cfg.generate(), cfg.generate());
+    }
+
+    #[test]
+    fn near_duplicates_exist() {
+        let cfg = SetConfig::dblp_like(300);
+        let data = cfg.generate();
+        // At least one pair with Jaccard ≥ 0.7.
+        let jac = |a: &[u32], b: &[u32]| {
+            let inter = a.iter().filter(|t| b.binary_search(t).is_ok()).count();
+            inter as f64 / (a.len() + b.len() - inter) as f64
+        };
+        let mut found = false;
+        'outer: for i in 0..data.len() {
+            for j in i + 1..data.len() {
+                if jac(&data[i], &data[j]) >= 0.7 {
+                    found = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(found, "expected planted near-duplicate pairs");
+    }
+
+    #[test]
+    fn token_frequencies_are_skewed() {
+        let cfg = SetConfig::enron_like(100);
+        let data = cfg.generate();
+        let mut counts = std::collections::HashMap::new();
+        for s in &data {
+            for &t in s {
+                *counts.entry(t).or_insert(0usize) += 1;
+            }
+        }
+        let max = *counts.values().max().unwrap();
+        let distinct = counts.len();
+        // The hottest token must appear far more often than average.
+        let avg = counts.values().sum::<usize>() as f64 / distinct as f64;
+        assert!(max as f64 > 5.0 * avg, "max {max}, avg {avg}");
+    }
+}

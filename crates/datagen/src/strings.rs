@@ -1,0 +1,146 @@
+//! Skewed-alphabet strings with planted typo variants (IMDB-like /
+//! PubMed-like).
+//!
+//! q-gram selectivity depends on alphabet skew (natural text grams are
+//! Zipfian) and string length (IMDB names ≈ 16 chars, PubMed titles
+//! ≈ 101). Characters are drawn from a Zipf distribution over lowercase
+//! letters; a fraction of strings are copies of earlier strings with a
+//! few random edit operations applied, so edit-distance queries at
+//! τ ∈ [1, 12] have non-empty results.
+
+use crate::rng;
+use crate::zipf::Zipf;
+use rand::Rng;
+
+/// Configuration for the string generator.
+#[derive(Clone, Debug)]
+pub struct StringConfig {
+    /// Number of strings.
+    pub count: usize,
+    /// Average length.
+    pub avg_len: usize,
+    /// Alphabet size (drawn from `'a'..`).
+    pub alphabet: usize,
+    /// Zipf exponent of character frequencies.
+    pub zipf_s: f64,
+    /// Fraction of strings that are edited copies of earlier strings.
+    pub dup_frac: f64,
+    /// Maximum number of edits applied to a copy.
+    pub max_edits: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl StringConfig {
+    /// IMDB-like: short names (avg length ≈ 16).
+    pub fn imdb_like(count: usize) -> Self {
+        StringConfig {
+            count,
+            avg_len: 16,
+            alphabet: 26,
+            zipf_s: 0.7,
+            dup_frac: 0.4,
+            max_edits: 4,
+            seed: 0x494d_4442,
+        }
+    }
+
+    /// PubMed-like: long titles (avg length ≈ 101).
+    pub fn pubmed_like(count: usize) -> Self {
+        StringConfig {
+            count,
+            avg_len: 101,
+            alphabet: 26,
+            zipf_s: 0.8,
+            dup_frac: 0.4,
+            max_edits: 12,
+            seed: 0x5075_624d,
+        }
+    }
+
+    /// Generates the strings (lowercase ASCII bytes).
+    pub fn generate(&self) -> Vec<Vec<u8>> {
+        assert!(self.count > 0 && self.avg_len >= 2);
+        assert!(self.alphabet >= 2 && self.alphabet <= 26);
+        let mut r = rng(self.seed);
+        let zipf = Zipf::new(self.alphabet, self.zipf_s);
+        let draw = |r: &mut rand::rngs::SmallRng| b'a' + zipf.sample(r) as u8;
+        let mut out: Vec<Vec<u8>> = Vec::with_capacity(self.count);
+        for i in 0..self.count {
+            if i > 0 && r.gen::<f64>() < self.dup_frac {
+                let mut s = out[r.gen_range(0..i)].clone();
+                let edits = r.gen_range(1..=self.max_edits.max(1));
+                for _ in 0..edits {
+                    if s.is_empty() {
+                        break;
+                    }
+                    let pos = r.gen_range(0..s.len());
+                    match r.gen_range(0..3) {
+                        0 => s[pos] = draw(&mut r),
+                        1 => s.insert(pos, draw(&mut r)),
+                        _ => {
+                            s.remove(pos);
+                        }
+                    }
+                }
+                out.push(s);
+            } else {
+                let spread = self.avg_len / 2;
+                let len = self.avg_len - spread / 2 + r.gen_range(0..=spread.max(1));
+                out.push((0..len.max(2)).map(|_| draw(&mut r)).collect());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shape() {
+        let cfg = StringConfig::imdb_like(200);
+        let data = cfg.generate();
+        assert_eq!(data.len(), 200);
+        let avg: f64 = data.iter().map(|s| s.len() as f64).sum::<f64>() / 200.0;
+        assert!((10.0..22.0).contains(&avg), "avg len {avg}");
+        assert!(data.iter().all(|s| s.iter().all(u8::is_ascii_lowercase)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = StringConfig::pubmed_like(40);
+        assert_eq!(cfg.generate(), cfg.generate());
+    }
+
+    #[test]
+    fn near_duplicates_exist_within_tau() {
+        let cfg = StringConfig::imdb_like(300);
+        let data = cfg.generate();
+        // Cheap edit-distance (small strings) to confirm planted typos.
+        fn ed(a: &[u8], b: &[u8]) -> usize {
+            let mut row: Vec<usize> = (0..=b.len()).collect();
+            for (i, &ca) in a.iter().enumerate() {
+                let mut diag = row[0];
+                row[0] = i + 1;
+                for (j, &cb) in b.iter().enumerate() {
+                    let sub = diag + usize::from(ca != cb);
+                    diag = row[j + 1];
+                    row[j + 1] = sub.min(row[j] + 1).min(diag + 1);
+                }
+            }
+            row[b.len()]
+        }
+        let mut found = false;
+        'outer: for i in 0..data.len() {
+            for j in i + 1..data.len() {
+                if data[i] != data[j] && ed(&data[i], &data[j]) <= 2 {
+                    found = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(found, "expected planted typo variants within τ = 2");
+    }
+}

@@ -1,0 +1,134 @@
+//! Clustered binary vectors (GIST-like / SIFT-like).
+//!
+//! Spectral-hashed image descriptors cluster: near-duplicate images give
+//! codes a few bit flips apart while unrelated images sit near `d/2`.
+//! The generator plants cluster centers (uniform random codes) and emits
+//! members by flipping each bit independently with `flip_prob`, plus a
+//! uniform background fraction. The resulting distance distribution —
+//! a small mass near `2·flip_prob·d` and a bulk near `d/2` — is what
+//! makes the pigeonhole filter admit near-miss false positives and gives
+//! the pigeonring filter something to remove, matching the paper's GIST
+//! and SIFT behavior.
+
+use crate::rng;
+use pigeonring_hamming::BitVector;
+use rand::Rng;
+
+/// Configuration for the binary-vector generator.
+#[derive(Clone, Debug)]
+pub struct VectorConfig {
+    /// Number of vectors.
+    pub count: usize,
+    /// Dimensionality `d`.
+    pub dims: usize,
+    /// Number of planted cluster centers.
+    pub clusters: usize,
+    /// Per-bit flip probability for cluster members.
+    pub flip_prob: f64,
+    /// Fraction of uniform background vectors (in `[0, 1]`).
+    pub background: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl VectorConfig {
+    /// GIST-like: 256-d codes (the paper's GIST converts descriptors via
+    /// spectral hashing to 256 dimensions).
+    pub fn gist_like(count: usize) -> Self {
+        VectorConfig {
+            count,
+            dims: 256,
+            clusters: (count / 50).max(1),
+            flip_prob: 0.05,
+            background: 0.3,
+            seed: 0x615f_7431,
+        }
+    }
+
+    /// SIFT-like: 512-d codes (BIGANN SIFT converted to 512 dimensions).
+    pub fn sift_like(count: usize) -> Self {
+        VectorConfig {
+            count,
+            dims: 512,
+            clusters: (count / 50).max(1),
+            flip_prob: 0.05,
+            background: 0.3,
+            seed: 0x5146_7432,
+        }
+    }
+
+    /// Generates the dataset.
+    pub fn generate(&self) -> Vec<BitVector> {
+        assert!(self.count > 0 && self.dims > 0);
+        assert!((0.0..=1.0).contains(&self.flip_prob));
+        assert!((0.0..=1.0).contains(&self.background));
+        let mut r = rng(self.seed);
+        let centers: Vec<BitVector> = (0..self.clusters.max(1))
+            .map(|_| BitVector::from_bits((0..self.dims).map(|_| r.gen::<bool>())))
+            .collect();
+        (0..self.count)
+            .map(|_| {
+                if r.gen::<f64>() < self.background {
+                    BitVector::from_bits((0..self.dims).map(|_| r.gen::<bool>()))
+                } else {
+                    let c = &centers[r.gen_range(0..centers.len())];
+                    let mut v = c.clone();
+                    for b in 0..self.dims {
+                        if r.gen::<f64>() < self.flip_prob {
+                            v.flip(b);
+                        }
+                    }
+                    v
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shape() {
+        let cfg = VectorConfig { count: 200, dims: 64, clusters: 4, flip_prob: 0.05, background: 0.2, seed: 7 };
+        let data = cfg.generate();
+        assert_eq!(data.len(), 200);
+        assert!(data.iter().all(|v| v.dims() == 64));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = VectorConfig::gist_like(50);
+        assert_eq!(cfg.generate(), cfg.generate());
+    }
+
+    #[test]
+    fn clusters_create_near_pairs_background_stays_far() {
+        let cfg = VectorConfig {
+            count: 400,
+            dims: 256,
+            clusters: 5,
+            flip_prob: 0.04,
+            background: 0.25,
+            seed: 11,
+        };
+        let data = cfg.generate();
+        // Some pairs must be near (cluster mates) and the median pair far.
+        let mut near = 0usize;
+        let mut far = 0usize;
+        for i in (0..data.len()).step_by(7) {
+            for j in (i + 1..data.len()).step_by(11) {
+                let d = data[i].distance(&data[j]);
+                if d <= 64 {
+                    near += 1;
+                }
+                if d >= 96 {
+                    far += 1;
+                }
+            }
+        }
+        assert!(near > 0, "expected planted near-duplicates");
+        assert!(far > near, "bulk of pairs must be far");
+    }
+}

@@ -1,0 +1,99 @@
+//! Exact Zipf sampling by inverse CDF over a precomputed cumulative
+//! table. The `rand_distr` crate is outside the allowed dependency set;
+//! at the universe sizes used here (≤ ~10⁵) the table approach is exact,
+//! simple, and fast (one binary search per draw).
+
+use rand::Rng;
+
+/// A Zipf(`n`, `s`) distribution over `0..n` (element `k` has weight
+/// `1/(k+1)^s`).
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite and non-negative.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "empty support");
+        assert!(s.is_finite() && s >= 0.0, "exponent must be finite and non-negative");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cumulative.push(acc);
+        }
+        Zipf { cumulative }
+    }
+
+    /// Support size.
+    pub fn n(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Draws one value in `0..n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty support");
+        let u: f64 = rng.gen::<f64>() * total;
+        self.cumulative.partition_point(|&c| c < u).min(self.n() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(100, 1.1);
+        let mut r = rng(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut r) < 100);
+        }
+    }
+
+    #[test]
+    fn skew_favors_small_values() {
+        let z = Zipf::new(1000, 1.2);
+        let mut r = rng(2);
+        let mut low = 0usize;
+        for _ in 0..10_000 {
+            if z.sample(&mut r) < 10 {
+                low += 1;
+            }
+        }
+        // With s = 1.2 over 1000 values, the first 10 carry well over a
+        // third of the mass.
+        assert!(low > 3000, "low-rank draws: {low}");
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        let mut r = rng(3);
+        let mut counts = [0usize; 4];
+        for _ in 0..8000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for &c in &counts {
+            assert!((1600..2400).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let z = Zipf::new(50, 1.0);
+        let a: Vec<usize> = {
+            let mut r = rng(9);
+            (0..20).map(|_| z.sample(&mut r)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut r = rng(9);
+            (0..20).map(|_| z.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

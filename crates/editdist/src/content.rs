@@ -1,0 +1,142 @@
+//! The content-based filter \[114\] used for Ring box lower bounds (§6.3).
+//!
+//! Each string maps to a 64-bit symbol-presence mask (`bit σ mod 64` set
+//! iff symbol `σ` occurs). For any strings `a`, `b`:
+//! `ed(a, b) ≤ t` only if `H(mask_a, mask_b) ≤ 2t`, so
+//! `ed(a, b) ≥ ⌈H/2⌉` — an edit operation changes at most two mask bits
+//! (one symbol's last occurrence removed, another's first added).
+//! Folding symbols onto 64 bits only merges bits, which can only *lower*
+//! `H`; the bound stays valid.
+//!
+//! The Ring box `b_i` is the minimum edit distance from pivotal gram `i`
+//! to any length-`κ` substring of the other string within the ±τ position
+//! window; [`min_window_bound`] lower-bounds it by minimizing `⌈H/2⌉` over
+//! the window's masks, at a cost of one XOR+popcount per position
+//! (`O(κ + τ)` per box instead of the alignment filter's `O(κ² + κτ)`).
+
+/// Symbol-presence mask of a byte string.
+#[inline]
+pub fn char_mask(s: &[u8]) -> u64 {
+    let mut m = 0u64;
+    for &b in s {
+        m |= 1u64 << (b % 64);
+    }
+    m
+}
+
+/// Masks of every length-`kappa` window of `s` (empty when
+/// `s.len() < kappa`). O(n·κ) worst case, O(n) typical via incremental
+/// occurrence counts.
+pub fn window_masks(s: &[u8], kappa: usize) -> Vec<u64> {
+    if s.len() < kappa {
+        return Vec::new();
+    }
+    let n = s.len() - kappa + 1;
+    let mut out = Vec::with_capacity(n);
+    // Incremental: per-bit occurrence counts within the window.
+    let mut counts = [0u16; 64];
+    let mut mask = 0u64;
+    for (i, &b) in s.iter().enumerate() {
+        let bit = b % 64;
+        counts[bit as usize] += 1;
+        mask |= 1u64 << bit;
+        if i + 1 >= kappa {
+            out.push(mask);
+            let out_bit = s[i + 1 - kappa] % 64;
+            counts[out_bit as usize] -= 1;
+            if counts[out_bit as usize] == 0 {
+                mask &= !(1u64 << out_bit);
+            }
+        }
+    }
+    out
+}
+
+/// `⌈H(a, b)/2⌉`: the content-filter lower bound on `ed` between the two
+/// masked strings.
+#[inline]
+pub fn mask_lower_bound(a: u64, b: u64) -> u32 {
+    (a ^ b).count_ones().div_ceil(2)
+}
+
+/// Minimum content lower bound of `gram_mask` against the window masks in
+/// positions `[lo, hi]` (clamped; `masks[p]` is the mask of the substring
+/// starting at `p`). Returns a large sentinel when the window is empty so
+/// an impossible alignment makes the chain non-viable.
+pub fn min_window_bound(gram_mask: u64, masks: &[u64], lo: i64, hi: i64) -> u32 {
+    let lo = lo.max(0) as usize;
+    if masks.is_empty() || lo >= masks.len() || hi < lo as i64 {
+        return u32::MAX / 4;
+    }
+    let hi = (hi as usize).min(masks.len() - 1);
+    masks[lo..=hi]
+        .iter()
+        .map(|&m| mask_lower_bound(gram_mask, m))
+        .min()
+        .unwrap_or(u32::MAX / 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::edit_distance;
+
+    #[test]
+    fn char_mask_sets_distinct_bits_for_letters() {
+        let m = char_mask(b"abc");
+        assert_eq!(m.count_ones(), 3);
+        assert_eq!(char_mask(b"aabbcc"), m);
+    }
+
+    #[test]
+    fn window_masks_match_direct_computation() {
+        let s = b"abcabcxyz";
+        for kappa in 1..=4usize {
+            let got = window_masks(s, kappa);
+            let expect: Vec<u64> = s.windows(kappa).map(char_mask).collect();
+            assert_eq!(got, expect, "kappa={kappa}");
+        }
+    }
+
+    #[test]
+    fn bound_never_exceeds_edit_distance() {
+        let pairs: [(&[u8], &[u8]); 6] = [
+            (b"abcd", b"abcd"),
+            (b"abcd", b"abce"),
+            (b"abcd", b"wxyz"),
+            (b"hello", b"help"),
+            (b"aaaa", b"aabb"),
+            (b"ab", b"ba"),
+        ];
+        for (a, b) in pairs {
+            let bound = mask_lower_bound(char_mask(a), char_mask(b));
+            let ed = edit_distance(a, b);
+            assert!(bound <= ed, "{:?} vs {:?}: bound {bound} > ed {ed}", a, b);
+        }
+    }
+
+    #[test]
+    fn example_11_bit_vectors() {
+        // Example 11: cd vs each of ab, bg, gh, hi, ij differs by 4 mask
+        // bits, so the lower bound is 2 everywhere in the window.
+        let cd = char_mask(b"cd");
+        for s in [b"ab", b"bg", b"gh", b"hi", b"ij"] {
+            assert_eq!((cd ^ char_mask(s)).count_ones(), 4, "{s:?}");
+            assert_eq!(mask_lower_bound(cd, char_mask(s)), 2);
+        }
+    }
+
+    #[test]
+    fn min_window_bound_clamps_ranges() {
+        let masks = window_masks(b"llabghijkk", 2);
+        let cd = char_mask(b"cd");
+        // Window [2, 6] covers ab, bg, gh, hi, ij: min bound 2.
+        assert_eq!(min_window_bound(cd, &masks, 2, 6), 2);
+        // Out-of-range windows return the sentinel.
+        assert!(min_window_bound(cd, &masks, 100, 120) > 1000);
+        assert!(min_window_bound(cd, &masks, 5, 2) > 1000);
+        // Negative lo clamps to 0.
+        let ll = char_mask(b"ll");
+        assert_eq!(min_window_bound(ll, &masks, -3, 0), 0);
+    }
+}

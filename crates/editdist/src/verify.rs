@@ -1,0 +1,149 @@
+//! Edit distance computation: full DP (reference) and banded
+//! early-abandoning verification (Ukkonen's `O(τ·n)` algorithm).
+
+/// Full dynamic-programming edit distance (Levenshtein). `O(|a|·|b|)`;
+/// reference implementation for tests and tiny inputs.
+pub fn edit_distance(a: &[u8], b: &[u8]) -> u32 {
+    if a.is_empty() {
+        return b.len() as u32;
+    }
+    let mut row: Vec<u32> = (0..=b.len() as u32).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut diag = row[0];
+        row[0] = i as u32 + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = diag + u32::from(ca != cb);
+            diag = row[j + 1];
+            row[j + 1] = sub.min(row[j] + 1).min(diag + 1);
+        }
+    }
+    row[b.len()]
+}
+
+/// Banded verification: returns `Some(ed)` iff `ed(a, b) ≤ tau`, visiting
+/// only the `2τ + 1` diagonal band and abandoning as soon as the entire
+/// band row exceeds `tau`.
+pub fn edit_distance_within(a: &[u8], b: &[u8], tau: u32) -> Option<u32> {
+    let (n, m) = (a.len(), b.len());
+    if n.abs_diff(m) > tau as usize {
+        return None;
+    }
+    if n == 0 {
+        return Some(m as u32); // m ≤ τ from the length check
+    }
+    if m == 0 {
+        return Some(n as u32);
+    }
+    let t = tau as i64;
+    const BIG: u32 = u32::MAX / 4;
+    // dp[j] for j in the band [i − τ, i + τ], offset-indexed.
+    let width = (2 * t + 1) as usize;
+    let mut prev = vec![BIG; width + 2];
+    let mut cur = vec![BIG; width + 2];
+    // Row 0: dp[0][j] = j for j ≤ τ. Band cell k represents j = 0 − τ + k.
+    for k in 0..width {
+        let j = k as i64 - t;
+        if (0..=m as i64).contains(&j) {
+            prev[k + 1] = j as u32;
+        }
+    }
+    for i in 1..=n {
+        cur.fill(BIG);
+        let mut row_min = BIG;
+        for k in 0..width {
+            let j = i as i64 + k as i64 - t;
+            if j < 0 || j > m as i64 {
+                continue;
+            }
+            let j = j as usize;
+            let best;
+            if j == 0 {
+                best = i as u32;
+            } else {
+                // prev row, same diagonal offset shifts by one because the
+                // band is centered on i: prev cell for (i−1, j−1) is k,
+                // for (i−1, j) is k+1; current (i, j−1) is k−1... using
+                // the offset-by-one storage (index k+1 = offset k).
+                let sub = prev[k + 1].saturating_add(u32::from(a[i - 1] != b[j - 1]));
+                let del = prev[k + 2].saturating_add(1); // (i−1, j)
+                let ins = if k > 0 { cur[k].saturating_add(1) } else { BIG }; // (i, j−1)
+                best = sub.min(del).min(ins);
+            }
+            cur[k + 1] = best;
+            row_min = row_min.min(best);
+        }
+        if row_min > tau {
+            return None; // every band cell exceeds τ: abandon
+        }
+        core::mem::swap(&mut prev, &mut cur);
+    }
+    let k = m as i64 - n as i64 + t;
+    debug_assert!((0..width as i64).contains(&k));
+    let ed = prev[k as usize + 1];
+    (ed <= tau).then_some(ed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_pairs() {
+        assert_eq!(edit_distance(b"kitten", b"sitting"), 3);
+        assert_eq!(edit_distance(b"", b"abc"), 3);
+        assert_eq!(edit_distance(b"abc", b""), 3);
+        assert_eq!(edit_distance(b"abc", b"abc"), 0);
+        assert_eq!(edit_distance(b"llabcdefkk", b"llabghijkk"), 4); // Example 11
+    }
+
+    #[test]
+    fn banded_matches_full_dp_when_within() {
+        let words: [&[u8]; 6] =
+            [b"pigeon", b"pigeonring", b"ring", b"prince", b"principle", b""];
+        for a in words {
+            for b in words {
+                let ed = edit_distance(a, b);
+                for tau in 0..=12u32 {
+                    let got = edit_distance_within(a, b, tau);
+                    if ed <= tau {
+                        assert_eq!(got, Some(ed), "{a:?} {b:?} tau={tau}");
+                    } else {
+                        assert_eq!(got, None, "{a:?} {b:?} tau={tau}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn banded_pseudo_random_cross_check() {
+        // Deterministic pseudo-random strings; compare banded vs full.
+        let mut s = 0x12345u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for _ in 0..300 {
+            let la = (next() % 14) as usize;
+            let lb = (next() % 14) as usize;
+            let a: Vec<u8> = (0..la).map(|_| b'a' + (next() % 4) as u8).collect();
+            let b: Vec<u8> = (0..lb).map(|_| b'a' + (next() % 4) as u8).collect();
+            let ed = edit_distance(&a, &b);
+            for tau in [0u32, 1, 2, 3, 5, 8] {
+                let got = edit_distance_within(&a, &b, tau);
+                assert_eq!(got.is_some(), ed <= tau, "{a:?} {b:?} tau={tau} ed={ed}");
+                if let Some(g) = got {
+                    assert_eq!(g, ed);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn length_gap_shortcut() {
+        assert_eq!(edit_distance_within(b"abc", b"abcdefgh", 3), None);
+        assert_eq!(edit_distance_within(b"abc", b"abcdef", 3), Some(3));
+    }
+}

@@ -1,0 +1,153 @@
+//! Labeled undirected graphs.
+//!
+//! Vertices carry `u32` labels; edges carry `u32` labels and are stored
+//! in both endpoints' sorted adjacency lists. The wildcard vertex label
+//! ([`WILDCARD`]) matches any label during subgraph-isomorphism tests
+//! (§6.4: deletion-neighborhood variants change vertex labels to `∗`).
+
+/// Vertex label that matches any label in embedding tests.
+pub const WILDCARD: u32 = u32::MAX;
+
+/// A labeled undirected graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    vlabels: Vec<u32>,
+    /// Sorted adjacency: `adj[u]` holds `(v, edge_label)` ascending by `v`.
+    adj: Vec<Vec<(u32, u32)>>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// A graph with the given vertex labels and no edges.
+    pub fn new(vlabels: Vec<u32>) -> Self {
+        let n = vlabels.len();
+        Graph { vlabels, adj: vec![Vec::new(); n], num_edges: 0 }
+    }
+
+    /// Adds an undirected edge `u — v` with `label`.
+    ///
+    /// # Panics
+    /// Panics on self-loops, out-of-range vertices, or duplicate edges.
+    pub fn add_edge(&mut self, u: u32, v: u32, label: u32) {
+        assert_ne!(u, v, "self-loops are not supported");
+        assert!((u as usize) < self.vlabels.len() && (v as usize) < self.vlabels.len());
+        assert!(self.edge_label(u, v).is_none(), "duplicate edge {u}-{v}");
+        let (au, av) = (u as usize, v as usize);
+        let pos_u = self.adj[au].partition_point(|&(w, _)| w < v);
+        self.adj[au].insert(pos_u, (v, label));
+        let pos_v = self.adj[av].partition_point(|&(w, _)| w < u);
+        self.adj[av].insert(pos_v, (u, label));
+        self.num_edges += 1;
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vlabels.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Label of vertex `v`.
+    pub fn vlabel(&self, v: u32) -> u32 {
+        self.vlabels[v as usize]
+    }
+
+    /// All vertex labels.
+    pub fn vlabels(&self) -> &[u32] {
+        &self.vlabels
+    }
+
+    /// The label of edge `u — v`, if present.
+    pub fn edge_label(&self, u: u32, v: u32) -> Option<u32> {
+        self.adj[u as usize]
+            .binary_search_by_key(&v, |&(w, _)| w)
+            .ok()
+            .map(|i| self.adj[u as usize][i].1)
+    }
+
+    /// Sorted `(neighbor, edge_label)` list of `v`.
+    pub fn neighbors(&self, v: u32) -> &[(u32, u32)] {
+        &self.adj[v as usize]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Iterator over edges as `(u, v, label)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, list)| {
+            list.iter()
+                .filter(move |&&(v, _)| (u as u32) < v)
+                .map(move |&(v, l)| (u as u32, v, l))
+        })
+    }
+
+    /// Count of incident edges of `v` per edge label.
+    pub fn incident_label_count(&self, v: u32, elabel: u32) -> usize {
+        self.adj[v as usize].iter().filter(|&&(_, l)| l == elabel).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::new(vec![10, 20, 30]);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 2, 2);
+        g.add_edge(0, 2, 1);
+        g
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.vlabel(1), 20);
+        assert_eq!(g.edge_label(0, 1), Some(1));
+        assert_eq!(g.edge_label(1, 0), Some(1));
+        assert_eq!(g.edge_label(0, 2), Some(1));
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn edges_iterator_is_canonical() {
+        let g = triangle();
+        let mut e: Vec<_> = g.edges().collect();
+        e.sort_unstable();
+        assert_eq!(e, vec![(0, 1, 1), (0, 2, 1), (1, 2, 2)]);
+    }
+
+    #[test]
+    fn incident_label_counts() {
+        let g = triangle();
+        assert_eq!(g.incident_label_count(0, 1), 2);
+        assert_eq!(g.incident_label_count(0, 2), 0);
+        assert_eq!(g.incident_label_count(1, 2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn duplicate_edge_panics() {
+        let mut g = triangle();
+        g.add_edge(1, 0, 5);
+    }
+
+    #[test]
+    fn adjacency_stays_sorted() {
+        let mut g = Graph::new(vec![0; 5]);
+        g.add_edge(0, 4, 1);
+        g.add_edge(0, 2, 1);
+        g.add_edge(0, 1, 1);
+        g.add_edge(0, 3, 1);
+        let nbrs: Vec<u32> = g.neighbors(0).iter().map(|&(v, _)| v).collect();
+        assert_eq!(nbrs, vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,42 @@
+//! # pigeonring-graph
+//!
+//! Graph edit distance search (Problem 5 of the paper): given a
+//! collection of labeled undirected graphs and a query graph `q`, find
+//! all `x` with `ged(x, q) ≤ τ`. Edit operations are those of §2.2:
+//! insert/delete an isolated labeled vertex, change a vertex label,
+//! insert/delete a labeled edge, change an edge label.
+//!
+//! Engines:
+//!
+//! * [`Pars`] — the Pars baseline \[136\]: each data graph is divided into
+//!   `τ + 1` disjoint subgraphs (possibly holding *half-edges*: edge stubs
+//!   whose far endpoint lies in another part). One edit operation damages
+//!   at most one part, so a result must have at least one part that
+//!   embeds intact in `q` (subgraph isomorphism including half-edges).
+//! * [`RingGraph`] — the §6.4 pigeonring engine: from each embedding part
+//!   `i` (box value 0), extend the chain over the following parts, lower
+//!   bounding each box by the *deletion neighborhood* \[62, 106\]: part
+//!   `x_j` needs more than `b` operations iff no variant of `x_j`
+//!   produced by at most `b` operations (delete an edge/stub, delete an
+//!   isolated vertex, wildcard a vertex label) embeds in `q`.
+//!
+//! The filtering instance `⟨partition, min-GED-to-subgraph boxes,
+//! D(τ) = τ⟩` satisfies `‖B(x, q)‖₁ ≤ ged(x, q)` (each edit damages one
+//! part by at most one operation), hence is complete but not tight;
+//! candidates are verified by an exact threshold-pruned A* GED
+//! ([`ged::ged_within`]).
+
+pub mod ged;
+pub mod graph;
+pub mod neighborhood;
+pub mod partition;
+pub mod pars;
+pub mod ring;
+pub mod subiso;
+
+pub use ged::{ged, ged_within};
+pub use graph::Graph;
+pub use pars::{GraphStats, Pars};
+pub use partition::{partition_graph, Part};
+pub use ring::RingGraph;
+pub use subiso::part_embeds;

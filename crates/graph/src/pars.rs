@@ -1,0 +1,292 @@
+//! The Pars baseline \[136\] and shared candidate generation.
+//!
+//! Each data graph is partitioned into `τ + 1` parts at build time. At
+//! query time a graph is a candidate iff some part embeds intact in `q`
+//! (the pigeonhole filter: `τ` edits damage at most `τ` parts). A cheap
+//! label-multiset prefilter (part vertex labels ⊑ query vertex labels,
+//! part edge labels ⊑ query edge labels) stands in for Pars' feature
+//! index and skips most embedding tests, and the standard size filter
+//! `||V_x| − |V_q|| + ||E_x| − |E_q|| > τ` prunes whole graphs first.
+
+use crate::ged::ged_within;
+use crate::graph::{Graph, WILDCARD};
+use crate::partition::{partition_graph, Part};
+use crate::subiso::part_embeds;
+use pigeonring_core::fxhash::FxHashMap;
+
+/// Per-query counters for the graph engines.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Unique graphs passed to GED verification.
+    pub candidates: usize,
+    /// Graphs with `ged(x, q) ≤ τ`.
+    pub results: usize,
+    /// Part embedding tests performed.
+    pub subiso_calls: usize,
+    /// Ring box evaluations (deletion-neighborhood probes).
+    pub boxes_checked: usize,
+    /// Chain checks skipped via Corollary 2.
+    pub skipped_by_corollary2: usize,
+}
+
+/// Precomputed per-part filter data.
+pub(crate) struct PartMeta {
+    pub part: Part,
+    /// Sorted non-wildcard vertex labels.
+    pub vlabels_sorted: Vec<u32>,
+    /// Sorted edge labels (full + stubs).
+    pub elabels_sorted: Vec<u32>,
+}
+
+impl PartMeta {
+    pub(crate) fn new(part: Part) -> Self {
+        let mut vl: Vec<u32> =
+            part.vlabels.iter().copied().filter(|&l| l != WILDCARD).collect();
+        vl.sort_unstable();
+        let mut el: Vec<u32> = part
+            .edges
+            .iter()
+            .map(|&(_, _, l)| l)
+            .chain(part.half.iter().map(|&(_, l)| l))
+            .collect();
+        el.sort_unstable();
+        PartMeta { part, vlabels_sorted: vl, elabels_sorted: el }
+    }
+
+    /// Label-multiset prefilter: every label the part requires must be
+    /// available in the query in sufficient multiplicity.
+    pub(crate) fn label_feasible(
+        &self,
+        q_vcounts: &FxHashMap<u32, u32>,
+        q_ecounts: &FxHashMap<u32, u32>,
+    ) -> bool {
+        multiset_contained(&self.vlabels_sorted, q_vcounts)
+            && multiset_contained(&self.elabels_sorted, q_ecounts)
+    }
+}
+
+fn multiset_contained(sorted: &[u32], counts: &FxHashMap<u32, u32>) -> bool {
+    let mut i = 0;
+    while i < sorted.len() {
+        let l = sorted[i];
+        let mut need = 1u32;
+        while i + 1 < sorted.len() && sorted[i + 1] == l {
+            need += 1;
+            i += 1;
+        }
+        if counts.get(&l).copied().unwrap_or(0) < need {
+            return false;
+        }
+        i += 1;
+    }
+    true
+}
+
+pub(crate) fn query_label_counts(q: &Graph) -> (FxHashMap<u32, u32>, FxHashMap<u32, u32>) {
+    let mut vc: FxHashMap<u32, u32> = FxHashMap::default();
+    for &l in q.vlabels() {
+        *vc.entry(l).or_insert(0) += 1;
+    }
+    let mut ec: FxHashMap<u32, u32> = FxHashMap::default();
+    for (_, _, l) in q.edges() {
+        *ec.entry(l).or_insert(0) += 1;
+    }
+    (vc, ec)
+}
+
+/// Size filter: `ged ≥ ||V_x|−|V_q|| + ||E_x|−|E_q||`.
+pub(crate) fn size_compatible(x: &Graph, q: &Graph, tau: usize) -> bool {
+    x.num_vertices().abs_diff(q.num_vertices()) + x.num_edges().abs_diff(q.num_edges())
+        <= tau
+}
+
+/// The Pars baseline engine.
+pub struct Pars {
+    graphs: Vec<Graph>,
+    tau: usize,
+    parts: Vec<Vec<PartMeta>>,
+}
+
+impl Pars {
+    /// Partitions every data graph into `τ + 1` parts and precomputes the
+    /// label prefilter data.
+    pub fn build(graphs: Vec<Graph>, tau: usize) -> Self {
+        let m = tau + 1;
+        let parts = graphs
+            .iter()
+            .map(|g| partition_graph(g, m).into_iter().map(PartMeta::new).collect())
+            .collect();
+        Pars { graphs, tau, parts }
+    }
+
+    /// The data graphs.
+    pub fn graphs(&self) -> &[Graph] {
+        &self.graphs
+    }
+
+    /// Searches for all graphs with `ged(x, q) ≤ τ`. Returns ascending
+    /// ids and statistics.
+    pub fn search(&self, q: &Graph) -> (Vec<u32>, GraphStats) {
+        let (cands, mut stats) = self.candidates(q);
+        let results: Vec<u32> = cands
+            .into_iter()
+            .filter(|&id| ged_within(&self.graphs[id as usize], q, self.tau as u32).is_some())
+            .collect();
+        stats.results = results.len();
+        (results, stats)
+    }
+
+    /// Candidate generation only (no GED verification), for timing the
+    /// filter separately (Figure 8's "Cand." series).
+    pub fn candidates(&self, q: &Graph) -> (Vec<u32>, GraphStats) {
+        let mut stats = GraphStats::default();
+        let (qv, qe) = query_label_counts(q);
+        let mut cands = Vec::new();
+        for (id, g) in self.graphs.iter().enumerate() {
+            if !size_compatible(g, q, self.tau) {
+                continue;
+            }
+            for pm in &self.parts[id] {
+                if !pm.label_feasible(&qv, &qe) {
+                    continue;
+                }
+                stats.subiso_calls += 1;
+                if part_embeds(&pm.part, q) {
+                    cands.push(id as u32);
+                    break;
+                }
+            }
+        }
+        stats.candidates = cands.len();
+        (cands, stats)
+    }
+}
+
+/// Linear-scan reference: verifies every graph.
+pub struct LinearScanGraphs<'a> {
+    graphs: &'a [Graph],
+}
+
+impl<'a> LinearScanGraphs<'a> {
+    /// Wraps a dataset.
+    pub fn new(graphs: &'a [Graph]) -> Self {
+        LinearScanGraphs { graphs }
+    }
+
+    /// All ids with `ged(x, q) ≤ τ`, ascending.
+    pub fn search(&self, q: &Graph, tau: u32) -> Vec<u32> {
+        self.graphs
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| ged_within(g, q, tau).is_some())
+            .map(|(id, _)| id as u32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn molecule_like(seed: u64, n: usize, labels: u32) -> Graph {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut g = Graph::new((0..n).map(|_| (next() % labels as u64) as u32).collect());
+        // Sparse connected backbone + a few extra edges.
+        for v in 1..n as u32 {
+            let u = (next() % v as u64) as u32;
+            g.add_edge(u, v, (next() % 3) as u32);
+        }
+        for _ in 0..n / 4 {
+            let u = (next() % n as u64) as u32;
+            let v = (next() % n as u64) as u32;
+            if u != v && g.edge_label(u, v).is_none() {
+                g.add_edge(u.min(v), u.max(v), (next() % 3) as u32);
+            }
+        }
+        g
+    }
+
+    pub(crate) fn edited(g: &Graph, ops: usize, seed: u64) -> Graph {
+        // Apply `ops` random label edits (keeps ged ≤ ops).
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut labels = g.vlabels().to_vec();
+        let mut edges: Vec<(u32, u32, u32)> = g.edges().collect();
+        for _ in 0..ops {
+            if next() % 2 == 0 && !labels.is_empty() {
+                let i = (next() as usize) % labels.len();
+                labels[i] = (labels[i] + 1) % 8;
+            } else if !edges.is_empty() {
+                let i = (next() as usize) % edges.len();
+                edges[i].2 = (edges[i].2 + 1) % 3;
+            }
+        }
+        let mut out = Graph::new(labels);
+        for (u, v, l) in edges {
+            out.add_edge(u, v, l);
+        }
+        out
+    }
+
+    fn dataset() -> Vec<Graph> {
+        let mut graphs = Vec::new();
+        for i in 0..30u64 {
+            let base = molecule_like(i * 37 + 5, 8, 6);
+            graphs.push(base.clone());
+            if i % 2 == 0 {
+                graphs.push(edited(&base, 1 + (i % 3) as usize, i * 91 + 7));
+            }
+        }
+        graphs
+    }
+
+    #[test]
+    fn pars_matches_linear_scan() {
+        let graphs = dataset();
+        let scan = LinearScanGraphs::new(&graphs);
+        for tau in 1..=3usize {
+            let pars = Pars::build(graphs.clone(), tau);
+            for (qid, q) in graphs.iter().enumerate().step_by(7) {
+                let expect = scan.search(q, tau as u32);
+                let (got, _) = pars.search(q);
+                assert_eq!(got, expect, "tau={tau} qid={qid}");
+            }
+        }
+    }
+
+    #[test]
+    fn self_query_found() {
+        let graphs = dataset();
+        let pars = Pars::build(graphs.clone(), 2);
+        for qid in (0..graphs.len()).step_by(11) {
+            let (res, _) = pars.search(&graphs[qid]);
+            assert!(res.contains(&(qid as u32)), "qid={qid}");
+        }
+    }
+
+    #[test]
+    fn prefilter_reduces_subiso_calls() {
+        // A query sharing no labels with the data must trigger zero
+        // embedding tests.
+        let graphs = dataset();
+        let pars = Pars::build(graphs.clone(), 2);
+        let mut alien = Graph::new(vec![99, 98, 97, 96, 95, 94, 93, 92]);
+        for v in 1..8u32 {
+            alien.add_edge(v - 1, v, 9);
+        }
+        let (res, stats) = pars.search(&alien);
+        assert!(res.is_empty());
+        assert_eq!(stats.subiso_calls, 0);
+    }
+}

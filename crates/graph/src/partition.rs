@@ -1,0 +1,168 @@
+//! Partitioning a data graph into `τ + 1` disjoint parts with half-edges
+//! (the featuring function of §6.4, following Pars \[136\]).
+//!
+//! Vertices are split into `τ + 1` groups (BFS order, near-equal sizes,
+//! so parts tend to be connected). An edge whose endpoints fall in the
+//! same group is a *full edge* of that part; an edge crossing groups is
+//! assigned to exactly one endpoint's part as a *half-edge* (a labeled
+//! stub on the local endpoint). With this ownership every edit operation
+//! damages at most one part: a vertex relabel damages the vertex's part;
+//! an edge operation damages the edge's owning part; vertex
+//! insert/delete only involves isolated vertices. Hence
+//! `‖B(x, q)‖₁ ≤ ged(x, q)` for the box values of §6.4.
+
+use crate::graph::Graph;
+
+/// One part of a partitioned data graph: an induced subgraph plus
+/// half-edge stubs.
+#[derive(Clone, Debug, Default)]
+pub struct Part {
+    /// Labels of the part's vertices (local indexing `0..k`).
+    pub vlabels: Vec<u32>,
+    /// Full edges `(local_u, local_v, label)` with `local_u < local_v`.
+    pub edges: Vec<(u32, u32, u32)>,
+    /// Half-edge stubs `(local_v, edge_label)`.
+    pub half: Vec<(u32, u32)>,
+}
+
+impl Part {
+    /// Total structure size: vertices + full edges + stubs (the maximum
+    /// number of operations that can damage this part).
+    pub fn size(&self) -> usize {
+        self.vlabels.len() + self.edges.len() + self.half.len()
+    }
+}
+
+/// Splits `g` into `m` parts (BFS vertex order, near-equal group sizes).
+/// Cross-group edges are owned by the part of their smaller-group
+/// endpoint (deterministic).
+///
+/// # Panics
+/// Panics if `m == 0`.
+pub fn partition_graph(g: &Graph, m: usize) -> Vec<Part> {
+    assert!(m > 0, "need at least one part");
+    let n = g.num_vertices();
+    // BFS order over all components for locality.
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    for root in 0..n as u32 {
+        if seen[root as usize] {
+            continue;
+        }
+        seen[root as usize] = true;
+        let mut queue = std::collections::VecDeque::from([root]);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &(v, _) in g.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    // Assign near-equal contiguous chunks of the BFS order to parts.
+    let mut group = vec![0usize; n];
+    let base = n / m;
+    let extra = n % m;
+    let mut idx = 0usize;
+    for (p, g_assign) in (0..m).map(|p| (p, base + usize::from(p < extra))) {
+        for _ in 0..g_assign {
+            group[order[idx] as usize] = p;
+            idx += 1;
+        }
+    }
+    // Local vertex numbering within each part.
+    let mut local = vec![0u32; n];
+    let mut parts: Vec<Part> = vec![Part::default(); m];
+    for &u in &order {
+        let p = group[u as usize];
+        local[u as usize] = parts[p].vlabels.len() as u32;
+        parts[p].vlabels.push(g.vlabel(u));
+    }
+    for (u, v, l) in g.edges() {
+        let (pu, pv) = (group[u as usize], group[v as usize]);
+        if pu == pv {
+            let (a, b) = (local[u as usize], local[v as usize]);
+            let (a, b) = if a < b { (a, b) } else { (b, a) };
+            parts[pu].edges.push((a, b, l));
+        } else {
+            // Deterministic ownership: the smaller-group endpoint keeps
+            // the stub.
+            let owner = pu.min(pv);
+            let lv = if owner == pu { local[u as usize] } else { local[v as usize] };
+            parts[owner].half.push((lv, l));
+        }
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(labels: &[u32]) -> Graph {
+        let mut g = Graph::new(labels.to_vec());
+        for i in 0..labels.len() - 1 {
+            g.add_edge(i as u32, i as u32 + 1, 0);
+        }
+        g
+    }
+
+    #[test]
+    fn partition_covers_all_vertices() {
+        let g = path_graph(&[1, 2, 3, 4, 5, 6, 7]);
+        for m in 1..=4usize {
+            let parts = partition_graph(&g, m);
+            assert_eq!(parts.len(), m);
+            let total: usize = parts.iter().map(|p| p.vlabels.len()).sum();
+            assert_eq!(total, 7, "m={m}");
+            // Sizes differ by at most one.
+            let sizes: Vec<usize> = parts.iter().map(|p| p.vlabels.len()).collect();
+            let (mn, mx) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(mx - mn <= 1, "m={m}: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn every_edge_owned_exactly_once() {
+        let mut g = Graph::new(vec![0, 1, 2, 3, 4, 5]);
+        g.add_edge(0, 1, 9);
+        g.add_edge(1, 2, 8);
+        g.add_edge(2, 3, 7);
+        g.add_edge(3, 4, 6);
+        g.add_edge(4, 5, 5);
+        g.add_edge(0, 5, 4);
+        for m in 1..=3usize {
+            let parts = partition_graph(&g, m);
+            let owned: usize =
+                parts.iter().map(|p| p.edges.len() + p.half.len()).sum();
+            assert_eq!(owned, g.num_edges(), "m={m}");
+        }
+    }
+
+    #[test]
+    fn single_part_keeps_whole_graph() {
+        let g = path_graph(&[7, 8, 9]);
+        let parts = partition_graph(&g, 1);
+        assert_eq!(parts[0].vlabels.len(), 3);
+        assert_eq!(parts[0].edges.len(), 2);
+        assert!(parts[0].half.is_empty());
+    }
+
+    #[test]
+    fn disconnected_graphs_partition_fine() {
+        let g = Graph::new(vec![1, 1, 2, 2]); // four isolated vertices
+        let parts = partition_graph(&g, 2);
+        assert_eq!(parts.iter().map(|p| p.vlabels.len()).sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn part_size_counts_structure() {
+        let g = path_graph(&[1, 2, 3, 4]);
+        let parts = partition_graph(&g, 2);
+        let total_size: usize = parts.iter().map(|p| p.size()).sum();
+        // 4 vertices + 3 edges (full or half) = 7.
+        assert_eq!(total_size, 7);
+    }
+}

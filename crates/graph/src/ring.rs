@@ -1,0 +1,239 @@
+//! The pigeonring graph-edit-distance engine (§6.4).
+//!
+//! Same partition and embedding test as [`crate::pars::Pars`]; from each
+//! embedding part `i` (box value 0) the chain is extended clockwise with
+//! deletion-neighborhood lower bounds under the uniform Theorem 3 quotas
+//! `‖c^{l'}‖₁ ≤ l'·τ/m` with `m = τ + 1`. Following Example 12, the box
+//! at ring position `j` is probed with the *remaining budget*
+//! `⌊l'·τ/m⌋ − Σ(previous boxes)` (capped at `NEIGHBORHOOD_CAP = 1`
+//! operation, see the constant's comment): if no variant of part `j` within
+//! that many deletion-neighborhood operations embeds in `q`, the prefix
+//! is non-viable.
+//!
+//! Using lower bounds can only keep chains viable longer than the true
+//! box values would, so completeness is preserved; the tests assert
+//! equality with linear scan and candidate-set inclusion w.r.t. Pars.
+//!
+//! Unlike the other three engines, the Corollary-2 start-skipping
+//! optimization is **not** applied here: with budget-dependent probes the
+//! effective box values are path-dependent (a box probed under a small
+//! remaining budget reports a weaker bound than under a large one), so a
+//! failure along one chain does not imply failure of the overlapping
+//! chains Corollary 2 would skip. Each embedding part gets an
+//! independent chain check instead — there are at most `τ + 1` per graph,
+//! so the loss is negligible.
+
+use crate::ged::ged_within;
+use crate::graph::Graph;
+use crate::neighborhood::min_ops_to_match;
+use crate::pars::{query_label_counts, size_compatible, GraphStats, PartMeta};
+use crate::partition::partition_graph;
+use crate::subiso::part_embeds;
+
+/// The pigeonring graph search engine. `l = 1` is exactly Pars.
+pub struct RingGraph {
+    graphs: Vec<Graph>,
+    tau: usize,
+    parts: Vec<Vec<PartMeta>>,
+}
+
+impl RingGraph {
+    /// Partitions every data graph into `τ + 1` parts.
+    pub fn build(graphs: Vec<Graph>, tau: usize) -> Self {
+        let m = tau + 1;
+        let parts = graphs
+            .iter()
+            .map(|g| partition_graph(g, m).into_iter().map(PartMeta::new).collect())
+            .collect();
+        RingGraph { graphs, tau, parts }
+    }
+
+    /// The data graphs.
+    pub fn graphs(&self) -> &[Graph] {
+        &self.graphs
+    }
+
+    /// Exact integer quota `⌊l'·τ/m⌋` of the uniform scheme.
+    #[inline]
+    fn quota(&self, l_prime: usize) -> i64 {
+        (l_prime as i64 * self.tau as i64) / (self.tau as i64 + 1)
+    }
+
+    /// Deletion-neighborhood probes are capped at this many operations
+    /// (Example 12's budget): the variant count grows as
+    /// (ops per level)^budget, and uncapped budgets (up to τ − 1 on long
+    /// chains) make the filter cost dwarf what it saves — the paper's own
+    /// light-weight-filter rule (§6). A probe that fails at the cap only
+    /// certifies `b_j ≥ cap + 1`, which is still a valid lower bound, so
+    /// completeness is preserved.
+    const NEIGHBORHOOD_CAP: i64 = 1;
+
+    /// Searches for all graphs with `ged(x, q) ≤ τ` using chain length
+    /// `l` (clamped to `[1..τ+1]`). Returns ascending ids and statistics.
+    pub fn search(&self, q: &Graph, l: usize) -> (Vec<u32>, GraphStats) {
+        let (cands, mut stats) = self.candidates(q, l);
+        let results: Vec<u32> = cands
+            .into_iter()
+            .filter(|&id| ged_within(&self.graphs[id as usize], q, self.tau as u32).is_some())
+            .collect();
+        stats.results = results.len();
+        (results, stats)
+    }
+
+    /// Candidate generation only (no GED verification), for timing the
+    /// filter separately (Figure 8's "Cand." series).
+    pub fn candidates(&self, q: &Graph, l: usize) -> (Vec<u32>, GraphStats) {
+        let m = self.tau + 1;
+        let l = l.clamp(1, m);
+        let mut stats = GraphStats::default();
+        let (qv, qe) = query_label_counts(q);
+        let mut cands = Vec::new();
+
+        for (id, g) in self.graphs.iter().enumerate() {
+            if !size_compatible(g, q, self.tau) {
+                continue;
+            }
+            let parts = &self.parts[id];
+            let mut is_candidate = false;
+            for (i, pm) in parts.iter().enumerate() {
+                if !pm.label_feasible(&qv, &qe) {
+                    continue;
+                }
+                stats.subiso_calls += 1;
+                if !part_embeds(&pm.part, q) {
+                    continue;
+                }
+                // Viable box (b_i = 0); extend the chain to length l.
+                let mut sum = 0i64;
+                let mut fail_at = None;
+                for l_prime in 2..=l {
+                    let j = (i + l_prime - 1) % m;
+                    let budget = self.quota(l_prime) - sum;
+                    if budget < 0 {
+                        fail_at = Some(l_prime);
+                        break;
+                    }
+                    let probe = budget.min(Self::NEIGHBORHOOD_CAP);
+                    stats.boxes_checked += 1;
+                    match min_ops_to_match(&parts[j].part, q, probe as u32) {
+                        Some(b) => sum += b as i64,
+                        None if probe < budget => {
+                            // Capped probe: we only know b_j ≥ probe + 1.
+                            sum += probe + 1;
+                            if sum > self.quota(l_prime) {
+                                fail_at = Some(l_prime);
+                                break;
+                            }
+                        }
+                        None => {
+                            fail_at = Some(l_prime);
+                            break;
+                        }
+                    }
+                }
+                if fail_at.is_none() {
+                    is_candidate = true;
+                    break;
+                }
+            }
+            if is_candidate {
+                cands.push(id as u32);
+            }
+        }
+        stats.candidates = cands.len();
+        (cands, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pars::{LinearScanGraphs, Pars};
+
+    fn molecule_like(seed: u64, n: usize, labels: u32) -> Graph {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut g = Graph::new((0..n).map(|_| (next() % labels as u64) as u32).collect());
+        for v in 1..n as u32 {
+            let u = (next() % v as u64) as u32;
+            g.add_edge(u, v, (next() % 3) as u32);
+        }
+        for _ in 0..n / 4 {
+            let u = (next() % n as u64) as u32;
+            let v = (next() % n as u64) as u32;
+            if u != v && g.edge_label(u, v).is_none() {
+                g.add_edge(u.min(v), u.max(v), (next() % 3) as u32);
+            }
+        }
+        g
+    }
+
+    fn dataset() -> Vec<Graph> {
+        let mut graphs = Vec::new();
+        for i in 0..24u64 {
+            let base = molecule_like(i * 31 + 3, 8, 6);
+            graphs.push(base.clone());
+        }
+        graphs
+    }
+
+    #[test]
+    fn ring_matches_linear_scan_all_l() {
+        let graphs = dataset();
+        let scan = LinearScanGraphs::new(&graphs);
+        for tau in 1..=3usize {
+            let ring = RingGraph::build(graphs.clone(), tau);
+            for (qid, q) in graphs.iter().enumerate().step_by(5) {
+                let expect = scan.search(q, tau as u32);
+                for l in 1..=(tau + 1) {
+                    let (got, _) = ring.search(q, l);
+                    assert_eq!(got, expect, "tau={tau} qid={qid} l={l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_l1_equals_pars() {
+        let graphs = dataset();
+        let pars = Pars::build(graphs.clone(), 2);
+        let ring = RingGraph::build(graphs.clone(), 2);
+        for (qid, q) in graphs.iter().enumerate().step_by(3) {
+            let (r1, s1) = pars.search(q);
+            let (r2, s2) = ring.search(q, 1);
+            assert_eq!(r1, r2, "qid={qid}");
+            assert_eq!(s1.candidates, s2.candidates, "qid={qid}");
+        }
+    }
+
+    #[test]
+    fn candidates_shrink_with_l() {
+        let graphs = dataset();
+        let ring = RingGraph::build(graphs.clone(), 3);
+        for (qid, q) in graphs.iter().enumerate().step_by(7) {
+            let mut prev = usize::MAX;
+            for l in 1..=4usize {
+                let (_, stats) = ring.search(q, l);
+                assert!(stats.candidates <= prev, "qid={qid} l={l}");
+                prev = stats.candidates;
+            }
+        }
+    }
+
+    #[test]
+    fn self_query_survives_all_chain_lengths() {
+        let graphs = dataset();
+        let ring = RingGraph::build(graphs.clone(), 2);
+        for qid in (0..graphs.len()).step_by(5) {
+            for l in 1..=3usize {
+                let (res, _) = ring.search(&graphs[qid], l);
+                assert!(res.contains(&(qid as u32)), "qid={qid} l={l}");
+            }
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Subgraph-isomorphism test for parts (with half-edges and wildcards).
+//!
+//! [`part_embeds`] decides whether a [`Part`] appears intact in a query
+//! graph: an injective mapping of the part's vertices to query vertices
+//! such that (1) vertex labels match (the wildcard label matches
+//! anything), (2) every full edge exists in the query with the same
+//! label, and (3) for every mapped vertex, the query vertex has enough
+//! incident edges of each label to cover the part's full edges plus
+//! half-edge stubs at that vertex (a sound per-label counting relaxation
+//! of exact distinct-stub matching: an intact part always satisfies it,
+//! so filtering stays complete; it can only admit extra candidates).
+//!
+//! The search is VF2-flavored backtracking with label/degree pruning,
+//! visiting part vertices in a connectivity-aware static order.
+
+use crate::graph::{Graph, WILDCARD};
+use crate::partition::Part;
+
+/// Per-part precomputed matching state, reused across query probes.
+struct PartView<'a> {
+    part: &'a Part,
+    /// Full-edge adjacency within the part: `(other_local, label)`.
+    adj: Vec<Vec<(u32, u32)>>,
+    /// Per vertex: required incident-edge label counts
+    /// (full edges + stubs), as sorted `(label, count)`.
+    need: Vec<Vec<(u32, u32)>>,
+    /// Matching order: connected-first static order.
+    order: Vec<u32>,
+}
+
+impl<'a> PartView<'a> {
+    fn new(part: &'a Part) -> Self {
+        let k = part.vlabels.len();
+        let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); k];
+        for &(u, v, l) in &part.edges {
+            adj[u as usize].push((v, l));
+            adj[v as usize].push((u, l));
+        }
+        let mut need: Vec<Vec<(u32, u32)>> = vec![Vec::new(); k];
+        let bump = |v: usize, label: u32, need: &mut Vec<Vec<(u32, u32)>>| {
+            match need[v].iter_mut().find(|(l, _)| *l == label) {
+                Some((_, c)) => *c += 1,
+                None => need[v].push((label, 1)),
+            }
+        };
+        for &(u, v, l) in &part.edges {
+            bump(u as usize, l, &mut need);
+            bump(v as usize, l, &mut need);
+        }
+        for &(v, l) in &part.half {
+            bump(v as usize, l, &mut need);
+        }
+        // Order: highest-degree first, then neighbors-of-mapped first
+        // (greedy connected order).
+        let mut order: Vec<u32> = (0..k as u32).collect();
+        order.sort_by_key(|&v| core::cmp::Reverse(adj[v as usize].len()));
+        let mut connected_order = Vec::with_capacity(k);
+        let mut placed = vec![false; k];
+        for &seed in &order {
+            if placed[seed as usize] {
+                continue;
+            }
+            let mut stack = vec![seed];
+            placed[seed as usize] = true;
+            while let Some(v) = stack.pop() {
+                connected_order.push(v);
+                for &(w, _) in &adj[v as usize] {
+                    if !placed[w as usize] {
+                        placed[w as usize] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+        }
+        PartView { part, adj, need, order: connected_order }
+    }
+}
+
+/// Whether `part` embeds intact in `q` (see module docs).
+pub fn part_embeds(part: &Part, q: &Graph) -> bool {
+    let k = part.vlabels.len();
+    if k == 0 {
+        return true;
+    }
+    if k > q.num_vertices() {
+        return false;
+    }
+    let view = PartView::new(part);
+    // Quick label-multiset feasibility: every required (vertex label,
+    // incident-count) must have some feasible query vertex.
+    let mut mapping = vec![u32::MAX; k];
+    let mut used = vec![false; q.num_vertices()];
+    backtrack(&view, q, 0, &mut mapping, &mut used)
+}
+
+fn feasible(view: &PartView<'_>, q: &Graph, v: u32, u: u32, mapping: &[u32]) -> bool {
+    let vl = view.part.vlabels[v as usize];
+    if vl != WILDCARD && q.vlabel(u) != vl {
+        return false;
+    }
+    // Per-label incident capacity.
+    for &(label, count) in &view.need[v as usize] {
+        if q.incident_label_count(u, label) < count as usize {
+            return false;
+        }
+    }
+    // Full edges to already-mapped part vertices must exist with the same
+    // label.
+    for &(w, l) in &view.adj[v as usize] {
+        let img = mapping[w as usize];
+        if img != u32::MAX
+            && q.edge_label(u, img) != Some(l) {
+                return false;
+            }
+    }
+    true
+}
+
+fn backtrack(
+    view: &PartView<'_>,
+    q: &Graph,
+    depth: usize,
+    mapping: &mut [u32],
+    used: &mut [bool],
+) -> bool {
+    if depth == view.order.len() {
+        return true;
+    }
+    let v = view.order[depth];
+    // Candidate images: neighbors of mapped images when v touches a
+    // mapped vertex (connectivity pruning), else all query vertices.
+    let mut from_mapped: Option<u32> = None;
+    for &(w, _) in &view.adj[v as usize] {
+        if mapping[w as usize] != u32::MAX {
+            from_mapped = Some(mapping[w as usize]);
+            break;
+        }
+    }
+    let try_vertex = |u: u32, mapping: &mut [u32], used: &mut [bool]| -> bool {
+        if used[u as usize] || !feasible(view, q, v, u, mapping) {
+            return false;
+        }
+        mapping[v as usize] = u;
+        used[u as usize] = true;
+        let ok = backtrack(view, q, depth + 1, mapping, used);
+        if !ok {
+            mapping[v as usize] = u32::MAX;
+            used[u as usize] = false;
+        }
+        ok
+    };
+    match from_mapped {
+        Some(anchor) => {
+            // v must map adjacent to the anchor image.
+            let nbrs: Vec<u32> = q.neighbors(anchor).iter().map(|&(u, _)| u).collect();
+            for u in nbrs {
+                if try_vertex(u, mapping, used) {
+                    return true;
+                }
+            }
+            false
+        }
+        None => {
+            for u in 0..q.num_vertices() as u32 {
+                if try_vertex(u, mapping, used) {
+                    return true;
+                }
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::partition_graph;
+
+    fn labeled_path(vl: &[u32], el: &[u32]) -> Graph {
+        let mut g = Graph::new(vl.to_vec());
+        for (i, &l) in el.iter().enumerate() {
+            g.add_edge(i as u32, i as u32 + 1, l);
+        }
+        g
+    }
+
+    #[test]
+    fn whole_graph_embeds_in_itself() {
+        let g = labeled_path(&[1, 2, 3, 2], &[5, 6, 5]);
+        let parts = partition_graph(&g, 1);
+        assert!(part_embeds(&parts[0], &g));
+    }
+
+    #[test]
+    fn parts_of_a_graph_embed_in_it() {
+        let g = labeled_path(&[1, 2, 3, 2, 1, 3], &[5, 6, 5, 6, 5]);
+        for m in 1..=4usize {
+            for part in partition_graph(&g, m) {
+                assert!(part_embeds(&part, &g), "m={m} part={part:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn label_mismatch_rejects() {
+        let part = Part { vlabels: vec![7], edges: vec![], half: vec![] };
+        let q = Graph::new(vec![1, 2, 3]);
+        assert!(!part_embeds(&part, &q));
+        let part_ok = Part { vlabels: vec![2], edges: vec![], half: vec![] };
+        assert!(part_embeds(&part_ok, &q));
+    }
+
+    #[test]
+    fn wildcard_matches_any_label() {
+        let part = Part { vlabels: vec![crate::graph::WILDCARD], edges: vec![], half: vec![] };
+        let q = Graph::new(vec![42]);
+        assert!(part_embeds(&part, &q));
+    }
+
+    #[test]
+    fn full_edge_label_must_match() {
+        let part = Part { vlabels: vec![1, 2], edges: vec![(0, 1, 9)], half: vec![] };
+        let mut q = Graph::new(vec![1, 2]);
+        q.add_edge(0, 1, 8);
+        assert!(!part_embeds(&part, &q));
+        let mut q2 = Graph::new(vec![1, 2]);
+        q2.add_edge(0, 1, 9);
+        assert!(part_embeds(&part, &q2));
+    }
+
+    #[test]
+    fn half_edge_requires_incident_capacity() {
+        // Part: single vertex labeled 1 with two stubs of label 3.
+        let part = Part { vlabels: vec![1], edges: vec![], half: vec![(0, 3), (0, 3)] };
+        // q1: vertex 1 with only one incident label-3 edge: reject.
+        let mut q1 = Graph::new(vec![1, 2]);
+        q1.add_edge(0, 1, 3);
+        assert!(!part_embeds(&part, &q1));
+        // q2: vertex 1 with two incident label-3 edges: accept.
+        let mut q2 = Graph::new(vec![1, 2, 2]);
+        q2.add_edge(0, 1, 3);
+        q2.add_edge(0, 2, 3);
+        assert!(part_embeds(&part, &q2));
+    }
+
+    #[test]
+    fn injectivity_enforced() {
+        // Two part vertices with the same label cannot share one query
+        // vertex.
+        let part = Part { vlabels: vec![5, 5], edges: vec![], half: vec![] };
+        let q1 = Graph::new(vec![5]);
+        assert!(!part_embeds(&part, &q1));
+        let q2 = Graph::new(vec![5, 5]);
+        assert!(part_embeds(&part, &q2));
+    }
+
+    #[test]
+    fn disconnected_part_embeds() {
+        let part = Part { vlabels: vec![1, 2], edges: vec![], half: vec![] };
+        let mut q = Graph::new(vec![2, 3, 1]);
+        q.add_edge(0, 1, 0);
+        assert!(part_embeds(&part, &q));
+    }
+
+    #[test]
+    fn triangle_does_not_embed_in_path() {
+        let mut tri = Graph::new(vec![1, 1, 1]);
+        tri.add_edge(0, 1, 0);
+        tri.add_edge(1, 2, 0);
+        tri.add_edge(0, 2, 0);
+        let parts = partition_graph(&tri, 1);
+        let path = labeled_path(&[1, 1, 1], &[0, 0]);
+        assert!(!part_embeds(&parts[0], &path));
+    }
+}

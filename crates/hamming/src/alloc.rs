@@ -1,0 +1,209 @@
+//! Variable threshold allocation for GPH (§6.1).
+//!
+//! Integer reduction (Theorem 7) requires `‖T‖₁ = τ − m + 1`. GPH \[72\]
+//! chooses the per-part thresholds with a query-time cost model; we
+//! implement the same idea as a greedy allocator over a sampled per-part
+//! distance histogram: starting from `t_i = −1` everywhere (a part with
+//! `t_i = −1` can never produce a viable box and is skipped by the index),
+//! the `τ + 1` threshold units are handed out one at a time to the part
+//! whose increment adds the least estimated cost
+//! (`signature-enumeration probes + λ · estimated candidates`). Handing
+//! out units greedily is optimal when the marginal costs are
+//! non-decreasing, which holds for the enumeration term and approximately
+//! for the candidate term on realistic distance histograms.
+//!
+//! [`AllocationStrategy::Even`] is the ablation baseline: spread the units
+//! uniformly regardless of the query.
+
+use crate::bitvec::BitVector;
+use crate::index::enumeration_count;
+use crate::partition::Partitioning;
+
+/// How GPH distributes `τ − m + 1` over the `m` part thresholds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocationStrategy {
+    /// Uniform split of the `τ + 1` units over parts (query-independent).
+    Even,
+    /// Greedy cost-model allocation from a sampled per-part histogram.
+    CostModel,
+}
+
+/// Even allocation: `t_i = −1 + (τ+1)/m` spread with remainder on the
+/// leading parts. Always sums to `τ − m + 1`.
+pub fn even_allocation(tau: i64, m: usize) -> Vec<i64> {
+    assert!(tau >= 0, "threshold must be non-negative");
+    assert!(m > 0, "need at least one part");
+    let units = tau + 1;
+    let base = units / m as i64;
+    let rem = (units % m as i64) as usize;
+    (0..m).map(|i| -1 + base + i64::from(i < rem)).collect()
+}
+
+/// Query-time cost model: per-part signatures of a deterministic data
+/// sample, used to estimate how many candidates a threshold admits.
+pub struct CostModel {
+    /// `sigs[i]` holds the part-`i` signatures of the sampled vectors.
+    sigs: Vec<Vec<u64>>,
+    /// Data-set size divided by sample size (candidate scale factor).
+    scale: f64,
+    widths: Vec<usize>,
+    /// Relative cost of verifying one candidate vs. enumerating one
+    /// signature; proportional to the number of vector words.
+    verify_weight: f64,
+}
+
+impl CostModel {
+    /// Builds the model from every `⌈N/sample⌉`-th vector (deterministic,
+    /// so repeated runs allocate identically).
+    pub fn build(data: &[BitVector], partitioning: &Partitioning, sample: usize) -> Self {
+        assert!(!data.is_empty(), "cannot model an empty dataset");
+        let stride = data.len().div_ceil(sample.max(1)).max(1);
+        let m = partitioning.num_parts();
+        let mut sigs: Vec<Vec<u64>> = vec![Vec::new(); m];
+        let mut taken = 0usize;
+        let mut i = 0;
+        while i < data.len() {
+            for (p, (lo, hi)) in partitioning.iter().enumerate() {
+                sigs[p].push(data[i].part_signature(lo, hi));
+            }
+            taken += 1;
+            i += stride;
+        }
+        CostModel {
+            sigs,
+            scale: data.len() as f64 / taken as f64,
+            widths: (0..m).map(|p| partitioning.width(p)).collect(),
+            verify_weight: (partitioning.dims() as f64 / 64.0).max(1.0),
+        }
+    }
+
+    /// Allocates thresholds for query `q` at threshold `tau`
+    /// (`Σ t_i = τ − m + 1`, each `t_i ≥ −1`).
+    pub fn allocate(&self, q: &BitVector, partitioning: &Partitioning, tau: i64) -> Vec<i64> {
+        assert!(tau >= 0, "threshold must be non-negative");
+        let m = self.sigs.len();
+        // Per-part histogram of sample distances to the query part.
+        let mut hist: Vec<Vec<f64>> = Vec::with_capacity(m);
+        for (p, (lo, hi)) in partitioning.iter().enumerate() {
+            let qsig = q.part_signature(lo, hi);
+            let mut h = vec![0.0f64; self.widths[p] + 1];
+            for &s in &self.sigs[p] {
+                h[(s ^ qsig).count_ones() as usize] += 1.0;
+            }
+            hist.push(h);
+        }
+        // Marginal cost of raising part p from t to t+1:
+        //   Δprobes = C(w, t+1)   (new enumeration shell)
+        //   Δcands  = hist[p][t+1] · scale
+        let marginal = |p: usize, t: i64| -> f64 {
+            let nt = (t + 1) as usize;
+            let w = self.widths[p];
+            if nt > w {
+                return f64::INFINITY; // cannot widen past the part width
+            }
+            // New enumeration shell at radius nt: C(w, nt) signatures.
+            let shell = if nt == 0 {
+                1.0
+            } else {
+                (enumeration_count(w, nt) - enumeration_count(w, nt - 1)) as f64
+            };
+            let cands = hist[p].get(nt).copied().unwrap_or(0.0) * self.scale;
+            shell + self.verify_weight * cands
+        };
+        let mut t = vec![-1i64; m];
+        for _ in 0..=tau {
+            let (best, _) = (0..m)
+                .map(|p| (p, marginal(p, t[p])))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("at least one part");
+            t[best] += 1;
+        }
+        debug_assert_eq!(t.iter().sum::<i64>(), tau - m as i64 + 1);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_allocation_sums_correctly() {
+        for tau in 0..40i64 {
+            for m in 1..=10usize {
+                let t = even_allocation(tau, m);
+                assert_eq!(t.len(), m);
+                assert_eq!(t.iter().sum::<i64>(), tau - m as i64 + 1, "tau={tau} m={m}");
+                assert!(t.iter().all(|&ti| ti >= -1));
+                let (mn, mx) = (t.iter().min().unwrap(), t.iter().max().unwrap());
+                assert!(mx - mn <= 1, "even split must be balanced: {t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cost_model_sums_correctly() {
+        let data: Vec<BitVector> = (0..64u64)
+            .map(|i| {
+                BitVector::from_bits((0..32).map(move |b| (i >> (b % 6)) & 1 == 1))
+            })
+            .collect();
+        let p = Partitioning::equi_width(32, 4);
+        let cm = CostModel::build(&data, &p, 16);
+        let q = data[3].clone();
+        for tau in [0i64, 3, 8, 16] {
+            let t = cm.allocate(&q, &p, tau);
+            assert_eq!(t.iter().sum::<i64>(), tau - 4 + 1, "tau={tau}: {t:?}");
+            assert!(t.iter().all(|&ti| (-1..=8).contains(&ti)));
+        }
+    }
+
+    #[test]
+    fn cost_model_is_deterministic_and_bounded() {
+        let mut data = Vec::new();
+        for i in 0..200u32 {
+            let mut v = BitVector::zeros(32);
+            for b in 0..32 {
+                if (i.wrapping_mul(2654435761) >> (b % 16)) & 1 == 1 {
+                    v.set(b, true);
+                }
+            }
+            data.push(v);
+        }
+        let p = Partitioning::equi_width(32, 2);
+        let cm = CostModel::build(&data, &p, 100);
+        let q = BitVector::zeros(32);
+        for tau in [0i64, 5, 12, 20] {
+            let t1 = cm.allocate(&q, &p, tau);
+            let t2 = cm.allocate(&q, &p, tau);
+            assert_eq!(t1, t2, "allocation must be deterministic");
+            assert_eq!(t1.iter().sum::<i64>(), tau - 2 + 1);
+            // Thresholds never exceed the part width (16 here): widening
+            // past it has infinite marginal cost.
+            assert!(t1.iter().all(|&ti| ti <= 16), "{t1:?}");
+        }
+    }
+
+    #[test]
+    fn cost_model_spends_first_units_on_selective_parts() {
+        // Part 0 is dense at distance 0 (first unit admits many
+        // candidates at once); part 1 is spread out. With τ = 1, m = 2
+        // there are two units to hand out (Σt = 0); the greedy allocator
+        // must put both on the selective part and disable the dense one.
+        let mut data = Vec::new();
+        for i in 0..200u32 {
+            let mut v = BitVector::zeros(32);
+            for b in 16..32 {
+                if (i.wrapping_mul(2654435761) >> (b - 16)) & 1 == 1 {
+                    v.set(b, true);
+                }
+            }
+            data.push(v);
+        }
+        let p = Partitioning::equi_width(32, 2);
+        let cm = CostModel::build(&data, &p, 100);
+        let q = BitVector::zeros(32);
+        let t = cm.allocate(&q, &p, 1);
+        assert_eq!(t, vec![-1, 1], "dense part should be disabled: {t:?}");
+    }
+}

@@ -1,0 +1,412 @@
+//! Search engines: GPH (pigeonhole) and Ring (pigeonring) over a shared
+//! index, plus a linear-scan reference.
+//!
+//! Candidate generation follows §7 exactly:
+//!
+//! 1. **First step** — probe the per-part signature index for viable
+//!    single boxes (`b_i ≤ t_i`); identical for GPH and Ring.
+//! 2. **Second step** (Ring only) — from each viable box, extend the chain
+//!    clockwise, computing part distances by popcount on the fly, and
+//!    accept the object only if the chain of length `l` is prefix-viable
+//!    under the Theorem 7 quotas `‖c^{l'}_i‖₁ ≤ l' − 1 + Σ t_j`. A failed
+//!    prefix at length `l'` rules out starts `i..i+l'−1` for this object
+//!    (Corollary 2), tracked in a per-object bitmask.
+//!
+//! Accepted objects are deduplicated with an epoch-stamped array (the
+//! "union of candidate sets before verification" the paper measures) and
+//! verified with early-abandoning Hamming distance.
+
+use crate::alloc::{even_allocation, AllocationStrategy, CostModel};
+use crate::bitvec::BitVector;
+use crate::index::PartIndex;
+use crate::partition::Partitioning;
+use pigeonring_core::viability::{check_prefix_viable_lazy, Direction, ThresholdScheme};
+
+/// Per-query search counters, matching the cost terms of §7.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Unique objects passed to verification (`|A_PH|` / `|A_PR|`).
+    pub candidates: usize,
+    /// Objects whose `H(x, q) ≤ τ`.
+    pub results: usize,
+    /// Signatures enumerated in the first step (`C_C1` cost proxy).
+    pub probes: usize,
+    /// Viable single boxes found in the first step (`|V|`).
+    pub viable_boxes: usize,
+    /// Box evaluations performed in the second step (`C_C2` cost proxy).
+    pub boxes_checked: usize,
+    /// Chain checks avoided by the Corollary-2 bitmask.
+    pub skipped_by_corollary2: usize,
+}
+
+/// The pigeonring Hamming-distance search engine (§6.1). With `l = 1` it
+/// degenerates to GPH exactly; [`Gph`] is that fixed configuration.
+pub struct RingHamming {
+    data: Vec<BitVector>,
+    partitioning: Partitioning,
+    index: PartIndex,
+    strategy: AllocationStrategy,
+    cost: Option<CostModel>,
+    corollary2_skip: bool,
+    epoch: u32,
+    accepted: Vec<u32>,
+    ruled_epoch: Vec<u32>,
+    ruled_mask: Vec<u64>,
+}
+
+impl RingHamming {
+    /// Default cost-model sample size.
+    const COST_SAMPLE: usize = 1024;
+
+    /// Builds the engine over `data` with `m` equi-width parts.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty, dimensionalities disagree, or `m > 64`
+    /// (the Corollary-2 bitmask is one `u64` per object).
+    pub fn build(data: Vec<BitVector>, m: usize, strategy: AllocationStrategy) -> Self {
+        assert!(!data.is_empty(), "cannot index an empty dataset");
+        let d = data[0].dims();
+        Self::with_partitioning(data, Partitioning::equi_width(d, m), strategy)
+    }
+
+    /// Builds the engine with an explicit partitioning.
+    pub fn with_partitioning(
+        data: Vec<BitVector>,
+        partitioning: Partitioning,
+        strategy: AllocationStrategy,
+    ) -> Self {
+        assert!(!data.is_empty(), "cannot index an empty dataset");
+        assert!(partitioning.num_parts() <= 64, "at most 64 parts supported");
+        let index = PartIndex::build(&data, partitioning.clone());
+        let cost = match strategy {
+            AllocationStrategy::Even => None,
+            AllocationStrategy::CostModel => {
+                Some(CostModel::build(&data, &partitioning, Self::COST_SAMPLE))
+            }
+        };
+        let n = data.len();
+        RingHamming {
+            data,
+            partitioning,
+            index,
+            strategy,
+            cost,
+            corollary2_skip: true,
+            epoch: 0,
+            accepted: vec![0; n],
+            ruled_epoch: vec![0; n],
+            ruled_mask: vec![0; n],
+        }
+    }
+
+    /// Enables or disables the Corollary-2 start-skipping optimization
+    /// (kept switchable for the `ablate-skip` experiment).
+    pub fn set_corollary2_skip(&mut self, enabled: bool) {
+        self.corollary2_skip = enabled;
+    }
+
+    /// The indexed vectors.
+    pub fn data(&self) -> &[BitVector] {
+        &self.data
+    }
+
+    /// The number of parts `m`.
+    pub fn num_parts(&self) -> usize {
+        self.partitioning.num_parts()
+    }
+
+    /// Allocates the per-part thresholds for this query
+    /// (`Σ t_i = τ − m + 1`).
+    pub fn allocate(&self, q: &BitVector, tau: i64) -> Vec<i64> {
+        match self.strategy {
+            AllocationStrategy::Even => even_allocation(tau, self.partitioning.num_parts()),
+            AllocationStrategy::CostModel => self
+                .cost
+                .as_ref()
+                .expect("cost model built at construction")
+                .allocate(q, &self.partitioning, tau),
+        }
+    }
+
+    fn next_epoch(&mut self) -> u32 {
+        if self.epoch == u32::MAX {
+            self.accepted.fill(0);
+            self.ruled_epoch.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Searches for all vectors within Hamming distance `tau` of `q`,
+    /// using chain length `l` (clamped to `[1..m]`). Returns the result
+    /// ids (ascending) and the per-query statistics.
+    pub fn search(&mut self, q: &BitVector, tau: u32, l: usize) -> (Vec<u32>, SearchStats) {
+        let (cands, mut stats) = self.candidates(q, tau, l);
+        let mut results: Vec<u32> = cands
+            .into_iter()
+            .filter(|&id| self.data[id as usize].distance_within(q, tau).is_some())
+            .collect();
+        results.sort_unstable();
+        stats.results = results.len();
+        (results, stats)
+    }
+
+    /// Candidate generation only (both steps of §7, no verification) —
+    /// lets the harness time the filter separately, as Figure 5 plots
+    /// "Cand." vs "Total".
+    pub fn candidates(&mut self, q: &BitVector, tau: u32, l: usize) -> (Vec<u32>, SearchStats) {
+        assert_eq!(q.dims(), self.partitioning.dims(), "query dimensionality mismatch");
+        let m = self.partitioning.num_parts();
+        let l = l.clamp(1, m);
+        let t = self.allocate(q, tau as i64);
+        let scheme = ThresholdScheme::integer_reduced(t.clone());
+        let epoch = self.next_epoch();
+
+        let mut stats = SearchStats::default();
+        let mut cands: Vec<u32> = Vec::new();
+
+        // Split borrows: the probe visitor mutates the scratch arrays
+        // while the index is borrowed immutably.
+        let Self {
+            ref data,
+            ref partitioning,
+            ref index,
+            corollary2_skip,
+            ref mut accepted,
+            ref mut ruled_epoch,
+            ref mut ruled_mask,
+            ..
+        } = *self;
+
+        stats.probes = index.probe(q, &t, |part, dist, id| {
+            stats.viable_boxes += 1;
+            let idu = id as usize;
+            if accepted[idu] == epoch {
+                return;
+            }
+            if l == 1 {
+                // Pigeonhole: the viable box alone makes a candidate.
+                accepted[idu] = epoch;
+                cands.push(id);
+                return;
+            }
+            if corollary2_skip && ruled_epoch[idu] == epoch && (ruled_mask[idu] >> part) & 1 == 1
+            {
+                stats.skipped_by_corollary2 += 1;
+                return;
+            }
+            let x = &data[idu];
+            let mut first = true;
+            let check = check_prefix_viable_lazy(&scheme, Direction::Le, part, l, |j| {
+                stats.boxes_checked += 1;
+                if first {
+                    first = false;
+                    dist as i64 // known from the enumeration depth
+                } else {
+                    let (lo, hi) = partitioning.part(j % m);
+                    x.part_distance(q, lo, hi) as i64
+                }
+            });
+            match check {
+                Ok(()) => {
+                    accepted[idu] = epoch;
+                    cands.push(id);
+                }
+                Err(l_fail) => {
+                    if corollary2_skip {
+                        if ruled_epoch[idu] != epoch {
+                            ruled_epoch[idu] = epoch;
+                            ruled_mask[idu] = 0;
+                        }
+                        for k in 0..l_fail {
+                            ruled_mask[idu] |= 1u64 << ((part + k) % m);
+                        }
+                    }
+                }
+            }
+        });
+
+        stats.candidates = cands.len();
+        (cands, stats)
+    }
+}
+
+/// The GPH baseline \[72\]: pigeonhole filtering with variable threshold
+/// allocation and integer reduction — exactly [`RingHamming`] at `l = 1`.
+pub struct Gph(RingHamming);
+
+impl Gph {
+    /// Builds GPH over `data` with `m` parts.
+    pub fn build(data: Vec<BitVector>, m: usize, strategy: AllocationStrategy) -> Self {
+        Gph(RingHamming::build(data, m, strategy))
+    }
+
+    /// Searches for all vectors within Hamming distance `tau` of `q`.
+    pub fn search(&mut self, q: &BitVector, tau: u32) -> (Vec<u32>, SearchStats) {
+        self.0.search(q, tau, 1)
+    }
+
+    /// The underlying shared engine.
+    pub fn inner(&mut self) -> &mut RingHamming {
+        &mut self.0
+    }
+}
+
+/// Exhaustive reference: verifies every vector. Ground truth for tests and
+/// the verification-cost floor for benchmarks.
+pub struct LinearScan<'a> {
+    data: &'a [BitVector],
+}
+
+impl<'a> LinearScan<'a> {
+    /// Wraps a dataset.
+    pub fn new(data: &'a [BitVector]) -> Self {
+        LinearScan { data }
+    }
+
+    /// All ids with `H(x, q) ≤ τ`, ascending.
+    pub fn search(&self, q: &BitVector, tau: u32) -> Vec<u32> {
+        self.data
+            .iter()
+            .enumerate()
+            .filter(|(_, x)| x.distance_within(q, tau).is_some())
+            .map(|(id, _)| id as u32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_dataset() -> Vec<BitVector> {
+        // 64-dim vectors with controlled distances from the zero vector.
+        let mut data = Vec::new();
+        for k in 0..32 {
+            let mut v = BitVector::zeros(64);
+            for b in 0..k {
+                v.flip((b * 7) % 64);
+            }
+            data.push(v);
+        }
+        data
+    }
+
+    #[test]
+    fn gph_matches_linear_scan() {
+        let data = tiny_dataset();
+        let scan = LinearScan::new(&data);
+        let mut gph = Gph::build(data.clone(), 4, AllocationStrategy::Even);
+        for tau in [0u32, 1, 3, 7, 15] {
+            for qid in [0usize, 5, 17, 31] {
+                let q = &data[qid];
+                let expect = scan.search(q, tau);
+                let (got, _) = gph.search(q, tau);
+                assert_eq!(got, expect, "tau={tau} qid={qid}");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_matches_linear_scan_for_all_l() {
+        let data = tiny_dataset();
+        let scan = LinearScan::new(&data);
+        let mut ring = RingHamming::build(data.clone(), 4, AllocationStrategy::Even);
+        for tau in [0u32, 2, 5, 11] {
+            for l in 1..=4usize {
+                let q = &data[9];
+                let expect = scan.search(q, tau);
+                let (got, _) = ring.search(q, tau, l);
+                assert_eq!(got, expect, "tau={tau} l={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_with_cost_model_matches_linear_scan() {
+        let data = tiny_dataset();
+        let scan = LinearScan::new(&data);
+        let mut ring = RingHamming::build(data.clone(), 4, AllocationStrategy::CostModel);
+        for tau in [1u32, 4, 9] {
+            for l in [1usize, 2, 4] {
+                let q = &data[20];
+                assert_eq!(ring.search(q, tau, l).0, scan.search(q, tau), "tau={tau} l={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_shrink_with_l() {
+        // Lemma 4 at engine level: candidates non-increasing in l.
+        let data = tiny_dataset();
+        let mut ring = RingHamming::build(data.clone(), 4, AllocationStrategy::Even);
+        let q = BitVector::zeros(64);
+        let mut prev = usize::MAX;
+        for l in 1..=4usize {
+            let (_, stats) = ring.search(&q, 9, l);
+            assert!(stats.candidates <= prev, "l={l}: {} > {prev}", stats.candidates);
+            prev = stats.candidates;
+        }
+    }
+
+    #[test]
+    fn l_equals_m_candidates_are_results() {
+        // §3: when ‖B‖₁ = f(x,q) and l = m, candidate generation subsumes
+        // verification.
+        let data = tiny_dataset();
+        let mut ring = RingHamming::build(data, 4, AllocationStrategy::Even);
+        let q = BitVector::zeros(64);
+        let (results, stats) = ring.search(&q, 9, 4);
+        assert_eq!(stats.candidates, results.len());
+        assert_eq!(stats.candidates, stats.results);
+    }
+
+    #[test]
+    fn corollary2_skip_does_not_change_results() {
+        let data = tiny_dataset();
+        let q = data[13].clone();
+        let mut with = RingHamming::build(data.clone(), 8, AllocationStrategy::Even);
+        let mut without = RingHamming::build(data, 8, AllocationStrategy::Even);
+        without.set_corollary2_skip(false);
+        for tau in [3u32, 9, 15] {
+            for l in [2usize, 3, 8] {
+                let (r1, s1) = with.search(&q, tau, l);
+                let (r2, s2) = without.search(&q, tau, l);
+                assert_eq!(r1, r2);
+                assert_eq!(s1.candidates, s2.candidates);
+                // The skip can only reduce box checks.
+                assert!(s1.boxes_checked <= s2.boxes_checked);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let data = tiny_dataset();
+        let mut ring = RingHamming::build(data, 4, AllocationStrategy::Even);
+        let q = BitVector::zeros(64);
+        let (results, stats) = ring.search(&q, 7, 2);
+        assert_eq!(stats.results, results.len());
+        assert!(stats.results <= stats.candidates);
+        assert!(stats.candidates <= stats.viable_boxes);
+    }
+
+    #[test]
+    fn tau_zero_finds_exact_duplicates() {
+        let mut data = tiny_dataset();
+        data.push(data[4].clone()); // duplicate of id 4
+        let mut ring = RingHamming::build(data.clone(), 4, AllocationStrategy::Even);
+        let (res, _) = ring.search(&data[4].clone(), 0, 2);
+        assert_eq!(res, vec![4, 32]);
+    }
+
+    #[test]
+    fn large_tau_returns_everything() {
+        let data = tiny_dataset();
+        let n = data.len();
+        let mut ring = RingHamming::build(data, 4, AllocationStrategy::Even);
+        let (res, _) = ring.search(&BitVector::zeros(64), 64, 3);
+        assert_eq!(res.len(), n);
+    }
+}

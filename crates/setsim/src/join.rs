@@ -1,0 +1,116 @@
+//! Set-similarity self-join: all pairs `(i, j)`, `i < j`, with
+//! `sim(x_i, x_j) ≥ τ` — the batch dual of Problem 3 that most of the
+//! §8.1 baselines (pkwise, PartAlloc, AllPairs/PPJoin) were originally
+//! designed for. Reuses the pigeonring search engine query-by-query and
+//! reports each pair once.
+
+use crate::ring::RingSetSim;
+use crate::types::{overlap, Collection, Threshold};
+
+/// Aggregate statistics for a join run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JoinStats {
+    /// Total candidates verified across all probes.
+    pub candidates: usize,
+    /// Result pairs.
+    pub pairs: usize,
+}
+
+/// All record pairs satisfying the engine's threshold, via chain length
+/// `l` (`l = 1` is the pkwise join). Pairs come back with `i < j`,
+/// lexicographically sorted.
+pub fn self_join(engine: &mut RingSetSim, l: usize) -> (Vec<(u32, u32)>, JoinStats) {
+    let n = engine.collection().len();
+    let mut out = Vec::new();
+    let mut stats = JoinStats::default();
+    for i in 0..n {
+        let q = engine.collection().record(i).to_vec();
+        let (ids, s) = engine.search(&q, l);
+        stats.candidates += s.candidates;
+        for id in ids {
+            if (id as usize) > i {
+                out.push((i as u32, id));
+            }
+        }
+    }
+    stats.pairs = out.len();
+    (out, stats)
+}
+
+/// Quadratic reference join for tests.
+pub fn nested_loop_join(collection: &Collection, threshold: Threshold) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for i in 0..collection.len() {
+        for j in i + 1..collection.len() {
+            let (x, y) = (collection.record(i), collection.record(j));
+            if threshold.size_compatible(x.len(), y.len())
+                && threshold.satisfied(overlap(x, y), x.len(), y.len())
+            {
+                out.push((i as u32, j as u32));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collection() -> Collection {
+        let mut raw: Vec<Vec<u32>> = Vec::new();
+        let mut s = 0x5EEDu64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for i in 0..60 {
+            if i % 3 == 0 && i > 0 {
+                let mut c: Vec<u32> = raw[i - 1].clone();
+                if !c.is_empty() {
+                    let k = (next() as usize) % c.len();
+                    c[k] = (next() % 80) as u32;
+                }
+                raw.push(c);
+            } else {
+                let len = 6 + (next() as usize % 8);
+                raw.push((0..len).map(|_| (next() % 80) as u32).collect());
+            }
+        }
+        Collection::new(raw)
+    }
+
+    #[test]
+    fn join_matches_nested_loop_jaccard() {
+        let c = collection();
+        let t = Threshold::jaccard(0.7);
+        let expect = nested_loop_join(&c, t);
+        let mut eng = RingSetSim::build(c.clone(), t, 5);
+        for l in [1usize, 2, 3] {
+            let (got, stats) = self_join(&mut eng, l);
+            assert_eq!(got, expect, "l={l}");
+            assert_eq!(stats.pairs, expect.len());
+        }
+    }
+
+    #[test]
+    fn join_matches_nested_loop_overlap() {
+        let c = collection();
+        let t = Threshold::Overlap(6);
+        let expect = nested_loop_join(&c, t);
+        let mut eng = RingSetSim::build(c.clone(), t, 4);
+        let (got, _) = self_join(&mut eng, 2);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn ring_join_verifies_fewer_candidates() {
+        let c = collection();
+        let mut eng = RingSetSim::build(c, Threshold::jaccard(0.7), 5);
+        let (_, s1) = self_join(&mut eng, 1);
+        let (_, s3) = self_join(&mut eng, 3);
+        assert!(s3.candidates <= s1.candidates);
+    }
+}

@@ -1,0 +1,393 @@
+//! Class prefixes and the k-wise signature index of pkwise \[103\] (§6.2).
+//!
+//! The token universe is partitioned into `m − 1` disjoint *classes*
+//! numbered `1..m−1`. The `p`-prefix of a record is its first `p` tokens
+//! in the global order; `p_x` is the smallest prefix length whose
+//! *capacity* `Σ_k max(0, cnt(x, p_x, k) − k + 1)` reaches
+//! `|x| − o(x) + 1`, where `o(x)` is the minimum overlap any valid partner
+//! must reach. The pkwise guarantee (validated by the completeness proof
+//! sketched below and by the property tests): if `|x ∩ q| ≥ o(x, q)`,
+//! then for some class `k` the two prefixes share at least `k` class-`k`
+//! tokens — i.e. a *k-wise signature* (a k-combination of class-`k`
+//! prefix tokens).
+//!
+//! Why: suppose every class shares at most `k − 1` prefix tokens, and
+//! w.l.o.g. the last prefix token of `x` precedes the last prefix token
+//! of `q` in the global order. Every token of `x`'s prefix that is in `q`
+//! must then be in `q`'s prefix, so
+//! `|x ∩ q| ≤ (|x| − p_x) + Σ_k min(cnt_k, k − 1) = |x| − capacity ≤ o(x) − 1 < o(x, q)`,
+//! a contradiction. (Symmetric in the other direction.)
+//!
+//! Records whose full-set capacity never reaches the target (possible
+//! only for tiny sets) are *degenerate*: they carry no signature guarantee
+//! and are kept on an always-candidate list.
+
+use crate::types::Threshold;
+use pigeonring_core::fxhash::{FxHashMap, FxHasher};
+use std::hash::Hasher;
+
+/// Assignment of token ranks to classes `1..=m−1`.
+#[derive(Clone, Debug)]
+pub struct ClassMap {
+    m: usize,
+    explicit: Option<Vec<u8>>,
+}
+
+impl ClassMap {
+    /// Hash-based assignment (the production default): rank `r` goes to
+    /// class `(mix(r) mod (m−1)) + 1`.
+    ///
+    /// # Panics
+    /// Panics if `m < 2` (need at least one class) or `m > 64`.
+    pub fn hashed(m: usize) -> Self {
+        assert!((2..=64).contains(&m), "m must be in [2, 64]");
+        ClassMap { m, explicit: None }
+    }
+
+    /// Explicit assignment for tests and worked examples: `classes[r]` is
+    /// the class of rank `r`, each in `1..=m−1`.
+    ///
+    /// # Panics
+    /// Panics if any class is out of range.
+    pub fn explicit(m: usize, classes: Vec<u8>) -> Self {
+        assert!((2..=64).contains(&m), "m must be in [2, 64]");
+        assert!(
+            classes.iter().all(|&c| (1..m as u8).contains(&c)),
+            "classes must be in 1..m"
+        );
+        ClassMap { m, explicit: Some(classes) }
+    }
+
+    /// The box count `m` (classes plus the suffix box `b₀`).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The class of token rank `r`, in `1..=m−1`.
+    #[inline]
+    pub fn class_of(&self, r: u32) -> usize {
+        match &self.explicit {
+            Some(v) => v[r as usize] as usize,
+            None => {
+                // Fibonacci mixing spreads consecutive ranks.
+                let h = (r as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 32;
+                (h % (self.m as u64 - 1)) as usize + 1
+            }
+        }
+    }
+}
+
+/// A record's (or query's) prefix, with its tokens grouped by class.
+#[derive(Clone, Debug)]
+pub struct Prefix {
+    /// Prefix length `p_x`.
+    pub len: usize,
+    /// `grouped[c − 1]` = the class-`c` tokens of the prefix, ascending.
+    pub grouped: Vec<Vec<u32>>,
+    /// Whether the capacity target was never reached (no signature
+    /// guarantee; the record must always be a candidate).
+    pub degenerate: bool,
+}
+
+impl Prefix {
+    /// `cnt(x, p_x, k)`.
+    pub fn count(&self, class: usize) -> usize {
+        self.grouped[class - 1].len()
+    }
+}
+
+/// Computes the prefix of sorted rank array `r` for minimum overlap `o`.
+/// Returns `None` when `o > |r|` (the record can never satisfy the
+/// threshold and need not be indexed at all).
+pub fn compute_prefix(r: &[u32], classes: &ClassMap, o: u32) -> Option<Prefix> {
+    if o as usize > r.len() || o == 0 {
+        // o == 0 admits everything; treat as degenerate full prefix.
+        if o == 0 {
+            return Some(group_all(r, classes, true));
+        }
+        return None;
+    }
+    let needed = r.len() - o as usize + 1;
+    let m = classes.m();
+    let mut grouped: Vec<Vec<u32>> = vec![Vec::new(); m - 1];
+    let mut capacity = 0usize;
+    for (idx, &t) in r.iter().enumerate() {
+        let c = classes.class_of(t);
+        grouped[c - 1].push(t);
+        if grouped[c - 1].len() >= c {
+            capacity += 1;
+        }
+        if capacity >= needed {
+            return Some(Prefix { len: idx + 1, grouped, degenerate: false });
+        }
+    }
+    Some(Prefix { len: r.len(), grouped, degenerate: true })
+}
+
+fn group_all(r: &[u32], classes: &ClassMap, degenerate: bool) -> Prefix {
+    let m = classes.m();
+    let mut grouped: Vec<Vec<u32>> = vec![Vec::new(); m - 1];
+    for &t in r {
+        grouped[classes.class_of(t) - 1].push(t);
+    }
+    Prefix { len: r.len(), grouped, degenerate }
+}
+
+/// Calls `f` once per `k`-combination of `tokens` (ascending index
+/// order). `tokens` must be sorted; combinations are emitted in
+/// lexicographic order.
+pub fn for_each_combination(tokens: &[u32], k: usize, f: &mut impl FnMut(&[u32])) {
+    fn go(tokens: &[u32], k: usize, start: usize, cur: &mut Vec<u32>, f: &mut impl FnMut(&[u32])) {
+        if cur.len() == k {
+            f(cur);
+            return;
+        }
+        let remaining = k - cur.len();
+        // Enough tokens left to complete the combination?
+        for i in start..=tokens.len().saturating_sub(remaining) {
+            cur.push(tokens[i]);
+            go(tokens, k, i + 1, cur, f);
+            cur.pop();
+        }
+    }
+    if k == 0 || k > tokens.len() {
+        return;
+    }
+    let mut cur = Vec::with_capacity(k);
+    go(tokens, k, 0, &mut cur, f);
+}
+
+/// Number of `k`-combinations `C(n, k)` (saturating).
+pub fn combination_count(n: usize, k: usize) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let mut c = 1u64;
+    for i in 0..k {
+        c = c.saturating_mul((n - i) as u64) / (i as u64 + 1);
+    }
+    c
+}
+
+/// Hashes a k-combination into a signature key.
+#[inline]
+pub fn signature_hash(combo: &[u32]) -> u64 {
+    let mut h = FxHasher::default();
+    for &t in combo {
+        h.write_u32(t);
+    }
+    h.finish()
+}
+
+/// The k-wise signature index: per class `k`, a map from signature hash to
+/// the posting list of record ids. Hash collisions can only add
+/// candidates, never lose results.
+pub struct PkwiseIndex {
+    classes: ClassMap,
+    threshold: Threshold,
+    /// `maps[k − 1]`: class-`k` signature postings.
+    maps: Vec<FxHashMap<u64, Vec<u32>>>,
+    /// Ids with no signature guarantee (tiny/degenerate records); always
+    /// candidates, subject to the length filter.
+    degenerate: Vec<u32>,
+    /// Per-record prefixes (box values are computed from these).
+    prefixes: Vec<Option<Prefix>>,
+    /// Records whose class enumeration exceeded the internal combo cap fall
+    /// back to the degenerate list for that class only if they have no
+    /// other signatures; tracked for stats.
+    pub capped_records: usize,
+}
+
+impl PkwiseIndex {
+    /// A record contributing more combinations than this per class is
+    /// demoted to the always-candidate list instead of being enumerated.
+    const COMBO_CAP: u64 = 100_000;
+
+    /// Builds the index over sorted rank records.
+    pub fn build(records: &[Vec<u32>], classes: ClassMap, threshold: Threshold) -> Self {
+        let m = classes.m();
+        let mut maps: Vec<FxHashMap<u64, Vec<u32>>> =
+            (0..m - 1).map(|_| FxHashMap::default()).collect();
+        let mut degenerate = Vec::new();
+        let mut prefixes = Vec::with_capacity(records.len());
+        let mut capped_records = 0usize;
+        for (id, r) in records.iter().enumerate() {
+            let o = threshold.min_overlap_single(r.len());
+            let Some(p) = compute_prefix(r, &classes, o) else {
+                prefixes.push(None);
+                continue;
+            };
+            let id = id as u32;
+            if p.degenerate {
+                degenerate.push(id);
+                prefixes.push(Some(p));
+                continue;
+            }
+            let mut too_big = false;
+            for k in 1..m {
+                if combination_count(p.count(k), k) > Self::COMBO_CAP {
+                    too_big = true;
+                    break;
+                }
+            }
+            if too_big {
+                capped_records += 1;
+                degenerate.push(id);
+                prefixes.push(Some(p));
+                continue;
+            }
+            for k in 1..m {
+                let toks = &p.grouped[k - 1];
+                if toks.len() >= k {
+                    for_each_combination(toks, k, &mut |combo| {
+                        maps[k - 1].entry(signature_hash(combo)).or_default().push(id);
+                    });
+                }
+            }
+            prefixes.push(Some(p));
+        }
+        PkwiseIndex { classes, threshold, maps, degenerate, prefixes, capped_records }
+    }
+
+    /// The class map.
+    pub fn classes(&self) -> &ClassMap {
+        &self.classes
+    }
+
+    /// The build threshold.
+    pub fn threshold(&self) -> Threshold {
+        self.threshold
+    }
+
+    /// The always-candidate ids.
+    pub fn degenerate_ids(&self) -> &[u32] {
+        &self.degenerate
+    }
+
+    /// Record `id`'s prefix (`None` when the record can never match).
+    pub fn prefix(&self, id: u32) -> Option<&Prefix> {
+        self.prefixes[id as usize].as_ref()
+    }
+
+    /// Probes class `k` with a signature hash.
+    pub fn lookup(&self, k: usize, sig: u64) -> Option<&[u32]> {
+        self.maps[k - 1].get(&sig).map(|v| v.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combinations_enumerate_lexicographically() {
+        let mut seen = Vec::new();
+        for_each_combination(&[1, 2, 3, 4], 2, &mut |c| seen.push(c.to_vec()));
+        assert_eq!(
+            seen,
+            vec![
+                vec![1, 2],
+                vec![1, 3],
+                vec![1, 4],
+                vec![2, 3],
+                vec![2, 4],
+                vec![3, 4]
+            ]
+        );
+    }
+
+    #[test]
+    fn combination_count_matches_enumeration() {
+        for n in 0..=8usize {
+            let toks: Vec<u32> = (0..n as u32).collect();
+            for k in 0..=n {
+                let mut cnt = 0u64;
+                for_each_combination(&toks, k, &mut |_| cnt += 1);
+                let expect = if k == 0 { 0 } else { combination_count(n, k) };
+                assert_eq!(cnt, expect, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_capacity_reaches_target() {
+        // 8 tokens, m = 3 (two classes), overlap o = 6 ⇒ needed = 3.
+        let classes = ClassMap::hashed(3);
+        let r: Vec<u32> = (0..8).collect();
+        let p = compute_prefix(&r, &classes, 6).unwrap();
+        assert!(!p.degenerate);
+        // Recompute capacity over the prefix and check it equals 3.
+        let mut cnt = [0usize; 3];
+        let mut cap = 0usize;
+        for &t in &r[..p.len] {
+            let c = classes.class_of(t);
+            cnt[c] += 1;
+            if cnt[c] >= c {
+                cap += 1;
+            }
+        }
+        assert_eq!(cap, 3);
+        // Minimality: one token fewer must be below target.
+        assert!(p.len >= 3);
+    }
+
+    #[test]
+    fn tiny_records_are_degenerate_or_skipped() {
+        let classes = ClassMap::hashed(5);
+        // o greater than the record: unindexable.
+        assert!(compute_prefix(&[1, 2], &classes, 3).is_none());
+        // Tiny record where capacity cannot reach needed: degenerate.
+        // |r| = 2, o = 1 ⇒ needed = 2; if both tokens land in classes ≥ 2
+        // the capacity stalls below 2.
+        let classes = ClassMap::explicit(5, vec![4, 4]);
+        let p = compute_prefix(&[0, 1], &classes, 1).unwrap();
+        assert!(p.degenerate);
+    }
+
+    #[test]
+    fn paper_figure3_prefixes() {
+        // Example 10: tokens A..P = ranks 0..15, classes A−B:1, C−D:2,
+        // E−F:3, G−P:4; τ = 9 (overlap), m = 5. Both prefixes are 9 long.
+        let mut cls = vec![0u8; 16];
+        for r in 0..16 {
+            cls[r] = match r {
+                0 | 1 => 1,
+                2 | 3 => 2,
+                4 | 5 => 3,
+                _ => 4,
+            };
+        }
+        let classes = ClassMap::explicit(5, cls);
+        let x: Vec<u32> = "ACDEGHIJKLMN".bytes().map(|b| (b - b'A') as u32).collect();
+        let q: Vec<u32> = "BCDFGHILMNOP".bytes().map(|b| (b - b'A') as u32).collect();
+        let px = compute_prefix(&x, &classes, 9).unwrap();
+        let pq = compute_prefix(&q, &classes, 9).unwrap();
+        assert_eq!(px.len, 9, "x prefix");
+        assert_eq!(pq.len, 9, "q prefix");
+        // Class counts in q's prefix: 1, 2, 1, 5 (B | C D | F | G H I L M).
+        assert_eq!(
+            (pq.count(1), pq.count(2), pq.count(3), pq.count(4)),
+            (1, 2, 1, 5)
+        );
+    }
+
+    #[test]
+    fn index_posts_signatures() {
+        let classes = ClassMap::hashed(3);
+        let records = vec![
+            (0..10u32).collect::<Vec<_>>(),
+            (5..15u32).collect::<Vec<_>>(),
+        ];
+        let idx = PkwiseIndex::build(&records, classes, Threshold::Overlap(8));
+        // Both records must carry prefixes.
+        assert!(idx.prefix(0).is_some());
+        assert!(idx.prefix(1).is_some());
+        // A signature of record 0's class-1 prefix token must hit.
+        let p0 = idx.prefix(0).unwrap();
+        let c1 = &p0.grouped[0];
+        if !c1.is_empty() {
+            let sig = signature_hash(&c1[..1]);
+            assert!(idx.lookup(1, sig).is_some_and(|ids| ids.contains(&0)));
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! The pigeonring set-similarity engine (§6.2) and the pkwise baseline.
+//!
+//! Filtering instance: boxes `b₀ = ` suffix overlap, `b_i = |x_i ∩ q_i|`
+//! (class-`i` tokens in the two prefixes), `D(τ) = τ`; `‖B‖₁` equals the
+//! overlap exactly, so the instance is complete and tight — except that,
+//! per the paper's implementation remark, a chain that would need `b₀` is
+//! short-circuited to direct verification (trading tightness for speed).
+//!
+//! Thresholds (variable allocation + integer reduction, `≥` direction,
+//! `‖T‖₁ = o(q) + m − 1`):
+//!
+//! * `t₀ = |q| − p_q + 1` — strictly above the largest possible suffix
+//!   overlap, so no chain can *start* at the suffix box and the signature
+//!   index finds every prefix-viable chain head;
+//! * `t_k = k` when `cnt(q, p_q, k) ≥ k`, else `cnt(q, p_q, k) + 1` —
+//!   again unreachable in the second case, so a viable class box is
+//!   exactly a shared k-wise signature.
+
+use crate::pkwise::{
+    combination_count, compute_prefix, for_each_combination, signature_hash, ClassMap,
+    PkwiseIndex, Prefix,
+};
+use crate::types::{overlap, overlap_at_least, Collection, Threshold};
+use pigeonring_core::viability::{check_prefix_viable_lazy, Direction, ThresholdScheme};
+
+/// Per-query counters for the set-similarity engines.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SetStats {
+    /// Unique records passed to verification.
+    pub candidates: usize,
+    /// Records satisfying the threshold.
+    pub results: usize,
+    /// k-wise signatures enumerated from the query (`C_C1` proxy).
+    pub sig_probes: usize,
+    /// Signature hits (viable boxes, `|V|`).
+    pub viable_boxes: usize,
+    /// Box evaluations in the second step (`C_C2` proxy).
+    pub boxes_checked: usize,
+    /// Chain checks skipped via Corollary 2.
+    pub skipped_by_corollary2: usize,
+}
+
+/// The pigeonring set-similarity search engine. `l = 1` is exactly pkwise.
+pub struct RingSetSim {
+    collection: Collection,
+    threshold: Threshold,
+    index: PkwiseIndex,
+    epoch: u32,
+    accepted: Vec<u32>,
+    ruled_epoch: Vec<u32>,
+    ruled_mask: Vec<u64>,
+}
+
+impl RingSetSim {
+    /// Builds the engine with hash-assigned classes (`m` boxes total,
+    /// `m − 1` classes; the paper uses `m = 5`).
+    pub fn build(collection: Collection, threshold: Threshold, m: usize) -> Self {
+        Self::with_class_map(collection, threshold, ClassMap::hashed(m))
+    }
+
+    /// Builds the engine with an explicit class map (tests, worked
+    /// examples).
+    pub fn with_class_map(collection: Collection, threshold: Threshold, classes: ClassMap) -> Self {
+        let index = PkwiseIndex::build(collection.records(), classes, threshold);
+        let n = collection.len();
+        RingSetSim {
+            collection,
+            threshold,
+            index,
+            epoch: 0,
+            accepted: vec![0; n],
+            ruled_epoch: vec![0; n],
+            ruled_mask: vec![0; n],
+        }
+    }
+
+    /// The underlying collection.
+    pub fn collection(&self) -> &Collection {
+        &self.collection
+    }
+
+    /// The number of boxes `m`.
+    pub fn m(&self) -> usize {
+        self.index.classes().m()
+    }
+
+    fn next_epoch(&mut self) -> u32 {
+        if self.epoch == u32::MAX {
+            self.accepted.fill(0);
+            self.ruled_epoch.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Searches for all records with `sim(x, q) ≥ τ` using chain length
+    /// `l`. `q` is a sorted rank array (normally a record of this
+    /// collection). Returns ascending ids and statistics.
+    pub fn search(&mut self, q: &[u32], l: usize) -> (Vec<u32>, SetStats) {
+        let (cands, mut stats) = self.candidates(q, l);
+        let threshold = self.threshold;
+        let mut results: Vec<u32> = cands
+            .into_iter()
+            .filter(|&id| {
+                let x = self.collection.record(id as usize);
+                let need = threshold.min_overlap_pair(x.len(), q.len());
+                overlap_at_least(x, q, need).is_some()
+            })
+            .collect();
+        results.sort_unstable();
+        stats.results = results.len();
+        (results, stats)
+    }
+
+    /// Candidate generation only (no verification), for timing the
+    /// filter separately (Figure 6's "Cand." series).
+    pub fn candidates(&mut self, q: &[u32], l: usize) -> (Vec<u32>, SetStats) {
+        let m = self.m();
+        let l = l.clamp(1, m);
+        let mut stats = SetStats::default();
+        let epoch = self.next_epoch();
+        let threshold = self.threshold;
+
+        let oq = threshold.min_overlap_single(q.len());
+        if oq as usize > q.len() {
+            return (Vec::new(), stats); // no record can reach the overlap
+        }
+        let qp = compute_prefix(q, self.index.classes(), oq)
+            .expect("o(q) ≤ |q| was just checked");
+
+        let mut cands: Vec<u32> = Vec::new();
+        if qp.degenerate {
+            // No signature guarantee from the query side: every
+            // size-compatible record is a candidate (rare tiny-set path).
+            for (id, x) in self.collection.records().iter().enumerate() {
+                if threshold.size_compatible(x.len(), q.len()) {
+                    cands.push(id as u32);
+                }
+            }
+        } else {
+            // Theorem 7 (≥) thresholds: t₀ for the suffix box, t_k per
+            // class; ‖T‖₁ = o(q) + m − 1.
+            let mut t = vec![0i64; m];
+            t[0] = q.len() as i64 - qp.len as i64 + 1;
+            for k in 1..m {
+                let cnt = qp.count(k) as i64;
+                t[k] = if cnt >= k as i64 { k as i64 } else { cnt + 1 };
+            }
+            debug_assert_eq!(t.iter().sum::<i64>(), oq as i64 + m as i64 - 1);
+            let scheme = ThresholdScheme::integer_reduced(t);
+
+            let Self {
+                ref collection,
+                ref index,
+                ref mut accepted,
+                ref mut ruled_epoch,
+                ref mut ruled_mask,
+                ..
+            } = *self;
+
+            for k in 1..m {
+                let toks = &qp.grouped[k - 1];
+                if toks.len() < k {
+                    continue;
+                }
+                stats.sig_probes += combination_count(toks.len(), k) as usize;
+                for_each_combination(toks, k, &mut |combo| {
+                    let Some(ids) = index.lookup(k, signature_hash(combo)) else {
+                        return;
+                    };
+                    for &id in ids {
+                        stats.viable_boxes += 1;
+                        let idu = id as usize;
+                        if accepted[idu] == epoch {
+                            continue;
+                        }
+                        let x = &collection.records()[idu];
+                        if !threshold.size_compatible(x.len(), q.len()) {
+                            continue;
+                        }
+                        if ruled_epoch[idu] == epoch && (ruled_mask[idu] >> k) & 1 == 1 {
+                            stats.skipped_by_corollary2 += 1;
+                            continue;
+                        }
+                        if l == 1 {
+                            accepted[idu] = epoch;
+                            cands.push(id);
+                            continue;
+                        }
+                        // Chain from class k; truncate before the suffix
+                        // box (a chain reaching b₀ verifies directly).
+                        let span = l.min(m - k);
+                        let xp = index.prefix(id).expect("indexed record has a prefix");
+                        let check =
+                            check_prefix_viable_lazy(&scheme, Direction::Ge, k, span, |j| {
+                                stats.boxes_checked += 1;
+                                let c = j % m;
+                                debug_assert!(c >= 1);
+                                class_overlap(xp, &qp, c) as i64
+                            });
+                        match check {
+                            Ok(()) => {
+                                accepted[idu] = epoch;
+                                cands.push(id);
+                            }
+                            Err(l_fail) => {
+                                if ruled_epoch[idu] != epoch {
+                                    ruled_epoch[idu] = epoch;
+                                    ruled_mask[idu] = 0;
+                                }
+                                for off in 0..l_fail {
+                                    ruled_mask[idu] |= 1u64 << (k + off);
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            // Degenerate records carry no signature guarantee: always
+            // candidates (subject to the length filter).
+            for &id in index.degenerate_ids() {
+                let idu = id as usize;
+                if accepted[idu] != epoch
+                    && threshold.size_compatible(collection.records()[idu].len(), q.len())
+                {
+                    accepted[idu] = epoch;
+                    cands.push(id);
+                }
+            }
+        }
+
+        stats.candidates = cands.len();
+        (cands, stats)
+    }
+}
+
+/// `b_c = |x_c ∩ q_c|`: overlap of the class-`c` prefix tokens — the §6.2
+/// remark's "merging two very short lists".
+#[inline]
+fn class_overlap(xp: &Prefix, qp: &Prefix, c: usize) -> u32 {
+    overlap(&xp.grouped[c - 1], &qp.grouped[c - 1])
+}
+
+/// The pkwise baseline \[103\]: the ring engine fixed at `l = 1`.
+pub struct Pkwise(RingSetSim);
+
+impl Pkwise {
+    /// Builds pkwise over a collection.
+    pub fn build(collection: Collection, threshold: Threshold, m: usize) -> Self {
+        Pkwise(RingSetSim::build(collection, threshold, m))
+    }
+
+    /// Searches with the plain k-wise signature filter.
+    pub fn search(&mut self, q: &[u32]) -> (Vec<u32>, SetStats) {
+        self.0.search(q, 1)
+    }
+
+    /// The shared engine.
+    pub fn inner(&mut self) -> &mut RingSetSim {
+        &mut self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::LinearScanSets;
+
+    fn zipfish_collection(n: usize, avg: usize, seed: u64) -> Collection {
+        // Deterministic pseudo-random records with skewed token use and
+        // planted near-duplicate pairs.
+        let mut s = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut raw: Vec<Vec<u32>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let len = avg / 2 + (next() as usize % avg.max(1));
+            let mut r = Vec::with_capacity(len);
+            for _ in 0..len {
+                // Skew: low token ids are common.
+                let u = next() % 1000;
+                let t = if u < 600 { next() % 20 } else { next() % 500 };
+                r.push(t as u32);
+            }
+            if i % 3 == 0 && i > 0 {
+                // Plant a near-duplicate of an earlier record.
+                r = raw[i - 1].clone();
+                if !r.is_empty() && next() % 2 == 0 {
+                    let idx = (next() as usize) % r.len();
+                    r[idx] = (next() % 500) as u32;
+                }
+            }
+            raw.push(r);
+        }
+        Collection::new(raw)
+    }
+
+    #[test]
+    fn ring_matches_linear_scan_jaccard() {
+        let c = zipfish_collection(120, 12, 7);
+        let scan_results: Vec<Vec<u32>> = {
+            let scan = LinearScanSets::new(&c);
+            (0..c.len())
+                .map(|qid| scan.search(c.record(qid), Threshold::jaccard(0.7)))
+                .collect()
+        };
+        let mut ring = RingSetSim::build(c.clone(), Threshold::jaccard(0.7), 5);
+        for l in 1..=3usize {
+            for qid in 0..c.len() {
+                let (got, _) = ring.search(c.record(qid), l);
+                assert_eq!(got, scan_results[qid], "qid={qid} l={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_matches_linear_scan_overlap() {
+        let c = zipfish_collection(100, 10, 21);
+        let t = Threshold::Overlap(6);
+        let scan = LinearScanSets::new(&c);
+        let expected: Vec<Vec<u32>> =
+            (0..c.len()).map(|qid| scan.search(c.record(qid), t)).collect();
+        let mut ring = RingSetSim::build(c.clone(), t, 5);
+        for l in [1usize, 2, 3, 5] {
+            for qid in (0..c.len()).step_by(7) {
+                let (got, _) = ring.search(c.record(qid), l);
+                assert_eq!(got, expected[qid], "qid={qid} l={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_shrink_with_l() {
+        let c = zipfish_collection(200, 14, 3);
+        let mut ring = RingSetSim::build(c.clone(), Threshold::jaccard(0.7), 5);
+        for qid in (0..c.len()).step_by(11) {
+            let mut prev = usize::MAX;
+            for l in 1..=3usize {
+                let (_, stats) = ring.search(c.record(qid), l);
+                assert!(stats.candidates <= prev, "qid={qid} l={l}");
+                prev = stats.candidates;
+            }
+        }
+    }
+
+    #[test]
+    fn pkwise_equals_ring_l1() {
+        let c = zipfish_collection(150, 12, 99);
+        let mut pk = Pkwise::build(c.clone(), Threshold::jaccard(0.8), 5);
+        let mut ring = RingSetSim::build(c.clone(), Threshold::jaccard(0.8), 5);
+        for qid in (0..c.len()).step_by(13) {
+            let (r1, s1) = pk.search(c.record(qid));
+            let (r2, s2) = ring.search(c.record(qid), 1);
+            assert_eq!(r1, r2);
+            assert_eq!(s1.candidates, s2.candidates);
+        }
+    }
+
+    #[test]
+    fn empty_query_returns_nothing() {
+        let c = zipfish_collection(50, 8, 5);
+        let mut ring = RingSetSim::build(c, Threshold::jaccard(0.7), 5);
+        let (res, _) = ring.search(&[], 2);
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn m_equals_2_degenerates_to_prefix_filter() {
+        // §6.2: with m = 2 and l = 1 the method is exactly prefix
+        // filtering. Just check completeness holds there.
+        let c = zipfish_collection(80, 10, 17);
+        let t = Threshold::jaccard(0.7);
+        let scan = LinearScanSets::new(&c);
+        let expected: Vec<Vec<u32>> =
+            (0..c.len()).map(|qid| scan.search(c.record(qid), t)).collect();
+        let mut ring = RingSetSim::build(c.clone(), t, 2);
+        for qid in 0..c.len() {
+            assert_eq!(ring.search(c.record(qid), 1).0, expected[qid], "qid={qid}");
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Token-set records, similarity thresholds, and exact verification.
+//!
+//! Records are stored as sorted arrays of *token ranks*: when a
+//! [`Collection`] is built, tokens are re-numbered by the global order
+//! used throughout the prefix-filter literature (increasing document
+//! frequency, ties by token id), so that natural `u32` order **is** the
+//! global order and prefixes are simply array prefixes.
+//!
+//! Jaccard thresholds are exact rationals (`num/den`), so every
+//! `τ`-dependent bound — required overlap, length filter — is computed in
+//! integer arithmetic with no floating-point boundary errors:
+//!
+//! * `J(x, q) ≥ τ  ⟺  (den + num)·|x ∩ q| ≥ num·(|x| + |q|)`
+//! * required overlap `o(x, q) = ⌈num·(|x|+|q|) / (den+num)⌉`
+//! * length filter `num·|q| ≤ den·|x|` and `num·|x| ≤ den·|q|`
+
+/// A similarity threshold: overlap `|x ∩ q| ≥ o` or Jaccard
+/// `J(x, q) ≥ num/den`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Threshold {
+    /// Overlap similarity `O(x, y) = |x ∩ y| ≥ o`.
+    Overlap(u32),
+    /// Jaccard similarity `J(x, y) = |x∩y|/|x∪y| ≥ num/den` (exact
+    /// rational, `0 < num ≤ den`).
+    Jaccard {
+        /// Numerator.
+        num: u32,
+        /// Denominator.
+        den: u32,
+    },
+}
+
+impl Threshold {
+    /// A Jaccard threshold from a float such as `0.7` (rounded to 3
+    /// decimal places and stored exactly).
+    ///
+    /// # Panics
+    /// Panics unless `0 < tau ≤ 1`.
+    pub fn jaccard(tau: f64) -> Self {
+        assert!(tau > 0.0 && tau <= 1.0, "Jaccard threshold must be in (0, 1]");
+        let num = (tau * 1000.0).round() as u32;
+        Threshold::Jaccard { num, den: 1000 }
+    }
+
+    /// The minimum overlap any valid partner of a set of size `s` must
+    /// reach: `⌈τ·s⌉` for Jaccard (attained when the partner has minimal
+    /// size `τ·s`), `o` for overlap.
+    pub fn min_overlap_single(&self, s: usize) -> u32 {
+        match *self {
+            Threshold::Overlap(o) => o,
+            Threshold::Jaccard { num, den } => {
+                ((num as u64 * s as u64).div_ceil(den as u64)) as u32
+            }
+        }
+    }
+
+    /// The exact required overlap for a specific pair of sizes:
+    /// `⌈num(sx+sq)/(den+num)⌉` for Jaccard, `o` for overlap.
+    pub fn min_overlap_pair(&self, sx: usize, sq: usize) -> u32 {
+        match *self {
+            Threshold::Overlap(o) => o,
+            Threshold::Jaccard { num, den } => {
+                ((num as u64 * (sx + sq) as u64).div_ceil((den + num) as u64)) as u32
+            }
+        }
+    }
+
+    /// Whether a record of size `sx` can possibly match a query of size
+    /// `sq` (the length filter \[8\]).
+    pub fn size_compatible(&self, sx: usize, sq: usize) -> bool {
+        match *self {
+            Threshold::Overlap(o) => sx as u64 >= o as u64 && sq as u64 >= o as u64,
+            Threshold::Jaccard { num, den } => {
+                num as u64 * sq as u64 <= den as u64 * sx as u64
+                    && num as u64 * sx as u64 <= den as u64 * sq as u64
+            }
+        }
+    }
+
+    /// Whether an exact overlap `o` between sizes `sx`, `sq` satisfies
+    /// the threshold.
+    pub fn satisfied(&self, o: u32, sx: usize, sq: usize) -> bool {
+        match *self {
+            Threshold::Overlap(t) => o >= t,
+            Threshold::Jaccard { num, den } => {
+                (den + num) as u64 * o as u64 >= num as u64 * (sx + sq) as u64
+            }
+        }
+    }
+}
+
+/// A collection of token-set records, re-numbered into global frequency
+/// order (rarest token = rank 0).
+#[derive(Clone, Debug)]
+pub struct Collection {
+    records: Vec<Vec<u32>>,
+    universe: usize,
+}
+
+impl Collection {
+    /// Builds a collection from raw token sets (arbitrary `u32` token
+    /// ids; duplicates within a record are removed). Tokens are ranked by
+    /// (frequency ascending, token id ascending) and every record is
+    /// rewritten as a sorted array of ranks.
+    pub fn new(raw: Vec<Vec<u32>>) -> Self {
+        use pigeonring_core::fxhash::FxHashMap;
+        let mut freq: FxHashMap<u32, u32> = FxHashMap::default();
+        let mut deduped: Vec<Vec<u32>> = raw
+            .into_iter()
+            .map(|mut r| {
+                r.sort_unstable();
+                r.dedup();
+                r
+            })
+            .collect();
+        for r in &deduped {
+            for &t in r {
+                *freq.entry(t).or_insert(0) += 1;
+            }
+        }
+        let mut tokens: Vec<(u32, u32)> = freq.iter().map(|(&t, &f)| (f, t)).collect();
+        tokens.sort_unstable();
+        let rank: FxHashMap<u32, u32> =
+            tokens.iter().enumerate().map(|(i, &(_, t))| (t, i as u32)).collect();
+        for r in &mut deduped {
+            for t in r.iter_mut() {
+                *t = rank[t];
+            }
+            r.sort_unstable();
+        }
+        Collection { records: deduped, universe: tokens.len() }
+    }
+
+    /// The records (sorted rank arrays).
+    pub fn records(&self) -> &[Vec<u32>] {
+        &self.records
+    }
+
+    /// Record `id`.
+    pub fn record(&self, id: usize) -> &[u32] {
+        &self.records[id]
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of distinct tokens.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+}
+
+/// Exact overlap of two sorted rank arrays.
+pub fn overlap(x: &[u32], y: &[u32]) -> u32 {
+    let (mut i, mut j, mut o) = (0usize, 0usize, 0u32);
+    while i < x.len() && j < y.len() {
+        match x[i].cmp(&y[j]) {
+            core::cmp::Ordering::Less => i += 1,
+            core::cmp::Ordering::Greater => j += 1,
+            core::cmp::Ordering::Equal => {
+                o += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    o
+}
+
+/// "Fast verification" \[60\]: merge intersection that abandons as soon
+/// as the remaining elements cannot reach `required`. Returns the exact
+/// overlap if it is `≥ required`, else `None`.
+pub fn overlap_at_least(x: &[u32], y: &[u32], required: u32) -> Option<u32> {
+    let (mut i, mut j, mut o) = (0usize, 0usize, 0u32);
+    while i < x.len() && j < y.len() {
+        // Upper bound on the final overlap from here.
+        let rest = (x.len() - i).min(y.len() - j) as u32;
+        if o + rest < required {
+            return None;
+        }
+        match x[i].cmp(&y[j]) {
+            core::cmp::Ordering::Less => i += 1,
+            core::cmp::Ordering::Greater => j += 1,
+            core::cmp::Ordering::Equal => {
+                o += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    (o >= required).then_some(o)
+}
+
+/// Linear-scan reference engine: verifies every record.
+pub struct LinearScanSets<'a> {
+    collection: &'a Collection,
+}
+
+impl<'a> LinearScanSets<'a> {
+    /// Wraps a collection.
+    pub fn new(collection: &'a Collection) -> Self {
+        LinearScanSets { collection }
+    }
+
+    /// All ids satisfying the threshold against `q` (a sorted rank
+    /// array), ascending.
+    pub fn search(&self, q: &[u32], threshold: Threshold) -> Vec<u32> {
+        self.collection
+            .records()
+            .iter()
+            .enumerate()
+            .filter(|(_, x)| {
+                threshold.size_compatible(x.len(), q.len())
+                    && threshold.satisfied(overlap(x, q), x.len(), q.len())
+            })
+            .map(|(id, _)| id as u32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaccard_rational_bounds_are_exact() {
+        let t = Threshold::jaccard(0.5);
+        // J(x,y) ≥ 0.5 with |x| = |y| = 4 requires o ≥ ⌈500·8/1500⌉ = 3.
+        assert_eq!(t.min_overlap_pair(4, 4), 3);
+        assert!(t.satisfied(3, 4, 4)); // J = 3/5 ≥ 0.5
+        assert!(!t.satisfied(2, 4, 4)); // J = 2/6 < 0.5
+        // Boundary: J exactly τ must satisfy (≥, not >): o=2, sizes 3,3:
+        // J = 2/4 = 0.5.
+        assert!(t.satisfied(2, 3, 3));
+    }
+
+    #[test]
+    fn jaccard_to_overlap_conversion_matches_paper() {
+        // §8.1: J(x,y) ≥ τ ⟺ |x∩y| ≥ (|x|+|y|)·τ/(1+τ).
+        let t = Threshold::jaccard(0.8);
+        for (sx, sq) in [(10usize, 10usize), (9, 11), (20, 17)] {
+            let o = t.min_overlap_pair(sx, sq);
+            // o is the smallest integer with (1+τ)o ≥ τ(sx+sq).
+            assert!(1800 * o as u64 >= 800 * (sx + sq) as u64);
+            assert!(1800 * (o as u64 - 1) < 800 * (sx + sq) as u64);
+        }
+    }
+
+    #[test]
+    fn length_filter_is_symmetric_and_correct() {
+        let t = Threshold::jaccard(0.7);
+        assert!(t.size_compatible(7, 10));
+        assert!(!t.size_compatible(6, 10)); // 6 < 0.7·10
+        assert!(t.size_compatible(14, 10)); // 14 ≤ 10/0.7 ≈ 14.28
+        assert!(!t.size_compatible(15, 10));
+    }
+
+    #[test]
+    fn overlap_merge_is_correct() {
+        assert_eq!(overlap(&[1, 3, 5, 7], &[2, 3, 5, 8]), 2);
+        assert_eq!(overlap(&[], &[1]), 0);
+        assert_eq!(overlap(&[4], &[4]), 1);
+    }
+
+    #[test]
+    fn overlap_at_least_abandons_correctly() {
+        let x = [1u32, 2, 3, 10, 11];
+        let y = [4u32, 5, 6, 10, 11];
+        assert_eq!(overlap_at_least(&x, &y, 2), Some(2));
+        assert_eq!(overlap_at_least(&x, &y, 3), None);
+    }
+
+    #[test]
+    fn collection_reranks_by_frequency() {
+        // Token 9 appears three times, token 5 twice, token 1 once:
+        // ranks must be 1→0 (rarest), 5→1, 9→2.
+        let c = Collection::new(vec![vec![9, 5], vec![9, 5, 1], vec![9]]);
+        assert_eq!(c.universe(), 3);
+        assert_eq!(c.record(0), &[1, 2]);
+        assert_eq!(c.record(1), &[0, 1, 2]);
+        assert_eq!(c.record(2), &[2]);
+    }
+
+    #[test]
+    fn collection_dedups_record_tokens() {
+        let c = Collection::new(vec![vec![3, 3, 7, 7, 7]]);
+        assert_eq!(c.record(0).len(), 2);
+    }
+
+    #[test]
+    fn linear_scan_overlap_threshold() {
+        let c = Collection::new(vec![
+            vec![1, 2, 3, 4],
+            vec![1, 2, 9, 10],
+            vec![7, 8, 9, 10],
+        ]);
+        let q = c.record(0).to_vec();
+        let scan = LinearScanSets::new(&c);
+        assert_eq!(scan.search(&q, Threshold::Overlap(4)), vec![0]);
+        assert_eq!(scan.search(&q, Threshold::Overlap(2)), vec![0, 1]);
+        assert_eq!(scan.search(&q, Threshold::Overlap(1)), vec![0, 1]);
+    }
+}

@@ -1,0 +1,49 @@
+//! Entity resolution over person names — the paper's motivating
+//! edit-distance application (§2.2: "the same entity may differ in
+//! spellings or formats, e.g., al-Qaeda, al-Qaida, and al-Qa'ida. A
+//! string similarity search with an edit distance threshold of 2 can
+//! capture these alternative spellings").
+//!
+//! ```sh
+//! cargo run --release --example entity_resolution
+//! ```
+
+use pigeonring::datagen::{sample_query_ids, StringConfig};
+use pigeonring::editdist::{GramOrder, Pivotal, QGramCollection, RingEdit};
+
+fn main() {
+    // A registry of names with planted spelling variants.
+    let names = StringConfig::imdb_like(30_000).generate();
+    println!("registry: {} names (avg len ≈ 16)", names.len());
+
+    let tau = 2usize; // the paper's alternative-spelling threshold
+    let kappa = 2usize;
+
+    let coll = QGramCollection::build(names.clone(), kappa, GramOrder::Frequency);
+    let mut ring = RingEdit::build(coll, tau);
+    let coll = QGramCollection::build(names.clone(), kappa, GramOrder::Frequency);
+    let mut pivotal = Pivotal::build(coll, tau);
+
+    let queries = sample_query_ids(names.len(), 200, 5);
+    let (mut c1, mut c2, mut cr, mut matches) = (0usize, 0usize, 0usize, 0usize);
+    for &qid in &queries {
+        let q = &names[qid];
+        let (res_p, sp) = pivotal.search(q);
+        let (res_r, sr) = ring.search(q, 3); // l = min(3, τ+1)
+        assert_eq!(res_p, res_r, "both engines are exact");
+        c1 += sp.cand1;
+        c2 += sp.cand2;
+        cr += sr.candidates;
+        matches += sr.results;
+    }
+    let nq = queries.len() as f64;
+    println!("τ = {tau}, {} queries:", queries.len());
+    println!("  Pivotal prefix filter (Cand-1): {:>8.1} candidates/query", c1 as f64 / nq);
+    println!("  + alignment filter    (Cand-2): {:>8.1} candidates/query", c2 as f64 / nq);
+    println!("  Ring strong-form filter (l=3) : {:>8.1} candidates/query", cr as f64 / nq);
+    println!("  matching entities             : {:>8.1} per query", matches as f64 / nq);
+    println!(
+        "Ring reaches Pivotal-level filtering power with popcount bounds\n\
+         instead of per-gram edit-distance DPs (§6.3)."
+    );
+}

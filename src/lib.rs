@@ -1,0 +1,26 @@
+//! # pigeonring
+//!
+//! Facade crate for the full reproduction of *"Pigeonring: A Principle for
+//! Faster Thresholded Similarity Search"* (Qin & Xiao, VLDB 2018).
+//!
+//! Re-exports the workspace crates under one roof:
+//!
+//! * [`core`] — the pigeonring principle, threshold schemes, filtering
+//!   framework, and the §3.1 performance analysis.
+//! * [`hamming`] — Hamming distance search (GPH baseline + Ring).
+//! * [`setsim`] — set similarity search (pkwise, AllPairs/PPJoin-style,
+//!   PartAlloc baselines + Ring).
+//! * [`editdist`] — string edit distance search (Pivotal baseline + Ring).
+//! * [`graph`] — graph edit distance search (Pars baseline + Ring).
+//! * [`datagen`] — seeded synthetic dataset generators standing in for the
+//!   paper's eight real datasets.
+//!
+//! See `examples/quickstart.rs` for a tour of all four τ-selection
+//! problems.
+
+pub use pigeonring_core as core;
+pub use pigeonring_datagen as datagen;
+pub use pigeonring_editdist as editdist;
+pub use pigeonring_graph as graph;
+pub use pigeonring_hamming as hamming;
+pub use pigeonring_setsim as setsim;

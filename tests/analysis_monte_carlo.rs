@@ -1,0 +1,95 @@
+//! Monte-Carlo validation of the §3.1 analysis: the `Pr(CAND_l)` word-set
+//! recurrence and the exact `Pr(RES)` convolution are compared against
+//! direct simulation — sample `m` i.i.d. boxes, run the *actual*
+//! strong-form filter from `pigeonring-core`, repeat.
+
+use pigeonring::core::analysis::{DiscreteDist, FilterAnalysis};
+use pigeonring::core::viability::{find_prefix_viable, Direction, ThresholdScheme};
+use rand::Rng;
+use rand::SeedableRng;
+
+fn monte_carlo(dist: &DiscreteDist, m: usize, tau: i64, l: usize, samples: usize) -> (f64, f64) {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(0xC0FFEE);
+    let scheme = ThresholdScheme::uniform(tau, m);
+    let mut cand = 0usize;
+    let mut res = 0usize;
+    let mut boxes = vec![0i64; m];
+    for _ in 0..samples {
+        for b in boxes.iter_mut() {
+            *b = dist.sample(rng.gen::<f64>()) as i64;
+        }
+        if find_prefix_viable(&boxes, &scheme, Direction::Le, l).is_some() {
+            cand += 1;
+        }
+        if boxes.iter().sum::<i64>() <= tau {
+            res += 1;
+        }
+    }
+    (cand as f64 / samples as f64, res as f64 / samples as f64)
+}
+
+#[test]
+fn result_probability_is_exact() {
+    // Pr(RES) is an exact convolution: Monte-Carlo must agree within
+    // sampling error.
+    let dist = DiscreteDist::binomial(8, 0.5);
+    let fa = FilterAnalysis::new(dist.clone(), 8, 36);
+    let (_, mc_res) = monte_carlo(&dist, 8, 36, 1, 200_000);
+    let exact = fa.result_prob();
+    assert!(
+        (mc_res - exact).abs() < 0.01,
+        "mc {mc_res} vs exact {exact}"
+    );
+}
+
+#[test]
+fn cand_probability_recurrence_tracks_simulation() {
+    // The paper's N(m) is derived from a word-decomposition argument; we
+    // accept a modest relative tolerance against simulation and require
+    // the absolute gap to be small at every chain length.
+    let dist = DiscreteDist::binomial(16, 0.5);
+    let m = 8;
+    let tau = 72i64;
+    let fa = FilterAnalysis::new(dist.clone(), m, tau);
+    for l in 1..=4usize {
+        let (mc_cand, _) = monte_carlo(&dist, m, tau, l, 120_000);
+        let est = fa.cand_prob(l);
+        let gap = (mc_cand - est).abs();
+        assert!(
+            gap < 0.03 || gap / mc_cand.max(1e-9) < 0.25,
+            "l={l}: mc {mc_cand} vs recurrence {est}"
+        );
+    }
+}
+
+#[test]
+fn l1_recurrence_is_exact_vs_simulation() {
+    // At l = 1 the recurrence reduces to the closed-form pigeonhole
+    // probability, which must match simulation within sampling error.
+    let dist = DiscreteDist::binomial(16, 0.5);
+    let fa = FilterAnalysis::new(dist.clone(), 8, 64);
+    let (mc_cand, _) = monte_carlo(&dist, 8, 64, 1, 200_000);
+    assert!(
+        (mc_cand - fa.cand_prob(1)).abs() < 0.01,
+        "mc {mc_cand} vs exact {}",
+        fa.cand_prob(1)
+    );
+}
+
+#[test]
+fn uniform_box_distribution_also_tracks() {
+    let dist = DiscreteDist::from_weights(&[1.0; 17]);
+    let m = 8;
+    let tau = 48i64;
+    let fa = FilterAnalysis::new(dist.clone(), m, tau);
+    for l in [1usize, 2, 3] {
+        let (mc_cand, mc_res) = monte_carlo(&dist, m, tau, l, 120_000);
+        let est = fa.cand_prob(l);
+        let gap = (mc_cand - est).abs();
+        assert!(
+            gap < 0.03 || gap / mc_cand.max(1e-9) < 0.25,
+            "l={l}: mc {mc_cand} vs recurrence {est}"
+        );
+        assert!((mc_res - fa.result_prob()).abs() < 0.01);
+    }
+}

@@ -1,0 +1,123 @@
+//! End-to-end exactness: every engine returns exactly the linear-scan
+//! answer on generated datasets, across thresholds and chain lengths.
+//! This is the completeness test the whole filter-and-refine design
+//! rests on (no result may ever be lost, at any `l`).
+
+use pigeonring::datagen::{
+    sample_query_ids, GraphConfig, SetConfig, StringConfig, VectorConfig,
+};
+use pigeonring::editdist::verify::edit_distance;
+use pigeonring::editdist::{GramOrder, Pivotal, QGramCollection, RingEdit};
+use pigeonring::graph::pars::LinearScanGraphs;
+use pigeonring::graph::{Pars, RingGraph};
+use pigeonring::hamming::{AllocationStrategy, LinearScan, RingHamming};
+use pigeonring::setsim::{
+    AdaptSearch, Collection, LinearScanSets, PartAlloc, RingSetSim, Threshold,
+};
+
+#[test]
+fn hamming_engines_are_exact() {
+    let data = VectorConfig::gist_like(800).generate();
+    let queries = sample_query_ids(data.len(), 6, 11);
+    let scan = LinearScan::new(&data);
+    for strategy in [AllocationStrategy::Even, AllocationStrategy::CostModel] {
+        let mut ring = RingHamming::build(data.clone(), 16, strategy);
+        for &qid in &queries {
+            let q = data[qid].clone();
+            for tau in [8u32, 32, 64] {
+                let expect = scan.search(&q, tau);
+                for l in [1usize, 2, 5, 16] {
+                    let (got, stats) = ring.search(&q, tau, l);
+                    assert_eq!(got, expect, "strategy={strategy:?} qid={qid} tau={tau} l={l}");
+                    assert_eq!(stats.results, expect.len());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn setsim_engines_are_exact() {
+    let coll = Collection::new(SetConfig::dblp_like(600).generate());
+    let queries = sample_query_ids(coll.len(), 8, 13);
+    let scan = LinearScanSets::new(&coll);
+    for tau in [0.7f64, 0.85] {
+        let t = Threshold::jaccard(tau);
+        let mut ring = RingSetSim::build(coll.clone(), t, 5);
+        let mut adapt = AdaptSearch::build(coll.clone(), t);
+        let mut part = PartAlloc::build(coll.clone(), t);
+        for &qid in &queries {
+            let q = coll.record(qid).to_vec();
+            let expect = scan.search(&q, t);
+            for l in [1usize, 2, 3] {
+                assert_eq!(ring.search(&q, l).0, expect, "ring tau={tau} qid={qid} l={l}");
+            }
+            assert_eq!(adapt.search(&q).0, expect, "adapt tau={tau} qid={qid}");
+            assert_eq!(part.search(&q).0, expect, "partalloc tau={tau} qid={qid}");
+        }
+    }
+}
+
+#[test]
+fn editdist_engines_are_exact() {
+    let strings = StringConfig::imdb_like(500).generate();
+    let queries = sample_query_ids(strings.len(), 8, 17);
+    let scan = |q: &[u8], tau: u32| -> Vec<u32> {
+        strings
+            .iter()
+            .enumerate()
+            .filter(|(_, x)| edit_distance(x, q) <= tau)
+            .map(|(id, _)| id as u32)
+            .collect()
+    };
+    for tau in [1usize, 2, 3] {
+        let coll = QGramCollection::build(strings.clone(), 2, GramOrder::Frequency);
+        let mut ring = RingEdit::build(coll, tau);
+        let coll = QGramCollection::build(strings.clone(), 2, GramOrder::Frequency);
+        let mut piv = Pivotal::build(coll, tau);
+        for &qid in &queries {
+            let q = &strings[qid];
+            let expect = scan(q, tau as u32);
+            for l in [1usize, 2, 3, tau + 1] {
+                assert_eq!(ring.search(q, l).0, expect, "ring tau={tau} qid={qid} l={l}");
+            }
+            assert_eq!(piv.search(q).0, expect, "pivotal tau={tau} qid={qid}");
+        }
+    }
+}
+
+#[test]
+fn graph_engines_are_exact() {
+    let graphs = GraphConfig::aids_like(150).generate();
+    let queries = sample_query_ids(graphs.len(), 6, 19);
+    let scan = LinearScanGraphs::new(&graphs);
+    for tau in [2usize, 4] {
+        let pars = Pars::build(graphs.clone(), tau);
+        let ring = RingGraph::build(graphs.clone(), tau);
+        for &qid in &queries {
+            let q = &graphs[qid];
+            let expect = scan.search(q, tau as u32);
+            assert_eq!(pars.search(q).0, expect, "pars tau={tau} qid={qid}");
+            for l in [1usize, 2, tau, tau + 1] {
+                assert_eq!(ring.search(q, l).0, expect, "ring tau={tau} qid={qid} l={l}");
+            }
+        }
+    }
+}
+
+#[test]
+fn label_poor_graphs_are_exact_too() {
+    // Protein-like graphs (few labels) stress the unselective-feature
+    // path the paper discusses in §8.3.
+    let graphs = GraphConfig::protein_like(100).generate();
+    let queries = sample_query_ids(graphs.len(), 4, 23);
+    let scan = LinearScanGraphs::new(&graphs);
+    let ring = RingGraph::build(graphs.clone(), 3);
+    for &qid in &queries {
+        let q = &graphs[qid];
+        let expect = scan.search(q, 3);
+        for l in [1usize, 3] {
+            assert_eq!(ring.search(q, l).0, expect, "qid={qid} l={l}");
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Property tests machine-checking the paper's theorems on random
+//! inputs: the principle statements themselves (Theorems 1–3, 6, 7 and
+//! both directions), the candidate-set inclusions (Lemmata 1 and 4), and
+//! the equivalence of the Corollary-2 skipping scan with the naive scan.
+
+use pigeonring::core::theorem;
+use pigeonring::core::viability::{
+    check_prefix_viable, find_prefix_viable, find_prefix_viable_noskip, find_viable_window,
+    Direction, ThresholdScheme,
+};
+use proptest::prelude::*;
+
+fn boxes_strategy(m: usize, vmax: i64) -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(0..=vmax, m)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn theorem1_pigeonhole(b in boxes_strategy(8, 10), n in 0i64..=80) {
+        prop_assume!(b.iter().sum::<i64>() <= n);
+        prop_assert!(theorem::pigeonhole(&b, n).is_some());
+    }
+
+    #[test]
+    fn theorem2_basic_form(b in boxes_strategy(8, 10), n in 0i64..=80, l in 1usize..=8) {
+        prop_assume!(b.iter().sum::<i64>() <= n);
+        prop_assert!(theorem::pigeonring_basic(&b, n, l).is_some());
+    }
+
+    #[test]
+    fn theorem3_strong_form(b in boxes_strategy(8, 10), n in 0i64..=80, l in 1usize..=8) {
+        prop_assume!(b.iter().sum::<i64>() <= n);
+        let start = theorem::pigeonring_strong(&b, n, l);
+        prop_assert!(start.is_some());
+        // The witness is genuinely prefix-viable.
+        let scheme = ThresholdScheme::uniform(n, b.len());
+        prop_assert_eq!(
+            check_prefix_viable(&b, &scheme, Direction::Le, start.unwrap(), l),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn theorem3_real_valued(
+        b in prop::collection::vec(-10.0f64..10.0, 6),
+        n in -5.0f64..60.0,
+        l in 1usize..=6,
+    ) {
+        prop_assume!(b.iter().sum::<f64>() <= n);
+        prop_assert!(theorem::pigeonring_strong(&b, n, l).is_some());
+    }
+
+    #[test]
+    fn theorem6_variable_thresholds(
+        b in boxes_strategy(6, 8),
+        t in boxes_strategy(6, 12),
+        l in 1usize..=6,
+    ) {
+        let n: i64 = t.iter().sum();
+        prop_assume!(b.iter().sum::<i64>() <= n);
+        prop_assert!(theorem::pigeonring_variable(&b, t, l).is_some());
+    }
+
+    #[test]
+    fn theorem7_integer_reduction(
+        b in boxes_strategy(6, 8),
+        t in boxes_strategy(6, 8),
+        l in 1usize..=6,
+    ) {
+        let n: i64 = t.iter().sum::<i64>() + 6 - 1; // ‖T‖₁ = n − m + 1
+        prop_assume!(b.iter().sum::<i64>() <= n);
+        prop_assert!(theorem::pigeonring_integer_reduced(&b, t, l).is_some());
+    }
+
+    #[test]
+    fn theorem7_ge_direction(
+        b in boxes_strategy(6, 8),
+        t in boxes_strategy(6, 8),
+        l in 1usize..=6,
+    ) {
+        let tsum: i64 = t.iter().sum();
+        let n = tsum - (6 - 1); // ‖T‖₁ = n + m − 1
+        prop_assume!(b.iter().sum::<i64>() >= n);
+        prop_assert!(theorem::pigeonring_integer_reduced_ge(&b, t, l).is_some());
+    }
+
+    #[test]
+    fn lemma1_and_4_inclusions(b in boxes_strategy(8, 10), n in 0i64..=80, l in 1usize..=8) {
+        // Strong-form candidates ⊆ basic-form candidates ⊆ pigeonhole
+        // candidates, for any input (no hypothesis needed).
+        let strong = theorem::pigeonring_strong(&b, n, l).is_some();
+        let basic = theorem::pigeonring_basic(&b, n, l).is_some();
+        let hole = theorem::pigeonhole(&b, n).is_some();
+        prop_assert!(!strong || basic, "strong ⊆ basic");
+        prop_assert!(!basic || l > 1 || hole, "basic at l = 1 is pigeonhole");
+        prop_assert!(!strong || hole, "strong ⊆ pigeonhole");
+    }
+
+    #[test]
+    fn candidates_monotone_in_l(b in boxes_strategy(8, 10), n in 0i64..=80) {
+        let scheme = ThresholdScheme::uniform(n, b.len());
+        let mut prev = true;
+        for l in 1..=b.len() {
+            let cand = find_prefix_viable(&b, &scheme, Direction::Le, l).is_some();
+            prop_assert!(prev || !cand, "candidate sets must shrink with l");
+            prev = cand;
+        }
+    }
+
+    #[test]
+    fn skip_equals_noskip_le(b in boxes_strategy(10, 6), n in 0i64..=60, l in 1usize..=10) {
+        let scheme = ThresholdScheme::uniform(n, b.len());
+        prop_assert_eq!(
+            find_prefix_viable(&b, &scheme, Direction::Le, l).is_some(),
+            find_prefix_viable_noskip(&b, &scheme, Direction::Le, l).is_some()
+        );
+    }
+
+    #[test]
+    fn skip_equals_noskip_variable(
+        b in boxes_strategy(7, 6),
+        t in boxes_strategy(7, 6),
+        l in 1usize..=7,
+        ge in prop::bool::ANY,
+    ) {
+        let dir = if ge { Direction::Ge } else { Direction::Le };
+        let scheme = ThresholdScheme::integer_reduced(t);
+        prop_assert_eq!(
+            find_prefix_viable(&b, &scheme, dir, l).is_some(),
+            find_prefix_viable_noskip(&b, &scheme, dir, l).is_some()
+        );
+    }
+
+    #[test]
+    fn complete_chain_equals_verification(b in boxes_strategy(8, 10), n in 0i64..=80) {
+        // §3: at l = m (uniform scheme, ‖B‖₁ = f), candidates == results.
+        let m = b.len();
+        let total: i64 = b.iter().sum();
+        let cand = theorem::pigeonring_strong(&b, n, m).is_some();
+        prop_assert_eq!(cand, total <= n);
+    }
+
+    #[test]
+    fn basic_form_window_exists_for_all_l(b in boxes_strategy(9, 10), n in 0i64..=90) {
+        prop_assume!(b.iter().sum::<i64>() <= n);
+        let scheme = ThresholdScheme::uniform(n, b.len());
+        for l in 1..=b.len() {
+            prop_assert!(find_viable_window(&b, &scheme, Direction::Le, l).is_some());
+        }
+    }
+}
