@@ -20,8 +20,9 @@ fn rng() -> rand::rngs::SmallRng {
 
 fn bench_chain_check(c: &mut Criterion) {
     let mut r = rng();
-    let boxes: Vec<Vec<i64>> =
-        (0..256).map(|_| (0..16).map(|_| r.gen_range(0..8)).collect()).collect();
+    let boxes: Vec<Vec<i64>> = (0..256)
+        .map(|_| (0..16).map(|_| r.gen_range(0..8)).collect())
+        .collect();
     let scheme = ThresholdScheme::uniform(48i64, 16);
     c.bench_function("chain_check/skip", |b| {
         b.iter(|| {
@@ -38,9 +39,7 @@ fn bench_chain_check(c: &mut Criterion) {
         b.iter(|| {
             let mut found = 0usize;
             for bx in &boxes {
-                if find_prefix_viable_noskip(black_box(bx), &scheme, Direction::Le, 5)
-                    .is_some()
-                {
+                if find_prefix_viable_noskip(black_box(bx), &scheme, Direction::Le, 5).is_some() {
                     found += 1;
                 }
             }
@@ -157,7 +156,10 @@ fn bench_graph_kernels(c: &mut Criterion) {
     let parts = partition_graph(&x, 5);
     c.bench_function("graph/part_embeds_16v", |bch| {
         bch.iter(|| {
-            parts.iter().filter(|p| part_embeds(black_box(p), black_box(&q))).count()
+            parts
+                .iter()
+                .filter(|p| part_embeds(black_box(p), black_box(&q)))
+                .count()
         })
     });
     c.bench_function("graph/ged_within_tau4_dissimilar", |bch| {

@@ -13,9 +13,7 @@
 
 use pigeonring_bench::{f1, f3, time_per_query, Report, Scale};
 use pigeonring_core::analysis::{DiscreteDist, FilterAnalysis};
-use pigeonring_datagen::{
-    sample_query_ids, GraphConfig, SetConfig, StringConfig, VectorConfig,
-};
+use pigeonring_datagen::{sample_query_ids, GraphConfig, SetConfig, StringConfig, VectorConfig};
 use pigeonring_editdist::{GramOrder, Pivotal, QGramCollection, RingEdit};
 use pigeonring_graph::{Graph, Pars, RingGraph};
 use pigeonring_hamming::{AllocationStrategy, BitVector, RingHamming};
@@ -69,7 +67,14 @@ fn main() {
 fn fig2() {
     let mut rep = Report::new(
         "fig2_analysis",
-        &["box_dist", "setting", "l", "cand_over_res", "pr_cand", "pr_res"],
+        &[
+            "box_dist",
+            "setting",
+            "l",
+            "cand_over_res",
+            "pr_cand",
+            "pr_res",
+        ],
     );
     for (tau, m) in [(96i64, 16usize), (64, 16), (48, 8), (32, 8)] {
         let w = 256 / m;
@@ -112,8 +117,18 @@ fn hamming_setup(scale: Scale) -> Vec<HammingSetup> {
     let gq = sample_query_ids(gist.len(), scale.queries(50), 1);
     let sq = sample_query_ids(sift.len(), scale.queries(50), 2);
     vec![
-        HammingSetup { name: "gist", data: gist, queries: gq, m: 16 },
-        HammingSetup { name: "sift", data: sift, queries: sq, m: 32 },
+        HammingSetup {
+            name: "gist",
+            data: gist,
+            queries: gq,
+            m: 16,
+        },
+        HammingSetup {
+            name: "sift",
+            data: sift,
+            queries: sq,
+            m: 32,
+        },
     ]
 }
 
@@ -121,10 +136,16 @@ fn hamming_setup(scale: Scale) -> Vec<HammingSetup> {
 fn fig5(scale: Scale) {
     let mut rep = Report::new(
         "fig5_hamming_chain",
-        &["dataset", "tau", "l", "avg_cand", "avg_res", "cand_ms", "total_ms"],
+        &[
+            "dataset", "tau", "l", "avg_cand", "avg_res", "cand_ms", "total_ms",
+        ],
     );
     for setup in hamming_setup(scale) {
-        let taus: [u32; 2] = if setup.name == "gist" { [48, 64] } else { [96, 128] };
+        let taus: [u32; 2] = if setup.name == "gist" {
+            [48, 64]
+        } else {
+            [96, 128]
+        };
         let mut eng =
             RingHamming::build(setup.data.clone(), setup.m, AllocationStrategy::CostModel);
         for tau in taus {
@@ -138,8 +159,7 @@ fn fig5(scale: Scale) {
                     eng.search(&q, tau, l).1
                 });
                 let nq = setup.queries.len() as f64;
-                let avg_cand =
-                    stats.iter().map(|s| s.candidates as f64).sum::<f64>() / nq;
+                let avg_cand = stats.iter().map(|s| s.candidates as f64).sum::<f64>() / nq;
                 let avg_res = full.iter().map(|s| s.results as f64).sum::<f64>() / nq;
                 rep.row(&[
                     setup.name.into(),
@@ -160,7 +180,9 @@ fn fig5(scale: Scale) {
 fn fig9(scale: Scale) {
     let mut rep = Report::new(
         "fig9_hamming_vs_gph",
-        &["dataset", "tau", "engine", "avg_cand", "avg_res", "total_ms"],
+        &[
+            "dataset", "tau", "engine", "avg_cand", "avg_res", "total_ms",
+        ],
     );
     for setup in hamming_setup(scale) {
         let taus: Vec<u32> = if setup.name == "gist" {
@@ -205,8 +227,16 @@ fn set_setup(scale: Scale) -> Vec<SetSetup> {
     let eq = sample_query_ids(enron.len(), scale.queries(50), 3);
     let dq = sample_query_ids(dblp.len(), scale.queries(50), 4);
     vec![
-        SetSetup { name: "enron", collection: enron, queries: eq },
-        SetSetup { name: "dblp", collection: dblp, queries: dq },
+        SetSetup {
+            name: "enron",
+            collection: enron,
+            queries: eq,
+        },
+        SetSetup {
+            name: "dblp",
+            collection: dblp,
+            queries: dq,
+        },
     ]
 }
 
@@ -214,15 +244,13 @@ fn set_setup(scale: Scale) -> Vec<SetSetup> {
 fn fig6(scale: Scale) {
     let mut rep = Report::new(
         "fig6_setsim_chain",
-        &["dataset", "tau", "l", "avg_cand", "avg_res", "cand_ms", "total_ms"],
+        &[
+            "dataset", "tau", "l", "avg_cand", "avg_res", "cand_ms", "total_ms",
+        ],
     );
     for setup in set_setup(scale) {
         for tau in [0.7f64, 0.8] {
-            let mut eng = RingSetSim::build(
-                setup.collection.clone(),
-                Threshold::jaccard(tau),
-                5,
-            );
+            let mut eng = RingSetSim::build(setup.collection.clone(), Threshold::jaccard(tau), 5);
             for l in 1..=3usize {
                 let (cand_ms, cstats) = time_per_query(&setup.queries, |qid| {
                     let q = setup.collection.record(qid).to_vec();
@@ -252,7 +280,15 @@ fn fig6(scale: Scale) {
 fn fig10(scale: Scale) {
     let mut rep = Report::new(
         "fig10_setsim_vs_baselines",
-        &["dataset", "tau", "engine", "avg_cand", "avg_res", "filter_work", "total_ms"],
+        &[
+            "dataset",
+            "tau",
+            "engine",
+            "avg_cand",
+            "avg_res",
+            "filter_work",
+            "total_ms",
+        ],
     );
     for setup in set_setup(scale) {
         for tau in [0.7f64, 0.75, 0.8, 0.85, 0.9, 0.95] {
@@ -326,8 +362,16 @@ fn string_setup(scale: Scale) -> Vec<StringSetup> {
     let iq = sample_query_ids(imdb.len(), scale.queries(50), 5);
     let pq = sample_query_ids(pubmed.len(), scale.queries(30), 6);
     vec![
-        StringSetup { name: "imdb", strings: imdb, queries: iq },
-        StringSetup { name: "pubmed", strings: pubmed, queries: pq },
+        StringSetup {
+            name: "imdb",
+            strings: imdb,
+            queries: iq,
+        },
+        StringSetup {
+            name: "pubmed",
+            strings: pubmed,
+            queries: pq,
+        },
     ]
 }
 
@@ -347,14 +391,19 @@ fn kappa_for(name: &str, tau: usize) -> usize {
 fn fig7(scale: Scale) {
     let mut rep = Report::new(
         "fig7_editdist_chain",
-        &["dataset", "tau", "l", "avg_cand", "avg_res", "cand_ms", "total_ms"],
+        &[
+            "dataset", "tau", "l", "avg_cand", "avg_res", "cand_ms", "total_ms",
+        ],
     );
     for setup in string_setup(scale) {
-        let taus: [usize; 2] = if setup.name == "imdb" { [2, 4] } else { [6, 12] };
+        let taus: [usize; 2] = if setup.name == "imdb" {
+            [2, 4]
+        } else {
+            [6, 12]
+        };
         for tau in taus {
             let kappa = kappa_for(setup.name, tau);
-            let coll =
-                QGramCollection::build(setup.strings.clone(), kappa, GramOrder::Frequency);
+            let coll = QGramCollection::build(setup.strings.clone(), kappa, GramOrder::Frequency);
             let mut eng = RingEdit::build(coll, tau);
             for l in 1..=4usize.min(tau + 1) {
                 let (cand_ms, cstats) = time_per_query(&setup.queries, |qid| {
@@ -383,19 +432,30 @@ fn fig7(scale: Scale) {
 fn fig11(scale: Scale) {
     let mut rep = Report::new(
         "fig11_editdist_vs_pivotal",
-        &["dataset", "tau", "engine", "cand1", "cand2_or_cand", "avg_res", "total_ms"],
+        &[
+            "dataset",
+            "tau",
+            "engine",
+            "cand1",
+            "cand2_or_cand",
+            "avg_res",
+            "total_ms",
+        ],
     );
     for setup in string_setup(scale) {
-        let taus: Vec<usize> =
-            if setup.name == "imdb" { vec![1, 2, 3, 4] } else { vec![4, 6, 8, 10, 12] };
+        let taus: Vec<usize> = if setup.name == "imdb" {
+            vec![1, 2, 3, 4]
+        } else {
+            vec![4, 6, 8, 10, 12]
+        };
         for tau in taus {
             let kappa = kappa_for(setup.name, tau);
             let nq = setup.queries.len() as f64;
-            let coll =
-                QGramCollection::build(setup.strings.clone(), kappa, GramOrder::Frequency);
+            let coll = QGramCollection::build(setup.strings.clone(), kappa, GramOrder::Frequency);
             let mut piv = Pivotal::build(coll, tau);
-            let (ms, stats) =
-                time_per_query(&setup.queries, |qid| piv.search(&setup.strings[qid].clone()).1);
+            let (ms, stats) = time_per_query(&setup.queries, |qid| {
+                piv.search(&setup.strings[qid].clone()).1
+            });
             rep.row(&[
                 setup.name.into(),
                 tau.to_string(),
@@ -405,8 +465,7 @@ fn fig11(scale: Scale) {
                 f1(stats.iter().map(|s| s.results as f64).sum::<f64>() / nq),
                 f3(ms),
             ]);
-            let coll =
-                QGramCollection::build(setup.strings.clone(), kappa, GramOrder::Frequency);
+            let coll = QGramCollection::build(setup.strings.clone(), kappa, GramOrder::Frequency);
             let mut ring = RingEdit::build(coll, tau);
             let l = 3.min(tau + 1);
             let (ms, stats) = time_per_query(&setup.queries, |qid| {
@@ -440,8 +499,16 @@ fn graph_setup(scale: Scale) -> Vec<GraphSetup> {
     let aq = sample_query_ids(aids.len(), scale.queries(30), 7);
     let pq = sample_query_ids(protein.len(), scale.queries(20), 8);
     vec![
-        GraphSetup { name: "aids", graphs: aids, queries: aq },
-        GraphSetup { name: "protein", graphs: protein, queries: pq },
+        GraphSetup {
+            name: "aids",
+            graphs: aids,
+            queries: aq,
+        },
+        GraphSetup {
+            name: "protein",
+            graphs: protein,
+            queries: pq,
+        },
     ]
 }
 
@@ -449,7 +516,9 @@ fn graph_setup(scale: Scale) -> Vec<GraphSetup> {
 fn fig8(scale: Scale) {
     let mut rep = Report::new(
         "fig8_graph_chain",
-        &["dataset", "tau", "l", "avg_cand", "avg_res", "cand_ms", "total_ms"],
+        &[
+            "dataset", "tau", "l", "avg_cand", "avg_res", "cand_ms", "total_ms",
+        ],
     );
     for setup in graph_setup(scale) {
         for tau in [4usize, 5] {
@@ -458,9 +527,8 @@ fn fig8(scale: Scale) {
                 let (cand_ms, cstats) = time_per_query(&setup.queries, |qid| {
                     eng.candidates(&setup.graphs[qid], l).1
                 });
-                let (total_ms, stats) = time_per_query(&setup.queries, |qid| {
-                    eng.search(&setup.graphs[qid], l).1
-                });
+                let (total_ms, stats) =
+                    time_per_query(&setup.queries, |qid| eng.search(&setup.graphs[qid], l).1);
                 let nq = setup.queries.len() as f64;
                 rep.row(&[
                     setup.name.into(),
@@ -481,7 +549,9 @@ fn fig8(scale: Scale) {
 fn fig12(scale: Scale) {
     let mut rep = Report::new(
         "fig12_graph_vs_pars",
-        &["dataset", "tau", "engine", "avg_cand", "avg_res", "total_ms"],
+        &[
+            "dataset", "tau", "engine", "avg_cand", "avg_res", "total_ms",
+        ],
     );
     for setup in graph_setup(scale) {
         for tau in 1usize..=5 {
@@ -499,9 +569,8 @@ fn fig12(scale: Scale) {
             ]);
             let ring = RingGraph::build(setup.graphs.clone(), tau);
             let l = tau.max(1); // paper: best l ∈ [τ−2, τ]
-            let (ms, stats) = time_per_query(&setup.queries, |qid| {
-                ring.search(&setup.graphs[qid], l).1
-            });
+            let (ms, stats) =
+                time_per_query(&setup.queries, |qid| ring.search(&setup.graphs[qid], l).1);
             rep.row(&[
                 setup.name.into(),
                 tau.to_string(),
@@ -557,9 +626,10 @@ fn ablate_alloc(scale: Scale) {
     );
     for setup in hamming_setup(scale) {
         let tau = if setup.name == "gist" { 48 } else { 96 };
-        for (name, strat) in
-            [("cost-model", AllocationStrategy::CostModel), ("even", AllocationStrategy::Even)]
-        {
+        for (name, strat) in [
+            ("cost-model", AllocationStrategy::CostModel),
+            ("even", AllocationStrategy::Even),
+        ] {
             let mut eng = RingHamming::build(setup.data.clone(), setup.m, strat);
             let (ms, stats) = time_per_query(&setup.queries, |qid| {
                 let q = setup.data[qid].clone();

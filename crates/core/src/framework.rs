@@ -182,7 +182,10 @@ mod tests {
     fn bound_violation_detected() {
         // A pair whose norm exceeds D(f) is not complete.
         let pairs = vec![(1.0, 2.0)];
-        assert_eq!(check_complete(&pairs, |t| t, Direction::Le), Err(Violation::Bound(0)));
+        assert_eq!(
+            check_complete(&pairs, |t| t, Direction::Le),
+            Err(Violation::Bound(0))
+        );
     }
 
     #[test]
@@ -209,7 +212,10 @@ mod tests {
         assert_eq!(check_complete(&ub, |t| t, Direction::Ge), Ok(()));
         // …but a norm below D(f) is not.
         let bad = vec![(3.0, 1.0)];
-        assert_eq!(check_complete(&bad, |t| t, Direction::Ge), Err(Violation::Bound(0)));
+        assert_eq!(
+            check_complete(&bad, |t| t, Direction::Ge),
+            Err(Violation::Bound(0))
+        );
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl StepFun {
             edges.windows(2).all(|w| w[0] < w[1]),
             "edges must be strictly increasing"
         );
-        assert!(values.iter().all(|v| v.is_finite()), "values must be finite");
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "values must be finite"
+        );
         StepFun { edges, values }
     }
 
@@ -65,7 +68,10 @@ impl StepFun {
     pub fn eval(&self, x: f64) -> f64 {
         let m = self.period();
         let xm = x.rem_euclid(m);
-        let i = match self.edges.binary_search_by(|e| e.partial_cmp(&xm).expect("finite")) {
+        let i = match self
+            .edges
+            .binary_search_by(|e| e.partial_cmp(&xm).expect("finite"))
+        {
             Ok(i) => i.min(self.values.len() - 1),
             Err(i) => i - 1,
         };

@@ -69,7 +69,11 @@ impl<'a, T: Copy + core::iter::Sum> Chain<'a, T> {
     /// Panics if `l_prime > self.len()`.
     pub fn prefix(&self, l_prime: usize) -> Chain<'a, T> {
         assert!(l_prime <= self.len, "prefix longer than chain");
-        Chain { boxes: self.boxes, start: self.start, len: l_prime }
+        Chain {
+            boxes: self.boxes,
+            start: self.start,
+            len: l_prime,
+        }
     }
 
     /// The `l'`-suffix `c^{l'}_{i+l−l'}` of this chain.

@@ -56,8 +56,7 @@ pub fn pigeonring_strong_suffix<T: BoxValue>(boxes: &[T], n: T, l: usize) -> Opt
 /// and `‖T‖₁ = n`, there exists `i` with `b_i ≤ t_i`.
 pub fn pigeonhole_variable<T: BoxValue>(boxes: &[T], t: &[T]) -> Option<usize> {
     assert_eq!(boxes.len(), t.len());
-    (0..boxes.len())
-        .find(|&i| T::cmp_value(boxes[i], t[i]) != core::cmp::Ordering::Greater)
+    (0..boxes.len()).find(|&i| T::cmp_value(boxes[i], t[i]) != core::cmp::Ordering::Greater)
 }
 
 /// Theorem 5 (pigeonhole, integer reduction): if `‖B‖₁ ≤ n` and
@@ -175,8 +174,7 @@ mod tests {
                             .unwrap_or_else(|| panic!("b={b:?} n={n} l={l}"));
                         // Verify all suffixes of c^l_start are viable.
                         for lp in 1..=l {
-                            let s: i64 =
-                                (0..lp).map(|k| b[(start + l - lp + k) % 4]).sum();
+                            let s: i64 = (0..lp).map(|k| b[(start + l - lp + k) % 4]).sum();
                             assert!(
                                 4 * s <= lp as i64 * n,
                                 "suffix {lp} not viable: b={b:?} start={start} l={l} n={n}"

@@ -105,12 +105,14 @@ impl BoxValue for f64 {
 
     #[inline]
     fn cmp_uniform(sum: Self, l: usize, n: Self, m: usize) -> Ordering {
-        sum.partial_cmp(&(l as f64 * n / m as f64)).expect("box values must not be NaN")
+        sum.partial_cmp(&(l as f64 * n / m as f64))
+            .expect("box values must not be NaN")
     }
 
     #[inline]
     fn cmp_offset(sum: Self, offset: i64, t_sum: Self) -> Ordering {
-        sum.partial_cmp(&(offset as f64 + t_sum)).expect("box values must not be NaN")
+        sum.partial_cmp(&(offset as f64 + t_sum))
+            .expect("box values must not be NaN")
     }
 
     #[inline]
@@ -244,7 +246,10 @@ impl<T: BoxValue> ThresholdScheme<T> {
             ThresholdScheme::Uniform { .. } => {}
             ThresholdScheme::Variable { t, prefix } => {
                 let total = prefix[t.len()];
-                assert!(total == n, "variable thresholds must sum to n, got {total:?} vs {n:?}");
+                assert!(
+                    total == n,
+                    "variable thresholds must sum to n, got {total:?} vs {n:?}"
+                );
             }
             ThresholdScheme::IntegerReduced { t, prefix } => {
                 let total = prefix[t.len()];
@@ -445,7 +450,10 @@ mod tests {
             .collect();
         assert_eq!(viable2, vec![0]);
         // And that chain is not prefix-viable.
-        assert_eq!(check_prefix_viable(&b, &scheme, Direction::Le, 0, 2), Err(1));
+        assert_eq!(
+            check_prefix_viable(&b, &scheme, Direction::Le, 0, 2),
+            Err(1)
+        );
         assert!(find_prefix_viable(&b, &scheme, Direction::Le, 2).is_none());
     }
 
@@ -464,7 +472,10 @@ mod tests {
             })
             .collect();
         assert_eq!(viable2, vec![4]);
-        assert_eq!(check_prefix_viable(&b, &scheme, Direction::Le, 4, 2), Err(1));
+        assert_eq!(
+            check_prefix_viable(&b, &scheme, Direction::Le, 4, 2),
+            Err(1)
+        );
         assert!(find_prefix_viable(&b, &scheme, Direction::Le, 2).is_none());
     }
 
@@ -527,9 +538,8 @@ mod tests {
                         for l in 1..=4 {
                             let fast =
                                 find_prefix_viable(&boxes, &scheme, Direction::Le, l).is_some();
-                            let slow =
-                                find_prefix_viable_noskip(&boxes, &scheme, Direction::Le, l)
-                                    .is_some();
+                            let slow = find_prefix_viable_noskip(&boxes, &scheme, Direction::Le, l)
+                                .is_some();
                             assert_eq!(fast, slow, "boxes={boxes:?} l={l}");
                         }
                     }
@@ -547,7 +557,9 @@ mod tests {
             let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
             let mut boxes = [0i64; 5];
             for b in &mut boxes {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 *b = ((s >> 33) % 5) as i64;
             }
             let mut prev = true;

@@ -86,8 +86,7 @@ impl GraphConfig {
 
     fn fresh(&self, r: &mut rand::rngs::SmallRng) -> Graph {
         let n = (self.avg_vertices as i64 + r.gen_range(-2i64..=2)).max(3) as usize;
-        let mut g =
-            Graph::new((0..n).map(|_| r.gen_range(0..self.vlabels)).collect());
+        let mut g = Graph::new((0..n).map(|_| r.gen_range(0..self.vlabels)).collect());
         // Connected backbone.
         for v in 1..n as u32 {
             let u = r.gen_range(0..v);
@@ -164,8 +163,7 @@ mod tests {
         let cfg = GraphConfig::aids_like(50);
         let data = cfg.generate();
         assert_eq!(data.len(), 50);
-        let avg_v: f64 =
-            data.iter().map(|g| g.num_vertices() as f64).sum::<f64>() / 50.0;
+        let avg_v: f64 = data.iter().map(|g| g.num_vertices() as f64).sum::<f64>() / 50.0;
         assert!((12.0..20.0).contains(&avg_v), "avg vertices {avg_v}");
     }
 
@@ -174,7 +172,9 @@ mod tests {
         let a = GraphConfig::aids_like(40).generate();
         let p = GraphConfig::protein_like(40).generate();
         let density = |gs: &[Graph]| {
-            gs.iter().map(|g| g.num_edges() as f64 / g.num_vertices() as f64).sum::<f64>()
+            gs.iter()
+                .map(|g| g.num_edges() as f64 / g.num_vertices() as f64)
+                .sum::<f64>()
                 / gs.len() as f64
         };
         assert!(density(&p) > density(&a));

@@ -45,7 +45,9 @@ pub fn sample_query_ids(n: usize, count: usize, seed: u64) -> Vec<usize> {
     let count = count.min(n);
     let stride = n / count.max(1);
     let offset = (seed as usize) % stride.max(1);
-    (0..count).map(|i| (offset + i * stride.max(1)) % n).collect()
+    (0..count)
+        .map(|i| (offset + i * stride.max(1)) % n)
+        .collect()
 }
 
 #[cfg(test)]

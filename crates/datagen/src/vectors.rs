@@ -91,7 +91,14 @@ mod tests {
 
     #[test]
     fn generates_requested_shape() {
-        let cfg = VectorConfig { count: 200, dims: 64, clusters: 4, flip_prob: 0.05, background: 0.2, seed: 7 };
+        let cfg = VectorConfig {
+            count: 200,
+            dims: 64,
+            clusters: 4,
+            flip_prob: 0.05,
+            background: 0.2,
+            seed: 7,
+        };
         let data = cfg.generate();
         assert_eq!(data.len(), 200);
         assert!(data.iter().all(|v| v.dims() == 64));

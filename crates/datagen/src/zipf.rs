@@ -18,7 +18,10 @@ impl Zipf {
     /// Panics if `n == 0` or `s` is not finite and non-negative.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "empty support");
-        assert!(s.is_finite() && s >= 0.0, "exponent must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "exponent must be finite and non-negative"
+        );
         let mut cumulative = Vec::with_capacity(n);
         let mut acc = 0.0;
         for k in 0..n {
@@ -37,7 +40,9 @@ impl Zipf {
     pub fn sample(&self, rng: &mut impl Rng) -> usize {
         let total = *self.cumulative.last().expect("non-empty support");
         let u: f64 = rng.gen::<f64>() * total;
-        self.cumulative.partition_point(|&c| c < u).min(self.n() - 1)
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.n() - 1)
     }
 }
 

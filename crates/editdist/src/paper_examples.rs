@@ -13,29 +13,46 @@ const Q: &[u8] = b"llabghijkk";
 fn example_11_prefixes_and_pivotal() {
     // τ = 2, κ = 2, lexicographic gram order. Prefixes are the first
     // κτ + 1 = 5 grams: Px = {ab,bc,cd,de,ef}, Pq = {ab,bg,gh,hi,ij}.
-    let c = QGramCollection::build(
-        vec![X.to_vec(), Q.to_vec()],
-        2,
-        GramOrder::Lexicographic,
-    );
+    let c = QGramCollection::build(vec![X.to_vec(), Q.to_vec()], 2, GramOrder::Lexicographic);
     let gx = c.grams(0);
     let px = prefix_grams(gx, 2, 2);
     let gram_str = |pg: &crate::qgram::PositionalGram, s: &[u8]| {
         s[pg.pos as usize..pg.pos as usize + 2].to_vec()
     };
     let px_strs: Vec<Vec<u8>> = px.iter().map(|pg| gram_str(pg, X)).collect();
-    assert_eq!(px_strs, vec![b"ab".to_vec(), b"bc".to_vec(), b"cd".to_vec(), b"de".to_vec(), b"ef".to_vec()]);
+    assert_eq!(
+        px_strs,
+        vec![
+            b"ab".to_vec(),
+            b"bc".to_vec(),
+            b"cd".to_vec(),
+            b"de".to_vec(),
+            b"ef".to_vec()
+        ]
+    );
     let gq = c.grams(1);
     let pq = prefix_grams(gq, 2, 2);
     let pq_strs: Vec<Vec<u8>> = pq.iter().map(|pg| gram_str(pg, Q)).collect();
-    assert_eq!(pq_strs, vec![b"ab".to_vec(), b"bg".to_vec(), b"gh".to_vec(), b"hi".to_vec(), b"ij".to_vec()]);
+    assert_eq!(
+        pq_strs,
+        vec![
+            b"ab".to_vec(),
+            b"bg".to_vec(),
+            b"gh".to_vec(),
+            b"hi".to_vec(),
+            b"ij".to_vec()
+        ]
+    );
 
     // ef precedes ij in the order, so x's side supplies the m = 3 pivotal
     // grams: ab, cd, ef.
     assert!(px.last().unwrap().id < pq.last().unwrap().id);
     let piv = select_pivotal(px, 2, 2).unwrap();
     let piv_strs: Vec<Vec<u8>> = piv.iter().map(|pg| gram_str(pg, X)).collect();
-    assert_eq!(piv_strs, vec![b"ab".to_vec(), b"cd".to_vec(), b"ef".to_vec()]);
+    assert_eq!(
+        piv_strs,
+        vec![b"ab".to_vec(), b"cd".to_vec(), b"ef".to_vec()]
+    );
 
     // f(x, q) = 4 > τ: a pivotal-prefix-filter false positive (ab matches
     // exactly).
@@ -82,11 +99,7 @@ fn example_11_end_to_end() {
     // must return only the near-duplicate, and Ring at l = 2 must not
     // even verify x.
     let near = b"llabghijkx".to_vec(); // ed(near, q) = 1
-    let c = QGramCollection::build(
-        vec![X.to_vec(), near.clone()],
-        2,
-        GramOrder::Lexicographic,
-    );
+    let c = QGramCollection::build(vec![X.to_vec(), near.clone()], 2, GramOrder::Lexicographic);
     let mut ring = crate::ring::RingEdit::build(c, 2);
     let (res, stats) = ring.search(Q, 2);
     assert_eq!(res, vec![1]);

@@ -91,7 +91,10 @@ impl PivotalIndex {
                 Some(piv) => {
                     last_rank[id] = prefix.last().expect("non-empty prefix").id;
                     for pg in prefix {
-                        prefix_idx.entry(pg.id).or_default().push((id as u32, pg.pos));
+                        prefix_idx
+                            .entry(pg.id)
+                            .or_default()
+                            .push((id as u32, pg.pos));
                     }
                     for (slot, pg) in piv.iter().enumerate() {
                         pivotal_idx
@@ -137,10 +140,7 @@ impl PivotalIndex {
 
     /// Query-side structures: (tie-extended prefix, pivotal grams, last
     /// prefix rank). Pivotal is `None` for short queries.
-    pub fn query_side(
-        &self,
-        q: &[u8],
-    ) -> (Vec<PositionalGram>, Option<Vec<PositionalGram>>, u32) {
+    pub fn query_side(&self, q: &[u8]) -> (Vec<PositionalGram>, Option<Vec<PositionalGram>>, u32) {
         let grams = self.collection.query_grams(q);
         let kappa = self.collection.kappa();
         let prefix = prefix_grams(&grams, kappa, self.tau).to_vec();
@@ -166,14 +166,20 @@ impl PivotalIndex {
         // Case A: x's pivotal grams vs q's prefix; applies to records
         // whose last prefix gram does not come after q's.
         for pg in q_prefix {
-            let Some(list) = self.pivotal_idx.get(&pg.id) else { continue };
+            let Some(list) = self.pivotal_idx.get(&pg.id) else {
+                continue;
+            };
             for &(id, slot, pos) in list {
                 scanned += 1;
                 if self.last_rank[id as usize] <= q_last
                     && (pos as i64 - pg.pos as i64).abs() <= tau
                     && self.length_compatible(id, q_len)
                 {
-                    visit(ViableBox { id, slot, record_side: true });
+                    visit(ViableBox {
+                        id,
+                        slot,
+                        record_side: true,
+                    });
                 }
             }
         }
@@ -181,14 +187,20 @@ impl PivotalIndex {
         // prefix gram comes strictly after q's.
         if let Some(q_piv) = q_pivotal {
             for (slot, pg) in q_piv.iter().enumerate() {
-                let Some(list) = self.prefix_idx.get(&pg.id) else { continue };
+                let Some(list) = self.prefix_idx.get(&pg.id) else {
+                    continue;
+                };
                 for &(id, pos) in list {
                     scanned += 1;
                     if self.last_rank[id as usize] > q_last
                         && (pos as i64 - pg.pos as i64).abs() <= tau
                         && self.length_compatible(id, q_len)
                     {
-                        visit(ViableBox { id, slot: slot as u8, record_side: false });
+                        visit(ViableBox {
+                            id,
+                            slot: slot as u8,
+                            record_side: false,
+                        });
                     }
                 }
             }
@@ -239,7 +251,11 @@ impl Pivotal {
     /// Builds the baseline over a gram collection at threshold `τ`.
     pub fn build(collection: QGramCollection, tau: usize) -> Self {
         let n = collection.len();
-        Pivotal { index: PivotalIndex::build(collection, tau), epoch: 0, seen: vec![0; n] }
+        Pivotal {
+            index: PivotalIndex::build(collection, tau),
+            epoch: 0,
+            seen: vec![0; n],
+        }
     }
 
     /// The shared index.
@@ -263,39 +279,37 @@ impl Pivotal {
         let (q_prefix, q_pivotal, q_last) = self.index.query_side(q);
         let mut cand1: Vec<ViableBox> = Vec::new();
         let seen = &mut self.seen;
-        if q_pivotal.is_none() && q.len() >= kappa {
-            // Short query without a pivotal guarantee: every
-            // length-compatible record is a candidate.
+        if q_pivotal.is_none() {
+            // No pivotal guarantee (query shorter than κ yields no grams
+            // at all; a longer one may still lack a usable pivotal set):
+            // every length-compatible record is a candidate.
             for id in 0..self.index.collection.len() as u32 {
                 if self.index.length_compatible(id, q.len()) {
-                    cand1.push(ViableBox { id, slot: 0, record_side: true });
-                }
-            }
-        } else if q.len() < kappa {
-            // No grams at all: same fallback.
-            for id in 0..self.index.collection.len() as u32 {
-                if self.index.length_compatible(id, q.len()) {
-                    cand1.push(ViableBox { id, slot: 0, record_side: true });
+                    cand1.push(ViableBox {
+                        id,
+                        slot: 0,
+                        record_side: true,
+                    });
                 }
             }
         } else {
-            stats.postings_scanned = self.index.probe(
-                &q_prefix,
-                q_pivotal.as_deref(),
-                q_last,
-                q.len(),
-                |vb| {
-                    if seen[vb.id as usize] != epoch {
-                        seen[vb.id as usize] = epoch;
-                        cand1.push(vb);
-                    }
-                },
-            );
+            stats.postings_scanned =
+                self.index
+                    .probe(&q_prefix, q_pivotal.as_deref(), q_last, q.len(), |vb| {
+                        if seen[vb.id as usize] != epoch {
+                            seen[vb.id as usize] = epoch;
+                            cand1.push(vb);
+                        }
+                    });
             // Short records are always candidates.
             for &id in self.index.short_ids() {
                 if seen[id as usize] != epoch && self.index.length_compatible(id, q.len()) {
                     seen[id as usize] = epoch;
-                    cand1.push(ViableBox { id, slot: 0, record_side: true });
+                    cand1.push(ViableBox {
+                        id,
+                        slot: 0,
+                        record_side: true,
+                    });
                 }
             }
         }
@@ -382,8 +396,16 @@ mod tests {
     #[test]
     fn pivotal_matches_linear_scan() {
         let strings = strs(&[
-            "pigeonring", "pigeonhole", "pigeon", "principle", "princess", "ringing",
-            "pigeonrings", "wigeonring", "threshold", "similarity",
+            "pigeonring",
+            "pigeonhole",
+            "pigeon",
+            "principle",
+            "princess",
+            "ringing",
+            "pigeonrings",
+            "wigeonring",
+            "threshold",
+            "similarity",
         ]);
         for tau in 1..=3usize {
             let c = QGramCollection::build(strings.clone(), 2, GramOrder::Frequency);
@@ -399,7 +421,11 @@ mod tests {
     #[test]
     fn alignment_filter_only_tightens() {
         let strings = strs(&[
-            "abcdefghij", "abcdefghiz", "zzcdefghij", "mnopqrstuv", "abzzefghij",
+            "abcdefghij",
+            "abcdefghiz",
+            "zzcdefghij",
+            "mnopqrstuv",
+            "abzzefghij",
         ]);
         let c = QGramCollection::build(strings.clone(), 2, GramOrder::Frequency);
         let mut eng = Pivotal::build(c, 2);

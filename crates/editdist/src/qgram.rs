@@ -70,7 +70,10 @@ impl QGramCollection {
                 let mut g: Vec<PositionalGram> = if s.len() >= kappa {
                     s.windows(kappa)
                         .enumerate()
-                        .map(|(pos, w)| PositionalGram { id: intern[w], pos: pos as u32 })
+                        .map(|(pos, w)| PositionalGram {
+                            id: intern[w],
+                            pos: pos as u32,
+                        })
                         .collect()
                 } else {
                     Vec::new()
@@ -79,7 +82,12 @@ impl QGramCollection {
                 g
             })
             .collect();
-        QGramCollection { strings, kappa, intern, grams }
+        QGramCollection {
+            strings,
+            kappa,
+            intern,
+            grams,
+        }
     }
 
     /// The gram length `κ`.
@@ -129,7 +137,10 @@ impl QGramCollection {
                     let next = base + fresh.len() as u32;
                     *fresh.entry(w).or_insert(next)
                 });
-                PositionalGram { id, pos: pos as u32 }
+                PositionalGram {
+                    id,
+                    pos: pos as u32,
+                }
             })
             .collect();
         g.sort_by_key(|pg| (pg.id, pg.pos));
@@ -206,18 +217,21 @@ mod tests {
     #[test]
     fn frequency_order_puts_rare_grams_first() {
         // "zz" appears once, "ab" three times.
-        let c = QGramCollection::build(
-            strs(&["abab", "abzz"]),
-            2,
-            GramOrder::Frequency,
-        );
+        let c = QGramCollection::build(strs(&["abab", "abzz"]), 2, GramOrder::Frequency);
         let g = c.grams(1); // grams: ab, bz, zz
+
         // The rarest grams of string 1 are bz and zz (freq 1); ab (freq 3)
         // must sort last in the global order.
         let last = g[g.len() - 1];
-        assert_eq!(&c.string(1)[last.pos as usize..last.pos as usize + 2], b"ab");
+        assert_eq!(
+            &c.string(1)[last.pos as usize..last.pos as usize + 2],
+            b"ab"
+        );
         let first = g[0];
-        assert_eq!(&c.string(1)[first.pos as usize..first.pos as usize + 2], b"bz");
+        assert_eq!(
+            &c.string(1)[first.pos as usize..first.pos as usize + 2],
+            b"bz"
+        );
     }
 
     #[test]
@@ -260,7 +274,10 @@ mod tests {
             assert!(w[1].pos >= w[0].pos + 2);
         }
         // Example 11: pivotal grams are ab@2, cd@4, ef@6.
-        assert_eq!(piv.iter().map(|pg| pg.pos).collect::<Vec<_>>(), vec![2, 4, 6]);
+        assert_eq!(
+            piv.iter().map(|pg| pg.pos).collect::<Vec<_>>(),
+            vec![2, 4, 6]
+        );
     }
 
     #[test]

@@ -117,71 +117,74 @@ impl RingEdit {
             } = *self;
             let collection: &QGramCollection = index.collection();
 
-            stats.postings_scanned =
-                index.probe(&q_prefix, Some(q_piv), q_last, q.len(), |vb| {
-                    stats.cand1 += 1;
-                    let ViableBox { id, slot, record_side } = vb;
-                    let idu = id as usize;
-                    if accepted[idu] == epoch {
-                        return;
-                    }
-                    let start = slot as usize;
-                    if ruled_epoch[idu] == epoch && (ruled_mask[idu] >> start) & 1 == 1 {
-                        stats.skipped_by_corollary2 += 1;
-                        return;
-                    }
-                    if l == 1 {
+            stats.postings_scanned = index.probe(&q_prefix, Some(q_piv), q_last, q.len(), |vb| {
+                stats.cand1 += 1;
+                let ViableBox {
+                    id,
+                    slot,
+                    record_side,
+                } = vb;
+                let idu = id as usize;
+                if accepted[idu] == epoch {
+                    return;
+                }
+                let start = slot as usize;
+                if ruled_epoch[idu] == epoch && (ruled_mask[idu] >> start) & 1 == 1 {
+                    stats.skipped_by_corollary2 += 1;
+                    return;
+                }
+                if l == 1 {
+                    accepted[idu] = epoch;
+                    cands.push(id);
+                    return;
+                }
+                let x = collection.string(idu);
+                let check = if record_side {
+                    // Case A: boxes are x's pivotal grams, windows in q.
+                    let piv = index.pivotal(id).expect("probed record has pivotal");
+                    check_prefix_viable_lazy(&scheme, Direction::Le, start, l, |j| {
+                        stats.boxes_checked += 1;
+                        let jm = j % m;
+                        if jm == start {
+                            return 0; // exact match
+                        }
+                        let pg = piv[jm];
+                        let g = &x[pg.pos as usize..pg.pos as usize + kappa];
+                        min_window_bound(
+                            char_mask(g),
+                            &q_masks,
+                            pg.pos as i64 - tau as i64,
+                            pg.pos as i64 + tau as i64,
+                        ) as i64
+                    })
+                } else {
+                    // Case B: boxes are q's pivotal grams, windows in x.
+                    check_prefix_viable_lazy(&scheme, Direction::Le, start, l, |j| {
+                        stats.boxes_checked += 1;
+                        let jm = j % m;
+                        if jm == start {
+                            return 0;
+                        }
+                        let pg = q_piv[jm];
+                        lazy_window_bound(q_piv_masks[jm], x, kappa, pg.pos, tau) as i64
+                    })
+                };
+                match check {
+                    Ok(()) => {
                         accepted[idu] = epoch;
                         cands.push(id);
-                        return;
                     }
-                    let x = collection.string(idu);
-                    let check = if record_side {
-                        // Case A: boxes are x's pivotal grams, windows in q.
-                        let piv = index.pivotal(id).expect("probed record has pivotal");
-                        check_prefix_viable_lazy(&scheme, Direction::Le, start, l, |j| {
-                            stats.boxes_checked += 1;
-                            let jm = j % m;
-                            if jm == start {
-                                return 0; // exact match
-                            }
-                            let pg = piv[jm];
-                            let g = &x[pg.pos as usize..pg.pos as usize + kappa];
-                            min_window_bound(
-                                char_mask(g),
-                                &q_masks,
-                                pg.pos as i64 - tau as i64,
-                                pg.pos as i64 + tau as i64,
-                            ) as i64
-                        })
-                    } else {
-                        // Case B: boxes are q's pivotal grams, windows in x.
-                        check_prefix_viable_lazy(&scheme, Direction::Le, start, l, |j| {
-                            stats.boxes_checked += 1;
-                            let jm = j % m;
-                            if jm == start {
-                                return 0;
-                            }
-                            let pg = q_piv[jm];
-                            lazy_window_bound(q_piv_masks[jm], x, kappa, pg.pos, tau) as i64
-                        })
-                    };
-                    match check {
-                        Ok(()) => {
-                            accepted[idu] = epoch;
-                            cands.push(id);
+                    Err(l_fail) => {
+                        if ruled_epoch[idu] != epoch {
+                            ruled_epoch[idu] = epoch;
+                            ruled_mask[idu] = 0;
                         }
-                        Err(l_fail) => {
-                            if ruled_epoch[idu] != epoch {
-                                ruled_epoch[idu] = epoch;
-                                ruled_mask[idu] = 0;
-                            }
-                            for off in 0..l_fail {
-                                ruled_mask[idu] |= 1u64 << ((start + off) % m);
-                            }
+                        for off in 0..l_fail {
+                            ruled_mask[idu] |= 1u64 << ((start + off) % m);
                         }
                     }
-                });
+                }
+            });
             // Short records carry no guarantee: always candidates.
             for &id in index.short_ids() {
                 let idu = id as usize;

@@ -56,9 +56,8 @@ pub fn edit_distance_within(a: &[u8], b: &[u8], tau: u32) -> Option<u32> {
                 continue;
             }
             let j = j as usize;
-            let best;
-            if j == 0 {
-                best = i as u32;
+            let best = if j == 0 {
+                i as u32
             } else {
                 // prev row, same diagonal offset shifts by one because the
                 // band is centered on i: prev cell for (i−1, j−1) is k,
@@ -67,8 +66,8 @@ pub fn edit_distance_within(a: &[u8], b: &[u8], tau: u32) -> Option<u32> {
                 let sub = prev[k + 1].saturating_add(u32::from(a[i - 1] != b[j - 1]));
                 let del = prev[k + 2].saturating_add(1); // (i−1, j)
                 let ins = if k > 0 { cur[k].saturating_add(1) } else { BIG }; // (i, j−1)
-                best = sub.min(del).min(ins);
-            }
+                sub.min(del).min(ins)
+            };
             cur[k + 1] = best;
             row_min = row_min.min(best);
         }
@@ -98,8 +97,14 @@ mod tests {
 
     #[test]
     fn banded_matches_full_dp_when_within() {
-        let words: [&[u8]; 6] =
-            [b"pigeon", b"pigeonring", b"ring", b"prince", b"principle", b""];
+        let words: [&[u8]; 6] = [
+            b"pigeon",
+            b"pigeonring",
+            b"ring",
+            b"prince",
+            b"principle",
+            b"",
+        ];
         for a in words {
             for b in words {
                 let ed = edit_distance(a, b);

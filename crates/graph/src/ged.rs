@@ -134,7 +134,11 @@ impl<'a> Search<'a> {
     }
 
     fn edges_resolved_b(&self, u: u32) -> i32 {
-        self.b.neighbors(u).iter().filter(|&&(w, _)| self.used[w as usize]).count() as i32
+        self.b
+            .neighbors(u)
+            .iter()
+            .filter(|&&(w, _)| self.used[w as usize])
+            .count() as i32
     }
 
     fn dfs(&mut self, depth: usize, g: u32) {
@@ -208,8 +212,8 @@ impl<'a> Search<'a> {
 /// Exact threshold check: returns `Some(ged(a, b))` iff it is `≤ tau`.
 pub fn ged_within(a: &Graph, b: &Graph, tau: u32) -> Option<u32> {
     // Cheap necessary condition first.
-    let size_gap = a.num_vertices().abs_diff(b.num_vertices())
-        + a.num_edges().abs_diff(b.num_edges());
+    let size_gap =
+        a.num_vertices().abs_diff(b.num_vertices()) + a.num_edges().abs_diff(b.num_edges());
     if size_gap > tau as usize {
         return None;
     }

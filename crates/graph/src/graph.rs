@@ -21,7 +21,11 @@ impl Graph {
     /// A graph with the given vertex labels and no edges.
     pub fn new(vlabels: Vec<u32>) -> Self {
         let n = vlabels.len();
-        Graph { vlabels, adj: vec![Vec::new(); n], num_edges: 0 }
+        Graph {
+            vlabels,
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
     }
 
     /// Adds an undirected edge `u — v` with `label`.
@@ -89,7 +93,10 @@ impl Graph {
 
     /// Count of incident edges of `v` per edge label.
     pub fn incident_label_count(&self, v: u32, elabel: u32) -> usize {
-        self.adj[v as usize].iter().filter(|&&(_, l)| l == elabel).count()
+        self.adj[v as usize]
+            .iter()
+            .filter(|&&(_, l)| l == elabel)
+            .count()
     }
 }
 

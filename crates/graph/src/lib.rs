@@ -29,8 +29,8 @@
 pub mod ged;
 pub mod graph;
 pub mod neighborhood;
-pub mod partition;
 pub mod pars;
+pub mod partition;
 pub mod ring;
 pub mod subiso;
 

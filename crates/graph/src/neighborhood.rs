@@ -121,7 +121,11 @@ mod tests {
 
     #[test]
     fn embedding_part_needs_zero_ops() {
-        let part = Part { vlabels: vec![1, 2], edges: vec![(0, 1, 5)], half: vec![] };
+        let part = Part {
+            vlabels: vec![1, 2],
+            edges: vec![(0, 1, 5)],
+            half: vec![],
+        };
         let mut q = Graph::new(vec![2, 1]);
         q.add_edge(0, 1, 5);
         assert_eq!(min_ops_to_match(&part, &q, 2), Some(0));
@@ -129,7 +133,11 @@ mod tests {
 
     #[test]
     fn one_wildcard_fixes_label_mismatch() {
-        let part = Part { vlabels: vec![1, 9], edges: vec![(0, 1, 5)], half: vec![] };
+        let part = Part {
+            vlabels: vec![1, 9],
+            edges: vec![(0, 1, 5)],
+            half: vec![],
+        };
         let mut q = Graph::new(vec![1, 2]);
         q.add_edge(0, 1, 5);
         assert_eq!(min_ops_to_match(&part, &q, 2), Some(1));
@@ -138,14 +146,22 @@ mod tests {
 
     #[test]
     fn edge_deletion_fixes_missing_edge() {
-        let part = Part { vlabels: vec![1, 2], edges: vec![(0, 1, 5)], half: vec![] };
+        let part = Part {
+            vlabels: vec![1, 2],
+            edges: vec![(0, 1, 5)],
+            half: vec![],
+        };
         let q = Graph::new(vec![1, 2]); // no edge
         assert_eq!(min_ops_to_match(&part, &q, 2), Some(1));
     }
 
     #[test]
     fn stub_deletion_counts() {
-        let part = Part { vlabels: vec![1], edges: vec![], half: vec![(0, 5)] };
+        let part = Part {
+            vlabels: vec![1],
+            edges: vec![],
+            half: vec![(0, 5)],
+        };
         let q = Graph::new(vec![1]); // vertex exists but no incident edge
         assert_eq!(min_ops_to_match(&part, &q, 1), Some(1));
     }
@@ -154,7 +170,11 @@ mod tests {
     fn isolated_vertex_deletion_after_edge_removal() {
         // Part has an extra vertex q lacks entirely; need: delete its
         // edge, then the isolated vertex — 2 ops (injectivity forces it).
-        let part = Part { vlabels: vec![1, 9], edges: vec![(0, 1, 5)], half: vec![] };
+        let part = Part {
+            vlabels: vec![1, 9],
+            edges: vec![(0, 1, 5)],
+            half: vec![],
+        };
         let q = Graph::new(vec![1]);
         assert_eq!(min_ops_to_match(&part, &q, 3), Some(2));
         assert_eq!(min_ops_to_match(&part, &q, 1), None);
@@ -165,7 +185,11 @@ mod tests {
         // A part two labels away from anything in q: one op (the budget
         // ⌊l·τ/m − b₀⌋ = 1 of Example 12) is not enough, so b₁ ≥ 2 and
         // the chain fails.
-        let part = Part { vlabels: vec![8, 9], edges: vec![(0, 1, 7)], half: vec![] };
+        let part = Part {
+            vlabels: vec![8, 9],
+            edges: vec![(0, 1, 7)],
+            half: vec![],
+        };
         let mut q = Graph::new(vec![1, 2, 3]);
         q.add_edge(0, 1, 5);
         q.add_edge(1, 2, 5);

@@ -40,8 +40,12 @@ pub(crate) struct PartMeta {
 
 impl PartMeta {
     pub(crate) fn new(part: Part) -> Self {
-        let mut vl: Vec<u32> =
-            part.vlabels.iter().copied().filter(|&l| l != WILDCARD).collect();
+        let mut vl: Vec<u32> = part
+            .vlabels
+            .iter()
+            .copied()
+            .filter(|&l| l != WILDCARD)
+            .collect();
         vl.sort_unstable();
         let mut el: Vec<u32> = part
             .edges
@@ -50,7 +54,11 @@ impl PartMeta {
             .chain(part.half.iter().map(|&(_, l)| l))
             .collect();
         el.sort_unstable();
-        PartMeta { part, vlabels_sorted: vl, elabels_sorted: el }
+        PartMeta {
+            part,
+            vlabels_sorted: vl,
+            elabels_sorted: el,
+        }
     }
 
     /// Label-multiset prefilter: every label the part requires must be
@@ -96,8 +104,7 @@ pub(crate) fn query_label_counts(q: &Graph) -> (FxHashMap<u32, u32>, FxHashMap<u
 
 /// Size filter: `ged ≥ ||V_x|−|V_q|| + ||E_x|−|E_q||`.
 pub(crate) fn size_compatible(x: &Graph, q: &Graph, tau: usize) -> bool {
-    x.num_vertices().abs_diff(q.num_vertices()) + x.num_edges().abs_diff(q.num_edges())
-        <= tau
+    x.num_vertices().abs_diff(q.num_vertices()) + x.num_edges().abs_diff(q.num_edges()) <= tau
 }
 
 /// The Pars baseline engine.
@@ -114,7 +121,12 @@ impl Pars {
         let m = tau + 1;
         let parts = graphs
             .iter()
-            .map(|g| partition_graph(g, m).into_iter().map(PartMeta::new).collect())
+            .map(|g| {
+                partition_graph(g, m)
+                    .into_iter()
+                    .map(PartMeta::new)
+                    .collect()
+            })
             .collect();
         Pars { graphs, tau, parts }
     }

@@ -90,7 +90,11 @@ pub fn partition_graph(g: &Graph, m: usize) -> Vec<Part> {
             // Deterministic ownership: the smaller-group endpoint keeps
             // the stub.
             let owner = pu.min(pv);
-            let lv = if owner == pu { local[u as usize] } else { local[v as usize] };
+            let lv = if owner == pu {
+                local[u as usize]
+            } else {
+                local[v as usize]
+            };
             parts[owner].half.push((lv, l));
         }
     }
@@ -135,8 +139,7 @@ mod tests {
         g.add_edge(0, 5, 4);
         for m in 1..=3usize {
             let parts = partition_graph(&g, m);
-            let owned: usize =
-                parts.iter().map(|p| p.edges.len() + p.half.len()).sum();
+            let owned: usize = parts.iter().map(|p| p.edges.len() + p.half.len()).sum();
             assert_eq!(owned, g.num_edges(), "m={m}");
         }
     }

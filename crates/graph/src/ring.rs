@@ -43,7 +43,12 @@ impl RingGraph {
         let m = tau + 1;
         let parts = graphs
             .iter()
-            .map(|g| partition_graph(g, m).into_iter().map(PartMeta::new).collect())
+            .map(|g| {
+                partition_graph(g, m)
+                    .into_iter()
+                    .map(PartMeta::new)
+                    .collect()
+            })
             .collect();
         RingGraph { graphs, tau, parts }
     }

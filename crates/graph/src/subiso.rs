@@ -37,11 +37,12 @@ impl<'a> PartView<'a> {
             adj[v as usize].push((u, l));
         }
         let mut need: Vec<Vec<(u32, u32)>> = vec![Vec::new(); k];
-        let bump = |v: usize, label: u32, need: &mut Vec<Vec<(u32, u32)>>| {
-            match need[v].iter_mut().find(|(l, _)| *l == label) {
-                Some((_, c)) => *c += 1,
-                None => need[v].push((label, 1)),
-            }
+        let bump = |v: usize, label: u32, need: &mut Vec<Vec<(u32, u32)>>| match need[v]
+            .iter_mut()
+            .find(|(l, _)| *l == label)
+        {
+            Some((_, c)) => *c += 1,
+            None => need[v].push((label, 1)),
         };
         for &(u, v, l) in &part.edges {
             bump(u as usize, l, &mut need);
@@ -72,7 +73,12 @@ impl<'a> PartView<'a> {
                 }
             }
         }
-        PartView { part, adj, need, order: connected_order }
+        PartView {
+            part,
+            adj,
+            need,
+            order: connected_order,
+        }
     }
 }
 
@@ -108,10 +114,9 @@ fn feasible(view: &PartView<'_>, q: &Graph, v: u32, u: u32, mapping: &[u32]) -> 
     // label.
     for &(w, l) in &view.adj[v as usize] {
         let img = mapping[w as usize];
-        if img != u32::MAX
-            && q.edge_label(u, img) != Some(l) {
-                return false;
-            }
+        if img != u32::MAX && q.edge_label(u, img) != Some(l) {
+            return false;
+        }
     }
     true
 }
@@ -203,23 +208,39 @@ mod tests {
 
     #[test]
     fn label_mismatch_rejects() {
-        let part = Part { vlabels: vec![7], edges: vec![], half: vec![] };
+        let part = Part {
+            vlabels: vec![7],
+            edges: vec![],
+            half: vec![],
+        };
         let q = Graph::new(vec![1, 2, 3]);
         assert!(!part_embeds(&part, &q));
-        let part_ok = Part { vlabels: vec![2], edges: vec![], half: vec![] };
+        let part_ok = Part {
+            vlabels: vec![2],
+            edges: vec![],
+            half: vec![],
+        };
         assert!(part_embeds(&part_ok, &q));
     }
 
     #[test]
     fn wildcard_matches_any_label() {
-        let part = Part { vlabels: vec![crate::graph::WILDCARD], edges: vec![], half: vec![] };
+        let part = Part {
+            vlabels: vec![crate::graph::WILDCARD],
+            edges: vec![],
+            half: vec![],
+        };
         let q = Graph::new(vec![42]);
         assert!(part_embeds(&part, &q));
     }
 
     #[test]
     fn full_edge_label_must_match() {
-        let part = Part { vlabels: vec![1, 2], edges: vec![(0, 1, 9)], half: vec![] };
+        let part = Part {
+            vlabels: vec![1, 2],
+            edges: vec![(0, 1, 9)],
+            half: vec![],
+        };
         let mut q = Graph::new(vec![1, 2]);
         q.add_edge(0, 1, 8);
         assert!(!part_embeds(&part, &q));
@@ -231,7 +252,11 @@ mod tests {
     #[test]
     fn half_edge_requires_incident_capacity() {
         // Part: single vertex labeled 1 with two stubs of label 3.
-        let part = Part { vlabels: vec![1], edges: vec![], half: vec![(0, 3), (0, 3)] };
+        let part = Part {
+            vlabels: vec![1],
+            edges: vec![],
+            half: vec![(0, 3), (0, 3)],
+        };
         // q1: vertex 1 with only one incident label-3 edge: reject.
         let mut q1 = Graph::new(vec![1, 2]);
         q1.add_edge(0, 1, 3);
@@ -247,7 +272,11 @@ mod tests {
     fn injectivity_enforced() {
         // Two part vertices with the same label cannot share one query
         // vertex.
-        let part = Part { vlabels: vec![5, 5], edges: vec![], half: vec![] };
+        let part = Part {
+            vlabels: vec![5, 5],
+            edges: vec![],
+            half: vec![],
+        };
         let q1 = Graph::new(vec![5]);
         assert!(!part_embeds(&part, &q1));
         let q2 = Graph::new(vec![5, 5]);
@@ -256,7 +285,11 @@ mod tests {
 
     #[test]
     fn disconnected_part_embeds() {
-        let part = Part { vlabels: vec![1, 2], edges: vec![], half: vec![] };
+        let part = Part {
+            vlabels: vec![1, 2],
+            edges: vec![],
+            half: vec![],
+        };
         let mut q = Graph::new(vec![2, 3, 1]);
         q.add_edge(0, 1, 0);
         assert!(part_embeds(&part, &q));

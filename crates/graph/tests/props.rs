@@ -3,7 +3,7 @@
 //! deletion-neighborhood admissibility, and engine exactness.
 
 use pigeonring_graph::pars::LinearScanGraphs;
-use pigeonring_graph::{ged_within, partition_graph, part_embeds, Graph, Pars, RingGraph};
+use pigeonring_graph::{ged_within, part_embeds, partition_graph, Graph, Pars, RingGraph};
 use proptest::prelude::*;
 
 /// A compact graph description: labels plus an edge bitmask over vertex
@@ -21,7 +21,11 @@ fn graph_strategy(max_n: usize) -> impl Strategy<Value = GraphSpec> {
         prop::num::u64::ANY,
         prop::num::u64::ANY,
     )
-        .prop_map(|(labels, edge_bits, edge_labels)| GraphSpec { labels, edge_bits, edge_labels })
+        .prop_map(|(labels, edge_bits, edge_labels)| GraphSpec {
+            labels,
+            edge_bits,
+            edge_labels,
+        })
 }
 
 fn build(spec: &GraphSpec) -> Graph {

@@ -144,9 +144,7 @@ mod tests {
     #[test]
     fn cost_model_sums_correctly() {
         let data: Vec<BitVector> = (0..64u64)
-            .map(|i| {
-                BitVector::from_bits((0..32).map(move |b| (i >> (b % 6)) & 1 == 1))
-            })
+            .map(|i| BitVector::from_bits((0..32).map(move |b| (i >> (b % 6)) & 1 == 1)))
             .collect();
         let p = Partitioning::equi_width(32, 4);
         let cm = CostModel::build(&data, &p, 16);

@@ -20,7 +20,10 @@ impl BitVector {
     /// Panics if `dims == 0`.
     pub fn zeros(dims: usize) -> Self {
         assert!(dims > 0, "vector must have at least one dimension");
-        BitVector { dims, words: vec![0; dims.div_ceil(64)] }
+        BitVector {
+            dims,
+            words: vec![0; dims.div_ceil(64)],
+        }
     }
 
     /// Parses a vector from a string of `'0'`/`'1'` characters
@@ -187,8 +190,7 @@ mod tests {
     fn distance_matches_naive() {
         let x = BitVector::from_bit_str("11111010");
         let q = BitVector::from_bit_str("00101011");
-        let naive: u32 =
-            (0..8).map(|i| (x.get(i) != q.get(i)) as u32).sum();
+        let naive: u32 = (0..8).map(|i| (x.get(i) != q.get(i)) as u32).sum();
         assert_eq!(x.distance(&q), naive);
     }
 
@@ -208,7 +210,9 @@ mod tests {
     fn part_distance_sums_to_total() {
         let x = BitVector::from_bit_str("1111101001011100");
         let q = BitVector::from_bit_str("0010101101110001");
-        let total: u32 = (0..4).map(|i| x.part_distance(&q, i * 4, (i + 1) * 4)).sum();
+        let total: u32 = (0..4)
+            .map(|i| x.part_distance(&q, i * 4, (i + 1) * 4))
+            .sum();
         assert_eq!(total, x.distance(&q));
     }
 
@@ -251,8 +255,9 @@ mod tests {
         // layout (2, 1, 2, 2, 1) used throughout §3.
         let x1 = BitVector::from_bit_str("11 11 10 11 10");
         let q = BitVector::from_bit_str("00 10 01 00 11");
-        let boxes: Vec<u32> =
-            (0..5).map(|i| x1.part_distance(&q, i * 2, (i + 1) * 2)).collect();
+        let boxes: Vec<u32> = (0..5)
+            .map(|i| x1.part_distance(&q, i * 2, (i + 1) * 2))
+            .collect();
         assert_eq!(boxes, vec![2, 1, 2, 2, 1]);
         assert_eq!(x1.distance(&q), 8);
     }

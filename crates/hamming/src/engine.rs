@@ -156,7 +156,11 @@ impl RingHamming {
     /// lets the harness time the filter separately, as Figure 5 plots
     /// "Cand." vs "Total".
     pub fn candidates(&mut self, q: &BitVector, tau: u32, l: usize) -> (Vec<u32>, SearchStats) {
-        assert_eq!(q.dims(), self.partitioning.dims(), "query dimensionality mismatch");
+        assert_eq!(
+            q.dims(),
+            self.partitioning.dims(),
+            "query dimensionality mismatch"
+        );
         let m = self.partitioning.num_parts();
         let l = l.clamp(1, m);
         let t = self.allocate(q, tau as i64);
@@ -191,8 +195,7 @@ impl RingHamming {
                 cands.push(id);
                 return;
             }
-            if corollary2_skip && ruled_epoch[idu] == epoch && (ruled_mask[idu] >> part) & 1 == 1
-            {
+            if corollary2_skip && ruled_epoch[idu] == epoch && (ruled_mask[idu] >> part) & 1 == 1 {
                 stats.skipped_by_corollary2 += 1;
                 return;
             }
@@ -331,7 +334,11 @@ mod tests {
         for tau in [1u32, 4, 9] {
             for l in [1usize, 2, 4] {
                 let q = &data[20];
-                assert_eq!(ring.search(q, tau, l).0, scan.search(q, tau), "tau={tau} l={l}");
+                assert_eq!(
+                    ring.search(q, tau, l).0,
+                    scan.search(q, tau),
+                    "tau={tau} l={l}"
+                );
             }
         }
     }
@@ -345,7 +352,11 @@ mod tests {
         let mut prev = usize::MAX;
         for l in 1..=4usize {
             let (_, stats) = ring.search(&q, 9, l);
-            assert!(stats.candidates <= prev, "l={l}: {} > {prev}", stats.candidates);
+            assert!(
+                stats.candidates <= prev,
+                "l={l}: {} > {prev}",
+                stats.candidates
+            );
             prev = stats.candidates;
         }
     }

@@ -29,16 +29,31 @@ impl PartIndex {
         assert!(data.len() <= u32::MAX as usize, "id space is u32");
         let m = partitioning.num_parts();
         for i in 0..m {
-            assert!(partitioning.width(i) <= 64, "indexed part widths must fit a u64 signature");
+            assert!(
+                partitioning.width(i) <= 64,
+                "indexed part widths must fit a u64 signature"
+            );
         }
-        let mut maps: Vec<FxHashMap<u64, Vec<u32>>> = (0..m).map(|_| FxHashMap::default()).collect();
+        let mut maps: Vec<FxHashMap<u64, Vec<u32>>> =
+            (0..m).map(|_| FxHashMap::default()).collect();
         for (id, v) in data.iter().enumerate() {
-            assert_eq!(v.dims(), partitioning.dims(), "vector {id} has wrong dimensionality");
+            assert_eq!(
+                v.dims(),
+                partitioning.dims(),
+                "vector {id} has wrong dimensionality"
+            );
             for (i, (lo, hi)) in partitioning.iter().enumerate() {
-                maps[i].entry(v.part_signature(lo, hi)).or_default().push(id as u32);
+                maps[i]
+                    .entry(v.part_signature(lo, hi))
+                    .or_default()
+                    .push(id as u32);
             }
         }
-        PartIndex { partitioning, maps, len: data.len() }
+        PartIndex {
+            partitioning,
+            maps,
+            len: data.len(),
+        }
     }
 
     /// The partitioning the index was built with.
@@ -62,12 +77,7 @@ impl PartIndex {
     /// the enumeration depth). Parts with `t[i] < 0` are skipped — an
     /// integer-reduced allocation may disable a part entirely. Returns the
     /// number of signatures enumerated (the probe cost `CC1`).
-    pub fn probe(
-        &self,
-        q: &BitVector,
-        t: &[i64],
-        mut visit: impl FnMut(usize, u32, u32),
-    ) -> usize {
+    pub fn probe(&self, q: &BitVector, t: &[i64], mut visit: impl FnMut(usize, u32, u32)) -> usize {
         assert_eq!(t.len(), self.maps.len(), "one threshold per part");
         let mut probes = 0;
         for (i, (lo, hi)) in self.partitioning.iter().enumerate() {
@@ -94,12 +104,7 @@ impl PartIndex {
 /// Enumerates every `width`-bit value within Hamming distance `radius` of
 /// `sig`, passing `(value, distance)` to `visit`. Values are emitted
 /// exactly once (flip positions are chosen in increasing order).
-pub fn enumerate_within(
-    sig: u64,
-    width: usize,
-    radius: usize,
-    visit: &mut impl FnMut(u64, u32),
-) {
+pub fn enumerate_within(sig: u64, width: usize, radius: usize, visit: &mut impl FnMut(u64, u32)) {
     fn go(
         cur: u64,
         start: usize,
@@ -113,7 +118,14 @@ pub fn enumerate_within(
             return;
         }
         for p in start..width {
-            go(cur ^ (1u64 << p), p + 1, flipped + 1, remaining - 1, width, visit);
+            go(
+                cur ^ (1u64 << p),
+                p + 1,
+                flipped + 1,
+                remaining - 1,
+                width,
+                visit,
+            );
         }
     }
     assert!(width <= 64, "signatures are at most 64 bits");
@@ -199,7 +211,14 @@ mod tests {
         // Part 1 radius 0: ids 0, 1, 2 (all zero in part 1).
         assert_eq!(
             hits,
-            vec![(0, 0, 0), (0, 0, 3), (0, 1, 1), (1, 0, 0), (1, 0, 1), (1, 0, 2)]
+            vec![
+                (0, 0, 0),
+                (0, 0, 3),
+                (0, 1, 1),
+                (1, 0, 0),
+                (1, 0, 1),
+                (1, 0, 2)
+            ]
         );
     }
 

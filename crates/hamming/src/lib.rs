@@ -22,10 +22,10 @@
 //! equal results.
 
 pub mod alloc;
-pub mod join;
 pub mod bitvec;
 pub mod engine;
 pub mod index;
+pub mod join;
 pub mod partition;
 
 pub use alloc::AllocationStrategy;

@@ -1,8 +1,8 @@
 //! Number-for-number reproduction of the paper's worked Hamming examples
 //! (Table 2, Examples 2, 3, 5, and 9).
 
-use crate::bitvec::BitVector;
 use crate::alloc::AllocationStrategy;
+use crate::bitvec::BitVector;
 use crate::engine::RingHamming;
 use crate::partition::Partitioning;
 use pigeonring_core::viability::{
@@ -21,7 +21,9 @@ fn table2() -> (Vec<BitVector>, BitVector) {
 }
 
 fn boxes(x: &BitVector, q: &BitVector, p: &Partitioning) -> Vec<i64> {
-    p.iter().map(|(lo, hi)| x.part_distance(q, lo, hi) as i64).collect()
+    p.iter()
+        .map(|(lo, hi)| x.part_distance(q, lo, hi) as i64)
+        .collect()
 }
 
 #[test]
@@ -35,17 +37,19 @@ fn example_2_pigeonhole_candidates() {
     let candidates: Vec<usize> = data
         .iter()
         .enumerate()
-        .filter(|(_, x)| {
-            find_prefix_viable(&boxes(x, &q, &p), &scheme, Direction::Le, 1).is_some()
-        })
+        .filter(|(_, x)| find_prefix_viable(&boxes(x, &q, &p), &scheme, Direction::Le, 1).is_some())
         .map(|(i, _)| i)
         .collect();
     assert_eq!(candidates, vec![0, 1, 2]);
     assert_eq!(data[0].distance(&q), 8);
     assert_eq!(data[1].distance(&q), 5);
     assert_eq!(data[2].distance(&q), 7);
-    let results: Vec<usize> =
-        data.iter().enumerate().filter(|(_, x)| x.distance(&q) <= 5).map(|(i, _)| i).collect();
+    let results: Vec<usize> = data
+        .iter()
+        .enumerate()
+        .filter(|(_, x)| x.distance(&q) <= 5)
+        .map(|(i, _)| i)
+        .collect();
     assert_eq!(results, vec![1]);
 }
 
@@ -60,8 +64,9 @@ fn example_3_two_box_chains_filter_x1() {
     let sums = pigeonring_core::ring::window_sums(&b, 2);
     assert_eq!(sums, vec![3, 3, 4, 3, 3]);
     let scheme = ThresholdScheme::uniform(5i64, 5);
-    assert!(pigeonring_core::viability::find_viable_window(&b, &scheme, Direction::Le, 2)
-        .is_none());
+    assert!(
+        pigeonring_core::viability::find_viable_window(&b, &scheme, Direction::Le, 2).is_none()
+    );
 }
 
 #[test]
@@ -84,9 +89,7 @@ fn example_5_box_layouts_and_l2_candidates() {
     let cands: Vec<usize> = data
         .iter()
         .enumerate()
-        .filter(|(_, x)| {
-            find_prefix_viable(&boxes(x, &q, &p), &scheme, Direction::Le, 2).is_some()
-        })
+        .filter(|(_, x)| find_prefix_viable(&boxes(x, &q, &p), &scheme, Direction::Le, 2).is_some())
         .map(|(i, _)| i)
         .collect();
     assert_eq!(cands, vec![1, 2]);
@@ -108,7 +111,10 @@ fn example_9_integer_reduction_chain_filter() {
     // Pigeonhole (box level): b0 viable.
     assert!(scheme.chain_viable(b[0], 0, 1, Direction::Le));
     // Ring, l = 2: chain from 0 fails at length 2; no other viable start.
-    assert_eq!(check_prefix_viable(&b, &scheme, Direction::Le, 0, 2), Err(2));
+    assert_eq!(
+        check_prefix_viable(&b, &scheme, Direction::Le, 0, 2),
+        Err(2)
+    );
     assert!(find_prefix_viable(&b, &scheme, Direction::Le, 2).is_none());
 }
 

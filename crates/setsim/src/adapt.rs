@@ -88,7 +88,9 @@ impl AdaptSearch {
 
         let mut touched: Vec<u32> = Vec::new();
         for (i, &tok) in q.iter().take(q_prefix).enumerate() {
-            let Some(list) = self.lists.get(&tok) else { continue };
+            let Some(list) = self.lists.get(&tok) else {
+                continue;
+            };
             for &(id, j) in list {
                 stats.postings_scanned += 1;
                 let idu = id as usize;
@@ -157,11 +159,12 @@ mod tests {
         for tau in [0.5, 0.7, 0.8, 0.9, 0.95] {
             let t = Threshold::jaccard(tau);
             let scan = LinearScanSets::new(&c);
-            let expected: Vec<Vec<u32>> =
-                (0..c.len()).map(|qid| scan.search(c.record(qid), t)).collect();
+            let expected: Vec<Vec<u32>> = (0..c.len())
+                .map(|qid| scan.search(c.record(qid), t))
+                .collect();
             let mut eng = AdaptSearch::build(c.clone(), t);
-            for qid in 0..c.len() {
-                assert_eq!(eng.search(c.record(qid)).0, expected[qid], "tau={tau} qid={qid}");
+            for (qid, expect) in expected.iter().enumerate() {
+                assert_eq!(&eng.search(c.record(qid)).0, expect, "tau={tau} qid={qid}");
             }
         }
     }

@@ -40,9 +40,9 @@ fn example_10_boxes_thresholds_and_filtering() {
     // Thresholds: T = (4, 1, 2, 2, 4), summing to τ + m − 1 = 13.
     let mut t = vec![0i64; 5];
     t[0] = q.len() as i64 - qp.len as i64 + 1;
-    for k in 1..5 {
+    for (k, tk) in t.iter_mut().enumerate().skip(1) {
         let cnt = qp.count(k) as i64;
-        t[k] = if cnt >= k as i64 { k as i64 } else { cnt + 1 };
+        *tk = if cnt >= k as i64 { k as i64 } else { cnt + 1 };
     }
     assert_eq!(t, vec![4, 1, 2, 2, 4]);
     let scheme = ThresholdScheme::integer_reduced(t);
@@ -62,13 +62,17 @@ fn example_10_boxes_thresholds_and_filtering() {
         })
         .collect();
     assert_eq!(&boxes[1..], &[0, 2, 0, 3]);
-    let viable: Vec<usize> =
-        (1..5).filter(|&i| scheme.chain_viable(boxes[i], i, 1, Direction::Ge)).collect();
+    let viable: Vec<usize> = (1..5)
+        .filter(|&i| scheme.chain_viable(boxes[i], i, 1, Direction::Ge))
+        .collect();
     assert_eq!(viable, vec![2], "b2 is the only viable box");
 
     // l = 2 from start 2: b2 + b3 = 2 < t2 + t3 − l + 1 = 3 ⇒ filtered.
     assert!(!scheme.chain_viable(boxes[2] + boxes[3], 2, 2, Direction::Ge));
-    assert_eq!(check_prefix_viable(&boxes, &scheme, Direction::Ge, 2, 2), Err(2));
+    assert_eq!(
+        check_prefix_viable(&boxes, &scheme, Direction::Ge, 2, 2),
+        Err(2)
+    );
 }
 
 #[test]
@@ -79,6 +83,7 @@ fn example_10_end_to_end() {
     let x = letters("ACDEGHIJKLMN");
     let q = letters("BCDFGHILMNOP");
     let exact = letters("BCDFGHILMNOP"); // a true result (q itself)
+
     // The collection's frequency re-ranking is identity here because all
     // tokens are distinct across the alphabet with equal frequencies —
     // except tokens appearing twice. Use raw ranks via explicit records.
@@ -99,8 +104,7 @@ fn example_10_end_to_end() {
                     *freq.entry(tkn).or_insert(0u32) += 1;
                 }
             }
-            let mut toks: Vec<(u32, u32)> =
-                freq.iter().map(|(&tkn, &f)| (f, tkn)).collect();
+            let mut toks: Vec<(u32, u32)> = freq.iter().map(|(&tkn, &f)| (f, tkn)).collect();
             toks.sort_unstable();
             toks.iter()
                 .map(|&(_, tkn)| match tkn {
@@ -123,8 +127,11 @@ fn example_10_end_to_end() {
         }
         let mut toks: Vec<(u32, u32)> = freq.iter().map(|(&tkn, &f)| (f, tkn)).collect();
         toks.sort_unstable();
-        let rank: std::collections::BTreeMap<u32, u32> =
-            toks.iter().enumerate().map(|(i, &(_, tkn))| (tkn, i as u32)).collect();
+        let rank: std::collections::BTreeMap<u32, u32> = toks
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, tkn))| (tkn, i as u32))
+            .collect();
         let mut r: Vec<u32> = q.iter().map(|tkn| rank[tkn]).collect();
         r.sort_unstable();
         r

@@ -72,8 +72,12 @@ fn segment_hashes(r: &[u32], parts: usize) -> Vec<u64> {
 impl PartAlloc {
     /// Builds the per-size-group segment indexes.
     pub fn build(collection: Collection, threshold: Threshold) -> Self {
-        let max_size =
-            collection.records().iter().map(|r| r.len()).max().unwrap_or(0);
+        let max_size = collection
+            .records()
+            .iter()
+            .map(|r| r.len())
+            .max()
+            .unwrap_or(0);
         let mut by_size: FxHashMap<usize, Vec<u32>> = FxHashMap::default();
         for (id, r) in collection.records().iter().enumerate() {
             by_size.entry(r.len()).or_default().push(id as u32);
@@ -208,11 +212,12 @@ mod tests {
         for tau in [0.6, 0.7, 0.8, 0.9] {
             let t = Threshold::jaccard(tau);
             let scan = LinearScanSets::new(&c);
-            let expected: Vec<Vec<u32>> =
-                (0..c.len()).map(|qid| scan.search(c.record(qid), t)).collect();
+            let expected: Vec<Vec<u32>> = (0..c.len())
+                .map(|qid| scan.search(c.record(qid), t))
+                .collect();
             let mut eng = PartAlloc::build(c.clone(), t);
-            for qid in 0..c.len() {
-                assert_eq!(eng.search(c.record(qid)).0, expected[qid], "tau={tau} qid={qid}");
+            for (qid, expect) in expected.iter().enumerate() {
+                assert_eq!(&eng.search(c.record(qid)).0, expect, "tau={tau} qid={qid}");
             }
         }
     }

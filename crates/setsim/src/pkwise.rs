@@ -55,7 +55,10 @@ impl ClassMap {
             classes.iter().all(|&c| (1..m as u8).contains(&c)),
             "classes must be in 1..m"
         );
-        ClassMap { m, explicit: Some(classes) }
+        ClassMap {
+            m,
+            explicit: Some(classes),
+        }
     }
 
     /// The box count `m` (classes plus the suffix box `b₀`).
@@ -118,10 +121,18 @@ pub fn compute_prefix(r: &[u32], classes: &ClassMap, o: u32) -> Option<Prefix> {
             capacity += 1;
         }
         if capacity >= needed {
-            return Some(Prefix { len: idx + 1, grouped, degenerate: false });
+            return Some(Prefix {
+                len: idx + 1,
+                grouped,
+                degenerate: false,
+            });
         }
     }
-    Some(Prefix { len: r.len(), grouped, degenerate: true })
+    Some(Prefix {
+        len: r.len(),
+        grouped,
+        degenerate: true,
+    })
 }
 
 fn group_all(r: &[u32], classes: &ClassMap, degenerate: bool) -> Prefix {
@@ -130,7 +141,11 @@ fn group_all(r: &[u32], classes: &ClassMap, degenerate: bool) -> Prefix {
     for &t in r {
         grouped[classes.class_of(t) - 1].push(t);
     }
-    Prefix { len: r.len(), grouped, degenerate }
+    Prefix {
+        len: r.len(),
+        grouped,
+        degenerate,
+    }
 }
 
 /// Calls `f` once per `k`-combination of `tokens` (ascending index
@@ -240,13 +255,23 @@ impl PkwiseIndex {
                 let toks = &p.grouped[k - 1];
                 if toks.len() >= k {
                     for_each_combination(toks, k, &mut |combo| {
-                        maps[k - 1].entry(signature_hash(combo)).or_default().push(id);
+                        maps[k - 1]
+                            .entry(signature_hash(combo))
+                            .or_default()
+                            .push(id);
                     });
                 }
             }
             prefixes.push(Some(p));
         }
-        PkwiseIndex { classes, threshold, maps, degenerate, prefixes, capped_records }
+        PkwiseIndex {
+            classes,
+            threshold,
+            maps,
+            degenerate,
+            prefixes,
+            capped_records,
+        }
     }
 
     /// The class map.
@@ -349,8 +374,8 @@ mod tests {
         // Example 10: tokens A..P = ranks 0..15, classes A−B:1, C−D:2,
         // E−F:3, G−P:4; τ = 9 (overlap), m = 5. Both prefixes are 9 long.
         let mut cls = vec![0u8; 16];
-        for r in 0..16 {
-            cls[r] = match r {
+        for (r, c) in cls.iter_mut().enumerate() {
+            *c = match r {
                 0 | 1 => 1,
                 2 | 3 => 2,
                 4 | 5 => 3,

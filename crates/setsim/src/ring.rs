@@ -9,16 +9,20 @@
 //! Thresholds (variable allocation + integer reduction, `≥` direction,
 //! `‖T‖₁ = o(q) + m − 1`):
 //!
-//! * `t₀ = |q| − p_q + 1` — strictly above the largest possible suffix
-//!   overlap, so no chain can *start* at the suffix box and the signature
-//!   index finds every prefix-viable chain head;
+//! * `t₀ = |q| − p_q + 1` — above the largest *pure suffix* overlap, but
+//!   NOT above `b₀` in general: `b₀` also absorbs cross overlap (tokens in
+//!   one side's prefix and the other's suffix), so a witness chain *can*
+//!   start at the suffix box. Signature probes reach only class starts, so
+//!   after a failed class-start chain the engine re-checks the start-0
+//!   chain with an upper bound for `b₀` (conservative in the `≥`
+//!   direction) before ruling a record out;
 //! * `t_k = k` when `cnt(q, p_q, k) ≥ k`, else `cnt(q, p_q, k) + 1` —
-//!   again unreachable in the second case, so a viable class box is
-//!   exactly a shared k-wise signature.
+//!   unreachable in the second case, so a viable class box is exactly a
+//!   shared k-wise signature and every viable class start is enumerated.
 
 use crate::pkwise::{
-    combination_count, compute_prefix, for_each_combination, signature_hash, ClassMap,
-    PkwiseIndex, Prefix,
+    combination_count, compute_prefix, for_each_combination, signature_hash, ClassMap, PkwiseIndex,
+    Prefix,
 };
 use crate::types::{overlap, overlap_at_least, Collection, Threshold};
 use pigeonring_core::viability::{check_prefix_viable_lazy, Direction, ThresholdScheme};
@@ -126,8 +130,7 @@ impl RingSetSim {
         if oq as usize > q.len() {
             return (Vec::new(), stats); // no record can reach the overlap
         }
-        let qp = compute_prefix(q, self.index.classes(), oq)
-            .expect("o(q) ≤ |q| was just checked");
+        let qp = compute_prefix(q, self.index.classes(), oq).expect("o(q) ≤ |q| was just checked");
 
         let mut cands: Vec<u32> = Vec::new();
         if qp.degenerate {
@@ -143,9 +146,9 @@ impl RingSetSim {
             // class; ‖T‖₁ = o(q) + m − 1.
             let mut t = vec![0i64; m];
             t[0] = q.len() as i64 - qp.len as i64 + 1;
-            for k in 1..m {
+            for (k, tk) in t.iter_mut().enumerate().skip(1) {
                 let cnt = qp.count(k) as i64;
-                t[k] = if cnt >= k as i64 { k as i64 } else { cnt + 1 };
+                *tk = if cnt >= k as i64 { k as i64 } else { cnt + 1 };
             }
             debug_assert_eq!(t.iter().sum::<i64>(), oq as i64 + m as i64 - 1);
             let scheme = ThresholdScheme::integer_reduced(t);
@@ -211,6 +214,39 @@ impl RingSetSim {
                                 }
                                 for off in 0..l_fail {
                                     ruled_mask[idu] |= 1u64 << (k + off);
+                                }
+                                // Theorem 7's witness chain may start at the
+                                // suffix box b₀, which signature probes never
+                                // reach: b₀ absorbs the *cross* overlap
+                                // (prefix-of-one ∩ suffix-of-the-other), so it
+                                // can exceed t₀ even though the pure suffix
+                                // overlap cannot. Check the start-0 chain with
+                                // a conservative upper bound for b₀ (sound in
+                                // the ≥ direction); memoize failure in bit 0.
+                                if ruled_mask[idu] & 1 == 0 {
+                                    let b0_ub =
+                                        (x.len() - xp.len) as i64 + (q.len() - qp.len) as i64;
+                                    let c0 = check_prefix_viable_lazy(
+                                        &scheme,
+                                        Direction::Ge,
+                                        0,
+                                        l,
+                                        |j| {
+                                            if j == 0 {
+                                                b0_ub
+                                            } else {
+                                                stats.boxes_checked += 1;
+                                                class_overlap(xp, &qp, j) as i64
+                                            }
+                                        },
+                                    );
+                                    match c0 {
+                                        Ok(()) => {
+                                            accepted[idu] = epoch;
+                                            cands.push(id);
+                                        }
+                                        Err(_) => ruled_mask[idu] |= 1,
+                                    }
                                 }
                             }
                         }
@@ -311,9 +347,9 @@ mod tests {
         };
         let mut ring = RingSetSim::build(c.clone(), Threshold::jaccard(0.7), 5);
         for l in 1..=3usize {
-            for qid in 0..c.len() {
+            for (qid, expect) in scan_results.iter().enumerate() {
                 let (got, _) = ring.search(c.record(qid), l);
-                assert_eq!(got, scan_results[qid], "qid={qid} l={l}");
+                assert_eq!(&got, expect, "qid={qid} l={l}");
             }
         }
     }
@@ -323,8 +359,9 @@ mod tests {
         let c = zipfish_collection(100, 10, 21);
         let t = Threshold::Overlap(6);
         let scan = LinearScanSets::new(&c);
-        let expected: Vec<Vec<u32>> =
-            (0..c.len()).map(|qid| scan.search(c.record(qid), t)).collect();
+        let expected: Vec<Vec<u32>> = (0..c.len())
+            .map(|qid| scan.search(c.record(qid), t))
+            .collect();
         let mut ring = RingSetSim::build(c.clone(), t, 5);
         for l in [1usize, 2, 3, 5] {
             for qid in (0..c.len()).step_by(7) {
@@ -362,6 +399,37 @@ mod tests {
     }
 
     #[test]
+    fn witness_chain_starting_at_suffix_box_is_not_pruned() {
+        // Regression: with Threshold::Overlap(6) and l = 5, the only
+        // Theorem-7 (≥) prefix-viable chain for this pair starts at the
+        // suffix box b₀ — token 59 sits in q's prefix but x's suffix, so
+        // b₀ carries cross overlap that t₀ = |q| − p_q + 1 does not
+        // dominate. The engine must fall back to the start-0 chain (with
+        // an upper-bounded b₀) instead of pruning the true result.
+        let raw = vec![
+            vec![2, 5, 14, 38, 41, 42, 43, 48, 50, 52, 54, 59],
+            vec![8, 11, 14, 19, 27, 31, 32, 38, 43, 52, 54, 59],
+        ];
+        let c = Collection::new(raw);
+        let t = Threshold::Overlap(6);
+        // The class assignment (by rank) that produced the failure in the
+        // original 39-record collection, pinned explicitly so the test
+        // stays meaningful if the hash mixing ever changes.
+        let classes = ClassMap::explicit(
+            5,
+            vec![3, 4, 4, 1, 1, 1, 3, 4, 2, 3, 4, 3, 1, 1, 1, 2, 1, 1],
+        );
+        let scan = LinearScanSets::new(&c);
+        let mut ring = RingSetSim::with_class_map(c.clone(), t, classes);
+        for qid in 0..c.len() {
+            let expect = scan.search(c.record(qid), t);
+            for l in 1..=5usize {
+                assert_eq!(ring.search(c.record(qid), l).0, expect, "qid={qid} l={l}");
+            }
+        }
+    }
+
+    #[test]
     fn empty_query_returns_nothing() {
         let c = zipfish_collection(50, 8, 5);
         let mut ring = RingSetSim::build(c, Threshold::jaccard(0.7), 5);
@@ -376,11 +444,12 @@ mod tests {
         let c = zipfish_collection(80, 10, 17);
         let t = Threshold::jaccard(0.7);
         let scan = LinearScanSets::new(&c);
-        let expected: Vec<Vec<u32>> =
-            (0..c.len()).map(|qid| scan.search(c.record(qid), t)).collect();
+        let expected: Vec<Vec<u32>> = (0..c.len())
+            .map(|qid| scan.search(c.record(qid), t))
+            .collect();
         let mut ring = RingSetSim::build(c.clone(), t, 2);
-        for qid in 0..c.len() {
-            assert_eq!(ring.search(c.record(qid), 1).0, expected[qid], "qid={qid}");
+        for (qid, expect) in expected.iter().enumerate() {
+            assert_eq!(&ring.search(c.record(qid), 1).0, expect, "qid={qid}");
         }
     }
 }

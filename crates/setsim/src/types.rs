@@ -37,7 +37,10 @@ impl Threshold {
     /// # Panics
     /// Panics unless `0 < tau ≤ 1`.
     pub fn jaccard(tau: f64) -> Self {
-        assert!(tau > 0.0 && tau <= 1.0, "Jaccard threshold must be in (0, 1]");
+        assert!(
+            tau > 0.0 && tau <= 1.0,
+            "Jaccard threshold must be in (0, 1]"
+        );
         let num = (tau * 1000.0).round() as u32;
         Threshold::Jaccard { num, den: 1000 }
     }
@@ -120,15 +123,21 @@ impl Collection {
         }
         let mut tokens: Vec<(u32, u32)> = freq.iter().map(|(&t, &f)| (f, t)).collect();
         tokens.sort_unstable();
-        let rank: FxHashMap<u32, u32> =
-            tokens.iter().enumerate().map(|(i, &(_, t))| (t, i as u32)).collect();
+        let rank: FxHashMap<u32, u32> = tokens
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, t))| (t, i as u32))
+            .collect();
         for r in &mut deduped {
             for t in r.iter_mut() {
                 *t = rank[t];
             }
             r.sort_unstable();
         }
-        Collection { records: deduped, universe: tokens.len() }
+        Collection {
+            records: deduped,
+            universe: tokens.len(),
+        }
     }
 
     /// The records (sorted rank arrays).
@@ -236,6 +245,7 @@ mod tests {
         assert_eq!(t.min_overlap_pair(4, 4), 3);
         assert!(t.satisfied(3, 4, 4)); // J = 3/5 ≥ 0.5
         assert!(!t.satisfied(2, 4, 4)); // J = 2/6 < 0.5
+
         // Boundary: J exactly τ must satisfy (≥, not >): o=2, sizes 3,3:
         // J = 2/4 = 0.5.
         assert!(t.satisfied(2, 3, 3));
@@ -296,11 +306,7 @@ mod tests {
 
     #[test]
     fn linear_scan_overlap_threshold() {
-        let c = Collection::new(vec![
-            vec![1, 2, 3, 4],
-            vec![1, 2, 9, 10],
-            vec![7, 8, 9, 10],
-        ]);
+        let c = Collection::new(vec![vec![1, 2, 3, 4], vec![1, 2, 9, 10], vec![7, 8, 9, 10]]);
         let q = c.record(0).to_vec();
         let scan = LinearScanSets::new(&c);
         assert_eq!(scan.search(&q, Threshold::Overlap(4)), vec![0]);

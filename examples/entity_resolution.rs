@@ -38,10 +38,22 @@ fn main() {
     }
     let nq = queries.len() as f64;
     println!("τ = {tau}, {} queries:", queries.len());
-    println!("  Pivotal prefix filter (Cand-1): {:>8.1} candidates/query", c1 as f64 / nq);
-    println!("  + alignment filter    (Cand-2): {:>8.1} candidates/query", c2 as f64 / nq);
-    println!("  Ring strong-form filter (l=3) : {:>8.1} candidates/query", cr as f64 / nq);
-    println!("  matching entities             : {:>8.1} per query", matches as f64 / nq);
+    println!(
+        "  Pivotal prefix filter (Cand-1): {:>8.1} candidates/query",
+        c1 as f64 / nq
+    );
+    println!(
+        "  + alignment filter    (Cand-2): {:>8.1} candidates/query",
+        c2 as f64 / nq
+    );
+    println!(
+        "  Ring strong-form filter (l=3) : {:>8.1} candidates/query",
+        cr as f64 / nq
+    );
+    println!(
+        "  matching entities             : {:>8.1} per query",
+        matches as f64 / nq
+    );
     println!(
         "Ring reaches Pivotal-level filtering power with popcount bounds\n\
          instead of per-gram edit-distance DPs (§6.3)."

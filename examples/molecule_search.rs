@@ -42,8 +42,16 @@ fn screen(name: &str, cfg: GraphConfig, tau: usize) {
 }
 
 fn main() {
-    screen("AIDS-like   (many labels)", GraphConfig::aids_like(2_000), 4);
-    screen("Protein-like (few labels)", GraphConfig::protein_like(1_000), 4);
+    screen(
+        "AIDS-like   (many labels)",
+        GraphConfig::aids_like(2_000),
+        4,
+    );
+    screen(
+        "Protein-like (few labels)",
+        GraphConfig::protein_like(1_000),
+        4,
+    );
     println!(
         "\nLabel-rich parts are selective, so the pigeonring chain check\n\
          removes many Pars candidates; label-poor parts embed almost\n\

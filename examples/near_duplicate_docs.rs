@@ -25,7 +25,11 @@ fn report(name: &str, cands: usize, res: usize, ms: f64, nq: usize) {
 
 fn main() {
     let docs = Collection::new(SetConfig::enron_like(8_000).generate());
-    println!("corpus: {} documents, {} distinct tokens", docs.len(), docs.universe());
+    println!(
+        "corpus: {} documents, {} distinct tokens",
+        docs.len(),
+        docs.universe()
+    );
     let t = Threshold::jaccard(0.8);
     let queries = sample_query_ids(docs.len(), 100, 7);
     let nq = queries.len();
@@ -73,6 +77,9 @@ fn main() {
         report(name, cands, res, start.elapsed().as_secs_f64() * 1e3, nq);
         answers.push(first);
     }
-    assert!(answers.windows(2).all(|w| w[0] == w[1]), "all engines must agree exactly");
+    assert!(
+        answers.windows(2).all(|w| w[0] == w[1]),
+        "all engines must agree exactly"
+    );
     println!("all four engines returned identical duplicate sets ✓");
 }

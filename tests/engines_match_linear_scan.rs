@@ -3,9 +3,7 @@
 //! This is the completeness test the whole filter-and-refine design
 //! rests on (no result may ever be lost, at any `l`).
 
-use pigeonring::datagen::{
-    sample_query_ids, GraphConfig, SetConfig, StringConfig, VectorConfig,
-};
+use pigeonring::datagen::{sample_query_ids, GraphConfig, SetConfig, StringConfig, VectorConfig};
 use pigeonring::editdist::verify::edit_distance;
 use pigeonring::editdist::{GramOrder, Pivotal, QGramCollection, RingEdit};
 use pigeonring::graph::pars::LinearScanGraphs;
@@ -28,7 +26,10 @@ fn hamming_engines_are_exact() {
                 let expect = scan.search(&q, tau);
                 for l in [1usize, 2, 5, 16] {
                     let (got, stats) = ring.search(&q, tau, l);
-                    assert_eq!(got, expect, "strategy={strategy:?} qid={qid} tau={tau} l={l}");
+                    assert_eq!(
+                        got, expect,
+                        "strategy={strategy:?} qid={qid} tau={tau} l={l}"
+                    );
                     assert_eq!(stats.results, expect.len());
                 }
             }
@@ -50,7 +51,11 @@ fn setsim_engines_are_exact() {
             let q = coll.record(qid).to_vec();
             let expect = scan.search(&q, t);
             for l in [1usize, 2, 3] {
-                assert_eq!(ring.search(&q, l).0, expect, "ring tau={tau} qid={qid} l={l}");
+                assert_eq!(
+                    ring.search(&q, l).0,
+                    expect,
+                    "ring tau={tau} qid={qid} l={l}"
+                );
             }
             assert_eq!(adapt.search(&q).0, expect, "adapt tau={tau} qid={qid}");
             assert_eq!(part.search(&q).0, expect, "partalloc tau={tau} qid={qid}");
@@ -79,7 +84,11 @@ fn editdist_engines_are_exact() {
             let q = &strings[qid];
             let expect = scan(q, tau as u32);
             for l in [1usize, 2, 3, tau + 1] {
-                assert_eq!(ring.search(q, l).0, expect, "ring tau={tau} qid={qid} l={l}");
+                assert_eq!(
+                    ring.search(q, l).0,
+                    expect,
+                    "ring tau={tau} qid={qid} l={l}"
+                );
             }
             assert_eq!(piv.search(q).0, expect, "pivotal tau={tau} qid={qid}");
         }
@@ -99,7 +108,11 @@ fn graph_engines_are_exact() {
             let expect = scan.search(q, tau as u32);
             assert_eq!(pars.search(q).0, expect, "pars tau={tau} qid={qid}");
             for l in [1usize, 2, tau, tau + 1] {
-                assert_eq!(ring.search(q, l).0, expect, "ring tau={tau} qid={qid} l={l}");
+                assert_eq!(
+                    ring.search(q, l).0,
+                    expect,
+                    "ring tau={tau} qid={qid} l={l}"
+                );
             }
         }
     }

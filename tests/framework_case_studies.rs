@@ -28,8 +28,10 @@ fn hamming_instance_is_complete_and_tight() {
     for i in (0..data.len()).step_by(7) {
         for j in (0..data.len()).step_by(11) {
             let f = data[i].distance(&data[j]) as f64;
-            let norm: u32 =
-                p.iter().map(|(lo, hi)| data[i].part_distance(&data[j], lo, hi)).sum();
+            let norm: u32 = p
+                .iter()
+                .map(|(lo, hi)| data[i].part_distance(&data[j], lo, hi))
+                .sum();
             pairs.push((f, norm as f64));
         }
     }
@@ -53,8 +55,7 @@ fn pivotal_instance_is_complete_not_tight() {
             let q = &strings[j];
             let grams = coll.grams(i);
             let prefix = pigeonring::editdist::qgram::prefix_grams(grams, kappa, tau);
-            let Some(piv) = pigeonring::editdist::qgram::select_pivotal(prefix, kappa, tau)
-            else {
+            let Some(piv) = pigeonring::editdist::qgram::select_pivotal(prefix, kappa, tau) else {
                 continue;
             };
             let norm: u32 = piv
@@ -106,9 +107,7 @@ fn pars_instance_is_complete() {
             let parts = partition_graph(x, tau + 1);
             let norm: u32 = parts
                 .iter()
-                .map(|p| {
-                    pigeonring::graph::neighborhood::min_ops_to_match(p, q, 3).unwrap_or(4)
-                })
+                .map(|p| pigeonring::graph::neighborhood::min_ops_to_match(p, q, 3).unwrap_or(4))
                 .sum();
             pairs.push((f as f64, norm as f64));
         }

@@ -1,0 +1,513 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the subset of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`, multiple
+//!   `#[test] fn name(arg in strategy, ..) { .. }` items);
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`];
+//! * range strategies over integers and floats, tuple strategies,
+//!   [`Strategy::prop_map`], `prop::collection::vec`, `prop::bool::ANY`,
+//!   `prop::num::u64::ANY`, and `prop::sample::select`.
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with
+//! the sampled inputs' debug output instead of a minimized counterexample.
+//! Generation is deterministic per test name, so failures reproduce.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration. Only `cases` is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: skip the case, draw another.
+    Reject,
+    /// `prop_assert*!` failed: the property is false.
+    Fail(String),
+}
+
+/// Result of one test case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic generator driving strategy sampling (xorshift64*).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds deterministically from a test name so failures reproduce.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: h | 1, // xorshift state must be non-zero
+        }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty sampling bound");
+        self.next_u64() % bound
+    }
+}
+
+/// A value generator. `Strategy<Value = T>` produces `T`s.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_strategy_range_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = u128::from(rng.next_u64()) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let v = u128::from(rng.next_u64()) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_range_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start() <= self.end(), "empty range strategy");
+        self.start() + rng.next_f64() * (self.end() - self.start())
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($s:ident => $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_tuple! {
+    (A => 0)
+    (A => 0, B => 1)
+    (A => 0, B => 1, C => 2)
+    (A => 0, B => 1, C => 2, D => 3)
+    (A => 0, B => 1, C => 2, D => 3, E => 4)
+    (A => 0, B => 1, C => 2, D => 3, E => 4, F => 5)
+}
+
+/// Length specification for collection strategies: a fixed `usize`, a
+/// `Range<usize>`, or a `RangeInclusive<usize>`.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        let span = (self.hi_inclusive - self.lo + 1) as u64;
+        self.lo + rng.below(span) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+pub mod prop {
+    //! The `prop::` namespace mirrored from real proptest.
+
+    pub mod collection {
+        //! Collection strategies.
+        use crate::{SizeRange, Strategy, TestRng};
+
+        /// Strategy for `Vec<S::Value>` with lengths drawn from `size`.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// Generates vectors whose elements come from `element` and whose
+        /// length is drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = self.size.sample(rng);
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    pub mod bool {
+        //! Boolean strategies.
+        use crate::{Strategy, TestRng};
+
+        /// Strategy yielding arbitrary booleans.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Any;
+
+        /// Arbitrary boolean.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+
+            fn sample(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() >> 63 == 1
+            }
+        }
+    }
+
+    pub mod num {
+        //! Numeric "any value" strategies.
+
+        pub mod u64 {
+            //! `u64` strategies.
+            use crate::{Strategy, TestRng};
+
+            /// Strategy yielding arbitrary `u64`s.
+            #[derive(Clone, Copy, Debug)]
+            pub struct Any;
+
+            /// Arbitrary `u64`.
+            pub const ANY: Any = Any;
+
+            impl Strategy for Any {
+                type Value = u64;
+
+                fn sample(&self, rng: &mut TestRng) -> u64 {
+                    rng.next_u64()
+                }
+            }
+        }
+    }
+
+    pub mod sample {
+        //! Strategies drawing from explicit value sets.
+        use crate::{Strategy, TestRng};
+
+        /// Strategy choosing uniformly among `items`.
+        pub struct Select<T> {
+            items: Vec<T>,
+        }
+
+        /// Chooses uniformly from `items` (must be non-empty).
+        pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+            assert!(!items.is_empty(), "select requires at least one item");
+            Select { items }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn sample(&self, rng: &mut TestRng) -> T {
+                let i = rng.below(self.items.len() as u64) as usize;
+                self.items[i].clone()
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", ::core::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: {} ({})",
+                    ::core::stringify!($cond),
+                    ::std::format!($($fmt)+),
+                ),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                        ::std::format!(
+                            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                            ::core::stringify!($left),
+                            ::core::stringify!($right),
+                            left,
+                            right,
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                        ::std::format!(
+                            "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+                            ::core::stringify!($left),
+                            ::core::stringify!($right),
+                            ::std::format!($($fmt)+),
+                            left,
+                            right,
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Rejects the current case (draws a fresh one) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` followed by `#[test] fn name(pat in strategy,
+/// ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(::core::stringify!($name));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = cfg.cases.saturating_mul(32).max(4096);
+            while accepted < cfg.cases {
+                if attempts >= max_attempts {
+                    panic!(
+                        "{}: gave up after {} attempts ({} of {} cases accepted); \
+                         prop_assume! rejects too much",
+                        ::core::stringify!($name),
+                        attempts,
+                        accepted,
+                        cfg.cases,
+                    );
+                }
+                attempts += 1;
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                let outcome: $crate::TestCaseResult = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => accepted += 1,
+                    ::core::result::Result::Err($crate::TestCaseError::Reject) => continue,
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("{} (case {}): {}", ::core::stringify!($name), accepted, msg)
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 0i64..=10, y in 1usize..4, f in -2.0f64..2.0) {
+            prop_assert!((0..=10).contains(&x));
+            prop_assert!((1..4).contains(&y));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in prop::collection::vec(0u32..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn map_and_tuple_compose(
+            p in (0u32..10, 0u32..10).prop_map(|(a, b)| a + b),
+            s in prop::sample::select(vec![3u8, 5, 7]),
+            b in prop::bool::ANY,
+            w in prop::num::u64::ANY,
+        ) {
+            prop_assert!(p < 20);
+            prop_assert!(s == 3 || s == 5 || s == 7);
+            let _ = (b, w);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = crate::TestRng::deterministic("t");
+        let mut b = crate::TestRng::deterministic("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
