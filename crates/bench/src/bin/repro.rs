@@ -1,8 +1,10 @@
 //! Regenerates every evaluation artifact of the paper (Figures 2 and
-//! 5–12) plus two ablations, at reduced dataset scale (DESIGN.md §5).
+//! 5–12) plus two ablations, at reduced dataset scale (DESIGN.md §5),
+//! and drives the sharded service layer.
 //!
 //! ```text
-//! repro <fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|ablate-skip|ablate-alloc|all> [--quick]
+//! repro <fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|ablate-skip|ablate-alloc|sweep|all>
+//!       [--quick | --paper] [--shards K] [--batch B] [--threads T]
 //! ```
 //!
 //! Each experiment prints an aligned table and writes a CSV under
@@ -10,24 +12,54 @@
 //! different machine); the *shape* — who wins, candidate monotonicity,
 //! U-shaped total time in `l` — is the reproduction target and is
 //! recorded in EXPERIMENTS.md.
+//!
+//! With `--shards K`, `fig7` routes through the `pigeonring-service`
+//! [`ShardedIndex`] (batched, shard-parallel); its table gains a
+//! `result_hash` column — equal hashes across `K` certify identical
+//! result sets. `sweep` runs all four domain engines through the service
+//! layer across shard counts and writes `results/BENCH_service.json`
+//! (per-shard throughput, uploaded by CI).
 
-use pigeonring_bench::{f1, f3, time_per_query, Report, Scale};
+use pigeonring_bench::{f1, f3, time_per_query, Report, Scale, ServiceOpts};
 use pigeonring_core::analysis::{DiscreteDist, FilterAnalysis};
 use pigeonring_datagen::{sample_query_ids, GraphConfig, SetConfig, StringConfig, VectorConfig};
-use pigeonring_editdist::{GramOrder, Pivotal, QGramCollection, RingEdit};
-use pigeonring_graph::{Graph, Pars, RingGraph};
-use pigeonring_hamming::{AllocationStrategy, BitVector, RingHamming};
-use pigeonring_setsim::{AdaptSearch, Collection, PartAlloc, RingSetSim, Threshold};
+use pigeonring_editdist::{EditParams, GramOrder, Pivotal, QGramCollection, RingEdit};
+use pigeonring_graph::{Graph, GraphParams, Pars, RingGraph};
+use pigeonring_hamming::{AllocationStrategy, BitVector, HammingParams, RingHamming};
+use pigeonring_service::{ShardedIndex, Sweep};
+use pigeonring_setsim::{AdaptSearch, Collection, PartAlloc, RingSetSim, SetParams, Threshold};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = ServiceOpts::validate_flags(&args[args.len().min(1)..]) {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
     let scale = Scale::from_args(&args);
+    let opts = ServiceOpts::from_args(&args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
     let cmd = args.first().map(String::as_str).unwrap_or("help");
+    // Only fig7, sweep, and all route through the service layer; reject
+    // service flags anywhere they would be silently ignored.
+    let service_aware = matches!(cmd, "fig7" | "sweep" | "all");
+    let batch_or_threads_given = args.iter().any(|a| a == "--batch" || a == "--threads");
+    if (opts.shards.is_some() || batch_or_threads_given) && !service_aware {
+        eprintln!("--shards/--batch/--threads only apply to fig7, sweep, and all (got {cmd:?})");
+        std::process::exit(2);
+    }
+    // fig7 without --shards runs the classic unsharded path, which reads
+    // no service options at all.
+    if cmd == "fig7" && opts.shards.is_none() && batch_or_threads_given {
+        eprintln!("fig7 ignores --batch/--threads unless --shards K selects the service path");
+        std::process::exit(2);
+    }
     match cmd {
         "fig2" => fig2(),
         "fig5" => fig5(scale),
         "fig6" => fig6(scale),
-        "fig7" => fig7(scale),
+        "fig7" => fig7(scale, &opts),
         "fig8" => fig8(scale),
         "fig9" => fig9(scale),
         "fig10" => fig10(scale),
@@ -35,11 +67,17 @@ fn main() {
         "fig12" => fig12(scale),
         "ablate-skip" => ablate_skip(scale),
         "ablate-alloc" => ablate_alloc(scale),
+        "sweep" => sweep(scale, &opts),
         "all" => {
             fig2();
             fig5(scale);
             fig6(scale);
-            fig7(scale);
+            // Always refresh the classic fig7 paper artifact; with
+            // --shards also run the sharded service-layer variant.
+            fig7_classic(scale);
+            if opts.shards.is_some() {
+                fig7(scale, &opts);
+            }
             fig8(scale);
             fig9(scale);
             fig10(scale);
@@ -47,10 +85,12 @@ fn main() {
             fig12(scale);
             ablate_skip(scale);
             ablate_alloc(scale);
+            sweep(scale, &opts);
         }
         other => {
             eprintln!(
-                "unknown experiment {other:?}; expected fig2|fig5..fig12|ablate-skip|ablate-alloc|all [--quick]"
+                "unknown experiment {other:?}; expected fig2|fig5..fig12|ablate-skip|ablate-alloc|sweep|all \
+                 [--quick|--paper] [--shards K] [--batch B] [--threads T]"
             );
             std::process::exit(2);
         }
@@ -150,7 +190,7 @@ fn fig5(scale: Scale) {
             RingHamming::build(setup.data.clone(), setup.m, AllocationStrategy::CostModel);
         for tau in taus {
             for l in 1..=8usize {
-                let (cand_ms, stats) = time_per_query(&setup.queries, |qid| {
+                let (cand_ms, _cstats) = time_per_query(&setup.queries, |qid| {
                     let q = setup.data[qid].clone();
                     eng.candidates(&q, tau, l).1
                 });
@@ -159,7 +199,9 @@ fn fig5(scale: Scale) {
                     eng.search(&q, tau, l).1
                 });
                 let nq = setup.queries.len() as f64;
-                let avg_cand = stats.iter().map(|s| s.candidates as f64).sum::<f64>() / nq;
+                // Cand and res columns both come from the full-search
+                // run (the candidates-only pass exists for cand_ms).
+                let avg_cand = full.iter().map(|s| s.candidates as f64).sum::<f64>() / nq;
                 let avg_res = full.iter().map(|s| s.results as f64).sum::<f64>() / nq;
                 rep.row(&[
                     setup.name.into(),
@@ -252,7 +294,7 @@ fn fig6(scale: Scale) {
         for tau in [0.7f64, 0.8] {
             let mut eng = RingSetSim::build(setup.collection.clone(), Threshold::jaccard(tau), 5);
             for l in 1..=3usize {
-                let (cand_ms, cstats) = time_per_query(&setup.queries, |qid| {
+                let (cand_ms, _cstats) = time_per_query(&setup.queries, |qid| {
                     let q = setup.collection.record(qid).to_vec();
                     eng.candidates(&q, l).1
                 });
@@ -265,7 +307,7 @@ fn fig6(scale: Scale) {
                     setup.name.into(),
                     tau.to_string(),
                     l.to_string(),
-                    f1(cstats.iter().map(|s| s.candidates as f64).sum::<f64>() / nq),
+                    f1(stats.iter().map(|s| s.candidates as f64).sum::<f64>() / nq),
                     f1(stats.iter().map(|s| s.results as f64).sum::<f64>() / nq),
                     f3(cand_ms),
                     f3(total_ms),
@@ -388,7 +430,17 @@ fn kappa_for(name: &str, tau: usize) -> usize {
 }
 
 /// Figure 7: effect of chain length on string edit distance search.
-fn fig7(scale: Scale) {
+/// With `--shards K` the sharded service-layer variant runs instead.
+fn fig7(scale: Scale, opts: &ServiceOpts) {
+    match opts.shards {
+        Some(k) => fig7_sharded(scale, opts, k),
+        None => fig7_classic(scale),
+    }
+}
+
+/// Classic single-threaded fig7: per-query timing of the unsharded
+/// engine.
+fn fig7_classic(scale: Scale) {
     let mut rep = Report::new(
         "fig7_editdist_chain",
         &[
@@ -406,21 +458,100 @@ fn fig7(scale: Scale) {
             let coll = QGramCollection::build(setup.strings.clone(), kappa, GramOrder::Frequency);
             let mut eng = RingEdit::build(coll, tau);
             for l in 1..=4usize.min(tau + 1) {
-                let (cand_ms, cstats) = time_per_query(&setup.queries, |qid| {
+                let (cand_ms, _cstats) = time_per_query(&setup.queries, |qid| {
                     eng.candidates(&setup.strings[qid].clone(), l).1
                 });
                 let (total_ms, stats) = time_per_query(&setup.queries, |qid| {
                     eng.search(&setup.strings[qid].clone(), l).1
                 });
                 let nq = setup.queries.len() as f64;
+                // Both the cand and res columns come from the same (full
+                // search) run, so the table rows are internally
+                // consistent; the candidates-only pass is kept purely
+                // for the `cand_ms` timing.
                 rep.row(&[
                     setup.name.into(),
                     tau.to_string(),
                     l.to_string(),
-                    f1(cstats.iter().map(|s| s.candidates as f64).sum::<f64>() / nq),
+                    f1(stats.iter().map(|s| s.candidates as f64).sum::<f64>() / nq),
                     f1(stats.iter().map(|s| s.results as f64).sum::<f64>() / nq),
                     f3(cand_ms),
                     f3(total_ms),
+                ]);
+            }
+        }
+    }
+    rep.emit();
+}
+
+/// Sharded fig7 through the service layer: same datasets, same `τ`/`l`
+/// grid, but queries run as batches over a `K`-shard worker pool. The
+/// `result_hash` column fingerprints every query's result ids — equal
+/// hashes across different `--shards K` runs certify identical result
+/// sets (the service-layer acceptance check).
+fn fig7_sharded(scale: Scale, opts: &ServiceOpts, shards: usize) {
+    let threads = opts.threads_for(shards);
+    let mut rep = Report::new(
+        &format!("fig7_editdist_chain_shards{shards}"),
+        &[
+            "dataset",
+            "tau",
+            "l",
+            "shards",
+            "batch",
+            "avg_cand",
+            "avg_res",
+            "result_hash",
+            "ms_per_query",
+            "qps",
+        ],
+    );
+    // The Sweep accumulator is used here only for its batched
+    // timing/result-hash logic; its rows are reported through `rep`, not
+    // through BENCH_service.json (which only the `sweep` subcommand
+    // writes).
+    let mut sweep = Sweep::new();
+    for setup in string_setup(scale) {
+        let taus: [usize; 2] = if setup.name == "imdb" {
+            [2, 4]
+        } else {
+            [6, 12]
+        };
+        let queries: Vec<Vec<u8>> = setup
+            .queries
+            .iter()
+            .map(|&qid| setup.strings[qid].clone())
+            .collect();
+        for tau in taus {
+            let kappa = kappa_for(setup.name, tau);
+            let index = ShardedIndex::build(setup.strings.clone(), shards, |shard| {
+                RingEdit::build(
+                    QGramCollection::build(shard, kappa, GramOrder::Frequency),
+                    tau,
+                )
+            });
+            for l in 1..=4usize.min(tau + 1) {
+                let (row, stats) = sweep.run(
+                    "editdist",
+                    setup.name,
+                    &index,
+                    &queries,
+                    &EditParams { l },
+                    opts.batch,
+                    threads,
+                );
+                let nq = queries.len() as f64;
+                rep.row(&[
+                    setup.name.into(),
+                    tau.to_string(),
+                    l.to_string(),
+                    shards.to_string(),
+                    opts.batch.to_string(),
+                    f1(stats.candidates as f64 / nq),
+                    f1(stats.results as f64 / nq),
+                    format!("{:016x}", row.result_hash),
+                    f3(row.total_ms / nq),
+                    f1(row.qps),
                 ]);
             }
         }
@@ -524,7 +655,7 @@ fn fig8(scale: Scale) {
         for tau in [4usize, 5] {
             let eng = RingGraph::build(setup.graphs.clone(), tau);
             for l in 1..=5usize {
-                let (cand_ms, cstats) = time_per_query(&setup.queries, |qid| {
+                let (cand_ms, _cstats) = time_per_query(&setup.queries, |qid| {
                     eng.candidates(&setup.graphs[qid], l).1
                 });
                 let (total_ms, stats) =
@@ -534,7 +665,7 @@ fn fig8(scale: Scale) {
                     setup.name.into(),
                     tau.to_string(),
                     l.to_string(),
-                    f1(cstats.iter().map(|s| s.candidates as f64).sum::<f64>() / nq),
+                    f1(stats.iter().map(|s| s.candidates as f64).sum::<f64>() / nq),
                     f1(stats.iter().map(|s| s.results as f64).sum::<f64>() / nq),
                     f3(cand_ms),
                     f3(total_ms),
@@ -616,6 +747,177 @@ fn ablate_skip(scale: Scale) {
         }
     }
     rep.emit();
+}
+
+// -------------------------------------------------------- service sweep
+
+/// Service-layer throughput sweep over all four domain engines.
+///
+/// For each domain a representative dataset/threshold is run through
+/// [`ShardedIndex`] across shard counts (the `--shards K` value, or
+/// `{1, 2, 4, 8}` when unset), batching `--batch B` queries per fan-out.
+/// Emits `results/service_sweep.csv` (with speedup vs the domain's
+/// first shard count) and `results/BENCH_service.json` (per-shard
+/// throughput, the artifact CI uploads). Combined with `--paper` this is
+/// the paper-§8-scale "all" mode the ROADMAP Scale item asks for.
+fn sweep(scale: Scale, opts: &ServiceOpts) {
+    let shard_counts: Vec<usize> = match opts.shards {
+        Some(k) => vec![k],
+        None => vec![1, 2, 4, 8],
+    };
+    let mut sw = Sweep::new();
+    let mut rep = Report::new(
+        "service_sweep",
+        &[
+            "domain",
+            "dataset",
+            "shards",
+            "threads",
+            "batch",
+            "queries",
+            "total_ms",
+            "qps",
+            "per_shard_qps",
+            "speedup_vs_first",
+            "result_hash",
+        ],
+    );
+    let record = |rep: &mut Report, row: &pigeonring_service::SweepRow, base_qps: f64| {
+        rep.row(&[
+            row.domain.clone(),
+            row.dataset.clone(),
+            row.shards.to_string(),
+            row.threads.to_string(),
+            row.batch.to_string(),
+            row.queries.to_string(),
+            f3(row.total_ms),
+            f1(row.qps),
+            f1(row.per_shard_qps),
+            // base_qps can be the 0.0 "too fast to measure" sentinel
+            // (see Sweep::run); don't let inf/NaN into the CSV.
+            if base_qps > 0.0 {
+                format!("{:.2}", row.qps / base_qps)
+            } else {
+                "-".into()
+            },
+            format!("{:016x}", row.result_hash),
+        ]);
+    };
+
+    // Hamming / gist (fig9's Ring configuration).
+    {
+        let data = VectorConfig::gist_like(scale.n(100_000)).generate();
+        let qids = sample_query_ids(data.len(), scale.queries(50), 1);
+        let queries: Vec<BitVector> = qids.iter().map(|&i| data[i].clone()).collect();
+        let params = HammingParams { tau: 48, l: 5 };
+        let mut base_qps = None;
+        for &k in &shard_counts {
+            let index = ShardedIndex::build(data.clone(), k, |shard| {
+                RingHamming::build(shard, 16, AllocationStrategy::CostModel)
+            });
+            let (row, _) = sw.run(
+                "hamming",
+                "gist",
+                &index,
+                &queries,
+                &params,
+                opts.batch,
+                opts.threads_for(k),
+            );
+            let base = *base_qps.get_or_insert(row.qps);
+            record(&mut rep, row, base);
+        }
+    }
+
+    // Set similarity / dblp (fig10's Ring configuration).
+    {
+        let data = SetConfig::dblp_like(scale.n(20_000)).generate();
+        let qids = sample_query_ids(data.len(), scale.queries(50), 4);
+        let queries: Vec<Vec<u32>> = qids.iter().map(|&i| data[i].clone()).collect();
+        let params = SetParams { l: 2 };
+        let mut base_qps = None;
+        for &k in &shard_counts {
+            let index = ShardedIndex::build(data.clone(), k, |shard| {
+                RingSetSim::build(Collection::new(shard), Threshold::jaccard(0.8), 5)
+            });
+            let (row, _) = sw.run(
+                "setsim",
+                "dblp",
+                &index,
+                &queries,
+                &params,
+                opts.batch,
+                opts.threads_for(k),
+            );
+            let base = *base_qps.get_or_insert(row.qps);
+            record(&mut rep, row, base);
+        }
+    }
+
+    // Edit distance / imdb (fig11's Ring configuration).
+    {
+        let data = StringConfig::imdb_like(scale.n(20_000)).generate();
+        let qids = sample_query_ids(data.len(), scale.queries(50), 5);
+        let queries: Vec<Vec<u8>> = qids.iter().map(|&i| data[i].clone()).collect();
+        let tau = 2usize;
+        let kappa = kappa_for("imdb", tau);
+        let params = EditParams { l: 3 };
+        let mut base_qps = None;
+        for &k in &shard_counts {
+            let index = ShardedIndex::build(data.clone(), k, |shard| {
+                RingEdit::build(
+                    QGramCollection::build(shard, kappa, GramOrder::Frequency),
+                    tau,
+                )
+            });
+            let (row, _) = sw.run(
+                "editdist",
+                "imdb",
+                &index,
+                &queries,
+                &params,
+                opts.batch,
+                opts.threads_for(k),
+            );
+            let base = *base_qps.get_or_insert(row.qps);
+            record(&mut rep, row, base);
+        }
+    }
+
+    // Graph edit distance / aids (fig12's Ring configuration).
+    {
+        let data = GraphConfig::aids_like(scale.n(2_000)).generate();
+        let qids = sample_query_ids(data.len(), scale.queries(30), 7);
+        let queries: Vec<Graph> = qids.iter().map(|&i| data[i].clone()).collect();
+        let tau = 4usize;
+        let params = GraphParams { l: tau };
+        let mut base_qps = None;
+        for &k in &shard_counts {
+            let index = ShardedIndex::build(data.clone(), k, |shard| RingGraph::build(shard, tau));
+            let (row, _) = sw.run(
+                "graph",
+                "aids",
+                &index,
+                &queries,
+                &params,
+                opts.batch,
+                opts.threads_for(k),
+            );
+            let base = *base_qps.get_or_insert(row.qps);
+            record(&mut rep, row, base);
+        }
+    }
+
+    rep.emit();
+    if let Err(e) = std::fs::create_dir_all("results") {
+        eprintln!("warning: cannot create results/: {e}");
+        return;
+    }
+    if let Err(e) = sw.write_json("results/BENCH_service.json") {
+        eprintln!("warning: cannot write results/BENCH_service.json: {e}");
+    } else {
+        println!("wrote results/BENCH_service.json ({} rows)", sw.rows.len());
+    }
 }
 
 /// Ablation: cost-model vs even threshold allocation (DESIGN.md §6).

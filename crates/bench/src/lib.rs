@@ -16,23 +16,32 @@ pub enum Scale {
     Quick,
     /// The default reproduction scale (minutes for `repro all`).
     Full,
+    /// Paper-§8-scale dataset sizes (10× `Full`, i.e. the order of the
+    /// paper's real datasets); meant for the sharded service layer
+    /// (`repro sweep --paper`), where shard parallelism keeps the run
+    /// tractable.
+    Paper,
 }
 
 impl Scale {
-    /// Parses `--quick` style flags.
+    /// Parses `--quick` / `--paper` style flags (`--quick` wins if both
+    /// are given).
     pub fn from_args(args: &[String]) -> Scale {
         if args.iter().any(|a| a == "--quick") {
             Scale::Quick
+        } else if args.iter().any(|a| a == "--paper") {
+            Scale::Paper
         } else {
             Scale::Full
         }
     }
 
-    /// Scales a full-size count down for quick runs.
+    /// Scales a full-size count for this scale.
     pub fn n(&self, full: usize) -> usize {
         match self {
             Scale::Quick => (full / 10).max(50),
             Scale::Full => full,
+            Scale::Paper => full.saturating_mul(10),
         }
     }
 
@@ -41,7 +50,85 @@ impl Scale {
         match self {
             Scale::Quick => (full / 5).max(5),
             Scale::Full => full,
+            Scale::Paper => full.saturating_mul(2),
         }
+    }
+}
+
+/// Service-layer options shared by the `repro` experiments:
+/// `--shards K --batch B [--threads T]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServiceOpts {
+    /// Requested shard count (`None` when `--shards` was not given — the
+    /// experiments then use their classic unsharded path).
+    pub shards: Option<usize>,
+    /// Queries per batch fanned out to the worker pool.
+    pub batch: usize,
+    /// Worker threads (defaults to the shard count).
+    pub threads: Option<usize>,
+}
+
+impl ServiceOpts {
+    /// Default batch size when `--batch` is absent.
+    pub const DEFAULT_BATCH: usize = 16;
+
+    /// Parses `--shards K`, `--batch B`, and `--threads T` value flags,
+    /// reporting a missing or non-numeric value as an error so CLI
+    /// callers can print it and exit cleanly.
+    pub fn from_args(args: &[String]) -> Result<ServiceOpts, String> {
+        let value_of = |flag: &str| -> Result<Option<usize>, String> {
+            match args.iter().position(|a| a == flag) {
+                None => Ok(None),
+                Some(i) => args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v| v > 0)
+                    .map(Some)
+                    .ok_or_else(|| format!("{flag} requires a positive integer value")),
+            }
+        };
+        Ok(ServiceOpts {
+            shards: value_of("--shards")?,
+            batch: value_of("--batch")?.unwrap_or(Self::DEFAULT_BATCH),
+            threads: value_of("--threads")?,
+        })
+    }
+
+    /// Validates that every `--flag` in `args` is one the harness knows
+    /// (`--quick`, `--paper`, or a value flag), so a typo like `--shard 4`
+    /// or `--threads=2` fails loudly instead of silently running the
+    /// default configuration.
+    pub fn validate_flags(args: &[String]) -> Result<(), String> {
+        const BOOL_FLAGS: [&str; 2] = ["--quick", "--paper"];
+        const VALUE_FLAGS: [&str; 3] = ["--shards", "--batch", "--threads"];
+        let mut i = 0;
+        while i < args.len() {
+            let a = args[i].as_str();
+            if VALUE_FLAGS.contains(&a) {
+                i += 2; // flag + value (value checked by from_args)
+            } else if a.starts_with("--") && !BOOL_FLAGS.contains(&a) {
+                return Err(format!(
+                    "unknown flag {a:?}; known flags: --quick, --paper, \
+                     --shards K, --batch B, --threads T"
+                ));
+            } else {
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Worker threads to use for `shards` shards: the explicit
+    /// `--threads` value, else `min(shards, hardware parallelism)` —
+    /// spawning more workers than cores only adds overhead (and this
+    /// repo's CI containers are often single-core).
+    pub fn threads_for(&self, shards: usize) -> usize {
+        self.threads
+            .unwrap_or_else(|| {
+                let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+                shards.min(cores)
+            })
+            .max(1)
     }
 }
 
@@ -162,7 +249,54 @@ mod tests {
     fn scale_reduces_counts() {
         assert_eq!(Scale::Quick.n(10_000), 1000);
         assert_eq!(Scale::Full.n(10_000), 10_000);
+        assert_eq!(Scale::Paper.n(10_000), 100_000);
         assert!(Scale::Quick.queries(50) >= 5);
+    }
+
+    #[test]
+    fn scale_flag_precedence() {
+        let args = |s: &[&str]| s.iter().map(|a| a.to_string()).collect::<Vec<_>>();
+        assert_eq!(Scale::from_args(&args(&["fig7"])), Scale::Full);
+        assert_eq!(Scale::from_args(&args(&["fig7", "--paper"])), Scale::Paper);
+        assert_eq!(
+            Scale::from_args(&args(&["fig7", "--paper", "--quick"])),
+            Scale::Quick
+        );
+    }
+
+    #[test]
+    fn service_opts_parse() {
+        let args = |s: &[&str]| s.iter().map(|a| a.to_string()).collect::<Vec<_>>();
+        let o = ServiceOpts::from_args(&args(&["fig7"])).unwrap();
+        assert_eq!(o.shards, None);
+        assert_eq!(o.batch, ServiceOpts::DEFAULT_BATCH);
+        // Default thread count is capped by both the shard count and the
+        // machine's cores, and is always at least 1.
+        assert!((1..=4).contains(&o.threads_for(4)));
+        let o = ServiceOpts::from_args(&args(&["fig7", "--shards", "4", "--batch", "8"])).unwrap();
+        assert_eq!(o.shards, Some(4));
+        assert_eq!(o.batch, 8);
+        let o =
+            ServiceOpts::from_args(&args(&["sweep", "--threads", "2", "--shards", "8"])).unwrap();
+        assert_eq!(o.threads_for(8), 2);
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let args = |s: &[&str]| s.iter().map(|a| a.to_string()).collect::<Vec<_>>();
+        assert!(ServiceOpts::validate_flags(&args(&["fig7", "--quick", "--shards", "2"])).is_ok());
+        assert!(ServiceOpts::validate_flags(&args(&["fig7", "--shard", "2"])).is_err());
+        assert!(ServiceOpts::validate_flags(&args(&["sweep", "--threads=2"])).is_err());
+        assert!(ServiceOpts::validate_flags(&args(&["all", "--paper"])).is_ok());
+    }
+
+    #[test]
+    fn service_opts_reject_bad_value() {
+        let args = |s: &[&str]| s.iter().map(|a| a.to_string()).collect::<Vec<_>>();
+        let err = ServiceOpts::from_args(&args(&["fig7", "--shards", "zero"])).unwrap_err();
+        assert!(err.contains("positive integer"), "{err}");
+        // Missing value (next arg is another flag) is also an error.
+        assert!(ServiceOpts::from_args(&args(&["fig7", "--shards", "--quick"])).is_err());
     }
 
     #[test]

@@ -59,8 +59,10 @@ pub mod framework;
 pub mod fxhash;
 pub mod integral;
 pub mod ring;
+pub mod scratch;
 pub mod theorem;
 pub mod viability;
 
 pub use framework::FilterInstance;
+pub use scratch::EpochScratch;
 pub use viability::{Direction, ThresholdScheme};

@@ -1,0 +1,91 @@
+//! Epoch-stamped per-thread query scratch shared by the domain engines.
+//!
+//! The ring engines deduplicate candidates and memoize Corollary-2
+//! ruled-out chain starts with *epoch stamping*: instead of clearing an
+//! `n`-sized array per query, each query bumps an epoch counter and a
+//! slot is "set" iff its stamp equals the current epoch. This struct
+//! holds that mechanism once — including the two subtle paths (resize
+//! resets the epoch; wrap-around at `u32::MAX` clears the stamps) — so
+//! the per-domain scratch types cannot drift apart.
+
+/// Epoch-stamped candidate-dedup array plus Corollary-2 ruled-start
+/// bitmasks, lazily sized to the engine's record count.
+///
+/// `Default` yields an empty scratch; the first [`EpochScratch::next_epoch`]
+/// sizes it. Fields are public so engines can split-borrow them inside
+/// probe closures; treat a slot as set only when its stamp equals the
+/// epoch returned by `next_epoch`.
+#[derive(Clone, Debug, Default)]
+pub struct EpochScratch {
+    epoch: u32,
+    /// Per-record stamp: record already accepted as a candidate this
+    /// query.
+    pub accepted: Vec<u32>,
+    /// Per-record stamp validating `ruled_mask` for this query.
+    pub ruled_epoch: Vec<u32>,
+    /// Per-record bitmask of chain starts ruled out by Corollary 2.
+    pub ruled_mask: Vec<u64>,
+}
+
+impl EpochScratch {
+    /// Sizes the buffers for an `n`-record engine and advances the
+    /// epoch, resetting all stamps on resize or on epoch wrap-around.
+    /// Returns the new epoch — which is `1` exactly when the stamps were
+    /// (re)initialized, so wrappers stacking extra epoch-stamped state on
+    /// top can reset it on that signal.
+    pub fn next_epoch(&mut self, n: usize) -> u32 {
+        if self.accepted.len() != n {
+            self.accepted = vec![0; n];
+            self.ruled_epoch = vec![0; n];
+            self.ruled_mask = vec![0; n];
+            self.epoch = 0;
+        } else if self.epoch == u32::MAX {
+            self.accepted.fill(0);
+            self.ruled_epoch.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epochs_advance_and_stamps_hold() {
+        let mut s = EpochScratch::default();
+        let e1 = s.next_epoch(4);
+        assert_eq!(e1, 1);
+        s.accepted[2] = e1;
+        let e2 = s.next_epoch(4);
+        assert_eq!(e2, 2);
+        // The stale stamp no longer reads as set.
+        assert_ne!(s.accepted[2], e2);
+    }
+
+    #[test]
+    fn resize_resets_epoch_to_one() {
+        let mut s = EpochScratch::default();
+        for _ in 0..5 {
+            s.next_epoch(3);
+        }
+        assert_eq!(s.next_epoch(7), 1, "resize must restart the epoch");
+        assert_eq!(s.accepted.len(), 7);
+        assert!(s.accepted.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn wraparound_clears_stamps_and_returns_one() {
+        let mut s = EpochScratch::default();
+        s.next_epoch(2);
+        s.epoch = u32::MAX;
+        s.accepted[0] = u32::MAX;
+        s.ruled_epoch[1] = u32::MAX;
+        let e = s.next_epoch(2);
+        assert_eq!(e, 1);
+        assert_eq!(s.accepted[0], 0);
+        assert_eq!(s.ruled_epoch[1], 0);
+    }
+}

@@ -29,11 +29,13 @@ pub mod content;
 pub mod pivotal;
 pub mod qgram;
 pub mod ring;
+pub mod service;
 pub mod verify;
 
 pub use pivotal::{EditStats, Pivotal, PivotalIndex};
 pub use qgram::{GramOrder, QGramCollection};
-pub use ring::RingEdit;
+pub use ring::{EditScratch, RingEdit};
+pub use service::EditParams;
 
 #[cfg(test)]
 mod paper_examples;

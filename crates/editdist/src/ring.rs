@@ -17,15 +17,24 @@ use crate::qgram::QGramCollection;
 use crate::verify::edit_distance_within;
 use pigeonring_core::viability::{check_prefix_viable_lazy, Direction, ThresholdScheme};
 
+/// Per-thread mutable query state for [`RingEdit`]: the shared
+/// epoch-stamped candidate dedup array and Corollary-2 ruled-start
+/// bitmasks ([`pigeonring_core::scratch::EpochScratch`]). `Default`
+/// yields an empty scratch that lazily sizes itself to the engine's
+/// record count on first use.
+pub type EditScratch = pigeonring_core::scratch::EpochScratch;
+
 /// The pigeonring edit-distance search engine. `l = 1` keeps only the
 /// pivotal prefix filter (Cand-1); the paper's best setting is
 /// `l = min(3, τ + 1)`.
+///
+/// The index is immutable at query time: [`RingEdit::search_with`] takes
+/// `&self` plus an external [`EditScratch`], so shards can serve
+/// concurrent worker threads. The `&mut self` methods wrap an
+/// engine-owned scratch.
 pub struct RingEdit {
     index: PivotalIndex,
-    epoch: u32,
-    accepted: Vec<u32>,
-    ruled_epoch: Vec<u32>,
-    ruled_mask: Vec<u64>,
+    scratch: EditScratch,
 }
 
 impl RingEdit {
@@ -35,13 +44,9 @@ impl RingEdit {
     /// Panics if `τ > 63` (the Corollary-2 bitmask holds `τ + 1` starts).
     pub fn build(collection: QGramCollection, tau: usize) -> Self {
         assert!(tau <= 63, "ruled-start bitmask supports τ ≤ 63");
-        let n = collection.len();
         RingEdit {
             index: PivotalIndex::build(collection, tau),
-            epoch: 0,
-            accepted: vec![0; n],
-            ruled_epoch: vec![0; n],
-            ruled_mask: vec![0; n],
+            scratch: EditScratch::default(),
         }
     }
 
@@ -50,20 +55,25 @@ impl RingEdit {
         &self.index
     }
 
-    fn next_epoch(&mut self) -> u32 {
-        if self.epoch == u32::MAX {
-            self.accepted.fill(0);
-            self.ruled_epoch.fill(0);
-            self.epoch = 0;
-        }
-        self.epoch += 1;
-        self.epoch
-    }
-
     /// Searches for all strings with `ed(x, q) ≤ τ` using chain length
     /// `l` (clamped to `[1..τ+1]`). Returns ascending ids and statistics.
     pub fn search(&mut self, q: &[u8], l: usize) -> (Vec<u32>, EditStats) {
-        let (cands, mut stats) = self.candidates(q, l);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let out = self.search_with(&mut scratch, q, l);
+        self.scratch = scratch;
+        out
+    }
+
+    /// [`RingEdit::search`] against a caller-owned scratch; takes
+    /// `&self`, so any number of threads can search one engine
+    /// concurrently, each with its own [`EditScratch`].
+    pub fn search_with(
+        &self,
+        scratch: &mut EditScratch,
+        q: &[u8],
+        l: usize,
+    ) -> (Vec<u32>, EditStats) {
+        let (cands, mut stats) = self.candidates_with(scratch, q, l);
         let tau = self.index.tau();
         let mut results: Vec<u32> = cands
             .into_iter()
@@ -80,12 +90,26 @@ impl RingEdit {
     /// Candidate generation only (no verification), for timing the
     /// filter separately (Figure 7's "Cand." series).
     pub fn candidates(&mut self, q: &[u8], l: usize) -> (Vec<u32>, EditStats) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let out = self.candidates_with(&mut scratch, q, l);
+        self.scratch = scratch;
+        out
+    }
+
+    /// [`RingEdit::candidates`] against a caller-owned scratch (`&self`;
+    /// see [`RingEdit::search_with`]).
+    pub fn candidates_with(
+        &self,
+        scratch: &mut EditScratch,
+        q: &[u8],
+        l: usize,
+    ) -> (Vec<u32>, EditStats) {
         let tau = self.index.tau();
         let m = tau + 1;
         let l = l.clamp(1, m);
         let kappa = self.index.collection().kappa();
         let mut stats = EditStats::default();
-        let epoch = self.next_epoch();
+        let epoch = scratch.next_epoch(self.index.collection().len());
 
         let (q_prefix, q_pivotal, q_last) = self.index.query_side(q);
         let mut cands: Vec<u32> = Vec::new();
@@ -108,13 +132,13 @@ impl RingEdit {
                 .map(|pg| char_mask(&q[pg.pos as usize..pg.pos as usize + kappa]))
                 .collect();
 
-            let Self {
-                ref index,
+            let index = &self.index;
+            let pigeonring_core::scratch::EpochScratch {
                 ref mut accepted,
                 ref mut ruled_epoch,
                 ref mut ruled_mask,
                 ..
-            } = *self;
+            } = *scratch;
             let collection: &QGramCollection = index.collection();
 
             stats.postings_scanned = index.probe(&q_prefix, Some(q_piv), q_last, q.len(), |vb| {

@@ -1,0 +1,48 @@
+//! [`SearchEngine`] adapter: plugs [`RingEdit`] into the
+//! `pigeonring-service` sharded query layer.
+//!
+//! Note that sharding changes each shard's *gram frequency order* (and
+//! hence prefix/pivotal selection), so per-shard candidate counts differ
+//! from the unsharded engine's — but verification is exact edit
+//! distance, so the merged *result set* is always identical.
+
+use crate::pivotal::EditStats;
+use crate::ring::{EditScratch, RingEdit};
+use pigeonring_service::{MergeStats, SearchEngine};
+
+/// Per-batch parameters for edit-distance search through the service
+/// layer (`τ` is fixed at index-build time).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EditParams {
+    /// Chain length `l` (clamped to `[1..τ+1]` by the engine).
+    pub l: usize,
+}
+
+impl MergeStats for EditStats {
+    fn merge(&mut self, other: &Self) {
+        EditStats::merge(self, other);
+    }
+}
+
+impl SearchEngine for RingEdit {
+    type Query = Vec<u8>;
+    type Params = EditParams;
+    type Stats = EditStats;
+    type Scratch = EditScratch;
+
+    fn num_records(&self) -> usize {
+        self.index().collection().len()
+    }
+
+    fn search_into(
+        &self,
+        scratch: &mut EditScratch,
+        query: &Vec<u8>,
+        params: &EditParams,
+        out: &mut Vec<u32>,
+    ) -> EditStats {
+        let (ids, stats) = self.search_with(scratch, query, params.l);
+        out.extend(ids);
+        stats
+    }
+}

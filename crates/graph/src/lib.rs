@@ -32,6 +32,7 @@ pub mod neighborhood;
 pub mod pars;
 pub mod partition;
 pub mod ring;
+pub mod service;
 pub mod subiso;
 
 pub use ged::{ged, ged_within};
@@ -39,4 +40,5 @@ pub use graph::Graph;
 pub use pars::{GraphStats, Pars};
 pub use partition::{partition_graph, Part};
 pub use ring::RingGraph;
+pub use service::{GraphParams, GraphScratch};
 pub use subiso::part_embeds;

@@ -29,6 +29,20 @@ pub struct GraphStats {
     pub skipped_by_corollary2: usize,
 }
 
+impl GraphStats {
+    /// Folds `other` into `self`, saturating on overflow (shard
+    /// aggregation in the service layer).
+    pub fn merge(&mut self, other: &Self) {
+        self.candidates = self.candidates.saturating_add(other.candidates);
+        self.results = self.results.saturating_add(other.results);
+        self.subiso_calls = self.subiso_calls.saturating_add(other.subiso_calls);
+        self.boxes_checked = self.boxes_checked.saturating_add(other.boxes_checked);
+        self.skipped_by_corollary2 = self
+            .skipped_by_corollary2
+            .saturating_add(other.skipped_by_corollary2);
+    }
+}
+
 /// Precomputed per-part filter data.
 pub(crate) struct PartMeta {
     pub part: Part,

@@ -1,0 +1,52 @@
+//! [`SearchEngine`] adapter: plugs [`RingGraph`] into the
+//! `pigeonring-service` sharded query layer.
+//!
+//! [`RingGraph`] keeps no interior per-query buffers (its Corollary-2
+//! optimization is intentionally disabled, see the engine docs), so its
+//! scratch is the empty [`GraphScratch`].
+
+use crate::graph::Graph;
+use crate::pars::GraphStats;
+use crate::ring::RingGraph;
+use pigeonring_service::{MergeStats, SearchEngine};
+
+/// Per-batch parameters for graph-edit-distance search through the
+/// service layer (`τ` is fixed at index-build time).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GraphParams {
+    /// Chain length `l` (clamped to `[1..τ+1]` by the engine).
+    pub l: usize,
+}
+
+/// Empty per-thread scratch: the graph engine is stateless per query.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GraphScratch;
+
+impl MergeStats for GraphStats {
+    fn merge(&mut self, other: &Self) {
+        GraphStats::merge(self, other);
+    }
+}
+
+impl SearchEngine for RingGraph {
+    type Query = Graph;
+    type Params = GraphParams;
+    type Stats = GraphStats;
+    type Scratch = GraphScratch;
+
+    fn num_records(&self) -> usize {
+        self.graphs().len()
+    }
+
+    fn search_into(
+        &self,
+        _scratch: &mut GraphScratch,
+        query: &Graph,
+        params: &GraphParams,
+        out: &mut Vec<u32>,
+    ) -> GraphStats {
+        let (ids, stats) = self.search(query, params.l);
+        out.extend(ids);
+        stats
+    }
+}

@@ -39,8 +39,37 @@ pub struct SearchStats {
     pub skipped_by_corollary2: usize,
 }
 
+impl SearchStats {
+    /// Folds `other` into `self`, saturating on overflow (shard
+    /// aggregation in the service layer).
+    pub fn merge(&mut self, other: &Self) {
+        self.candidates = self.candidates.saturating_add(other.candidates);
+        self.results = self.results.saturating_add(other.results);
+        self.probes = self.probes.saturating_add(other.probes);
+        self.viable_boxes = self.viable_boxes.saturating_add(other.viable_boxes);
+        self.boxes_checked = self.boxes_checked.saturating_add(other.boxes_checked);
+        self.skipped_by_corollary2 = self
+            .skipped_by_corollary2
+            .saturating_add(other.skipped_by_corollary2);
+    }
+}
+
+/// Per-thread mutable query state for [`RingHamming`]: the shared
+/// epoch-stamped candidate dedup array and Corollary-2 ruled-start
+/// bitmasks ([`pigeonring_core::scratch::EpochScratch`]).
+///
+/// `Default` yields an empty scratch that lazily sizes itself to the
+/// engine's record count on first use, so worker threads can create one
+/// without seeing the engine.
+pub type HammingScratch = pigeonring_core::scratch::EpochScratch;
+
 /// The pigeonring Hamming-distance search engine (§6.1). With `l = 1` it
 /// degenerates to GPH exactly; [`Gph`] is that fixed configuration.
+///
+/// The index is immutable at query time: [`RingHamming::search_with`]
+/// takes `&self` plus an external [`HammingScratch`], so shards can serve
+/// concurrent worker threads. The `&mut self` methods are convenience
+/// wrappers around an engine-owned scratch.
 pub struct RingHamming {
     data: Vec<BitVector>,
     partitioning: Partitioning,
@@ -48,10 +77,7 @@ pub struct RingHamming {
     strategy: AllocationStrategy,
     cost: Option<CostModel>,
     corollary2_skip: bool,
-    epoch: u32,
-    accepted: Vec<u32>,
-    ruled_epoch: Vec<u32>,
-    ruled_mask: Vec<u64>,
+    scratch: HammingScratch,
 }
 
 impl RingHamming {
@@ -84,7 +110,6 @@ impl RingHamming {
                 Some(CostModel::build(&data, &partitioning, Self::COST_SAMPLE))
             }
         };
-        let n = data.len();
         RingHamming {
             data,
             partitioning,
@@ -92,10 +117,7 @@ impl RingHamming {
             strategy,
             cost,
             corollary2_skip: true,
-            epoch: 0,
-            accepted: vec![0; n],
-            ruled_epoch: vec![0; n],
-            ruled_mask: vec![0; n],
+            scratch: HammingScratch::default(),
         }
     }
 
@@ -128,21 +150,27 @@ impl RingHamming {
         }
     }
 
-    fn next_epoch(&mut self) -> u32 {
-        if self.epoch == u32::MAX {
-            self.accepted.fill(0);
-            self.ruled_epoch.fill(0);
-            self.epoch = 0;
-        }
-        self.epoch += 1;
-        self.epoch
-    }
-
     /// Searches for all vectors within Hamming distance `tau` of `q`,
     /// using chain length `l` (clamped to `[1..m]`). Returns the result
     /// ids (ascending) and the per-query statistics.
     pub fn search(&mut self, q: &BitVector, tau: u32, l: usize) -> (Vec<u32>, SearchStats) {
-        let (cands, mut stats) = self.candidates(q, tau, l);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let out = self.search_with(&mut scratch, q, tau, l);
+        self.scratch = scratch;
+        out
+    }
+
+    /// [`RingHamming::search`] against a caller-owned scratch; takes
+    /// `&self`, so any number of threads can search one engine
+    /// concurrently, each with its own [`HammingScratch`].
+    pub fn search_with(
+        &self,
+        scratch: &mut HammingScratch,
+        q: &BitVector,
+        tau: u32,
+        l: usize,
+    ) -> (Vec<u32>, SearchStats) {
+        let (cands, mut stats) = self.candidates_with(scratch, q, tau, l);
         let mut results: Vec<u32> = cands
             .into_iter()
             .filter(|&id| self.data[id as usize].distance_within(q, tau).is_some())
@@ -156,6 +184,21 @@ impl RingHamming {
     /// lets the harness time the filter separately, as Figure 5 plots
     /// "Cand." vs "Total".
     pub fn candidates(&mut self, q: &BitVector, tau: u32, l: usize) -> (Vec<u32>, SearchStats) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let out = self.candidates_with(&mut scratch, q, tau, l);
+        self.scratch = scratch;
+        out
+    }
+
+    /// [`RingHamming::candidates`] against a caller-owned scratch
+    /// (`&self`; see [`RingHamming::search_with`]).
+    pub fn candidates_with(
+        &self,
+        scratch: &mut HammingScratch,
+        q: &BitVector,
+        tau: u32,
+        l: usize,
+    ) -> (Vec<u32>, SearchStats) {
         assert_eq!(
             q.dims(),
             self.partitioning.dims(),
@@ -165,23 +208,26 @@ impl RingHamming {
         let l = l.clamp(1, m);
         let t = self.allocate(q, tau as i64);
         let scheme = ThresholdScheme::integer_reduced(t.clone());
-        let epoch = self.next_epoch();
+        let epoch = scratch.next_epoch(self.data.len());
 
         let mut stats = SearchStats::default();
         let mut cands: Vec<u32> = Vec::new();
 
-        // Split borrows: the probe visitor mutates the scratch arrays
-        // while the index is borrowed immutably.
+        // The probe visitor mutates the scratch arrays while the index
+        // is borrowed immutably.
         let Self {
             ref data,
             ref partitioning,
             ref index,
             corollary2_skip,
+            ..
+        } = *self;
+        let pigeonring_core::scratch::EpochScratch {
             ref mut accepted,
             ref mut ruled_epoch,
             ref mut ruled_mask,
             ..
-        } = *self;
+        } = *scratch;
 
         stats.probes = index.probe(q, &t, |part, dist, id| {
             stats.viable_boxes += 1;

@@ -18,6 +18,15 @@ pub struct JoinStats {
     pub pairs: usize,
 }
 
+impl JoinStats {
+    /// Folds `other` into `self`, saturating on overflow (partitioned
+    /// join aggregation).
+    pub fn merge(&mut self, other: &Self) {
+        self.candidates = self.candidates.saturating_add(other.candidates);
+        self.pairs = self.pairs.saturating_add(other.pairs);
+    }
+}
+
 /// All pairs within Hamming distance `tau`, via the pigeonring engine at
 /// chain length `l` (`l = 1` is the GPH-style join). Pairs are returned
 /// with `i < j`, lexicographically sorted.

@@ -27,12 +27,14 @@ pub mod engine;
 pub mod index;
 pub mod join;
 pub mod partition;
+pub mod service;
 
 pub use alloc::AllocationStrategy;
 pub use bitvec::BitVector;
-pub use engine::{Gph, LinearScan, RingHamming, SearchStats};
+pub use engine::{Gph, HammingScratch, LinearScan, RingHamming, SearchStats};
 pub use join::self_join;
 pub use partition::Partitioning;
+pub use service::HammingParams;
 
 #[cfg(test)]
 mod paper_examples;

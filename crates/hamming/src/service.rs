@@ -1,0 +1,44 @@
+//! [`SearchEngine`] adapter: plugs [`RingHamming`] into the
+//! `pigeonring-service` sharded query layer.
+
+use crate::bitvec::BitVector;
+use crate::engine::{HammingScratch, RingHamming, SearchStats};
+use pigeonring_service::{MergeStats, SearchEngine};
+
+/// Per-batch parameters for Hamming search through the service layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HammingParams {
+    /// Distance threshold `τ`.
+    pub tau: u32,
+    /// Chain length `l` (clamped to `[1..m]` by the engine).
+    pub l: usize,
+}
+
+impl MergeStats for SearchStats {
+    fn merge(&mut self, other: &Self) {
+        SearchStats::merge(self, other);
+    }
+}
+
+impl SearchEngine for RingHamming {
+    type Query = BitVector;
+    type Params = HammingParams;
+    type Stats = SearchStats;
+    type Scratch = HammingScratch;
+
+    fn num_records(&self) -> usize {
+        self.data().len()
+    }
+
+    fn search_into(
+        &self,
+        scratch: &mut HammingScratch,
+        query: &BitVector,
+        params: &HammingParams,
+        out: &mut Vec<u32>,
+    ) -> SearchStats {
+        let (ids, stats) = self.search_with(scratch, query, params.tau, params.l);
+        out.extend(ids);
+        stats
+    }
+}

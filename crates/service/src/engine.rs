@@ -1,0 +1,47 @@
+//! The uniform engine interface every domain crate adapts to.
+
+/// Per-query statistics that can be aggregated across shards.
+///
+/// `merge` must be commutative and use saturating arithmetic so that
+/// aggregation over any shard order (and over adversarially large batch
+/// sweeps) can neither overflow nor depend on worker scheduling.
+pub trait MergeStats: Default + Send + 'static {
+    /// Folds `other`'s counters into `self`, saturating on overflow.
+    fn merge(&mut self, other: &Self);
+}
+
+/// A thresholded similarity-search engine usable from the service layer.
+///
+/// The contract mirrors the four ring engines after their `&self`
+/// refactor: the index is immutable at query time, and all per-query
+/// mutable state (epoch-stamped dedup arrays, Corollary-2 bitmasks, box
+/// caches) lives in an external [`SearchEngine::Scratch`] owned by the
+/// calling thread. One engine can therefore serve arbitrarily many
+/// threads concurrently, each with its own scratch.
+pub trait SearchEngine: Send + Sync {
+    /// One query (e.g. a `BitVector`, a byte string, a token set, a
+    /// graph).
+    type Query: Send + Sync;
+    /// Per-batch search parameters (threshold, chain length, ...).
+    type Params: Clone + Send + Sync;
+    /// Per-query statistics.
+    type Stats: MergeStats;
+    /// Per-thread scratch space. `Default` must yield a valid (empty)
+    /// scratch; engines lazily size it to their record count on first
+    /// use.
+    type Scratch: Default + Send;
+
+    /// Number of records indexed by this engine.
+    fn num_records(&self) -> usize;
+
+    /// Appends the ids (ascending, local to this engine) of all records
+    /// within the threshold of `query` to `out`, returning the per-query
+    /// statistics. Must not read `out`'s prior contents.
+    fn search_into(
+        &self,
+        scratch: &mut Self::Scratch,
+        query: &Self::Query,
+        params: &Self::Params,
+        out: &mut Vec<u32>,
+    ) -> Self::Stats;
+}

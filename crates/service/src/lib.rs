@@ -1,0 +1,45 @@
+//! # pigeonring-service
+//!
+//! The sharded, batched query-service layer over the four domain engines
+//! (Hamming, edit distance, set similarity, graph edit distance).
+//!
+//! The paper evaluates the pigeonring filters one query at a time; the
+//! ROADMAP north-star is a system serving heavy traffic, which needs the
+//! batching and shard-parallel execution FAISS-style systems use to
+//! amortize per-query overhead. This crate provides the seam:
+//!
+//! * [`SearchEngine`] — the uniform engine interface. Implementations
+//!   take `&self` and keep all per-query mutable state in an external
+//!   per-thread [`SearchEngine::Scratch`], so one immutable index can
+//!   serve many worker threads concurrently.
+//! * [`MergeStats`] — saturating aggregation of per-query counters, so
+//!   per-shard statistics can be combined without overflow or drift.
+//! * [`ShardedIndex`] — hash-partitions records across `N` shards, fans a
+//!   query batch out over a `std::thread`-based worker pool, and merges
+//!   per-shard result sets back into stable ascending record-id order.
+//!   Because every engine verifies candidates exactly, the merged result
+//!   set is *identical* to the unsharded engine's for any shard count
+//!   (property-tested across all four domains).
+//! * [`Sweep`] — a throughput-sweep driver used by the `repro` binary's
+//!   `--shards K --batch B` flags and `sweep` subcommand; emits the
+//!   `BENCH_service.json` artifact consumed by CI.
+//!
+//! The adapter impls for [`RingHamming`], [`RingEdit`], [`RingSetSim`]
+//! and [`RingGraph`] live in the respective domain crates, each in a
+//! `service` module. (This is a layout choice, not an orphan-rule
+//! obligation — `SearchEngine` is local here, so the impls could equally
+//! live in this crate; keeping them next to the engines lets each
+//! adapter touch crate-private details such as query translation.)
+//!
+//! [`RingHamming`]: https://docs.rs/pigeonring-hamming
+//! [`RingEdit`]: https://docs.rs/pigeonring-editdist
+//! [`RingSetSim`]: https://docs.rs/pigeonring-setsim
+//! [`RingGraph`]: https://docs.rs/pigeonring-graph
+
+pub mod engine;
+pub mod sharded;
+pub mod sweep;
+
+pub use engine::{MergeStats, SearchEngine};
+pub use sharded::{shard_of, SearchResult, ShardedIndex};
+pub use sweep::{Sweep, SweepRow};

@@ -1,0 +1,365 @@
+//! Hash-partitioned sharding with a `std::thread` worker pool.
+//!
+//! [`ShardedIndex::build`] splits the record set into `N` shards by
+//! hashing global record ids (deterministic: the same records and shard
+//! count always produce the same partition), builds one engine per
+//! non-empty shard, and remembers each shard's global ids. At query time
+//! [`ShardedIndex::search_batch`] fans the batch out over a worker pool —
+//! each worker owns one scratch and serves whole shards, so scratch
+//! buffers stay warm across the batch — then merges per-shard result sets
+//! back into ascending *global* id order and aggregates statistics with
+//! [`MergeStats::merge`].
+//!
+//! Every domain engine verifies its candidates exactly, so sharding
+//! cannot change the result set: the union over shards of "records within
+//! the threshold" is exactly the unsharded answer, independent of how
+//! data-dependent build decisions (gram frequency orders, cost models)
+//! shift per-shard candidate counts.
+
+use std::hash::{BuildHasher, BuildHasherDefault};
+
+use crate::engine::{MergeStats, SearchEngine};
+use pigeonring_core::fxhash::FxHasher;
+
+/// Deterministic shard assignment for global record id `id` among
+/// `shards` shards (FxHash of the id).
+#[inline]
+pub fn shard_of(id: u64, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    let h = BuildHasherDefault::<FxHasher>::default().hash_one(id);
+    (h % shards as u64) as usize
+}
+
+/// One query's merged answer: ascending global record ids plus the
+/// statistics aggregated over all shards.
+#[derive(Clone, Debug)]
+pub struct SearchResult<S> {
+    /// Global record ids within the threshold, ascending.
+    pub ids: Vec<u32>,
+    /// Statistics summed (saturating) over every shard.
+    pub stats: S,
+}
+
+/// One shard's answers for a whole batch: `(global ids, stats)` per
+/// query, in batch order.
+type ShardBatch<S> = Vec<(Vec<u32>, S)>;
+
+struct Shard<E> {
+    engine: E,
+    /// Global ids of this shard's records, ascending (shard-local id `i`
+    /// is the record `ids[i]` of the original collection).
+    ids: Vec<u32>,
+}
+
+impl<E: SearchEngine> Shard<E> {
+    /// Runs every query of `batch` against this shard, translating
+    /// shard-local ids to global ids.
+    fn run_batch(
+        &self,
+        scratch: &mut E::Scratch,
+        batch: &[E::Query],
+        params: &E::Params,
+    ) -> ShardBatch<E::Stats> {
+        batch
+            .iter()
+            .map(|q| {
+                let mut out = Vec::new();
+                let stats = self.engine.search_into(scratch, q, params, &mut out);
+                for id in &mut out {
+                    *id = self.ids[*id as usize];
+                }
+                (out, stats)
+            })
+            .collect()
+    }
+}
+
+/// A hash-partitioned collection of engines answering queries as one
+/// index.
+pub struct ShardedIndex<E> {
+    shards: Vec<Shard<E>>,
+    requested_shards: usize,
+    total: usize,
+}
+
+impl<E: SearchEngine> ShardedIndex<E> {
+    /// Hash-partitions `records` into `shards` shards and builds one
+    /// engine per non-empty shard via `build` (empty shards — possible
+    /// for tiny collections — are skipped, since the domain engines
+    /// reject empty datasets).
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn build<R>(records: Vec<R>, shards: usize, build: impl Fn(Vec<R>) -> E) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let requested_shards = shards;
+        let total = records.len();
+        let mut parts: Vec<(Vec<u32>, Vec<R>)> = (0..shards).map(|_| Default::default()).collect();
+        for (id, record) in records.into_iter().enumerate() {
+            let s = shard_of(id as u64, shards);
+            parts[s].0.push(id as u32);
+            parts[s].1.push(record);
+        }
+        let shards = parts
+            .into_iter()
+            .filter(|(ids, _)| !ids.is_empty())
+            .map(|(ids, records)| Shard {
+                engine: build(records),
+                ids,
+            })
+            .collect();
+        ShardedIndex {
+            shards,
+            requested_shards,
+            total,
+        }
+    }
+
+    /// Number of non-empty shards actually built.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard count requested at build time (≥ [`Self::num_shards`]).
+    pub fn requested_shards(&self) -> usize {
+        self.requested_shards
+    }
+
+    /// Total number of records across all shards.
+    pub fn num_records(&self) -> usize {
+        self.total
+    }
+
+    /// Answers a single query on the calling thread (all shards,
+    /// serially, one scratch).
+    ///
+    /// Convenience path: shards usually differ in record count, so the
+    /// shared scratch re-sizes on every shard transition. Hot callers
+    /// should prefer [`ShardedIndex::search_batch`], which amortizes the
+    /// resize across the whole batch (each worker serves entire shards).
+    pub fn search(&self, query: &E::Query, params: &E::Params) -> SearchResult<E::Stats> {
+        let mut scratch = E::Scratch::default();
+        let mut merged = SearchResult {
+            ids: Vec::new(),
+            stats: E::Stats::default(),
+        };
+        for shard in &self.shards {
+            let mut res = shard.run_batch(&mut scratch, std::slice::from_ref(query), params);
+            let (ids, stats) = res.pop().expect("one query in, one result out");
+            merged.ids.extend(ids);
+            merged.stats.merge(&stats);
+        }
+        merged.ids.sort_unstable();
+        merged
+    }
+
+    /// Answers a batch of queries with up to `threads` worker threads.
+    ///
+    /// Work is distributed shard-wise (worker `w` serves shards `w`,
+    /// `w + threads`, ...), each worker reusing one scratch across its
+    /// whole share of the batch. Results are merged in fixed shard order
+    /// and sorted, so the output is deterministic regardless of thread
+    /// scheduling: two runs of the same batch agree bit-for-bit.
+    pub fn search_batch(
+        &self,
+        batch: &[E::Query],
+        params: &E::Params,
+        threads: usize,
+    ) -> Vec<SearchResult<E::Stats>> {
+        let ns = self.shards.len();
+        let workers = threads.clamp(1, ns.max(1));
+        let per_shard: Vec<ShardBatch<E::Stats>> = if workers <= 1 || ns <= 1 {
+            let mut scratch = E::Scratch::default();
+            self.shards
+                .iter()
+                .map(|s| s.run_batch(&mut scratch, batch, params))
+                .collect()
+        } else {
+            let shards = &self.shards;
+            let mut slots: Vec<Option<ShardBatch<E::Stats>>> = (0..ns).map(|_| None).collect();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        scope.spawn(move || {
+                            let mut scratch = E::Scratch::default();
+                            let mut out = Vec::new();
+                            let mut si = w;
+                            while si < ns {
+                                out.push((si, shards[si].run_batch(&mut scratch, batch, params)));
+                                si += workers;
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    for (si, res) in handle.join().expect("search worker panicked") {
+                        slots[si] = Some(res);
+                    }
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.expect("every shard served"))
+                .collect()
+        };
+
+        let mut merged: Vec<SearchResult<E::Stats>> = batch
+            .iter()
+            .map(|_| SearchResult {
+                ids: Vec::new(),
+                stats: E::Stats::default(),
+            })
+            .collect();
+        for shard_results in per_shard {
+            for (qi, (ids, stats)) in shard_results.into_iter().enumerate() {
+                merged[qi].ids.extend(ids);
+                merged[qi].stats.merge(&stats);
+            }
+        }
+        for res in &mut merged {
+            res.ids.sort_unstable();
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy engine for service-layer tests: records are integers, a query
+    /// matches every record within `params` of it.
+    struct AbsDiffEngine {
+        values: Vec<i64>,
+    }
+
+    #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+    struct AbsDiffStats {
+        compared: usize,
+        results: usize,
+    }
+
+    impl MergeStats for AbsDiffStats {
+        fn merge(&mut self, other: &Self) {
+            self.compared = self.compared.saturating_add(other.compared);
+            self.results = self.results.saturating_add(other.results);
+        }
+    }
+
+    impl SearchEngine for AbsDiffEngine {
+        type Query = i64;
+        type Params = i64;
+        type Stats = AbsDiffStats;
+        type Scratch = ();
+
+        fn num_records(&self) -> usize {
+            self.values.len()
+        }
+
+        fn search_into(
+            &self,
+            _scratch: &mut (),
+            query: &i64,
+            params: &i64,
+            out: &mut Vec<u32>,
+        ) -> AbsDiffStats {
+            let mut stats = AbsDiffStats::default();
+            for (id, v) in self.values.iter().enumerate() {
+                stats.compared += 1;
+                if (v - query).abs() <= *params {
+                    out.push(id as u32);
+                    stats.results += 1;
+                }
+            }
+            stats
+        }
+    }
+
+    fn build_sharded(n: usize, shards: usize) -> (Vec<i64>, ShardedIndex<AbsDiffEngine>) {
+        let values: Vec<i64> = (0..n as i64).map(|i| (i * 37) % 101).collect();
+        let index = ShardedIndex::build(values.clone(), shards, |values| AbsDiffEngine { values });
+        (values, index)
+    }
+
+    #[test]
+    fn partition_covers_every_record_exactly_once() {
+        let (_, index) = build_sharded(257, 5);
+        let mut seen: Vec<u32> = index.shards.iter().flat_map(|s| s.ids.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..257).collect::<Vec<u32>>());
+        assert_eq!(index.num_records(), 257);
+        assert_eq!(index.requested_shards(), 5);
+    }
+
+    #[test]
+    fn shard_ids_are_ascending() {
+        let (_, index) = build_sharded(100, 7);
+        for shard in &index.shards {
+            assert!(shard.ids.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn sharded_matches_unsharded_any_k() {
+        let (values, _) = build_sharded(120, 1);
+        let reference = AbsDiffEngine {
+            values: values.clone(),
+        };
+        for k in [1usize, 2, 3, 7, 120, 200] {
+            let index = ShardedIndex::build(values.clone(), k, |values| AbsDiffEngine { values });
+            for q in [0i64, 17, 50, 100] {
+                let mut expect = Vec::new();
+                let stats = reference.search_into(&mut (), &q, &10, &mut expect);
+                let got = index.search(&q, &10);
+                assert_eq!(got.ids, expect, "k={k} q={q}");
+                assert_eq!(got.stats.results, stats.results, "k={k} q={q}");
+                assert_eq!(got.stats.compared, stats.compared, "k={k} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_single_and_is_deterministic() {
+        let (_, index) = build_sharded(300, 4);
+        let batch: Vec<i64> = (0..23).map(|i| i * 9).collect();
+        let serial: Vec<_> = batch.iter().map(|q| index.search(q, &7)).collect();
+        for threads in [1usize, 2, 4, 8] {
+            let run1 = index.search_batch(&batch, &7, threads);
+            let run2 = index.search_batch(&batch, &7, threads);
+            for qi in 0..batch.len() {
+                assert_eq!(run1[qi].ids, serial[qi].ids, "threads={threads} qi={qi}");
+                assert_eq!(run1[qi].ids, run2[qi].ids, "threads={threads} qi={qi}");
+                assert_eq!(run1[qi].stats, run2[qi].stats, "threads={threads} qi={qi}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_shards_than_records_skips_empties() {
+        let (_, index) = build_sharded(3, 64);
+        assert!(index.num_shards() <= 3);
+        assert_eq!(index.num_records(), 3);
+        let res = index.search(&0, &1000);
+        assert_eq!(res.ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn shard_assignment_is_deterministic() {
+        for id in 0..1000u64 {
+            assert_eq!(shard_of(id, 7), shard_of(id, 7));
+        }
+        // and spreads: no shard gets everything
+        let mut counts = [0usize; 4];
+        for id in 0..1000u64 {
+            counts[shard_of(id, 4)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 100), "skewed: {counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardedIndex::build(vec![1i64], 0, |values| AbsDiffEngine { values });
+    }
+}

@@ -1,0 +1,280 @@
+//! Throughput-sweep driver for the service layer.
+//!
+//! [`Sweep::run`] times one `(domain, dataset, shards, batch, threads)`
+//! configuration end to end — chunking the query stream into batches,
+//! fanning each batch over the shard pool, and folding every query's
+//! result ids into a deterministic FxHash fingerprint — and records a
+//! [`SweepRow`]. Equal fingerprints across shard counts certify that the
+//! sharded result sets are identical (the `repro fig7 --shards K`
+//! acceptance check); the JSON emitted by [`Sweep::to_json`] is the
+//! `BENCH_service.json` artifact CI uploads.
+
+use std::hash::{BuildHasher, BuildHasherDefault, Hasher};
+use std::time::Instant;
+
+use crate::engine::SearchEngine;
+use crate::sharded::ShardedIndex;
+use pigeonring_core::fxhash::FxHasher;
+
+/// One timed service-layer configuration.
+#[derive(Clone, Debug)]
+pub struct SweepRow {
+    /// Domain engine name (`hamming`, `editdist`, `setsim`, `graph`).
+    pub domain: String,
+    /// Dataset label (e.g. `gist`, `imdb`).
+    pub dataset: String,
+    /// Requested shard count.
+    pub shards: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Queries per batch.
+    pub batch: usize,
+    /// Total queries served.
+    pub queries: usize,
+    /// Total result ids across all queries.
+    pub results: usize,
+    /// End-to-end wall time in milliseconds.
+    pub total_ms: f64,
+    /// Queries per second over the whole sweep.
+    pub qps: f64,
+    /// `qps / shards`: per-shard throughput CI tracks for regressions.
+    pub per_shard_qps: f64,
+    /// Order-sensitive FxHash fingerprint of every query's result ids.
+    pub result_hash: u64,
+}
+
+/// Accumulates [`SweepRow`]s and renders them as JSON.
+#[derive(Default)]
+pub struct Sweep {
+    /// The recorded rows, in run order.
+    pub rows: Vec<SweepRow>,
+}
+
+impl Sweep {
+    /// An empty sweep.
+    pub fn new() -> Self {
+        Sweep::default()
+    }
+
+    /// Runs `queries` through `index` in batches of `batch` with
+    /// `threads` workers, records a row labelled `domain`/`dataset`, and
+    /// returns it along with the statistics aggregated over every query
+    /// and shard.
+    #[expect(
+        clippy::too_many_arguments,
+        reason = "one timed configuration is exactly these eight knobs"
+    )]
+    pub fn run<E: SearchEngine>(
+        &mut self,
+        domain: &str,
+        dataset: &str,
+        index: &ShardedIndex<E>,
+        queries: &[E::Query],
+        params: &E::Params,
+        batch: usize,
+        threads: usize,
+    ) -> (&SweepRow, E::Stats) {
+        use crate::engine::MergeStats;
+        let batch = batch.max(1);
+        let mut hasher = BuildHasherDefault::<FxHasher>::default().build_hasher();
+        let mut results = 0usize;
+        let mut agg = E::Stats::default();
+        let start = Instant::now();
+        for chunk in queries.chunks(batch) {
+            for res in index.search_batch(chunk, params, threads) {
+                hasher.write_usize(res.ids.len());
+                for id in &res.ids {
+                    hasher.write_u32(*id);
+                }
+                results += res.ids.len();
+                agg.merge(&res.stats);
+            }
+        }
+        let total_ms = start.elapsed().as_secs_f64() * 1e3;
+        // A zero elapsed time (coarse clock, empty query slice) would
+        // make qps infinite — which `{:.3}` renders as `inf`, breaking
+        // the JSON artifact. Report 0 instead: "too fast to measure".
+        let qps = if total_ms > 0.0 {
+            queries.len() as f64 / (total_ms / 1e3)
+        } else {
+            0.0
+        };
+        self.rows.push(SweepRow {
+            domain: domain.to_string(),
+            dataset: dataset.to_string(),
+            shards: index.requested_shards(),
+            threads,
+            batch,
+            queries: queries.len(),
+            results,
+            total_ms,
+            qps,
+            per_shard_qps: qps / index.requested_shards().max(1) as f64,
+            result_hash: hasher.finish(),
+        });
+        (self.rows.last().expect("row just pushed"), agg)
+    }
+
+    /// Renders the recorded rows as a JSON array (the
+    /// `BENCH_service.json` schema: one object per row, snake_case keys).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"domain\": \"{}\", \"dataset\": \"{}\", \"shards\": {}, \"threads\": {}, \
+                 \"batch\": {}, \"queries\": {}, \"results\": {}, \"total_ms\": {:.3}, \
+                 \"qps\": {:.3}, \"per_shard_qps\": {:.3}, \"result_hash\": \"{:016x}\"}}{}\n",
+                escape(&row.domain),
+                escape(&row.dataset),
+                row.shards,
+                row.threads,
+                row.batch,
+                row.queries,
+                row.results,
+                row.total_ms,
+                row.qps,
+                row.per_shard_qps,
+                row.result_hash,
+                if i + 1 < self.rows.len() { "," } else { "" },
+            ));
+        }
+        out.push(']');
+        out
+    }
+
+    /// Writes [`Sweep::to_json`] to `path`.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// JSON string escaping: backslash, quote, and control characters (the
+/// API accepts arbitrary labels even though ours are ASCII identifiers).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = std::fmt::Write::write_fmt(&mut out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::MergeStats;
+
+    struct EqEngine {
+        values: Vec<u32>,
+    }
+
+    #[derive(Default)]
+    struct NoStats;
+
+    impl MergeStats for NoStats {
+        fn merge(&mut self, _other: &Self) {}
+    }
+
+    impl SearchEngine for EqEngine {
+        type Query = u32;
+        type Params = ();
+        type Stats = NoStats;
+        type Scratch = ();
+
+        fn num_records(&self) -> usize {
+            self.values.len()
+        }
+
+        fn search_into(
+            &self,
+            _scratch: &mut (),
+            query: &u32,
+            _params: &(),
+            out: &mut Vec<u32>,
+        ) -> NoStats {
+            for (id, v) in self.values.iter().enumerate() {
+                if v == query {
+                    out.push(id as u32);
+                }
+            }
+            NoStats
+        }
+    }
+
+    fn index(k: usize) -> ShardedIndex<EqEngine> {
+        let values: Vec<u32> = (0..64).map(|i| i % 8).collect();
+        ShardedIndex::build(values, k, |values| EqEngine { values })
+    }
+
+    #[test]
+    fn result_hash_is_shard_invariant() {
+        let queries: Vec<u32> = (0..16).map(|i| i % 8).collect();
+        let mut sweep = Sweep::new();
+        let h1 = sweep
+            .run("toy", "t", &index(1), &queries, &(), 4, 1)
+            .0
+            .result_hash;
+        let h4 = sweep
+            .run("toy", "t", &index(4), &queries, &(), 4, 4)
+            .0
+            .result_hash;
+        let h7 = sweep
+            .run("toy", "t", &index(7), &queries, &(), 3, 2)
+            .0
+            .result_hash;
+        assert_eq!(h1, h4);
+        assert_eq!(h1, h7);
+        assert_eq!(sweep.rows.len(), 3);
+        assert_eq!(sweep.rows[0].queries, 16);
+        assert!(sweep.rows[0].results > 0);
+    }
+
+    #[test]
+    fn result_hash_distinguishes_different_answers() {
+        let queries_a: Vec<u32> = vec![0, 1, 2];
+        let queries_b: Vec<u32> = vec![0, 1, 3];
+        let mut sweep = Sweep::new();
+        let ha = sweep
+            .run("toy", "a", &index(2), &queries_a, &(), 2, 2)
+            .0
+            .result_hash;
+        let hb = sweep
+            .run("toy", "b", &index(2), &queries_b, &(), 2, 2)
+            .0
+            .result_hash;
+        assert_ne!(ha, hb);
+    }
+
+    #[test]
+    fn labels_with_control_chars_stay_valid_json() {
+        assert_eq!(escape("a\nb"), "a\\nb");
+        assert_eq!(escape("q\"\\\t"), "q\\\"\\\\\\t");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        let mut sweep = Sweep::new();
+        sweep.run("to\ny", "t\"s", &index(2), &[1u32], &(), 1, 1);
+        let json = sweep.to_json();
+        assert!(json.contains("\"domain\": \"to\\ny\""));
+        assert!(json.contains("\"dataset\": \"t\\\"s\""));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let mut sweep = Sweep::new();
+        sweep.run("toy", "t", &index(2), &[1u32, 2], &(), 2, 1);
+        let json = sweep.to_json();
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
+        assert!(json.contains("\"domain\": \"toy\""));
+        assert!(json.contains("\"shards\": 2"));
+        assert!(json.contains("result_hash"));
+    }
+}

@@ -38,6 +38,16 @@ pub struct AdaptStats {
     pub postings_scanned: usize,
 }
 
+impl AdaptStats {
+    /// Folds `other` into `self`, saturating on overflow (shard
+    /// aggregation in the service layer).
+    pub fn merge(&mut self, other: &Self) {
+        self.candidates = self.candidates.saturating_add(other.candidates);
+        self.results = self.results.saturating_add(other.results);
+        self.postings_scanned = self.postings_scanned.saturating_add(other.postings_scanned);
+    }
+}
+
 impl AdaptSearch {
     /// Builds the prefix index.
     pub fn build(collection: Collection, threshold: Threshold) -> Self {

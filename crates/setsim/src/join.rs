@@ -16,6 +16,15 @@ pub struct JoinStats {
     pub pairs: usize,
 }
 
+impl JoinStats {
+    /// Folds `other` into `self`, saturating on overflow (partitioned
+    /// join aggregation).
+    pub fn merge(&mut self, other: &Self) {
+        self.candidates = self.candidates.saturating_add(other.candidates);
+        self.pairs = self.pairs.saturating_add(other.pairs);
+    }
+}
+
 /// All record pairs satisfying the engine's threshold, via chain length
 /// `l` (`l = 1` is the pkwise join). Pairs come back with `i < j`,
 /// lexicographically sorted.

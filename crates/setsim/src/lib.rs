@@ -32,13 +32,15 @@ pub mod join;
 pub mod partalloc;
 pub mod pkwise;
 pub mod ring;
+pub mod service;
 pub mod types;
 
 pub use adapt::AdaptSearch;
 pub use join::self_join;
 pub use partalloc::PartAlloc;
 pub use pkwise::{ClassMap, PkwiseIndex};
-pub use ring::{Pkwise, RingSetSim, SetStats};
+pub use ring::{Pkwise, RingSetSim, SetScratch, SetStats};
+pub use service::SetParams;
 pub use types::{Collection, LinearScanSets, Threshold};
 
 #[cfg(test)]

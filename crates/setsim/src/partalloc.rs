@@ -44,6 +44,16 @@ pub struct PartAllocStats {
     pub segments_hashed: usize,
 }
 
+impl PartAllocStats {
+    /// Folds `other` into `self`, saturating on overflow (shard
+    /// aggregation in the service layer).
+    pub fn merge(&mut self, other: &Self) {
+        self.candidates = self.candidates.saturating_add(other.candidates);
+        self.results = self.results.saturating_add(other.results);
+        self.segments_hashed = self.segments_hashed.saturating_add(other.segments_hashed);
+    }
+}
+
 /// Partition-filter search engine.
 pub struct PartAlloc {
     collection: Collection,

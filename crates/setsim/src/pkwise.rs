@@ -67,11 +67,18 @@ impl ClassMap {
     }
 
     /// The class of token rank `r`, in `1..=m−1`.
+    ///
+    /// Ranks beyond an explicit table fall back to the hashed
+    /// assignment: `Collection::rank_query` maps query tokens unseen by
+    /// the collection to fresh ranks `≥ universe`, which an explicit
+    /// (universe-sized) table cannot cover. Any class is equally correct
+    /// for such tokens — they can never match a record token, so they
+    /// only dilute the query's per-class counts.
     #[inline]
     pub fn class_of(&self, r: u32) -> usize {
         match &self.explicit {
-            Some(v) => v[r as usize] as usize,
-            None => {
+            Some(v) if (r as usize) < v.len() => v[r as usize] as usize,
+            _ => {
                 // Fibonacci mixing spreads consecutive ranks.
                 let h = (r as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 32;
                 (h % (self.m as u64 - 1)) as usize + 1

@@ -38,21 +38,80 @@ pub struct SetStats {
     pub sig_probes: usize,
     /// Signature hits (viable boxes, `|V|`).
     pub viable_boxes: usize,
-    /// Box evaluations in the second step (`C_C2` proxy).
+    /// Box evaluations in the second step (`C_C2` proxy; cache hits in
+    /// the [`SetScratch`] box-value cache do not count).
     pub boxes_checked: usize,
     /// Chain checks skipped via Corollary 2.
     pub skipped_by_corollary2: usize,
 }
 
+impl SetStats {
+    /// Folds `other` into `self`, saturating on overflow (shard
+    /// aggregation in the service layer).
+    pub fn merge(&mut self, other: &Self) {
+        self.candidates = self.candidates.saturating_add(other.candidates);
+        self.results = self.results.saturating_add(other.results);
+        self.sig_probes = self.sig_probes.saturating_add(other.sig_probes);
+        self.viable_boxes = self.viable_boxes.saturating_add(other.viable_boxes);
+        self.boxes_checked = self.boxes_checked.saturating_add(other.boxes_checked);
+        self.skipped_by_corollary2 = self
+            .skipped_by_corollary2
+            .saturating_add(other.skipped_by_corollary2);
+    }
+}
+
+/// Per-thread mutable query state for [`RingSetSim`]: the epoch-stamped
+/// candidate dedup array, the Corollary-2 ruled-start bitmasks, and the
+/// per-record *box-value cache*.
+///
+/// The cache memoizes class overlaps `b_c = |x_c ∩ q_c|` per `(record,
+/// class)` within one query: a record reached by several signature
+/// probes — and in particular the start-0 suffix-box fallback chain that
+/// re-checks a record after a failed signature-start chain — reuses the
+/// overlaps already computed instead of re-merging the class lists.
+/// `Default` yields an empty scratch that lazily sizes itself on first
+/// use.
+#[derive(Clone, Debug, Default)]
+pub struct SetScratch {
+    /// The shared epoch-stamped dedup/ruled-start core.
+    inner: pigeonring_core::scratch::EpochScratch,
+    /// Epoch stamp of each record's cached box values.
+    box_epoch: Vec<u32>,
+    /// Bit `c` set ⇔ class `c`'s overlap is cached for this record.
+    box_mask: Vec<u64>,
+    /// Flattened `n × (m − 1)` cache of class overlaps.
+    box_vals: Vec<u32>,
+    /// Box count the cache was sized for.
+    m: usize,
+}
+
+impl SetScratch {
+    fn next_epoch(&mut self, n: usize, m: usize) -> u32 {
+        let epoch = self.inner.next_epoch(n);
+        // `next_epoch` returns 1 exactly when the core stamps were
+        // (re)initialized (first use, resize, wrap-around); mirror that
+        // reset — and any `m` change — in the box cache.
+        if epoch == 1 || self.m != m {
+            self.box_epoch = vec![0; n];
+            self.box_mask = vec![0; n];
+            self.box_vals = vec![0; n * m.saturating_sub(1)];
+            self.m = m;
+        }
+        epoch
+    }
+}
+
 /// The pigeonring set-similarity search engine. `l = 1` is exactly pkwise.
+///
+/// The index is immutable at query time: [`RingSetSim::search_with`]
+/// takes `&self` plus an external [`SetScratch`], so shards can serve
+/// concurrent worker threads. The `&mut self` methods wrap an
+/// engine-owned scratch.
 pub struct RingSetSim {
     collection: Collection,
     threshold: Threshold,
     index: PkwiseIndex,
-    epoch: u32,
-    accepted: Vec<u32>,
-    ruled_epoch: Vec<u32>,
-    ruled_mask: Vec<u64>,
+    scratch: SetScratch,
 }
 
 impl RingSetSim {
@@ -66,15 +125,11 @@ impl RingSetSim {
     /// examples).
     pub fn with_class_map(collection: Collection, threshold: Threshold, classes: ClassMap) -> Self {
         let index = PkwiseIndex::build(collection.records(), classes, threshold);
-        let n = collection.len();
         RingSetSim {
             collection,
             threshold,
             index,
-            epoch: 0,
-            accepted: vec![0; n],
-            ruled_epoch: vec![0; n],
-            ruled_mask: vec![0; n],
+            scratch: SetScratch::default(),
         }
     }
 
@@ -88,21 +143,26 @@ impl RingSetSim {
         self.index.classes().m()
     }
 
-    fn next_epoch(&mut self) -> u32 {
-        if self.epoch == u32::MAX {
-            self.accepted.fill(0);
-            self.ruled_epoch.fill(0);
-            self.epoch = 0;
-        }
-        self.epoch += 1;
-        self.epoch
-    }
-
     /// Searches for all records with `sim(x, q) ≥ τ` using chain length
     /// `l`. `q` is a sorted rank array (normally a record of this
     /// collection). Returns ascending ids and statistics.
     pub fn search(&mut self, q: &[u32], l: usize) -> (Vec<u32>, SetStats) {
-        let (cands, mut stats) = self.candidates(q, l);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let out = self.search_with(&mut scratch, q, l);
+        self.scratch = scratch;
+        out
+    }
+
+    /// [`RingSetSim::search`] against a caller-owned scratch; takes
+    /// `&self`, so any number of threads can search one engine
+    /// concurrently, each with its own [`SetScratch`].
+    pub fn search_with(
+        &self,
+        scratch: &mut SetScratch,
+        q: &[u32],
+        l: usize,
+    ) -> (Vec<u32>, SetStats) {
+        let (cands, mut stats) = self.candidates_with(scratch, q, l);
         let threshold = self.threshold;
         let mut results: Vec<u32> = cands
             .into_iter()
@@ -120,10 +180,24 @@ impl RingSetSim {
     /// Candidate generation only (no verification), for timing the
     /// filter separately (Figure 6's "Cand." series).
     pub fn candidates(&mut self, q: &[u32], l: usize) -> (Vec<u32>, SetStats) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let out = self.candidates_with(&mut scratch, q, l);
+        self.scratch = scratch;
+        out
+    }
+
+    /// [`RingSetSim::candidates`] against a caller-owned scratch
+    /// (`&self`; see [`RingSetSim::search_with`]).
+    pub fn candidates_with(
+        &self,
+        scratch: &mut SetScratch,
+        q: &[u32],
+        l: usize,
+    ) -> (Vec<u32>, SetStats) {
         let m = self.m();
         let l = l.clamp(1, m);
         let mut stats = SetStats::default();
-        let epoch = self.next_epoch();
+        let epoch = scratch.next_epoch(self.collection.len(), m);
         let threshold = self.threshold;
 
         let oq = threshold.min_overlap_single(q.len());
@@ -153,14 +227,21 @@ impl RingSetSim {
             debug_assert_eq!(t.iter().sum::<i64>(), oq as i64 + m as i64 - 1);
             let scheme = ThresholdScheme::integer_reduced(t);
 
-            let Self {
-                ref collection,
-                ref index,
+            let collection = &self.collection;
+            let index = &self.index;
+            let SetScratch {
+                ref mut inner,
+                ref mut box_epoch,
+                ref mut box_mask,
+                ref mut box_vals,
+                ..
+            } = *scratch;
+            let pigeonring_core::scratch::EpochScratch {
                 ref mut accepted,
                 ref mut ruled_epoch,
                 ref mut ruled_mask,
                 ..
-            } = *self;
+            } = *inner;
 
             for k in 1..m {
                 let toks = &qp.grouped[k - 1];
@@ -197,10 +278,20 @@ impl RingSetSim {
                         let xp = index.prefix(id).expect("indexed record has a prefix");
                         let check =
                             check_prefix_viable_lazy(&scheme, Direction::Ge, k, span, |j| {
-                                stats.boxes_checked += 1;
                                 let c = j % m;
                                 debug_assert!(c >= 1);
-                                class_overlap(xp, &qp, c) as i64
+                                cached_class_overlap(
+                                    xp,
+                                    &qp,
+                                    c,
+                                    idu,
+                                    epoch,
+                                    m,
+                                    box_epoch,
+                                    box_mask,
+                                    box_vals,
+                                    &mut stats.boxes_checked,
+                                ) as i64
                             });
                         match check {
                             Ok(()) => {
@@ -235,8 +326,19 @@ impl RingSetSim {
                                             if j == 0 {
                                                 b0_ub
                                             } else {
-                                                stats.boxes_checked += 1;
-                                                class_overlap(xp, &qp, j) as i64
+                                                cached_class_overlap(
+                                                    xp,
+                                                    &qp,
+                                                    j,
+                                                    idu,
+                                                    epoch,
+                                                    m,
+                                                    box_epoch,
+                                                    box_mask,
+                                                    box_vals,
+                                                    &mut stats.boxes_checked,
+                                                )
+                                                    as i64
                                             }
                                         },
                                     );
@@ -276,6 +378,43 @@ impl RingSetSim {
 #[inline]
 fn class_overlap(xp: &Prefix, qp: &Prefix, c: usize) -> u32 {
     overlap(&xp.grouped[c - 1], &qp.grouped[c - 1])
+}
+
+/// [`class_overlap`] through the per-query `(record, class)` cache in
+/// [`SetScratch`]: only a cache miss merges the class lists (and counts
+/// toward `boxes_checked`); hits — repeated probes of the same record
+/// and the start-0 suffix-box fallback re-check — are free.
+#[expect(
+    clippy::too_many_arguments,
+    reason = "hot path; split borrows of scratch"
+)]
+#[inline]
+fn cached_class_overlap(
+    xp: &Prefix,
+    qp: &Prefix,
+    c: usize,
+    idu: usize,
+    epoch: u32,
+    m: usize,
+    box_epoch: &mut [u32],
+    box_mask: &mut [u64],
+    box_vals: &mut [u32],
+    boxes_checked: &mut usize,
+) -> u32 {
+    let bit = 1u64 << c;
+    if box_epoch[idu] == epoch {
+        if box_mask[idu] & bit != 0 {
+            return box_vals[idu * (m - 1) + (c - 1)];
+        }
+    } else {
+        box_epoch[idu] = epoch;
+        box_mask[idu] = 0;
+    }
+    *boxes_checked += 1;
+    let v = class_overlap(xp, qp, c);
+    box_mask[idu] |= bit;
+    box_vals[idu * (m - 1) + (c - 1)] = v;
+    v
 }
 
 /// The pkwise baseline \[103\]: the ring engine fixed at `l = 1`.

@@ -1,0 +1,87 @@
+//! [`SearchEngine`] adapter: plugs [`RingSetSim`] into the
+//! `pigeonring-service` sharded query layer.
+//!
+//! Queries through this adapter are **raw token sets** (arbitrary `u32`
+//! token ids, as fed to [`crate::Collection::new`]), not rank arrays:
+//! every shard re-ranks its own records by local frequency, so a single
+//! rank-space query cannot be valid across shards. The adapter
+//! translates the raw query into each shard's rank space with
+//! [`crate::Collection::rank_query`], which preserves set sizes and
+//! overlaps exactly — so the merged result set is identical for every
+//! shard count.
+
+use crate::ring::{RingSetSim, SetScratch, SetStats};
+use pigeonring_service::{MergeStats, SearchEngine};
+
+/// Per-batch parameters for set-similarity search through the service
+/// layer (the similarity threshold is fixed at index-build time).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SetParams {
+    /// Chain length `l` (clamped to `[1..m]` by the engine).
+    pub l: usize,
+}
+
+impl MergeStats for SetStats {
+    fn merge(&mut self, other: &Self) {
+        SetStats::merge(self, other);
+    }
+}
+
+impl SearchEngine for RingSetSim {
+    /// A **raw** token set (not a rank array; see the module docs).
+    type Query = Vec<u32>;
+    type Params = SetParams;
+    type Stats = SetStats;
+    type Scratch = SetScratch;
+
+    fn num_records(&self) -> usize {
+        self.collection().len()
+    }
+
+    fn search_into(
+        &self,
+        scratch: &mut SetScratch,
+        query: &Vec<u32>,
+        params: &SetParams,
+        out: &mut Vec<u32>,
+    ) -> SetStats {
+        let ranked = self.collection().rank_query(query);
+        let (ids, stats) = self.search_with(scratch, &ranked, params.l);
+        out.extend(ids);
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pkwise::ClassMap;
+    use crate::types::{Collection, Threshold};
+
+    #[test]
+    fn unseen_tokens_are_safe_under_explicit_class_maps() {
+        // Regression: rank_query maps tokens unseen by the collection to
+        // ranks ≥ universe; ClassMap::class_of must fall back to hashing
+        // for those instead of indexing past an explicit table.
+        let raw = vec![vec![1u32, 2, 3], vec![2, 3, 4], vec![1, 3, 4]];
+        let c = Collection::new(raw);
+        let universe = c.universe();
+        let classes = ClassMap::explicit(3, vec![1; universe]);
+        let eng = RingSetSim::with_class_map(c, Threshold::jaccard(0.5), classes);
+        let mut scratch = SetScratch::default();
+        let mut out = Vec::new();
+        // Token 99 never occurs in the collection.
+        let stats = eng.search_into(
+            &mut scratch,
+            &vec![1, 2, 3, 99],
+            &SetParams { l: 2 },
+            &mut out,
+        );
+        assert_eq!(
+            out,
+            vec![0],
+            "only record 0 reaches J ≥ 0.5 against {{1,2,3,99}}"
+        );
+        assert_eq!(stats.results, 1);
+    }
+}

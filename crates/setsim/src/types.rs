@@ -98,6 +98,11 @@ impl Threshold {
 pub struct Collection {
     records: Vec<Vec<u32>>,
     universe: usize,
+    /// Raw token id → rank, kept so external (raw-token) queries can be
+    /// translated into this collection's rank space
+    /// ([`Collection::rank_query`]); essential for sharding, where every
+    /// shard ranks independently.
+    rank: pigeonring_core::fxhash::FxHashMap<u32, u32>,
 }
 
 impl Collection {
@@ -137,7 +142,34 @@ impl Collection {
         Collection {
             records: deduped,
             universe: tokens.len(),
+            rank,
         }
+    }
+
+    /// Translates a *raw*-token query into this collection's rank space:
+    /// known tokens map to their rank; unseen tokens map to fresh
+    /// distinct ids `≥ universe` (they can never match a record token,
+    /// so both the query size and every record overlap — and hence any
+    /// set-similarity value — are preserved exactly). Returns a sorted,
+    /// deduplicated rank array suitable for the search engines.
+    pub fn rank_query(&self, raw: &[u32]) -> Vec<u32> {
+        let mut toks: Vec<u32> = raw.to_vec();
+        toks.sort_unstable();
+        toks.dedup();
+        let mut next_unseen = self.universe as u32;
+        let mut out: Vec<u32> = toks
+            .iter()
+            .map(|t| match self.rank.get(t) {
+                Some(&r) => r,
+                None => {
+                    let id = next_unseen;
+                    next_unseen += 1;
+                    id
+                }
+            })
+            .collect();
+        out.sort_unstable();
+        out
     }
 
     /// The records (sorted rank arrays).

@@ -14,6 +14,8 @@
 //! * [`graph`] — graph edit distance search (Pars baseline + Ring).
 //! * [`datagen`] — seeded synthetic dataset generators standing in for the
 //!   paper's eight real datasets.
+//! * [`service`] — the sharded, batched query-service layer unifying all
+//!   four domain engines behind one `SearchEngine` trait.
 //!
 //! See `examples/quickstart.rs` for a tour of all four τ-selection
 //! problems.
@@ -23,4 +25,5 @@ pub use pigeonring_datagen as datagen;
 pub use pigeonring_editdist as editdist;
 pub use pigeonring_graph as graph;
 pub use pigeonring_hamming as hamming;
+pub use pigeonring_service as service;
 pub use pigeonring_setsim as setsim;
