@@ -5,6 +5,9 @@
 //! ```text
 //! repro <fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|ablate-skip|ablate-alloc|sweep|all>
 //!       [--quick | --paper] [--shards K] [--batch B] [--threads T]
+//! repro <serve|query|loadgen|server-smoke>
+//!       [--quick | --paper] [--shards K] [--threads T] [--port P] [--queue Q]
+//!       [--batch B] [--conns C] [--requests N] [--domain D]
 //! ```
 //!
 //! Each experiment prints an aligned table and writes a CSV under
@@ -31,6 +34,17 @@ use pigeonring_setsim::{AdaptSearch, Collection, PartAlloc, RingSetSim, SetParam
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // The server subcommands own their flag set (ports, connection
+    // counts, queue depth) and are parsed by the server CLI module.
+    if let Some(cmd) = args.first().map(String::as_str) {
+        if matches!(cmd, "serve" | "query" | "loadgen" | "server-smoke") {
+            if let Err(e) = pigeonring_bench::server_cli::run(cmd, &args[1..]) {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+            return;
+        }
+    }
     if let Err(e) = ServiceOpts::validate_flags(&args[args.len().min(1)..]) {
         eprintln!("{e}");
         std::process::exit(2);
@@ -90,7 +104,9 @@ fn main() {
         other => {
             eprintln!(
                 "unknown experiment {other:?}; expected fig2|fig5..fig12|ablate-skip|ablate-alloc|sweep|all \
-                 [--quick|--paper] [--shards K] [--batch B] [--threads T]"
+                 [--quick|--paper] [--shards K] [--batch B] [--threads T], or a server subcommand \
+                 serve|query|loadgen|server-smoke [--port P] [--queue Q] [--conns C] [--requests N] \
+                 [--domain D]"
             );
             std::process::exit(2);
         }
@@ -778,6 +794,9 @@ fn sweep(scale: Scale, opts: &ServiceOpts) {
             "total_ms",
             "qps",
             "per_shard_qps",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
             "speedup_vs_first",
             "result_hash",
         ],
@@ -793,6 +812,9 @@ fn sweep(scale: Scale, opts: &ServiceOpts) {
             f3(row.total_ms),
             f1(row.qps),
             f1(row.per_shard_qps),
+            f3(row.p50_ms),
+            f3(row.p95_ms),
+            f3(row.p99_ms),
             // base_qps can be the 0.0 "too fast to measure" sentinel
             // (see Sweep::run); don't let inf/NaN into the CSV.
             if base_qps > 0.0 {

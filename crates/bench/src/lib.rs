@@ -9,6 +9,8 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+pub mod server_cli;
+
 /// Dataset scale for the harness.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Scale {

@@ -1,0 +1,531 @@
+//! The `repro serve` / `repro query` / `repro loadgen` /
+//! `repro server-smoke` subcommands: the measurable end-to-end path of
+//! the `pigeonring-server` network frontend.
+//!
+//! * `serve` builds the four domain engines ([`EngineSpec`] is
+//!   deterministic per scale, so clients at the same scale hold the same
+//!   datasets) and answers on a loopback-style TCP port until killed.
+//! * `query` drives one domain's (or every domain's) standard query set
+//!   through a running server and prints the `result_hash` fingerprint —
+//!   comparable across processes and against `repro sweep`-style
+//!   in-process runs.
+//! * `loadgen` opens `--conns` concurrent connections, round-robins
+//!   requests across all four domains, and reports throughput plus
+//!   p50/p95/p99 latency into `results/BENCH_server.json`.
+//! * `server-smoke` is the CI gate: in one process it starts a server on
+//!   an OS-assigned loopback port, diffs every domain's client-observed
+//!   `result_hash` against a direct in-process run on the *same*
+//!   engines, then runs a small loadgen for the artifact. Any mismatch
+//!   is a hard failure.
+
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
+use std::time::Instant;
+
+use pigeonring_server::{
+    start, Client, Domain, DomainQuery, EngineSet, EngineSpec, Outcome, Response, ServerConfig,
+};
+use pigeonring_service::{percentile, ResultHasher, WorkerPool};
+
+use crate::{f1, f3, Report, Scale};
+
+/// Parsed flags shared by the server subcommands.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerCliOpts {
+    /// Dataset scale (`--quick` / `--paper`).
+    pub scale: Scale,
+    /// Shard count per domain index.
+    pub shards: usize,
+    /// Worker threads (defaults to `min(shards, cores)`).
+    pub threads: Option<usize>,
+    /// TCP port (`serve`/`query`/`loadgen`; `server-smoke` uses an
+    /// OS-assigned port).
+    pub port: u16,
+    /// Admission-control queue depth `Q`.
+    pub queue: usize,
+    /// Micro-batch size `B` (max queued requests per pool dispatch).
+    pub batch: usize,
+    /// Concurrent loadgen connections.
+    pub conns: usize,
+    /// Loadgen requests per connection.
+    pub requests: usize,
+    /// Restrict `query` to one domain (`None` = all four).
+    pub domain: Option<Domain>,
+}
+
+impl ServerCliOpts {
+    /// Parses and validates the server-subcommand flag set; unknown
+    /// flags and malformed values are errors, not silent defaults.
+    pub fn from_args(args: &[String]) -> Result<ServerCliOpts, String> {
+        const BOOL_FLAGS: [&str; 2] = ["--quick", "--paper"];
+        const VALUE_FLAGS: [&str; 8] = [
+            "--shards",
+            "--threads",
+            "--port",
+            "--queue",
+            "--batch",
+            "--conns",
+            "--requests",
+            "--domain",
+        ];
+        let mut i = 0;
+        while i < args.len() {
+            let a = args[i].as_str();
+            if VALUE_FLAGS.contains(&a) {
+                i += 2;
+            } else if a.starts_with("--") && !BOOL_FLAGS.contains(&a) {
+                return Err(format!(
+                    "unknown flag {a:?}; known: --quick, --paper, --shards K, --threads T, \
+                     --port P, --queue Q, --batch B, --conns C, --requests N, --domain D"
+                ));
+            } else {
+                i += 1;
+            }
+        }
+        let value_of = |flag: &str| -> Result<Option<usize>, String> {
+            match args.iter().position(|a| a == flag) {
+                None => Ok(None),
+                Some(i) => args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v| v > 0)
+                    .map(Some)
+                    .ok_or_else(|| format!("{flag} requires a positive integer value")),
+            }
+        };
+        let domain = match args.iter().position(|a| a == "--domain") {
+            None => None,
+            Some(i) => {
+                let name = args
+                    .get(i + 1)
+                    .ok_or("--domain requires a value (hamming|editdist|setsim|graph|all)")?;
+                if name == "all" {
+                    None
+                } else {
+                    Some(Domain::parse_name(name).ok_or_else(|| {
+                        format!(
+                            "unknown domain {name:?}; expected hamming|editdist|setsim|graph|all"
+                        )
+                    })?)
+                }
+            }
+        };
+        let port = value_of("--port")?.unwrap_or(7878);
+        if port > u16::MAX as usize {
+            return Err(format!("--port must be at most 65535 (got {port})"));
+        }
+        Ok(ServerCliOpts {
+            scale: Scale::from_args(args),
+            shards: value_of("--shards")?.unwrap_or(2),
+            threads: value_of("--threads")?,
+            port: port as u16,
+            queue: value_of("--queue")?.unwrap_or(64),
+            batch: value_of("--batch")?.unwrap_or(16),
+            conns: value_of("--conns")?.unwrap_or(4),
+            requests: value_of("--requests")?.unwrap_or(64),
+            domain,
+        })
+    }
+
+    /// The deterministic engine spec for this scale and shard count.
+    pub fn spec(&self) -> EngineSpec {
+        let mut spec = match self.scale {
+            Scale::Quick => EngineSpec::quick(),
+            Scale::Full => EngineSpec::full(),
+            Scale::Paper => EngineSpec::paper(),
+        };
+        spec.shards = self.shards;
+        spec
+    }
+
+    /// Worker threads: explicit `--threads`, else
+    /// `min(shards, hardware cores)`, always ≥ 1.
+    pub fn worker_threads(&self) -> usize {
+        self.threads
+            .unwrap_or_else(|| {
+                let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+                self.shards.min(cores)
+            })
+            .max(1)
+    }
+
+    fn server_config(&self) -> ServerConfig {
+        ServerConfig {
+            queue_depth: self.queue,
+            micro_batch: self.batch,
+        }
+    }
+}
+
+/// Dispatches one of the server subcommands. `Err` means "print to
+/// stderr and exit non-zero".
+pub fn run(cmd: &str, args: &[String]) -> Result<(), String> {
+    let opts = ServerCliOpts::from_args(args)?;
+    match cmd {
+        "serve" => serve(&opts),
+        "query" => query(&opts),
+        "loadgen" => loadgen(&opts),
+        "server-smoke" => server_smoke(&opts),
+        other => Err(format!("not a server subcommand: {other:?}")),
+    }
+}
+
+/// `repro serve`: build engines, bind, answer until killed.
+fn serve(opts: &ServerCliOpts) -> Result<(), String> {
+    let spec = opts.spec();
+    eprintln!(
+        "building engines (hamming {} / editdist {} / setsim {} / graph {} records, {} shards)...",
+        spec.hamming_n, spec.edit_n, spec.set_n, spec.graph_n, spec.shards
+    );
+    let engines = Arc::new(EngineSet::build(spec));
+    let listener = TcpListener::bind(("127.0.0.1", opts.port))
+        .map_err(|e| format!("cannot bind 127.0.0.1:{}: {e}", opts.port))?;
+    let pool = WorkerPool::new(opts.worker_threads());
+    let handle = start(listener, engines, pool, opts.server_config())
+        .map_err(|e| format!("cannot start server: {e}"))?;
+    println!(
+        "pigeonring-server listening on {} (queue depth {}, micro-batch {}, {} workers)",
+        handle.addr(),
+        opts.queue,
+        opts.batch,
+        opts.worker_threads()
+    );
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `repro query`: one domain's (or all domains') standard query set
+/// through a running server; prints counts and the result hash.
+fn query(opts: &ServerCliOpts) -> Result<(), String> {
+    let spec = opts.spec();
+    let addr: SocketAddr = ([127, 0, 0, 1], opts.port).into();
+    let domains: Vec<Domain> = match opts.domain {
+        Some(d) => vec![d],
+        None => Domain::ALL.to_vec(),
+    };
+    let mut rep = Report::new(
+        "server_query",
+        &["domain", "queries", "results", "busy", "result_hash"],
+    );
+    for domain in domains {
+        let queries = spec.sample_queries(domain);
+        let mut client =
+            Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        let (hash, results, busy) = run_query_set(&mut client, &queries)?;
+        rep.row(&[
+            domain.to_string(),
+            queries.len().to_string(),
+            results.to_string(),
+            busy.to_string(),
+            format!("{hash:016x}"),
+        ]);
+    }
+    rep.emit();
+    Ok(())
+}
+
+/// Sends every query on one connection (retrying Busy up to a bounded
+/// number of times), returning the result hash, total result count, and
+/// Busy-retry count. A server that stays Busy past the cap (saturated,
+/// or shutting down — a closing queue also answers Busy) is an error,
+/// not an infinite spin.
+fn run_query_set(
+    client: &mut Client,
+    queries: &[DomainQuery],
+) -> Result<(u64, usize, usize), String> {
+    const MAX_BUSY_RETRIES: usize = 1_000;
+    let mut hasher = ResultHasher::new();
+    let mut results = 0usize;
+    let mut busy = 0usize;
+    for q in queries {
+        let mut attempts = 0usize;
+        loop {
+            match client
+                .search(q.clone())
+                .map_err(|e| format!("query failed: {e}"))?
+            {
+                Outcome::Results(ids) => {
+                    hasher.push(&ids);
+                    results += ids.len();
+                    break;
+                }
+                Outcome::Busy => {
+                    busy += 1;
+                    attempts += 1;
+                    if attempts >= MAX_BUSY_RETRIES {
+                        return Err(format!(
+                            "server still busy after {MAX_BUSY_RETRIES} retries; \
+                             is it overloaded or shutting down?"
+                        ));
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            }
+        }
+    }
+    Ok((hasher.finish(), results, busy))
+}
+
+/// One loadgen measurement for one domain.
+struct LoadRow {
+    domain: &'static str,
+    requests: usize,
+    busy: usize,
+    qps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+/// `repro loadgen`: concurrent connections round-robining all four
+/// domains; reports throughput and tail latency, writes
+/// `results/BENCH_server.json`.
+fn loadgen(opts: &ServerCliOpts) -> Result<(), String> {
+    let addr: SocketAddr = ([127, 0, 0, 1], opts.port).into();
+    let rows = run_loadgen(opts, addr, sample_all_queries(opts))?;
+    emit_loadgen(&rows, opts)
+}
+
+/// Every domain's standard query set for this scale, in `Domain::ALL`
+/// order. Sampling regenerates each domain's dataset, so callers that
+/// need the sets more than once (e.g. `server-smoke`) sample once and
+/// share.
+fn sample_all_queries(opts: &ServerCliOpts) -> Arc<Vec<Vec<DomainQuery>>> {
+    let spec = opts.spec();
+    Arc::new(
+        Domain::ALL
+            .iter()
+            .map(|&d| spec.sample_queries(d))
+            .collect(),
+    )
+}
+
+/// Drives the load and aggregates per-domain latency samples.
+fn run_loadgen(
+    opts: &ServerCliOpts,
+    addr: SocketAddr,
+    query_sets: Arc<Vec<Vec<DomainQuery>>>,
+) -> Result<Vec<LoadRow>, String> {
+    let start = Instant::now();
+    let workers: Vec<_> = (0..opts.conns)
+        .map(|c| {
+            let query_sets = Arc::clone(&query_sets);
+            let requests = opts.requests;
+            std::thread::spawn(move || -> Result<Vec<(usize, f64, bool)>, String> {
+                let mut client =
+                    Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+                let mut samples = Vec::with_capacity(requests);
+                for i in 0..requests {
+                    // Stagger domains across connections so every
+                    // micro-batch the server forms is mixed.
+                    let di = (i + c) % query_sets.len();
+                    let q = &query_sets[di][(i / query_sets.len()) % query_sets[di].len()];
+                    let t = Instant::now();
+                    let outcome = client
+                        .search(q.clone())
+                        .map_err(|e| format!("loadgen request failed: {e}"))?;
+                    let ms = t.elapsed().as_secs_f64() * 1e3;
+                    samples.push((di, ms, matches!(outcome, Outcome::Busy)));
+                }
+                Ok(samples)
+            })
+        })
+        .collect();
+    let mut samples: Vec<(usize, f64, bool)> = Vec::new();
+    for w in workers {
+        samples.extend(w.join().map_err(|_| "loadgen thread panicked")??);
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+
+    Ok(Domain::ALL
+        .iter()
+        .enumerate()
+        .map(|(di, &d)| {
+            let mut lat: Vec<f64> = samples
+                .iter()
+                .filter(|(i, _, busy)| *i == di && !busy)
+                .map(|(_, ms, _)| *ms)
+                .collect();
+            lat.sort_by(f64::total_cmp);
+            let busy = samples.iter().filter(|(i, _, b)| *i == di && *b).count();
+            LoadRow {
+                domain: d.as_str(),
+                requests: lat.len(),
+                busy,
+                qps: if wall_s > 0.0 {
+                    lat.len() as f64 / wall_s
+                } else {
+                    0.0
+                },
+                p50_ms: percentile(&lat, 50.0),
+                p95_ms: percentile(&lat, 95.0),
+                p99_ms: percentile(&lat, 99.0),
+            }
+        })
+        .collect())
+}
+
+/// Prints the loadgen table and writes `results/BENCH_server.json`.
+fn emit_loadgen(rows: &[LoadRow], opts: &ServerCliOpts) -> Result<(), String> {
+    let mut rep = Report::new(
+        "server_loadgen",
+        &[
+            "domain", "conns", "requests", "busy", "qps", "p50_ms", "p95_ms", "p99_ms",
+        ],
+    );
+    let mut json = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        rep.row(&[
+            row.domain.to_string(),
+            opts.conns.to_string(),
+            row.requests.to_string(),
+            row.busy.to_string(),
+            f1(row.qps),
+            f3(row.p50_ms),
+            f3(row.p95_ms),
+            f3(row.p99_ms),
+        ]);
+        json.push_str(&format!(
+            "  {{\"domain\": \"{}\", \"conns\": {}, \"shards\": {}, \"queue_depth\": {}, \
+             \"micro_batch\": {}, \"requests\": {}, \"busy\": {}, \"qps\": {:.3}, \
+             \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}}}{}\n",
+            row.domain,
+            opts.conns,
+            opts.shards,
+            opts.queue,
+            opts.batch,
+            row.requests,
+            row.busy,
+            row.qps,
+            row.p50_ms,
+            row.p95_ms,
+            row.p99_ms,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push(']');
+    rep.emit();
+    std::fs::create_dir_all("results").map_err(|e| format!("cannot create results/: {e}"))?;
+    std::fs::write("results/BENCH_server.json", json)
+        .map_err(|e| format!("cannot write results/BENCH_server.json: {e}"))?;
+    println!("wrote results/BENCH_server.json ({} rows)", rows.len());
+    Ok(())
+}
+
+/// `repro server-smoke`: the CI gate. One process, an OS-assigned
+/// loopback port; every domain's client-observed result hash must equal
+/// a direct in-process run on the same engines, then a small loadgen
+/// writes the artifact.
+fn server_smoke(opts: &ServerCliOpts) -> Result<(), String> {
+    let spec = opts.spec();
+    eprintln!(
+        "server-smoke: building engines at {:?} scale...",
+        opts.scale
+    );
+    let engines = Arc::new(EngineSet::build(spec));
+    let listener =
+        TcpListener::bind("127.0.0.1:0").map_err(|e| format!("cannot bind loopback: {e}"))?;
+    let handle = start(
+        listener,
+        Arc::clone(&engines),
+        WorkerPool::new(opts.worker_threads()),
+        opts.server_config(),
+    )
+    .map_err(|e| format!("cannot start server: {e}"))?;
+    let addr = handle.addr();
+    println!("server-smoke: serving on {addr}");
+
+    // In-process reference pool: separate from the server's so the two
+    // paths share nothing but the engines.
+    let reference_pool = WorkerPool::new(opts.worker_threads());
+    let mut rep = Report::new(
+        "server_smoke",
+        &["domain", "queries", "server_hash", "inproc_hash", "match"],
+    );
+    let mut mismatches = Vec::new();
+    // Sample every domain's query set once; the smoke loop and the
+    // loadgen below share it (sampling regenerates whole datasets).
+    let query_sets = sample_all_queries(opts);
+    for (domain, queries) in Domain::ALL.into_iter().zip(query_sets.iter()) {
+        let mut client =
+            Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        let (server_hash, _, _) = run_query_set(&mut client, queries)?;
+        let mut hasher = ResultHasher::new();
+        for resp in engines.run(&reference_pool, queries.clone()) {
+            match resp {
+                Response::Results { ids } => hasher.push(&ids),
+                other => return Err(format!("in-process run failed for {domain}: {other:?}")),
+            }
+        }
+        let inproc_hash = hasher.finish();
+        let ok = server_hash == inproc_hash;
+        if !ok {
+            mismatches.push(domain);
+        }
+        rep.row(&[
+            domain.to_string(),
+            queries.len().to_string(),
+            format!("{server_hash:016x}"),
+            format!("{inproc_hash:016x}"),
+            ok.to_string(),
+        ]);
+    }
+    rep.emit();
+
+    let rows = run_loadgen(opts, addr, query_sets)?;
+    emit_loadgen(&rows, opts)?;
+    handle.shutdown();
+
+    if mismatches.is_empty() {
+        println!("server-smoke: PASS (all four domains hash-identical over loopback)");
+        Ok(())
+    } else {
+        Err(format!(
+            "server-smoke: FAIL — server results differ from in-process for {mismatches:?}"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn opts_parse_defaults_and_values() {
+        let o = ServerCliOpts::from_args(&args(&[])).expect("defaults parse");
+        assert_eq!(o.port, 7878);
+        assert_eq!(o.shards, 2);
+        assert!(o.domain.is_none());
+        let o = ServerCliOpts::from_args(&args(&[
+            "--quick", "--port", "9000", "--domain", "graph", "--conns", "7",
+        ]))
+        .expect("flags parse");
+        assert_eq!(o.scale, Scale::Quick);
+        assert_eq!(o.port, 9000);
+        assert_eq!(o.conns, 7);
+        assert_eq!(o.domain, Some(Domain::Graph));
+    }
+
+    #[test]
+    fn out_of_range_port_is_an_error_not_a_wrap() {
+        let err = ServerCliOpts::from_args(&args(&["--port", "70000"])).unwrap_err();
+        assert!(err.contains("65535"), "{err}");
+        let err = ServerCliOpts::from_args(&args(&["--port", "65536"])).unwrap_err();
+        assert!(err.contains("65535"), "{err}");
+        assert!(ServerCliOpts::from_args(&args(&["--port", "65535"])).is_ok());
+    }
+
+    #[test]
+    fn unknown_flags_and_domains_rejected() {
+        assert!(ServerCliOpts::from_args(&args(&["--ports", "1"])).is_err());
+        assert!(ServerCliOpts::from_args(&args(&["--domain", "sets"])).is_err());
+        assert!(ServerCliOpts::from_args(&args(&["--domain", "all"])).is_ok());
+        assert!(ServerCliOpts::from_args(&args(&["--conns", "0"])).is_err());
+    }
+}

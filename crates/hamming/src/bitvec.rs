@@ -49,6 +49,28 @@ impl BitVector {
         v
     }
 
+    /// Reconstructs a vector from its packed-word representation (the
+    /// inverse of [`BitVector::words`]; used by the `pigeonring-server`
+    /// wire decoder).
+    ///
+    /// Returns `None` — rather than panicking — when the encoding is
+    /// invalid: `dims == 0`, a word count that does not match `dims`, or
+    /// stray set bits past dimension `dims - 1` (those would silently
+    /// corrupt distance computations).
+    pub fn from_words(dims: usize, words: Vec<u64>) -> Option<Self> {
+        if dims == 0 || words.len() != dims.div_ceil(64) {
+            return None;
+        }
+        let tail_bits = dims % 64;
+        if tail_bits != 0 {
+            let last = words[words.len() - 1];
+            if last >> tail_bits != 0 {
+                return None;
+            }
+        }
+        Some(BitVector { dims, words })
+    }
+
     /// Builds a vector from an iterator of booleans.
     pub fn from_bits(bits: impl IntoIterator<Item = bool>) -> Self {
         let bits: Vec<bool> = bits.into_iter().collect();
@@ -247,6 +269,19 @@ mod tests {
         v.flip(64);
         let sig = v.part_signature(60, 76);
         assert_eq!(sig, 0b11000); // bits 3 and 4 of the 16-bit window
+    }
+
+    #[test]
+    fn from_words_round_trips_and_rejects_invalid() {
+        let v = BitVector::from_bit_str("1011 0110 1100 0001 111");
+        let back = BitVector::from_words(v.dims(), v.words().to_vec()).expect("valid encoding");
+        assert_eq!(back, v);
+        // dims = 0, wrong word count, stray bits past dims: all rejected.
+        assert!(BitVector::from_words(0, vec![]).is_none());
+        assert!(BitVector::from_words(65, vec![0]).is_none());
+        assert!(BitVector::from_words(64, vec![0, 0]).is_none());
+        assert!(BitVector::from_words(3, vec![0b1000]).is_none());
+        assert!(BitVector::from_words(3, vec![0b0111]).is_some());
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Blocking client for the pigeonring wire protocol.
+//!
+//! One [`Client`] wraps one TCP connection with one request in flight
+//! at a time (concurrency comes from opening more clients — see
+//! `repro loadgen`). [`Client::connect`] performs the Hello/HelloOk
+//! version negotiation before returning, so a connected client is
+//! always protocol-compatible.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::wire::{
+    decode_response, encode_request, read_frame, write_frame, DomainQuery, ErrorCode, Request,
+    Response, WireError, PROTOCOL_VERSION,
+};
+
+/// Client-side failure talking to a pigeonring server.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server's bytes did not decode.
+    Wire(WireError),
+    /// The server answered with a typed error.
+    Server {
+        /// The server's error category.
+        code: ErrorCode,
+        /// The server's message.
+        message: String,
+    },
+    /// The server answered with the wrong message kind (e.g. results
+    /// for a Hello), or closed mid-exchange.
+    Protocol(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+            ClientError::Protocol(why) => write!(f, "protocol violation: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// What the server said about one query.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Outcome {
+    /// The query ran: global record ids within the threshold,
+    /// ascending.
+    Results(Vec<u32>),
+    /// Admission control rejected the query (queue full); retry later.
+    Busy,
+}
+
+/// A connected, version-negotiated client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    version: u8,
+}
+
+impl Client {
+    /// Connects and negotiates the protocol version.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        let mut client = Client {
+            reader,
+            writer,
+            version: PROTOCOL_VERSION,
+        };
+        match client.round_trip(&Request::Hello {
+            max_version: PROTOCOL_VERSION,
+        })? {
+            Response::HelloOk { version } => {
+                client.version = version;
+                Ok(client)
+            }
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Protocol("expected HelloOk to Hello")),
+        }
+    }
+
+    /// The negotiated protocol version.
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
+    /// Sends one query and waits for its answer.
+    pub fn search(&mut self, query: DomainQuery) -> Result<Outcome, ClientError> {
+        match self.round_trip(&Request::Query(query))? {
+            Response::Results { ids } => Ok(Outcome::Results(ids)),
+            Response::Busy => Ok(Outcome::Busy),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            Response::HelloOk { .. } => Err(ClientError::Protocol("unexpected HelloOk")),
+        }
+    }
+
+    /// Like [`Client::search`], but retries `Busy` answers up to
+    /// `retries` times (yielding the thread between attempts).
+    pub fn search_with_retry(
+        &mut self,
+        query: DomainQuery,
+        retries: usize,
+    ) -> Result<Outcome, ClientError> {
+        for _ in 0..retries {
+            match self.search(query.clone())? {
+                Outcome::Busy => std::thread::yield_now(),
+                done => return Ok(done),
+            }
+        }
+        self.search(query)
+    }
+
+    fn round_trip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.writer, &encode_request(req))?;
+        let payload = read_frame(&mut self.reader)?
+            .ok_or(ClientError::Protocol("server closed before responding"))?;
+        Ok(decode_response(&payload)?)
+    }
+}

@@ -1,0 +1,42 @@
+//! # pigeonring-server
+//!
+//! The network frontend over the `pigeonring-service` query layer: a
+//! dependency-free `std::net` TCP server speaking a versioned,
+//! length-prefixed binary wire protocol across all four domains
+//! (Hamming, edit distance, set similarity, graph edit distance).
+//!
+//! The ROADMAP north star is heavy traffic from millions of users; PR 2
+//! built the shard-parallel in-process layer, and this crate puts a
+//! server boundary in front of it, the way FAISS-style similarity
+//! systems are consumed in production (batched service APIs):
+//!
+//! * [`wire`] — the frame format and message codec. Strict, typed,
+//!   allocation-bounded decoding: malformed input fails the connection
+//!   closed, never panics the server.
+//! * [`queue`] — the bounded request queue. Admission control lives
+//!   here: a full queue answers `Busy` instead of buffering without
+//!   bound.
+//! * [`server`] — accept loop, per-connection framing threads, and the
+//!   micro-batching dispatcher that coalesces up to `B` queued queries
+//!   per fan-out so the network path inherits the service layer's batch
+//!   amortization on the shared persistent
+//!   [`WorkerPool`](pigeonring_service::WorkerPool).
+//! * [`registry`] — deterministic engine construction
+//!   ([`EngineSpec`] → [`EngineSet`]) from the same data loaders the
+//!   `repro` harness uses, so a server and an in-process run built from
+//!   equal specs answer from bit-identical datasets (the CI smoke
+//!   check diffs their `result_hash`es).
+//! * [`client`] — a blocking client library; `repro query` and
+//!   `repro loadgen` are thin wrappers over it.
+
+pub mod client;
+pub mod queue;
+pub mod registry;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError, Outcome};
+pub use queue::BoundedQueue;
+pub use registry::{EngineSet, EngineSpec};
+pub use server::{start, start_with_handler, Handler, ServerConfig, ServerHandle};
+pub use wire::{Domain, DomainQuery, ErrorCode, Request, Response, WireError, PROTOCOL_VERSION};

@@ -1,0 +1,160 @@
+//! Bounded request queue: the admission-control point.
+//!
+//! Producers (connection threads) *never block*: [`BoundedQueue::try_push`]
+//! either enqueues or returns the item back immediately when the queue
+//! holds `capacity` items — the caller then answers the client with a
+//! typed `Busy` response instead of queueing unboundedly. The single
+//! consumer (the dispatcher) blocks in [`BoundedQueue::pop_batch`] and
+//! drains up to `max` items per wakeup, which is what turns queued
+//! singles into micro-batches.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPSC queue with non-blocking, fail-fast producers.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity.max(1)` buffered items.
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The admission-control depth.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of items currently buffered (racy outside tests/metrics).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue mutex poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty (racy outside tests).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Attempts to enqueue. Returns `Err(item)` — immediately, never
+    /// blocking — when the queue is full or closed; the caller turns
+    /// that into a `Busy` (or connection-shutdown) response.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        if state.closed || state.items.len() >= self.capacity {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until at least one item is available (or the queue is
+    /// closed), then moves up to `max` items into `out` in FIFO order.
+    /// Returns `false` when the queue is closed *and* drained — the
+    /// consumer's shutdown signal.
+    pub fn pop_batch(&self, max: usize, out: &mut Vec<T>) -> bool {
+        out.clear();
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        loop {
+            if !state.items.is_empty() {
+                let take = max.max(1).min(state.items.len());
+                out.extend(state.items.drain(..take));
+                return true;
+            }
+            if state.closed {
+                return false;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .expect("queue mutex poisoned while waiting");
+        }
+    }
+
+    /// Closes the queue: future pushes fail, and the consumer unblocks
+    /// once the remaining items are drained.
+    pub fn close(&self) {
+        self.state.lock().expect("queue mutex poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_fails_fast_when_full() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3), "depth-2 queue rejects the third");
+        assert_eq!(q.len(), 2);
+        let mut out = Vec::new();
+        assert!(q.pop_batch(8, &mut out));
+        assert_eq!(out, vec![1, 2], "FIFO order");
+        assert!(q.try_push(3).is_ok(), "space freed after drain");
+    }
+
+    #[test]
+    fn pop_batch_respects_max() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).expect("under capacity");
+        }
+        let mut out = Vec::new();
+        assert!(q.pop_batch(2, &mut out));
+        assert_eq!(out, vec![0, 1]);
+        assert!(q.pop_batch(2, &mut out));
+        assert_eq!(out, vec![2, 3]);
+        assert!(q.pop_batch(2, &mut out));
+        assert_eq!(out, vec![4]);
+    }
+
+    #[test]
+    fn close_unblocks_consumer_after_drain() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.try_push(1).expect("under capacity");
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut out = Vec::new();
+                let mut seen = Vec::new();
+                while q.pop_batch(4, &mut out) {
+                    seen.append(&mut out);
+                }
+                seen
+            })
+        };
+        q.close();
+        assert_eq!(consumer.join().expect("consumer exits"), vec![1]);
+        assert_eq!(q.try_push(2), Err(2), "closed queue rejects pushes");
+    }
+
+    #[test]
+    fn capacity_clamps_to_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert!(q.try_push(1).is_ok());
+        assert_eq!(q.try_push(2), Err(2));
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,436 @@
+//! Engine registry: builds the four domain engines behind one uniform
+//! front door, from the same deterministic data loaders the `repro`
+//! harness uses.
+//!
+//! [`EngineSpec`] pins every build parameter (dataset sizes, shard
+//! count, thresholds, and the per-domain default query parameters), so
+//! two processes constructing an [`EngineSet`] from equal specs hold
+//! bit-identical datasets — which is what lets `repro server-smoke` (and
+//! CI) diff a network round-trip's `result_hash` against a direct
+//! in-process [`ShardedIndex::search_batch`] run.
+//!
+//! [`EngineSet::run`] is the server's execution core: it takes one
+//! micro-batch of mixed-domain queries, groups them by domain and by
+//! equal per-request parameters, fans each group through
+//! [`ShardedIndex::search_batch_on`] on the shared persistent
+//! [`WorkerPool`], and scatters the answers back into request order.
+
+use pigeonring_datagen::{sample_query_ids, GraphConfig, SetConfig, StringConfig, VectorConfig};
+use pigeonring_editdist::{EditParams, GramOrder, QGramCollection, RingEdit};
+use pigeonring_graph::{GraphParams, RingGraph};
+use pigeonring_hamming::{AllocationStrategy, HammingParams, RingHamming};
+use pigeonring_service::{ShardedIndex, WorkerPool};
+use pigeonring_setsim::{Collection, RingSetSim, SetParams, Threshold};
+
+use crate::wire::{Domain, DomainQuery, ErrorCode, Response};
+
+/// Everything needed to reconstruct the served datasets and engines
+/// deterministically. Field-for-field equality ⇒ identical indexes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineSpec {
+    /// Shard count for every domain's [`ShardedIndex`].
+    pub shards: usize,
+    /// Records in the Hamming dataset (gist-like, 256 dims).
+    pub hamming_n: usize,
+    /// Records in the edit-distance dataset (imdb-like).
+    pub edit_n: usize,
+    /// Records in the set-similarity dataset (dblp-like).
+    pub set_n: usize,
+    /// Records in the graph dataset (aids-like).
+    pub graph_n: usize,
+    /// Queries sampled per domain by [`EngineSpec::sample_queries`].
+    pub query_count: usize,
+    /// Hamming: parts `m`.
+    pub hamming_m: usize,
+    /// Hamming default query threshold `τ`.
+    pub hamming_tau: u32,
+    /// Hamming default chain length `l`.
+    pub hamming_l: u32,
+    /// Edit distance: build-time threshold `τ`.
+    pub edit_tau: usize,
+    /// Edit distance: q-gram length `κ`.
+    pub edit_kappa: usize,
+    /// Edit distance default chain length `l`.
+    pub edit_l: u32,
+    /// Set similarity: build-time Jaccard threshold.
+    pub set_tau: f64,
+    /// Set similarity: parts `m`.
+    pub set_m: usize,
+    /// Set similarity default chain length `l`.
+    pub set_l: u32,
+    /// Graph: build-time GED threshold `τ`.
+    pub graph_tau: usize,
+    /// Graph default chain length `l`.
+    pub graph_l: u32,
+}
+
+impl EngineSpec {
+    /// The full-scale reproduction spec (the `repro sweep` datasets and
+    /// thresholds: gist/imdb/dblp/aids Ring configurations).
+    pub fn full() -> Self {
+        EngineSpec {
+            shards: 2,
+            hamming_n: 100_000,
+            edit_n: 20_000,
+            set_n: 20_000,
+            graph_n: 2_000,
+            query_count: 50,
+            hamming_m: 16,
+            hamming_tau: 48,
+            hamming_l: 5,
+            edit_tau: 2,
+            edit_kappa: 2,
+            edit_l: 3,
+            set_tau: 0.8,
+            set_m: 5,
+            set_l: 2,
+            graph_tau: 4,
+            graph_l: 4,
+        }
+    }
+
+    /// Seconds-long smoke spec (CI / tests): datasets 10× smaller.
+    pub fn quick() -> Self {
+        EngineSpec {
+            hamming_n: 10_000,
+            edit_n: 2_000,
+            set_n: 2_000,
+            graph_n: 200,
+            query_count: 10,
+            ..EngineSpec::full()
+        }
+    }
+
+    /// Paper-§8-scale spec (10× `full`); pair with a real multi-core
+    /// host.
+    pub fn paper() -> Self {
+        EngineSpec {
+            hamming_n: 1_000_000,
+            edit_n: 200_000,
+            set_n: 200_000,
+            graph_n: 20_000,
+            query_count: 100,
+            ..EngineSpec::full()
+        }
+    }
+
+    /// Deterministic per-domain query sets drawn from the served
+    /// datasets, wrapped with this spec's default parameters. Clients
+    /// (`repro query` / `repro loadgen`) call this without building any
+    /// index: generation is pure in the spec.
+    pub fn sample_queries(&self, domain: Domain) -> Vec<DomainQuery> {
+        match domain {
+            Domain::Hamming => {
+                let data = VectorConfig::gist_like(self.hamming_n).generate();
+                sample_query_ids(data.len(), self.query_count, 1)
+                    .into_iter()
+                    .map(|i| DomainQuery::Hamming {
+                        query: data[i].clone(),
+                        tau: self.hamming_tau,
+                        l: self.hamming_l,
+                    })
+                    .collect()
+            }
+            Domain::Edit => {
+                let data = StringConfig::imdb_like(self.edit_n).generate();
+                sample_query_ids(data.len(), self.query_count, 5)
+                    .into_iter()
+                    .map(|i| DomainQuery::Edit {
+                        query: data[i].clone(),
+                        l: self.edit_l,
+                    })
+                    .collect()
+            }
+            Domain::Set => {
+                let data = SetConfig::dblp_like(self.set_n).generate();
+                sample_query_ids(data.len(), self.query_count, 4)
+                    .into_iter()
+                    .map(|i| DomainQuery::Set {
+                        tokens: data[i].clone(),
+                        l: self.set_l,
+                    })
+                    .collect()
+            }
+            Domain::Graph => {
+                let data = GraphConfig::aids_like(self.graph_n).generate();
+                sample_query_ids(data.len(), self.query_count, 7)
+                    .into_iter()
+                    .map(|i| DomainQuery::Graph {
+                        query: data[i].clone(),
+                        l: self.graph_l,
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// The four sharded domain indexes a server instance answers from.
+pub struct EngineSet {
+    spec: EngineSpec,
+    hamming: ShardedIndex<RingHamming>,
+    edit: ShardedIndex<RingEdit>,
+    set: ShardedIndex<RingSetSim>,
+    graph: ShardedIndex<RingGraph>,
+    /// Dimensionality of the Hamming dataset; queries with any other
+    /// dimensionality are rejected with a typed `InvalidQuery` error
+    /// (the engine itself would panic on a mismatch).
+    hamming_dims: usize,
+}
+
+impl EngineSet {
+    /// Builds all four domain indexes from `spec` (deterministic:
+    /// equal specs ⇒ identical engines).
+    pub fn build(spec: EngineSpec) -> Self {
+        let vectors = VectorConfig::gist_like(spec.hamming_n).generate();
+        let hamming_dims = vectors.first().map_or(0, |v| v.dims());
+        let m = spec.hamming_m;
+        let hamming = ShardedIndex::build(vectors, spec.shards, |shard| {
+            RingHamming::build(shard, m, AllocationStrategy::CostModel)
+        });
+        let (tau, kappa) = (spec.edit_tau, spec.edit_kappa);
+        let edit = ShardedIndex::build(
+            StringConfig::imdb_like(spec.edit_n).generate(),
+            spec.shards,
+            |shard| {
+                RingEdit::build(
+                    QGramCollection::build(shard, kappa, GramOrder::Frequency),
+                    tau,
+                )
+            },
+        );
+        let (jaccard, set_m) = (Threshold::jaccard(spec.set_tau), spec.set_m);
+        let set = ShardedIndex::build(
+            SetConfig::dblp_like(spec.set_n).generate(),
+            spec.shards,
+            |shard| RingSetSim::build(Collection::new(shard), jaccard, set_m),
+        );
+        let graph_tau = spec.graph_tau;
+        let graph = ShardedIndex::build(
+            GraphConfig::aids_like(spec.graph_n).generate(),
+            spec.shards,
+            |shard| RingGraph::build(shard, graph_tau),
+        );
+        EngineSet {
+            spec,
+            hamming,
+            edit,
+            set,
+            graph,
+            hamming_dims,
+        }
+    }
+
+    /// The spec this set was built from.
+    pub fn spec(&self) -> &EngineSpec {
+        &self.spec
+    }
+
+    /// The sharded Hamming index (for direct in-process comparison).
+    pub fn hamming_index(&self) -> &ShardedIndex<RingHamming> {
+        &self.hamming
+    }
+
+    /// The sharded edit-distance index.
+    pub fn edit_index(&self) -> &ShardedIndex<RingEdit> {
+        &self.edit
+    }
+
+    /// The sharded set-similarity index.
+    pub fn set_index(&self) -> &ShardedIndex<RingSetSim> {
+        &self.set
+    }
+
+    /// The sharded graph index.
+    pub fn graph_index(&self) -> &ShardedIndex<RingGraph> {
+        &self.graph
+    }
+
+    /// Executes one micro-batch of mixed-domain queries on `pool`,
+    /// returning one [`Response`] per query in request order.
+    ///
+    /// Queries are grouped by domain *and* by equal per-request
+    /// parameters, so each group inherits the batched shard fan-out of
+    /// [`ShardedIndex::search_batch_on`]; invalid queries (e.g. a
+    /// Hamming vector of the wrong dimensionality) get a typed error
+    /// without disturbing the rest of the batch.
+    pub fn run(&self, pool: &WorkerPool, queries: Vec<DomainQuery>) -> Vec<Response> {
+        let mut responses: Vec<Option<Response>> = queries.iter().map(|_| None).collect();
+        let mut hamming: Vec<(usize, pigeonring_hamming::BitVector, HammingParams)> = Vec::new();
+        let mut edit: Vec<(usize, Vec<u8>, EditParams)> = Vec::new();
+        let mut set: Vec<(usize, Vec<u32>, SetParams)> = Vec::new();
+        let mut graph: Vec<(usize, pigeonring_graph::Graph, GraphParams)> = Vec::new();
+        for (i, q) in queries.into_iter().enumerate() {
+            match q {
+                DomainQuery::Hamming { query, tau, l } => {
+                    if query.dims() != self.hamming_dims {
+                        responses[i] = Some(Response::Error {
+                            code: ErrorCode::InvalidQuery,
+                            message: format!(
+                                "query has {} dims, dataset has {}",
+                                query.dims(),
+                                self.hamming_dims
+                            ),
+                        });
+                    } else {
+                        hamming.push((i, query, HammingParams { tau, l: l as usize }));
+                    }
+                }
+                DomainQuery::Edit { query, l } => {
+                    edit.push((i, query, EditParams { l: l as usize }));
+                }
+                DomainQuery::Set { tokens, l } => {
+                    set.push((i, tokens, SetParams { l: l as usize }));
+                }
+                DomainQuery::Graph { query, l } => {
+                    graph.push((i, query, GraphParams { l: l as usize }));
+                }
+            }
+        }
+        run_groups(pool, &self.hamming, hamming, &mut responses);
+        run_groups(pool, &self.edit, edit, &mut responses);
+        run_groups(pool, &self.set, set, &mut responses);
+        run_groups(pool, &self.graph, graph, &mut responses);
+        responses
+            .into_iter()
+            .map(|r| r.expect("every query answered"))
+            .collect()
+    }
+}
+
+/// Runs one domain's share of a micro-batch: splits it into runs of
+/// equal parameters, answers each run with one batched shard fan-out,
+/// and scatters results back into their request slots.
+fn run_groups<E>(
+    pool: &WorkerPool,
+    index: &ShardedIndex<E>,
+    items: Vec<(usize, E::Query, E::Params)>,
+    responses: &mut [Option<Response>],
+) where
+    E: pigeonring_service::SearchEngine,
+    E::Params: PartialEq,
+{
+    let mut items = items.into_iter().peekable();
+    while let Some((slot, query, params)) = items.next() {
+        let mut slots = vec![slot];
+        let mut batch = vec![query];
+        while let Some((s, q, _)) = items.next_if(|(_, _, p)| *p == params) {
+            slots.push(s);
+            batch.push(q);
+        }
+        let results = index.search_batch_on(pool, &batch, &params);
+        for (slot, result) in slots.into_iter().zip(results) {
+            responses[slot] = Some(Response::Results { ids: result.ids });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> EngineSpec {
+        EngineSpec {
+            shards: 2,
+            hamming_n: 300,
+            edit_n: 200,
+            set_n: 200,
+            graph_n: 60,
+            query_count: 4,
+            ..EngineSpec::full()
+        }
+    }
+
+    #[test]
+    fn mixed_batch_matches_direct_search() {
+        let engines = EngineSet::build(tiny_spec());
+        let pool = WorkerPool::new(2);
+        // Interleave all four domains in one micro-batch.
+        let mut batch = Vec::new();
+        for d in Domain::ALL {
+            batch.extend(engines.spec().sample_queries(d).into_iter().take(2));
+        }
+        batch.rotate_left(3);
+        let responses = engines.run(&pool, batch.clone());
+        assert_eq!(responses.len(), batch.len());
+        for (q, resp) in batch.iter().zip(&responses) {
+            let Response::Results { ids } = resp else {
+                panic!("expected results for {q:?}, got {resp:?}");
+            };
+            let expect = match q {
+                DomainQuery::Hamming { query, tau, l } => {
+                    let params = HammingParams {
+                        tau: *tau,
+                        l: *l as usize,
+                    };
+                    engines
+                        .hamming_index()
+                        .search_batch(std::slice::from_ref(query), &params, 1)[0]
+                        .ids
+                        .clone()
+                }
+                DomainQuery::Edit { query, l } => {
+                    let params = EditParams { l: *l as usize };
+                    engines
+                        .edit_index()
+                        .search_batch(std::slice::from_ref(query), &params, 1)[0]
+                        .ids
+                        .clone()
+                }
+                DomainQuery::Set { tokens, l } => {
+                    let params = SetParams { l: *l as usize };
+                    engines
+                        .set_index()
+                        .search_batch(std::slice::from_ref(tokens), &params, 1)[0]
+                        .ids
+                        .clone()
+                }
+                DomainQuery::Graph { query, l } => {
+                    let params = GraphParams { l: *l as usize };
+                    engines
+                        .graph_index()
+                        .search_batch(std::slice::from_ref(query), &params, 1)[0]
+                        .ids
+                        .clone()
+                }
+            };
+            assert_eq!(ids, &expect);
+        }
+    }
+
+    #[test]
+    fn wrong_dims_gets_typed_error_without_breaking_batch() {
+        let engines = EngineSet::build(tiny_spec());
+        let pool = WorkerPool::new(1);
+        let good = engines.spec().sample_queries(Domain::Hamming);
+        let bad = DomainQuery::Hamming {
+            query: pigeonring_hamming::BitVector::zeros(8),
+            tau: 4,
+            l: 2,
+        };
+        let batch = vec![good[0].clone(), bad, good[1].clone()];
+        let responses = engines.run(&pool, batch);
+        assert!(matches!(responses[0], Response::Results { .. }));
+        assert!(matches!(
+            responses[1],
+            Response::Error {
+                code: ErrorCode::InvalidQuery,
+                ..
+            }
+        ));
+        assert!(matches!(responses[2], Response::Results { .. }));
+    }
+
+    #[test]
+    fn equal_specs_build_identical_engines() {
+        let a = EngineSet::build(tiny_spec());
+        let b = EngineSet::build(tiny_spec());
+        let pool = WorkerPool::new(2);
+        for d in Domain::ALL {
+            let queries = a.spec().sample_queries(d);
+            let ra = a.run(&pool, queries.clone());
+            let rb = b.run(&pool, queries);
+            assert_eq!(ra, rb, "domain {d}");
+        }
+    }
+}

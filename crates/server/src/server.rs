@@ -1,0 +1,321 @@
+//! The TCP frontend: accept loop, per-connection framing threads, and
+//! the micro-batching dispatcher between the bounded queue and the
+//! worker pool.
+//!
+//! Data path of one request:
+//!
+//! ```text
+//! client ──frame──▶ connection thread ──try_push──▶ BoundedQueue (≤ Q)
+//!                        │  full? ◀─────────────────────┘
+//!                        ▼  typed Busy
+//!                   dispatcher ──pop_batch(≤ B)──▶ EngineSet::run
+//!                        │                         (WorkerPool fan-out)
+//!                        └──reply channel──▶ connection thread ──frame──▶ client
+//! ```
+//!
+//! * **Admission control**: connection threads never queue unboundedly —
+//!   a full queue answers [`Response::Busy`] immediately; queued
+//!   requests are unaffected.
+//! * **Micro-batching**: the dispatcher drains up to `micro_batch`
+//!   queued requests per wakeup and hands them to the handler as one
+//!   mixed-domain batch, so concurrent clients inherit the service
+//!   layer's batch amortization.
+//! * **Fail closed**: any frame that does not decode draws a typed
+//!   [`Response::Error`] and the connection is closed; a handler panic
+//!   answers every in-flight request of that batch with a typed
+//!   `Internal` error instead of hanging clients.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+
+use pigeonring_service::WorkerPool;
+
+use crate::queue::BoundedQueue;
+use crate::registry::EngineSet;
+use crate::wire::{
+    decode_request, encode_response, read_frame, write_frame, DomainQuery, ErrorCode, Request,
+    Response, WireError, MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+
+/// Server tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Bounded request-queue depth `Q` (admission control): request
+    /// `Q+1` while `Q` are buffered receives [`Response::Busy`].
+    pub queue_depth: usize,
+    /// Maximum queued requests coalesced into one dispatch `B`.
+    pub micro_batch: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            queue_depth: 64,
+            micro_batch: 16,
+        }
+    }
+}
+
+/// One queued request: the decoded query plus the channel its answer
+/// travels back on.
+struct Job {
+    query: DomainQuery,
+    reply: mpsc::Sender<Response>,
+}
+
+/// A batch handler: answers one micro-batch of queries, one response
+/// per query, in order. Production uses [`EngineSet::run`] on a shared
+/// [`WorkerPool`]; tests inject stalling handlers to exercise admission
+/// control.
+pub type Handler = Arc<dyn Fn(Vec<DomainQuery>) -> Vec<Response> + Send + Sync>;
+
+/// A running server; dropping (or calling [`ServerHandle::shutdown`])
+/// stops the accept loop and dispatcher.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    queue: Arc<BoundedQueue<Job>>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    dispatch_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Starts a server answering from `engines` with `pool` as the
+/// execution backend. The listener should already be bound (use port 0
+/// for tests); the accept loop, dispatcher, and per-connection threads
+/// are all spawned here.
+pub fn start(
+    listener: TcpListener,
+    engines: Arc<EngineSet>,
+    pool: WorkerPool,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let handler: Handler = Arc::new(move |queries| engines.run(&pool, queries));
+    start_with_handler(listener, handler, config)
+}
+
+/// [`start`], but with an arbitrary batch handler (test seam: inject a
+/// stalled handler to hold the pool busy and exercise admission
+/// control).
+pub fn start_with_handler(
+    listener: TcpListener,
+    handler: Handler,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let addr = listener.local_addr()?;
+    let queue = Arc::new(BoundedQueue::<Job>::new(config.queue_depth));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let dispatch_thread = {
+        let queue = Arc::clone(&queue);
+        std::thread::Builder::new()
+            .name("pigeonring-dispatch".into())
+            .spawn(move || dispatch_loop(&queue, &handler, config.micro_batch))?
+    };
+
+    let accept_thread = {
+        let queue = Arc::clone(&queue);
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("pigeonring-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else {
+                        // Persistent accept errors (fd exhaustion under
+                        // load) would otherwise busy-spin this loop at
+                        // 100% CPU; back off briefly so closing
+                        // connections can release their fds.
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        continue;
+                    };
+                    let queue = Arc::clone(&queue);
+                    // Connection threads are detached: they exit when
+                    // the peer hangs up or a protocol error closes the
+                    // stream.
+                    let _ = std::thread::Builder::new()
+                        .name("pigeonring-conn".into())
+                        .spawn(move || serve_connection(stream, &queue));
+                }
+            })?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        queue,
+        stop,
+        accept_thread: Some(accept_thread),
+        dispatch_thread: Some(dispatch_thread),
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (with the OS-assigned port when bound to 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests currently buffered in the admission queue (metrics /
+    /// tests).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Stops accepting, drains the queue, and joins the accept and
+    /// dispatch threads.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.queue.close();
+        if let Some(t) = self.dispatch_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+/// Pops micro-batches off the queue and answers them until the queue is
+/// closed and drained.
+fn dispatch_loop(queue: &BoundedQueue<Job>, handler: &Handler, micro_batch: usize) {
+    let mut jobs: Vec<Job> = Vec::new();
+    while queue.pop_batch(micro_batch, &mut jobs) {
+        let (queries, replies): (Vec<DomainQuery>, Vec<mpsc::Sender<Response>>) =
+            jobs.drain(..).map(|j| (j.query, j.reply)).unzip();
+        let n = queries.len();
+        // A panicking handler (engine bug) must not hang the n clients
+        // of this batch, nor kill the dispatcher for future batches.
+        let responses = catch_unwind(AssertUnwindSafe(|| handler(queries))).unwrap_or_default();
+        if responses.len() == n {
+            for (reply, resp) in replies.into_iter().zip(responses) {
+                let _ = reply.send(resp); // receiver gone ⇒ client left
+            }
+        } else {
+            for reply in replies {
+                let _ = reply.send(Response::Error {
+                    code: ErrorCode::Internal,
+                    message: "query execution failed".into(),
+                });
+            }
+        }
+    }
+}
+
+/// One connection: read frames, decode, admit, reply — until EOF or a
+/// protocol error (which draws a typed error response, then closes).
+///
+/// The protocol requires `Hello` as the first frame; a query before
+/// negotiation draws a typed `Malformed` error and closes (enforced, so
+/// a future v2 can rely on every connection having negotiated).
+fn serve_connection(stream: TcpStream, queue: &BoundedQueue<Job>) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+    let mut negotiated = false;
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return, // clean EOF between frames
+            Err(e) => {
+                let _ = write_frame(&mut writer, &encode_response(&error_response(&e)));
+                return;
+            }
+        };
+        let response = match decode_request(&payload) {
+            Err(e) => {
+                let _ = write_frame(&mut writer, &encode_response(&error_response(&e)));
+                return; // fail closed on any undecodable frame
+            }
+            Ok(Request::Hello { max_version }) => {
+                if max_version >= PROTOCOL_VERSION {
+                    negotiated = true;
+                    Response::HelloOk {
+                        version: PROTOCOL_VERSION,
+                    }
+                } else {
+                    let resp = Response::Error {
+                        code: ErrorCode::UnsupportedVersion,
+                        message: format!(
+                            "client speaks up to v{max_version}, server requires v{PROTOCOL_VERSION}"
+                        ),
+                    };
+                    let _ = write_frame(&mut writer, &encode_response(&resp));
+                    return;
+                }
+            }
+            Ok(Request::Query(query)) => {
+                if !negotiated {
+                    let resp = Response::Error {
+                        code: ErrorCode::Malformed,
+                        message: "expected Hello as the first frame".into(),
+                    };
+                    let _ = write_frame(&mut writer, &response_payload(&resp));
+                    return;
+                }
+                let (reply, rx) = mpsc::channel();
+                match queue.try_push(Job { query, reply }) {
+                    // Admission control: full (or closing) queue answers
+                    // Busy immediately; nothing is buffered.
+                    Err(_) => Response::Busy,
+                    Ok(()) => rx.recv().unwrap_or(Response::Error {
+                        code: ErrorCode::Internal,
+                        message: "server shut down mid-request".into(),
+                    }),
+                }
+            }
+        };
+        if write_frame(&mut writer, &response_payload(&response)).is_err() {
+            return; // client hung up
+        }
+    }
+}
+
+/// Encodes a response, substituting a typed `Internal` error when the
+/// encoding exceeds the frame cap (a result set too large for one
+/// frame) — the client gets a diagnosable answer instead of a
+/// connection that dies on an unsendable frame.
+fn response_payload(response: &Response) -> Vec<u8> {
+    let payload = encode_response(response);
+    if payload.len() <= MAX_FRAME_LEN as usize {
+        return payload;
+    }
+    encode_response(&Response::Error {
+        code: ErrorCode::Internal,
+        message: format!(
+            "response of {} bytes exceeds the {MAX_FRAME_LEN}-byte frame cap; \
+             narrow the query threshold",
+            payload.len()
+        ),
+    })
+}
+
+/// Maps a decode failure to the typed error the peer sees before the
+/// connection closes.
+fn error_response(e: &WireError) -> Response {
+    let code = match e {
+        WireError::BadVersion(_) => ErrorCode::UnsupportedVersion,
+        _ => ErrorCode::Malformed,
+    };
+    Response::Error {
+        code,
+        message: e.to_string(),
+    }
+}

@@ -1,0 +1,745 @@
+//! The versioned, length-prefixed binary wire protocol.
+//!
+//! Every message travels as one *frame*:
+//!
+//! ```text
+//! +----------------+---------------------------------------+
+//! | len: u32 (LE)  | payload (len bytes)                   |
+//! +----------------+---------------------------------------+
+//! payload = [ version: u8 | tag: u8 | body ... ]
+//! ```
+//!
+//! All integers are little-endian. `len` counts the payload only and is
+//! capped at [`MAX_FRAME_LEN`]; an oversized length is rejected *before*
+//! any allocation. The first payload byte is the protocol version
+//! ([`PROTOCOL_VERSION`]); a mismatch decodes to
+//! [`WireError::BadVersion`], which servers answer with a typed
+//! [`ErrorCode::UnsupportedVersion`] response before closing — the
+//! connection fails closed, never panics.
+//!
+//! Version negotiation: a client opens with [`Request::Hello`] carrying
+//! the highest version it speaks; the server answers
+//! [`Response::HelloOk`] with the version to use (today always `1`) or
+//! an `UnsupportedVersion` error. Every later frame carries the agreed
+//! version in its header.
+//!
+//! Decoding is strict: truncated bodies are [`WireError::Truncated`],
+//! unconsumed trailing bytes are [`WireError::TrailingBytes`], unknown
+//! tags are [`WireError::BadTag`], and structurally invalid queries
+//! (stray bits in a packed vector, self-loops or duplicate edges in a
+//! graph) are [`WireError::Malformed`]. Element counts are validated
+//! against the remaining frame length before any buffer is sized, so a
+//! hostile count cannot trigger a huge allocation.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use pigeonring_graph::Graph;
+use pigeonring_hamming::BitVector;
+
+/// The protocol version this build speaks (and the only one so far).
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Upper bound on a frame's payload length (4 MiB) — generous for any
+/// realistic query, small enough that a corrupt length prefix cannot
+/// drive a giant allocation.
+pub const MAX_FRAME_LEN: u32 = 4 * 1024 * 1024;
+
+/// Why a frame or message failed to decode. Every variant is a typed,
+/// recoverable error: protocol code never panics on remote input.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying socket error.
+    Io(std::io::Error),
+    /// The stream ended inside a frame, or a body is shorter than its
+    /// declared element counts require.
+    Truncated,
+    /// Declared payload length exceeds [`MAX_FRAME_LEN`].
+    Oversized(u32),
+    /// Frame header carries an unknown protocol version.
+    BadVersion(u8),
+    /// Unknown message tag.
+    BadTag(u8),
+    /// The body decoded fully but left unconsumed bytes.
+    TrailingBytes(usize),
+    /// The body parsed but describes an invalid value (reason attached).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "io error: {e}"),
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::Oversized(n) => write!(f, "frame length {n} exceeds {MAX_FRAME_LEN}"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::BadTag(t) => write!(f, "unknown message tag 0x{t:02x}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message body"),
+            WireError::Malformed(why) => write!(f, "malformed message: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// The four query domains the server multiplexes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Hamming distance over packed binary vectors.
+    Hamming,
+    /// Edit distance over byte strings.
+    Edit,
+    /// Set similarity (Jaccard) over token sets.
+    Set,
+    /// Graph edit distance over labeled graphs.
+    Graph,
+}
+
+impl Domain {
+    /// All domains, in wire-tag order.
+    pub const ALL: [Domain; 4] = [Domain::Hamming, Domain::Edit, Domain::Set, Domain::Graph];
+
+    /// CLI / artifact name (matches the `repro sweep` domain labels).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Domain::Hamming => "hamming",
+            Domain::Edit => "editdist",
+            Domain::Set => "setsim",
+            Domain::Graph => "graph",
+        }
+    }
+
+    /// Parses a CLI / artifact name.
+    pub fn parse_name(s: &str) -> Option<Domain> {
+        Domain::ALL.into_iter().find(|d| d.as_str() == s)
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One thresholded similarity query, tagged by domain, with its
+/// per-request search parameters (thresholds fixed at index build time —
+/// edit/set/graph — travel implicitly; Hamming's `τ` is per-request).
+#[derive(Clone, Debug, PartialEq)]
+pub enum DomainQuery {
+    /// Hamming search: all records within distance `tau`, chain length
+    /// `l`.
+    Hamming {
+        /// The query vector (must match the dataset's dimensionality).
+        query: BitVector,
+        /// Distance threshold `τ`.
+        tau: u32,
+        /// Chain length `l`.
+        l: u32,
+    },
+    /// Edit-distance search with chain length `l` (`τ` is an index
+    /// build-time parameter).
+    Edit {
+        /// The query string.
+        query: Vec<u8>,
+        /// Chain length `l`.
+        l: u32,
+    },
+    /// Set-similarity search with chain length `l`. Tokens are **raw**
+    /// ids (each shard re-ranks into its local frequency order).
+    Set {
+        /// The raw query token set.
+        tokens: Vec<u32>,
+        /// Chain length `l`.
+        l: u32,
+    },
+    /// Graph-edit-distance search with chain length `l`.
+    Graph {
+        /// The query graph.
+        query: Graph,
+        /// Chain length `l`.
+        l: u32,
+    },
+}
+
+impl DomainQuery {
+    /// The domain this query targets.
+    pub fn domain(&self) -> Domain {
+        match self {
+            DomainQuery::Hamming { .. } => Domain::Hamming,
+            DomainQuery::Edit { .. } => Domain::Edit,
+            DomainQuery::Set { .. } => Domain::Set,
+            DomainQuery::Graph { .. } => Domain::Graph,
+        }
+    }
+}
+
+/// A client → server message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Version negotiation: the highest protocol version the client
+    /// speaks. Must be the first frame on a connection.
+    Hello {
+        /// Highest version the client supports.
+        max_version: u8,
+    },
+    /// One similarity query.
+    Query(DomainQuery),
+}
+
+/// Typed error category carried by [`Response::Error`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The client's protocol version is not supported.
+    UnsupportedVersion,
+    /// The request frame failed to decode.
+    Malformed,
+    /// The query decoded but cannot run against the loaded dataset
+    /// (e.g. wrong vector dimensionality).
+    InvalidQuery,
+    /// The requested domain has no engine loaded.
+    Unavailable,
+    /// The server failed internally while executing the query.
+    Internal,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::UnsupportedVersion => 1,
+            ErrorCode::Malformed => 2,
+            ErrorCode::InvalidQuery => 3,
+            ErrorCode::Unavailable => 4,
+            ErrorCode::Internal => 5,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<ErrorCode> {
+        match v {
+            1 => Some(ErrorCode::UnsupportedVersion),
+            2 => Some(ErrorCode::Malformed),
+            3 => Some(ErrorCode::InvalidQuery),
+            4 => Some(ErrorCode::Unavailable),
+            5 => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+/// A server → client message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Version accepted; all further frames use `version`.
+    HelloOk {
+        /// The negotiated protocol version.
+        version: u8,
+    },
+    /// The query's merged result: global record ids, ascending.
+    Results {
+        /// Global record ids within the threshold, ascending.
+        ids: Vec<u32>,
+    },
+    /// Admission control rejected the request: the bounded queue is
+    /// full. The client may retry; the connection stays open.
+    Busy,
+    /// Typed failure; the server closes the connection after sending
+    /// this for protocol-level errors (`UnsupportedVersion`,
+    /// `Malformed`) and keeps it open for per-query errors.
+    Error {
+        /// What category of failure.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+// Message tags. Requests are < 0x80, responses ≥ 0x80.
+const TAG_HELLO: u8 = 0x01;
+const TAG_Q_HAMMING: u8 = 0x02;
+const TAG_Q_EDIT: u8 = 0x03;
+const TAG_Q_SET: u8 = 0x04;
+const TAG_Q_GRAPH: u8 = 0x05;
+const TAG_HELLO_OK: u8 = 0x81;
+const TAG_RESULTS: u8 = 0x82;
+const TAG_BUSY: u8 = 0x83;
+const TAG_ERROR: u8 = 0x84;
+
+// ------------------------------------------------------------- frame IO
+
+/// Writes one frame (`len` prefix + payload) and flushes.
+///
+/// Refuses payloads over [`MAX_FRAME_LEN`] with `InvalidInput` — the
+/// decode-side cap has an encode-side counterpart, so an oversized
+/// message (e.g. a huge result set) can never reach the peer as a frame
+/// it would have to reject.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN as usize {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!(
+                "payload of {} bytes exceeds the {MAX_FRAME_LEN}-byte frame cap",
+                payload.len()
+            ),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload. Returns `Ok(None)` on a clean end of
+/// stream (connection closed *between* frames); an end of stream inside
+/// a frame — even inside the 4-byte length prefix — is
+/// [`WireError::Truncated`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let n = r.read(&mut len_buf[filled..])?;
+        if n == 0 {
+            return if filled == 0 {
+                Ok(None)
+            } else {
+                Err(WireError::Truncated)
+            };
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e)
+        }
+    })?;
+    Ok(Some(payload))
+}
+
+// --------------------------------------------------- body read / write
+
+/// Append-only little-endian body writer.
+struct BodyWriter {
+    buf: Vec<u8>,
+}
+
+impl BodyWriter {
+    fn new(tag: u8) -> Self {
+        BodyWriter {
+            buf: vec![PROTOCOL_VERSION, tag],
+        }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Strict little-endian body reader: every read is bounds-checked
+/// ([`WireError::Truncated`]) and [`BodyReader::finish`] rejects
+/// leftovers ([`WireError::TrailingBytes`]).
+struct BodyReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BodyReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        BodyReader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a `count`-prefixed length, validating that `count * width`
+    /// bytes actually remain before the caller sizes a buffer.
+    fn checked_count(&mut self, width: usize) -> Result<usize, WireError> {
+        let count = self.u32()? as usize;
+        if count
+            .checked_mul(width)
+            .is_none_or(|b| b > self.remaining())
+        {
+            return Err(WireError::Truncated);
+        }
+        Ok(count)
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::TrailingBytes(self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+/// Reads and validates the `[version, tag]` header, returning the tag.
+fn read_header(r: &mut BodyReader<'_>) -> Result<u8, WireError> {
+    let version = r.u8()?;
+    if version != PROTOCOL_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    r.u8()
+}
+
+// ------------------------------------------------------------ requests
+
+/// Encodes a request into a frame payload.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    match req {
+        Request::Hello { max_version } => {
+            let mut w = BodyWriter::new(TAG_HELLO);
+            w.u8(*max_version);
+            w.buf
+        }
+        Request::Query(DomainQuery::Hamming { query, tau, l }) => {
+            let mut w = BodyWriter::new(TAG_Q_HAMMING);
+            w.u32(*tau);
+            w.u32(*l);
+            w.u32(query.dims() as u32);
+            w.u32(query.words().len() as u32);
+            for word in query.words() {
+                w.u64(*word);
+            }
+            w.buf
+        }
+        Request::Query(DomainQuery::Edit { query, l }) => {
+            let mut w = BodyWriter::new(TAG_Q_EDIT);
+            w.u32(*l);
+            w.u32(query.len() as u32);
+            w.bytes(query);
+            w.buf
+        }
+        Request::Query(DomainQuery::Set { tokens, l }) => {
+            let mut w = BodyWriter::new(TAG_Q_SET);
+            w.u32(*l);
+            w.u32(tokens.len() as u32);
+            for t in tokens {
+                w.u32(*t);
+            }
+            w.buf
+        }
+        Request::Query(DomainQuery::Graph { query, l }) => {
+            let mut w = BodyWriter::new(TAG_Q_GRAPH);
+            w.u32(*l);
+            w.u32(query.num_vertices() as u32);
+            for &vl in query.vlabels() {
+                w.u32(vl);
+            }
+            w.u32(query.num_edges() as u32);
+            for (u, v, el) in query.edges() {
+                w.u32(u);
+                w.u32(v);
+                w.u32(el);
+            }
+            w.buf
+        }
+    }
+}
+
+/// Decodes a frame payload into a request (strict; see module docs).
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let mut r = BodyReader::new(payload);
+    let tag = read_header(&mut r)?;
+    let req = match tag {
+        TAG_HELLO => Request::Hello {
+            max_version: r.u8()?,
+        },
+        TAG_Q_HAMMING => {
+            let tau = r.u32()?;
+            let l = r.u32()?;
+            let dims = r.u32()? as usize;
+            let nwords = r.checked_count(8)?;
+            let mut words = Vec::with_capacity(nwords);
+            for _ in 0..nwords {
+                words.push(r.u64()?);
+            }
+            let query = BitVector::from_words(dims, words)
+                .ok_or(WireError::Malformed("invalid packed vector"))?;
+            Request::Query(DomainQuery::Hamming { query, tau, l })
+        }
+        TAG_Q_EDIT => {
+            let l = r.u32()?;
+            let len = r.checked_count(1)?;
+            let query = r.take(len)?.to_vec();
+            Request::Query(DomainQuery::Edit { query, l })
+        }
+        TAG_Q_SET => {
+            let l = r.u32()?;
+            let count = r.checked_count(4)?;
+            let mut tokens = Vec::with_capacity(count);
+            for _ in 0..count {
+                tokens.push(r.u32()?);
+            }
+            Request::Query(DomainQuery::Set { tokens, l })
+        }
+        TAG_Q_GRAPH => {
+            let l = r.u32()?;
+            let nv = r.checked_count(4)?;
+            if nv == 0 {
+                return Err(WireError::Malformed("graph needs at least one vertex"));
+            }
+            let mut vlabels = Vec::with_capacity(nv);
+            for _ in 0..nv {
+                vlabels.push(r.u32()?);
+            }
+            let ne = r.checked_count(12)?;
+            let mut query = Graph::new(vlabels);
+            for _ in 0..ne {
+                let (u, v, el) = (r.u32()?, r.u32()?, r.u32()?);
+                if u == v {
+                    return Err(WireError::Malformed("graph self-loop"));
+                }
+                if u as usize >= nv || v as usize >= nv {
+                    return Err(WireError::Malformed("graph edge endpoint out of range"));
+                }
+                if query.edge_label(u, v).is_some() {
+                    return Err(WireError::Malformed("duplicate graph edge"));
+                }
+                query.add_edge(u, v, el);
+            }
+            Request::Query(DomainQuery::Graph { query, l })
+        }
+        other => return Err(WireError::BadTag(other)),
+    };
+    r.finish()?;
+    Ok(req)
+}
+
+// ----------------------------------------------------------- responses
+
+/// Encodes a response into a frame payload.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    match resp {
+        Response::HelloOk { version } => {
+            let mut w = BodyWriter::new(TAG_HELLO_OK);
+            w.u8(*version);
+            w.buf
+        }
+        Response::Results { ids } => {
+            let mut w = BodyWriter::new(TAG_RESULTS);
+            w.u32(ids.len() as u32);
+            for id in ids {
+                w.u32(*id);
+            }
+            w.buf
+        }
+        Response::Busy => BodyWriter::new(TAG_BUSY).buf,
+        Response::Error { code, message } => {
+            let mut w = BodyWriter::new(TAG_ERROR);
+            w.u8(code.to_u8());
+            w.u32(message.len() as u32);
+            w.bytes(message.as_bytes());
+            w.buf
+        }
+    }
+}
+
+/// Decodes a frame payload into a response (strict; see module docs).
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let mut r = BodyReader::new(payload);
+    let tag = read_header(&mut r)?;
+    let resp = match tag {
+        TAG_HELLO_OK => Response::HelloOk { version: r.u8()? },
+        TAG_RESULTS => {
+            let count = r.checked_count(4)?;
+            let mut ids = Vec::with_capacity(count);
+            for _ in 0..count {
+                ids.push(r.u32()?);
+            }
+            Response::Results { ids }
+        }
+        TAG_BUSY => Response::Busy,
+        TAG_ERROR => {
+            let code =
+                ErrorCode::from_u8(r.u8()?).ok_or(WireError::Malformed("unknown error code"))?;
+            let len = r.checked_count(1)?;
+            let message = String::from_utf8(r.take(len)?.to_vec())
+                .map_err(|_| WireError::Malformed("error message is not UTF-8"))?;
+            Response::Error { code, message }
+        }
+        other => return Err(WireError::BadTag(other)),
+    };
+    r.finish()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").expect("write to vec");
+        write_frame(&mut buf, b"").expect("write to vec");
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_payload_refused_at_write_time() {
+        let huge = vec![0u8; MAX_FRAME_LEN as usize + 1];
+        let mut out = Vec::new();
+        let err = write_frame(&mut out, &huge).expect_err("must refuse");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(out.is_empty(), "nothing written for a refused frame");
+    }
+
+    #[test]
+    fn truncated_length_prefix_fails_closed() {
+        let mut r: &[u8] = &[5, 0];
+        assert!(matches!(read_frame(&mut r), Err(WireError::Truncated)));
+    }
+
+    #[test]
+    fn truncated_body_fails_closed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abcdef").expect("write to vec");
+        buf.truncate(7); // 4-byte prefix + 3 of 6 body bytes
+        let mut r = &buf[..];
+        assert!(matches!(read_frame(&mut r), Err(WireError::Truncated)));
+    }
+
+    #[test]
+    fn oversized_frame_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        let mut r = &buf[..];
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(WireError::Oversized(n)) if n == MAX_FRAME_LEN + 1
+        ));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut payload = encode_request(&Request::Hello { max_version: 1 });
+        payload[0] = 99;
+        assert!(matches!(
+            decode_request(&payload),
+            Err(WireError::BadVersion(99))
+        ));
+        assert!(matches!(
+            decode_response(&payload),
+            Err(WireError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let payload = [PROTOCOL_VERSION, 0x7f];
+        assert!(matches!(
+            decode_request(&payload),
+            Err(WireError::BadTag(0x7f))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut payload = encode_request(&Request::Hello { max_version: 1 });
+        payload.push(0);
+        assert!(matches!(
+            decode_request(&payload),
+            Err(WireError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn hostile_count_cannot_drive_allocation() {
+        // A Set query declaring u32::MAX tokens with a 4-byte body.
+        let mut w = BodyWriter::new(TAG_Q_SET);
+        w.u32(1); // l
+        w.u32(u32::MAX); // token count
+        w.u32(7); // only one token actually present
+        assert!(matches!(decode_request(&w.buf), Err(WireError::Truncated)));
+    }
+
+    #[test]
+    fn graph_validation() {
+        let mk = |edges: &[(u32, u32, u32)]| {
+            let mut w = BodyWriter::new(TAG_Q_GRAPH);
+            w.u32(1); // l
+            w.u32(3); // nv
+            for vl in [1u32, 2, 3] {
+                w.u32(vl);
+            }
+            w.u32(edges.len() as u32);
+            for &(u, v, el) in edges {
+                w.u32(u);
+                w.u32(v);
+                w.u32(el);
+            }
+            w.buf
+        };
+        assert!(decode_request(&mk(&[(0, 1, 9), (1, 2, 9)])).is_ok());
+        assert!(matches!(
+            decode_request(&mk(&[(1, 1, 9)])),
+            Err(WireError::Malformed("graph self-loop"))
+        ));
+        assert!(matches!(
+            decode_request(&mk(&[(0, 3, 9)])),
+            Err(WireError::Malformed("graph edge endpoint out of range"))
+        ));
+        assert!(matches!(
+            decode_request(&mk(&[(0, 1, 9), (1, 0, 9)])),
+            Err(WireError::Malformed("duplicate graph edge"))
+        ));
+    }
+
+    #[test]
+    fn domain_names_round_trip() {
+        for d in Domain::ALL {
+            assert_eq!(Domain::parse_name(d.as_str()), Some(d));
+        }
+        assert_eq!(Domain::parse_name("nope"), None);
+    }
+}

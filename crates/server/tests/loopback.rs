@@ -1,0 +1,280 @@
+//! The acceptance check, as a test: a loopback server round-trip must
+//! return byte-identical result-id sets (compared via the service
+//! layer's `result_hash` fingerprint) to a direct in-process
+//! [`ShardedIndex::search_batch`] run, for all four domains. Also
+//! covers version negotiation and fail-closed behavior on garbage
+//! bytes.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+use pigeonring_editdist::EditParams;
+use pigeonring_graph::GraphParams;
+use pigeonring_hamming::HammingParams;
+use pigeonring_server::wire::{
+    encode_request, read_frame, write_frame, Domain, DomainQuery, ErrorCode, Request,
+    PROTOCOL_VERSION,
+};
+use pigeonring_server::{start, Client, ClientError, EngineSet, EngineSpec, Outcome, ServerConfig};
+use pigeonring_service::{ResultHasher, WorkerPool};
+use pigeonring_setsim::SetParams;
+
+fn tiny_spec() -> EngineSpec {
+    EngineSpec {
+        shards: 3,
+        hamming_n: 400,
+        edit_n: 300,
+        set_n: 300,
+        graph_n: 80,
+        query_count: 6,
+        ..EngineSpec::full()
+    }
+}
+
+/// Fingerprint of a direct in-process `search_batch` run over the
+/// domain's standard query set.
+fn in_process_hash(engines: &EngineSet, domain: Domain, queries: &[DomainQuery]) -> u64 {
+    let mut hasher = ResultHasher::new();
+    match domain {
+        Domain::Hamming => {
+            let batch: Vec<_> = queries
+                .iter()
+                .map(|q| {
+                    let DomainQuery::Hamming { query, .. } = q else {
+                        panic!("mixed domain")
+                    };
+                    query.clone()
+                })
+                .collect();
+            let DomainQuery::Hamming { tau, l, .. } = &queries[0] else {
+                panic!("mixed domain")
+            };
+            let params = HammingParams {
+                tau: *tau,
+                l: *l as usize,
+            };
+            for r in engines.hamming_index().search_batch(&batch, &params, 2) {
+                hasher.push(&r.ids);
+            }
+        }
+        Domain::Edit => {
+            let batch: Vec<_> = queries
+                .iter()
+                .map(|q| {
+                    let DomainQuery::Edit { query, .. } = q else {
+                        panic!("mixed domain")
+                    };
+                    query.clone()
+                })
+                .collect();
+            let DomainQuery::Edit { l, .. } = &queries[0] else {
+                panic!("mixed domain")
+            };
+            let params = EditParams { l: *l as usize };
+            for r in engines.edit_index().search_batch(&batch, &params, 2) {
+                hasher.push(&r.ids);
+            }
+        }
+        Domain::Set => {
+            let batch: Vec<_> = queries
+                .iter()
+                .map(|q| {
+                    let DomainQuery::Set { tokens, .. } = q else {
+                        panic!("mixed domain")
+                    };
+                    tokens.clone()
+                })
+                .collect();
+            let DomainQuery::Set { l, .. } = &queries[0] else {
+                panic!("mixed domain")
+            };
+            let params = SetParams { l: *l as usize };
+            for r in engines.set_index().search_batch(&batch, &params, 2) {
+                hasher.push(&r.ids);
+            }
+        }
+        Domain::Graph => {
+            let batch: Vec<_> = queries
+                .iter()
+                .map(|q| {
+                    let DomainQuery::Graph { query, .. } = q else {
+                        panic!("mixed domain")
+                    };
+                    query.clone()
+                })
+                .collect();
+            let DomainQuery::Graph { l, .. } = &queries[0] else {
+                panic!("mixed domain")
+            };
+            let params = GraphParams { l: *l as usize };
+            for r in engines.graph_index().search_batch(&batch, &params, 2) {
+                hasher.push(&r.ids);
+            }
+        }
+    }
+    hasher.finish()
+}
+
+#[test]
+fn loopback_round_trip_matches_in_process_for_all_domains() {
+    let engines = Arc::new(EngineSet::build(tiny_spec()));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let handle = start(
+        listener,
+        Arc::clone(&engines),
+        WorkerPool::new(2),
+        ServerConfig::default(),
+    )
+    .expect("server starts");
+
+    let mut client = Client::connect(handle.addr()).expect("connect + negotiate");
+    assert_eq!(client.version(), PROTOCOL_VERSION);
+
+    for domain in Domain::ALL {
+        let queries = engines.spec().sample_queries(domain);
+        let mut server_hasher = ResultHasher::new();
+        for q in &queries {
+            match client.search(q.clone()).expect("query over loopback") {
+                Outcome::Results(ids) => server_hasher.push(&ids),
+                Outcome::Busy => panic!("unloaded server must not be busy"),
+            }
+        }
+        let expect = in_process_hash(&engines, domain, &queries);
+        assert_eq!(
+            server_hasher.finish(),
+            expect,
+            "server round-trip differs from in-process search_batch for {domain}"
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn garbage_bytes_fail_closed_with_typed_error() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    // Handler irrelevant: garbage never reaches it.
+    let handle = pigeonring_server::start_with_handler(
+        listener,
+        Arc::new(|_| Vec::new()),
+        ServerConfig::default(),
+    )
+    .expect("server starts");
+
+    // An oversized length prefix draws a typed Malformed error, then the
+    // server closes the connection (read returns clean EOF).
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .write_all(&u32::MAX.to_le_bytes())
+        .expect("send hostile prefix");
+    let payload = read_frame(&mut stream)
+        .expect("typed error frame")
+        .expect("server responds before closing");
+    let resp = pigeonring_server::wire::decode_response(&payload).expect("decodes");
+    assert!(matches!(
+        resp,
+        pigeonring_server::Response::Error {
+            code: ErrorCode::Malformed,
+            ..
+        }
+    ));
+    assert!(
+        read_frame(&mut stream).expect("clean close").is_none(),
+        "connection closed after protocol error"
+    );
+
+    // A frame with a bogus version draws UnsupportedVersion.
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    let mut payload = encode_request(&Request::Query(DomainQuery::Set {
+        tokens: vec![1],
+        l: 1,
+    }));
+    payload[0] = 42;
+    write_frame(&mut stream, &payload).expect("send bad version");
+    let reply = read_frame(&mut stream)
+        .expect("typed error frame")
+        .expect("server responds before closing");
+    let resp = pigeonring_server::wire::decode_response(&reply).expect("decodes");
+    assert!(matches!(
+        resp,
+        pigeonring_server::Response::Error {
+            code: ErrorCode::UnsupportedVersion,
+            ..
+        }
+    ));
+    handle.shutdown();
+}
+
+#[test]
+fn query_before_hello_is_refused() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let handle = pigeonring_server::start_with_handler(
+        listener,
+        Arc::new(|_| Vec::new()),
+        ServerConfig::default(),
+    )
+    .expect("server starts");
+
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    write_frame(
+        &mut stream,
+        &encode_request(&Request::Query(DomainQuery::Set {
+            tokens: vec![1],
+            l: 1,
+        })),
+    )
+    .expect("send premature query");
+    let reply = read_frame(&mut stream)
+        .expect("typed error frame")
+        .expect("server responds before closing");
+    let resp = pigeonring_server::wire::decode_response(&reply).expect("decodes");
+    assert!(matches!(
+        resp,
+        pigeonring_server::Response::Error {
+            code: ErrorCode::Malformed,
+            ..
+        }
+    ));
+    assert!(
+        read_frame(&mut stream).expect("clean close").is_none(),
+        "connection closed after un-negotiated query"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn old_client_version_is_refused_in_negotiation() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let handle = pigeonring_server::start_with_handler(
+        listener,
+        Arc::new(|_| Vec::new()),
+        ServerConfig::default(),
+    )
+    .expect("server starts");
+
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    write_frame(
+        &mut stream,
+        &encode_request(&Request::Hello { max_version: 0 }),
+    )
+    .expect("send hello");
+    let reply = read_frame(&mut stream)
+        .expect("typed error frame")
+        .expect("server responds");
+    let resp = pigeonring_server::wire::decode_response(&reply).expect("decodes");
+    assert!(matches!(
+        resp,
+        pigeonring_server::Response::Error {
+            code: ErrorCode::UnsupportedVersion,
+            ..
+        }
+    ));
+
+    // The high-level client surfaces this as a typed server error.
+    match Client::connect(handle.addr()) {
+        Ok(_) => {} // current client always speaks v1, so this path is fine
+        Err(ClientError::Server { .. }) => panic!("v1 client must connect"),
+        Err(e) => panic!("unexpected error: {e}"),
+    }
+    handle.shutdown();
+}

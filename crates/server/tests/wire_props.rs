@@ -1,0 +1,208 @@
+//! Wire-protocol coverage: round-trip property tests for every
+//! request/response variant, plus malformed-frame tests asserting the
+//! codec fails closed with a typed [`WireError`] — never a panic.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use pigeonring_graph::Graph;
+use pigeonring_hamming::BitVector;
+use pigeonring_server::wire::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    DomainQuery, ErrorCode, Request, Response, WireError, MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+
+/// Deterministic random graph: `n` vertices, edge density from `seed`.
+fn random_graph(seed: u64, n: usize) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let vlabels: Vec<u32> = (0..n).map(|_| rng.gen_range(0u32..8)).collect();
+    let mut g = Graph::new(vlabels);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if rng.gen_range(0u32..3) == 0 {
+                g.add_edge(u, v, rng.gen_range(0u32..4));
+            }
+        }
+    }
+    g
+}
+
+fn assert_request_round_trips(req: &Request) {
+    let payload = encode_request(req);
+    let back = decode_request(&payload).expect("encoded request decodes");
+    assert_eq!(&back, req);
+}
+
+fn assert_response_round_trips(resp: &Response) {
+    let payload = encode_response(resp);
+    let back = decode_response(&payload).expect("encoded response decodes");
+    assert_eq!(&back, resp);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hello_round_trips(v in 0u64..256) {
+        assert_request_round_trips(&Request::Hello { max_version: v as u8 });
+    }
+
+    #[test]
+    fn hamming_query_round_trips(
+        bits in prop::collection::vec(prop::bool::ANY, 1..200),
+        tau in 0u32..512,
+        l in 0u32..16,
+    ) {
+        assert_request_round_trips(&Request::Query(DomainQuery::Hamming {
+            query: BitVector::from_bits(bits),
+            tau,
+            l,
+        }));
+    }
+
+    #[test]
+    fn edit_query_round_trips(
+        bytes in prop::collection::vec(0u64..256, 0..64),
+        l in 0u32..8,
+    ) {
+        let query: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        assert_request_round_trips(&Request::Query(DomainQuery::Edit { query, l }));
+    }
+
+    #[test]
+    fn set_query_round_trips(
+        tokens in prop::collection::vec(prop::num::u64::ANY, 0..64),
+        l in 0u32..8,
+    ) {
+        let tokens: Vec<u32> = tokens.into_iter().map(|t| t as u32).collect();
+        assert_request_round_trips(&Request::Query(DomainQuery::Set { tokens, l }));
+    }
+
+    #[test]
+    fn graph_query_round_trips(seed in prop::num::u64::ANY, n in 1u64..10, l in 0u32..8) {
+        assert_request_round_trips(&Request::Query(DomainQuery::Graph {
+            query: random_graph(seed, n as usize),
+            l,
+        }));
+    }
+
+    #[test]
+    fn hello_ok_round_trips(v in 0u64..256) {
+        assert_response_round_trips(&Response::HelloOk { version: v as u8 });
+    }
+
+    #[test]
+    fn results_round_trip(ids in prop::collection::vec(prop::num::u64::ANY, 0..256)) {
+        let ids: Vec<u32> = ids.into_iter().map(|i| i as u32).collect();
+        assert_response_round_trips(&Response::Results { ids });
+    }
+
+    #[test]
+    fn error_round_trips(code in 0u64..5, msg in prop::collection::vec(0u64..0xd800, 0..32)) {
+        let code = [
+            ErrorCode::UnsupportedVersion,
+            ErrorCode::Malformed,
+            ErrorCode::InvalidQuery,
+            ErrorCode::Unavailable,
+            ErrorCode::Internal,
+        ][code as usize];
+        let message: String = msg
+            .into_iter()
+            .filter_map(|c| char::from_u32(c as u32))
+            .collect();
+        assert_response_round_trips(&Response::Error { code, message });
+    }
+
+    #[test]
+    fn busy_round_trips(_x in 0u64..2) {
+        assert_response_round_trips(&Response::Busy);
+    }
+
+    /// Any truncation of a valid frame decodes to a typed error — never
+    /// panics, never a bogus success.
+    #[test]
+    fn truncated_payloads_fail_closed(
+        bits in prop::collection::vec(prop::bool::ANY, 1..100),
+        cut in prop::num::u64::ANY,
+    ) {
+        let payload = encode_request(&Request::Query(DomainQuery::Hamming {
+            query: BitVector::from_bits(bits),
+            tau: 5,
+            l: 3,
+        }));
+        let cut = 1 + (cut as usize) % (payload.len() - 1);
+        let result = decode_request(&payload[..cut]);
+        prop_assert!(
+            matches!(result, Err(WireError::Truncated)),
+            "cut at {} gave {:?}",
+            cut,
+            result
+        );
+    }
+
+    /// Flipping the tag to an unassigned value is a typed BadTag.
+    #[test]
+    fn unknown_tags_fail_closed(tag in 0x06u64..0x81) {
+        let mut payload = encode_request(&Request::Hello { max_version: 1 });
+        payload[1] = tag as u8;
+        prop_assert!(matches!(
+            decode_request(&payload),
+            Err(WireError::BadTag(t)) if t == tag as u8
+        ));
+    }
+}
+
+#[test]
+fn truncated_length_prefix_is_typed() {
+    for cut in 1..4 {
+        let mut framed = Vec::new();
+        write_frame(&mut framed, b"xyzw").expect("write to vec");
+        let mut r = &framed[..cut];
+        assert!(
+            matches!(read_frame(&mut r), Err(WireError::Truncated)),
+            "cut at {cut}"
+        );
+    }
+}
+
+#[test]
+fn oversized_frame_is_typed() {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&(MAX_FRAME_LEN + 7).to_le_bytes());
+    buf.extend_from_slice(&[0; 16]);
+    let mut r = &buf[..];
+    assert!(matches!(read_frame(&mut r), Err(WireError::Oversized(_))));
+}
+
+#[test]
+fn wrong_version_is_typed() {
+    for version in [0u8, 2, 7, 255] {
+        let mut payload = encode_request(&Request::Query(DomainQuery::Edit {
+            query: b"abc".to_vec(),
+            l: 1,
+        }));
+        payload[0] = version;
+        if version == PROTOCOL_VERSION {
+            continue;
+        }
+        assert!(matches!(
+            decode_request(&payload),
+            Err(WireError::BadVersion(v)) if v == version
+        ));
+    }
+}
+
+#[test]
+fn response_decoder_rejects_request_tags_and_vice_versa() {
+    let req = encode_request(&Request::Hello { max_version: 1 });
+    assert!(matches!(
+        decode_response(&req),
+        Err(WireError::BadTag(0x01))
+    ));
+    let resp = encode_response(&Response::Busy);
+    assert!(matches!(
+        decode_request(&resp),
+        Err(WireError::BadTag(0x83))
+    ));
+}

@@ -18,18 +18,22 @@ pub trait MergeStats: Default + Send + 'static {
 /// caches) lives in an external [`SearchEngine::Scratch`] owned by the
 /// calling thread. One engine can therefore serve arbitrarily many
 /// threads concurrently, each with its own scratch.
-pub trait SearchEngine: Send + Sync {
+///
+/// Everything is `'static` (and queries are `Clone`) so batches can be
+/// shipped to the persistent [`WorkerPool`](crate::pool::WorkerPool),
+/// whose jobs outlive the caller's stack frame.
+pub trait SearchEngine: Send + Sync + 'static {
     /// One query (e.g. a `BitVector`, a byte string, a token set, a
     /// graph).
-    type Query: Send + Sync;
+    type Query: Clone + Send + Sync + 'static;
     /// Per-batch search parameters (threshold, chain length, ...).
-    type Params: Clone + Send + Sync;
+    type Params: Clone + Send + Sync + 'static;
     /// Per-query statistics.
     type Stats: MergeStats;
     /// Per-thread scratch space. `Default` must yield a valid (empty)
     /// scratch; engines lazily size it to their record count on first
     /// use.
-    type Scratch: Default + Send;
+    type Scratch: Default + Send + 'static;
 
     /// Number of records indexed by this engine.
     fn num_records(&self) -> usize;

@@ -14,8 +14,12 @@
 //!   serve many worker threads concurrently.
 //! * [`MergeStats`] — saturating aggregation of per-query counters, so
 //!   per-shard statistics can be combined without overflow or drift.
+//! * [`WorkerPool`] — a persistent, channel-fed worker pool whose
+//!   workers each own a long-lived, type-erased [`ScratchStore`]; spawned
+//!   once and reused across batches, indexes, and domains (it also backs
+//!   the `pigeonring-server` network frontend).
 //! * [`ShardedIndex`] — hash-partitions records across `N` shards, fans a
-//!   query batch out over a `std::thread`-based worker pool, and merges
+//!   query batch out over the worker pool (one job per shard), and merges
 //!   per-shard result sets back into stable ascending record-id order.
 //!   Because every engine verifies candidates exactly, the merged result
 //!   set is *identical* to the unsharded engine's for any shard count
@@ -37,9 +41,11 @@
 //! [`RingGraph`]: https://docs.rs/pigeonring-graph
 
 pub mod engine;
+pub mod pool;
 pub mod sharded;
 pub mod sweep;
 
 pub use engine::{MergeStats, SearchEngine};
+pub use pool::{ScratchStore, WorkerPool};
 pub use sharded::{shard_of, SearchResult, ShardedIndex};
-pub use sweep::{Sweep, SweepRow};
+pub use sweep::{percentile, ResultHasher, Sweep, SweepRow};

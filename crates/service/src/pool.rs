@@ -1,0 +1,248 @@
+//! A persistent, channel-fed worker pool with per-worker long-lived
+//! scratch.
+//!
+//! [`ShardedIndex::search_batch`] used to spawn scoped threads for every
+//! batch — fine at batch ≥ 16, wasteful for the tiny batches a network
+//! frontend produces (the ROADMAP "persistent worker pool" item). A
+//! [`WorkerPool`] spawns its threads once; jobs are boxed closures fed
+//! through a bounded-by-nothing internal queue (admission control is the
+//! *caller's* concern — see `pigeonring-server` — the pool itself never
+//! rejects work).
+//!
+//! Each worker owns a [`ScratchStore`]: a type-erased map from scratch
+//! type to one long-lived instance. A job asks for its engine's scratch
+//! type with [`ScratchStore::get_mut`]; the first job of that type on a
+//! worker allocates it, every later job — across batches, across
+//! [`ShardedIndex`] instances, across *domains* — reuses the warm
+//! buffers. This is exactly the property the scoped-thread version had
+//! within one batch, extended to the lifetime of the pool.
+//!
+//! [`ShardedIndex`]: crate::sharded::ShardedIndex
+//! [`ShardedIndex::search_batch`]: crate::sharded::ShardedIndex::search_batch
+
+use std::any::{Any, TypeId};
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Per-worker, long-lived scratch storage: one instance per scratch
+/// *type*, allocated on first use and reused for every later job.
+#[derive(Default)]
+pub struct ScratchStore {
+    slots: HashMap<TypeId, Box<dyn Any + Send>>,
+}
+
+impl ScratchStore {
+    /// The worker's long-lived scratch of type `S`, created with
+    /// `S::default()` on first request.
+    pub fn get_mut<S: Default + Send + 'static>(&mut self) -> &mut S {
+        self.slots
+            .entry(TypeId::of::<S>())
+            .or_insert_with(|| Box::new(S::default()))
+            .downcast_mut::<S>()
+            .expect("slot keyed by TypeId::of::<S> holds an S")
+    }
+
+    /// Drops every stored scratch (used after a job panic, when a
+    /// half-updated scratch can no longer be trusted).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+    }
+}
+
+type Job = Box<dyn FnOnce(&mut ScratchStore) + Send>;
+
+struct PoolState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signalled when a job is queued or shutdown begins.
+    available: Condvar,
+}
+
+/// A fixed-size pool of persistent worker threads.
+///
+/// Dropping the pool drains the remaining jobs (workers finish whatever
+/// is queued) and joins every thread.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers.max(1)` persistent worker threads.
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pigeonring-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queues one job. Jobs run in submission order (pulled FIFO by
+    /// whichever worker frees up first); the pool never rejects or
+    /// reorders work.
+    pub fn submit(&self, job: impl FnOnce(&mut ScratchStore) + Send + 'static) {
+        let mut state = self.shared.state.lock().expect("pool mutex poisoned");
+        debug_assert!(!state.shutdown, "submit after shutdown");
+        state.jobs.push_back(Box::new(job));
+        drop(state);
+        self.shared.available.notify_one();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool mutex poisoned");
+            state.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for handle in self.workers.drain(..) {
+            // A worker that panicked outside a job (impossible today —
+            // job panics are caught) would surface here; propagate.
+            if handle.join().is_err() {
+                // Already unwinding? Don't double-panic out of drop.
+                if !std::thread::panicking() {
+                    panic!("worker thread panicked outside a job");
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    let mut scratch = ScratchStore::default();
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool mutex poisoned");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared
+                    .available
+                    .wait(state)
+                    .expect("pool mutex poisoned while waiting");
+            }
+        };
+        // A panicking job must not kill the worker (later jobs would
+        // deadlock waiting for a thread that is gone). The caller
+        // observes the panic through its result channel hanging up; the
+        // worker survives with a fresh scratch (the old one may be
+        // half-updated).
+        if catch_unwind(AssertUnwindSafe(|| job(&mut scratch))).is_err() {
+            scratch.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn runs_all_jobs() {
+        let pool = WorkerPool::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..50 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.submit(move |_| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).expect("receiver alive");
+            });
+        }
+        for _ in 0..50 {
+            rx.recv().expect("job completed");
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn scratch_persists_across_jobs_on_a_worker() {
+        // One worker ⇒ every job sees the same store; a counter stored
+        // in scratch must accumulate across jobs.
+        let pool = WorkerPool::new(1);
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..10 {
+            let tx = tx.clone();
+            pool.submit(move |scratch| {
+                let n: &mut usize = scratch.get_mut();
+                *n += 1;
+                tx.send(*n).expect("receiver alive");
+            });
+        }
+        let seen: Vec<usize> = (0..10).map(|_| rx.recv().expect("job ran")).collect();
+        assert_eq!(seen, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        let (tx, rx) = mpsc::channel();
+        pool.submit(move |_| tx.send(7).expect("receiver alive"));
+        assert_eq!(rx.recv().expect("job ran"), 7);
+    }
+
+    #[test]
+    fn drop_drains_queued_jobs() {
+        let pool = WorkerPool::new(1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..20 {
+            let counter = Arc::clone(&counter);
+            pool.submit(move |_| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool);
+        assert_eq!(counter.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let pool = WorkerPool::new(1);
+        pool.submit(|_| panic!("job panic"));
+        let (tx, rx) = mpsc::channel();
+        pool.submit(move |_| tx.send(1).expect("receiver alive"));
+        assert_eq!(rx.recv().expect("worker survived the panic"), 1);
+    }
+
+    #[test]
+    fn scratch_store_is_typed() {
+        let mut store = ScratchStore::default();
+        *store.get_mut::<usize>() = 5;
+        *store.get_mut::<String>() = "hi".into();
+        assert_eq!(*store.get_mut::<usize>(), 5);
+        assert_eq!(store.get_mut::<String>(), "hi");
+        store.clear();
+        assert_eq!(*store.get_mut::<usize>(), 0);
+    }
+}

@@ -1,14 +1,23 @@
-//! Hash-partitioned sharding with a `std::thread` worker pool.
+//! Hash-partitioned sharding over a persistent [`WorkerPool`].
 //!
 //! [`ShardedIndex::build`] splits the record set into `N` shards by
 //! hashing global record ids (deterministic: the same records and shard
 //! count always produce the same partition), builds one engine per
 //! non-empty shard, and remembers each shard's global ids. At query time
 //! [`ShardedIndex::search_batch`] fans the batch out over a worker pool —
-//! each worker owns one scratch and serves whole shards, so scratch
-//! buffers stay warm across the batch — then merges per-shard result sets
+//! one job per shard, each worker reusing its long-lived
+//! [`ScratchStore`](crate::pool::ScratchStore) scratch, so buffers stay
+//! warm across shards *and* batches — then merges per-shard result sets
 //! back into ascending *global* id order and aggregates statistics with
 //! [`MergeStats::merge`].
+//!
+//! The pool is persistent (the ROADMAP "persistent worker pool" item):
+//! `search_batch` lazily spawns one sized to its `threads` argument and
+//! keeps it for later batches, while [`ShardedIndex::search_batch_on`]
+//! runs on a caller-owned [`WorkerPool`] — the path `pigeonring-server`
+//! uses so every index shares one pool behind the network boundary.
+//! Merging is by fixed shard order regardless of job completion order,
+//! so results are deterministic for any worker count.
 //!
 //! Every domain engine verifies its candidates exactly, so sharding
 //! cannot change the result set: the union over shards of "records within
@@ -17,8 +26,10 @@
 //! shift per-shard candidate counts.
 
 use std::hash::{BuildHasher, BuildHasherDefault};
+use std::sync::{mpsc, Arc, Mutex};
 
 use crate::engine::{MergeStats, SearchEngine};
+use crate::pool::WorkerPool;
 use pigeonring_core::fxhash::FxHasher;
 
 /// Deterministic shard assignment for global record id `id` among
@@ -77,9 +88,16 @@ impl<E: SearchEngine> Shard<E> {
 /// A hash-partitioned collection of engines answering queries as one
 /// index.
 pub struct ShardedIndex<E> {
-    shards: Vec<Shard<E>>,
+    /// Shared so per-shard jobs on the persistent pool (which outlive
+    /// any one `search_batch` stack frame) can hold the shards alive.
+    shards: Arc<Vec<Shard<E>>>,
     requested_shards: usize,
     total: usize,
+    /// Lazily-spawned interior pool for [`ShardedIndex::search_batch`];
+    /// resized (respawned) when a call asks for a different thread
+    /// count. Callers wanting to share one pool across indexes use
+    /// [`ShardedIndex::search_batch_on`] instead.
+    pool: Mutex<Option<WorkerPool>>,
 }
 
 impl<E: SearchEngine> ShardedIndex<E> {
@@ -109,9 +127,10 @@ impl<E: SearchEngine> ShardedIndex<E> {
             })
             .collect();
         ShardedIndex {
-            shards,
+            shards: Arc::new(shards),
             requested_shards,
             total,
+            pool: Mutex::new(None),
         }
     }
 
@@ -143,7 +162,7 @@ impl<E: SearchEngine> ShardedIndex<E> {
             ids: Vec::new(),
             stats: E::Stats::default(),
         };
-        for shard in &self.shards {
+        for shard in self.shards.iter() {
             let mut res = shard.run_batch(&mut scratch, std::slice::from_ref(query), params);
             let (ids, stats) = res.pop().expect("one query in, one result out");
             merged.ids.extend(ids);
@@ -153,13 +172,20 @@ impl<E: SearchEngine> ShardedIndex<E> {
         merged
     }
 
-    /// Answers a batch of queries with up to `threads` worker threads.
+    /// Answers a batch of queries with up to `threads` worker threads
+    /// from the index's interior persistent pool.
     ///
-    /// Work is distributed shard-wise (worker `w` serves shards `w`,
-    /// `w + threads`, ...), each worker reusing one scratch across its
-    /// whole share of the batch. Results are merged in fixed shard order
-    /// and sorted, so the output is deterministic regardless of thread
-    /// scheduling: two runs of the same batch agree bit-for-bit.
+    /// The pool is spawned on the first parallel call and reused by
+    /// every later batch (respawned only when `threads` changes), so
+    /// steady-state batches pay zero thread-spawn cost and worker
+    /// scratch stays warm across batches. Results are merged in fixed
+    /// shard order and sorted, so the output is deterministic regardless
+    /// of thread scheduling: two runs of the same batch agree
+    /// bit-for-bit.
+    ///
+    /// Concurrent callers serialize on the interior pool; services
+    /// multiplexing many indexes should share one explicit pool via
+    /// [`ShardedIndex::search_batch_on`].
     pub fn search_batch(
         &self,
         batch: &[E::Query],
@@ -168,44 +194,95 @@ impl<E: SearchEngine> ShardedIndex<E> {
     ) -> Vec<SearchResult<E::Stats>> {
         let ns = self.shards.len();
         let workers = threads.clamp(1, ns.max(1));
-        let per_shard: Vec<ShardBatch<E::Stats>> = if workers <= 1 || ns <= 1 {
-            let mut scratch = E::Scratch::default();
-            self.shards
-                .iter()
-                .map(|s| s.run_batch(&mut scratch, batch, params))
-                .collect()
-        } else {
-            let shards = &self.shards;
-            let mut slots: Vec<Option<ShardBatch<E::Stats>>> = (0..ns).map(|_| None).collect();
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|w| {
-                        scope.spawn(move || {
-                            let mut scratch = E::Scratch::default();
-                            let mut out = Vec::new();
-                            let mut si = w;
-                            while si < ns {
-                                out.push((si, shards[si].run_batch(&mut scratch, batch, params)));
-                                si += workers;
-                            }
-                            out
-                        })
-                    })
-                    .collect();
-                for handle in handles {
-                    for (si, res) in handle.join().expect("search worker panicked") {
-                        slots[si] = Some(res);
-                    }
-                }
-            });
-            slots
-                .into_iter()
-                .map(|s| s.expect("every shard served"))
-                .collect()
-        };
+        if workers <= 1 || ns <= 1 {
+            return self.merge(batch.len(), self.run_serial(batch, params));
+        }
+        let mut pool = self.pool.lock().expect("interior pool mutex poisoned");
+        if pool.as_ref().is_none_or(|p| p.workers() != workers) {
+            *pool = Some(WorkerPool::new(workers));
+        }
+        let per_shard = self.run_on(pool.as_ref().expect("pool just ensured"), batch, params);
+        self.merge(batch.len(), per_shard)
+    }
 
-        let mut merged: Vec<SearchResult<E::Stats>> = batch
+    /// Answers a batch of queries on a caller-owned [`WorkerPool`]
+    /// (shared across indexes — and across *domains*, since worker
+    /// scratch is keyed by scratch type).
+    ///
+    /// Same determinism guarantee as [`ShardedIndex::search_batch`]:
+    /// per-shard results are merged in fixed shard order and sorted.
+    pub fn search_batch_on(
+        &self,
+        pool: &WorkerPool,
+        batch: &[E::Query],
+        params: &E::Params,
+    ) -> Vec<SearchResult<E::Stats>> {
+        let per_shard = if self.shards.len() <= 1 || pool.workers() <= 1 {
+            self.run_serial(batch, params)
+        } else {
+            self.run_on(pool, batch, params)
+        };
+        self.merge(batch.len(), per_shard)
+    }
+
+    /// Serial fallback: every shard on the calling thread, one scratch.
+    fn run_serial(&self, batch: &[E::Query], params: &E::Params) -> Vec<ShardBatch<E::Stats>> {
+        let mut scratch = E::Scratch::default();
+        self.shards
             .iter()
+            .map(|s| s.run_batch(&mut scratch, batch, params))
+            .collect()
+    }
+
+    /// Fans one job per shard out to `pool` and collects per-shard
+    /// results back into shard order.
+    ///
+    /// Jobs on the persistent pool must be `'static`, so the batch is
+    /// cloned into an `Arc` shared by all jobs (queries are cheap to
+    /// clone relative to a shard search; the server path hands over
+    /// owned queries anyway).
+    fn run_on(
+        &self,
+        pool: &WorkerPool,
+        batch: &[E::Query],
+        params: &E::Params,
+    ) -> Vec<ShardBatch<E::Stats>> {
+        let ns = self.shards.len();
+        let batch: Arc<Vec<E::Query>> = Arc::new(batch.to_vec());
+        let (tx, rx) = mpsc::channel::<(usize, ShardBatch<E::Stats>)>();
+        for si in 0..ns {
+            let shards = Arc::clone(&self.shards);
+            let batch = Arc::clone(&batch);
+            let params = params.clone();
+            let tx = tx.clone();
+            pool.submit(move |store| {
+                let scratch = store.get_mut::<E::Scratch>();
+                // The receiver only hangs up on panic-unwind; ignore.
+                let _ = tx.send((si, shards[si].run_batch(scratch, &batch, &params)));
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<ShardBatch<E::Stats>>> = (0..ns).map(|_| None).collect();
+        for _ in 0..ns {
+            // A worker job that panicked drops its sender without
+            // sending; recv then fails once all senders are gone.
+            let (si, res) = rx.recv().expect("search worker panicked");
+            slots[si] = Some(res);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every shard served"))
+            .collect()
+    }
+
+    /// Merges per-shard batches into one [`SearchResult`] per query, in
+    /// fixed shard order, then sorts ids ascending.
+    fn merge(
+        &self,
+        batch_len: usize,
+        per_shard: Vec<ShardBatch<E::Stats>>,
+    ) -> Vec<SearchResult<E::Stats>> {
+        let mut merged: Vec<SearchResult<E::Stats>> = (0..batch_len)
             .map(|_| SearchResult {
                 ids: Vec::new(),
                 stats: E::Stats::default(),
@@ -295,7 +372,7 @@ mod tests {
     #[test]
     fn shard_ids_are_ascending() {
         let (_, index) = build_sharded(100, 7);
-        for shard in &index.shards {
+        for shard in index.shards.iter() {
             assert!(shard.ids.windows(2).all(|w| w[0] < w[1]));
         }
     }
@@ -331,6 +408,48 @@ mod tests {
                 assert_eq!(run1[qi].ids, serial[qi].ids, "threads={threads} qi={qi}");
                 assert_eq!(run1[qi].ids, run2[qi].ids, "threads={threads} qi={qi}");
                 assert_eq!(run1[qi].stats, run2[qi].stats, "threads={threads} qi={qi}");
+            }
+        }
+    }
+
+    #[test]
+    fn search_batch_on_shared_pool_matches_interior_pool() {
+        let (_, index_a) = build_sharded(300, 4);
+        let (_, index_b) = build_sharded(150, 3);
+        let batch: Vec<i64> = (0..17).map(|i| i * 11).collect();
+        let pool = WorkerPool::new(2);
+        // The same pool serves two different indexes, repeatedly; the
+        // results must match the interior-pool path every time.
+        for _ in 0..3 {
+            let via_pool = index_a.search_batch_on(&pool, &batch, &9);
+            let via_interior = index_a.search_batch(&batch, &9, 2);
+            for qi in 0..batch.len() {
+                assert_eq!(via_pool[qi].ids, via_interior[qi].ids, "qi={qi}");
+                assert_eq!(via_pool[qi].stats, via_interior[qi].stats, "qi={qi}");
+            }
+            let via_pool_b = index_b.search_batch_on(&pool, &batch, &9);
+            let via_interior_b = index_b.search_batch(&batch, &9, 2);
+            for qi in 0..batch.len() {
+                assert_eq!(via_pool_b[qi].ids, via_interior_b[qi].ids, "qi={qi}");
+            }
+        }
+    }
+
+    #[test]
+    fn interior_pool_is_reused_and_resized() {
+        let (_, index) = build_sharded(200, 4);
+        let batch: Vec<i64> = (0..9).collect();
+        let expect: Vec<Vec<u32>> = index
+            .search_batch(&batch, &5, 1)
+            .into_iter()
+            .map(|r| r.ids)
+            .collect();
+        // Same thread count twice (pool reused), then a different one
+        // (pool respawned); answers never change.
+        for threads in [2usize, 2, 3] {
+            let got = index.search_batch(&batch, &5, threads);
+            for qi in 0..batch.len() {
+                assert_eq!(got[qi].ids, expect[qi], "threads={threads} qi={qi}");
             }
         }
     }

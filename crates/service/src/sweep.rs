@@ -39,8 +39,61 @@ pub struct SweepRow {
     pub qps: f64,
     /// `qps / shards`: per-shard throughput CI tracks for regressions.
     pub per_shard_qps: f64,
+    /// Median per-query latency in milliseconds (a query's latency is
+    /// its batch's wall time: batched queries complete together).
+    pub p50_ms: f64,
+    /// 95th-percentile per-query latency in milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile per-query latency in milliseconds.
+    pub p99_ms: f64,
     /// Order-sensitive FxHash fingerprint of every query's result ids.
     pub result_hash: u64,
+}
+
+/// Nearest-rank percentile of `sorted` (ascending), `p` in `[0, 100]`.
+/// Returns 0.0 for an empty slice.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Order-sensitive FxHash fingerprint over a sequence of result-id
+/// sets. Two runs that return the same ids for the same queries in the
+/// same order produce equal fingerprints — the cross-configuration
+/// (and, via `pigeonring-server`, cross-process) equality check.
+pub struct ResultHasher {
+    hasher: FxHasher,
+}
+
+impl Default for ResultHasher {
+    fn default() -> Self {
+        ResultHasher::new()
+    }
+}
+
+impl ResultHasher {
+    /// An empty fingerprint.
+    pub fn new() -> Self {
+        ResultHasher {
+            hasher: BuildHasherDefault::<FxHasher>::default().build_hasher(),
+        }
+    }
+
+    /// Folds one query's result ids into the fingerprint.
+    pub fn push(&mut self, ids: &[u32]) {
+        self.hasher.write_usize(ids.len());
+        for id in ids {
+            self.hasher.write_u32(*id);
+        }
+    }
+
+    /// The fingerprint over everything pushed so far.
+    pub fn finish(&self) -> u64 {
+        self.hasher.finish()
+    }
 }
 
 /// Accumulates [`SweepRow`]s and renders them as JSON.
@@ -76,21 +129,27 @@ impl Sweep {
     ) -> (&SweepRow, E::Stats) {
         use crate::engine::MergeStats;
         let batch = batch.max(1);
-        let mut hasher = BuildHasherDefault::<FxHasher>::default().build_hasher();
+        let mut hasher = ResultHasher::new();
         let mut results = 0usize;
         let mut agg = E::Stats::default();
+        // Per-query latency samples: every query in a batch completes
+        // when its batch does, so a batch contributes its wall time once
+        // per query it carried.
+        let mut latencies: Vec<f64> = Vec::with_capacity(queries.len());
         let start = Instant::now();
         for chunk in queries.chunks(batch) {
-            for res in index.search_batch(chunk, params, threads) {
-                hasher.write_usize(res.ids.len());
-                for id in &res.ids {
-                    hasher.write_u32(*id);
-                }
+            let batch_start = Instant::now();
+            let batch_results = index.search_batch(chunk, params, threads);
+            let batch_ms = batch_start.elapsed().as_secs_f64() * 1e3;
+            latencies.extend(std::iter::repeat_n(batch_ms, chunk.len()));
+            for res in batch_results {
+                hasher.push(&res.ids);
                 results += res.ids.len();
                 agg.merge(&res.stats);
             }
         }
         let total_ms = start.elapsed().as_secs_f64() * 1e3;
+        latencies.sort_by(f64::total_cmp);
         // A zero elapsed time (coarse clock, empty query slice) would
         // make qps infinite — which `{:.3}` renders as `inf`, breaking
         // the JSON artifact. Report 0 instead: "too fast to measure".
@@ -110,6 +169,9 @@ impl Sweep {
             total_ms,
             qps,
             per_shard_qps: qps / index.requested_shards().max(1) as f64,
+            p50_ms: percentile(&latencies, 50.0),
+            p95_ms: percentile(&latencies, 95.0),
+            p99_ms: percentile(&latencies, 99.0),
             result_hash: hasher.finish(),
         });
         (self.rows.last().expect("row just pushed"), agg)
@@ -123,7 +185,8 @@ impl Sweep {
             out.push_str(&format!(
                 "  {{\"domain\": \"{}\", \"dataset\": \"{}\", \"shards\": {}, \"threads\": {}, \
                  \"batch\": {}, \"queries\": {}, \"results\": {}, \"total_ms\": {:.3}, \
-                 \"qps\": {:.3}, \"per_shard_qps\": {:.3}, \"result_hash\": \"{:016x}\"}}{}\n",
+                 \"qps\": {:.3}, \"per_shard_qps\": {:.3}, \"p50_ms\": {:.3}, \
+                 \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"result_hash\": \"{:016x}\"}}{}\n",
                 escape(&row.domain),
                 escape(&row.dataset),
                 row.shards,
@@ -134,6 +197,9 @@ impl Sweep {
                 row.total_ms,
                 row.qps,
                 row.per_shard_qps,
+                row.p50_ms,
+                row.p95_ms,
+                row.p99_ms,
                 row.result_hash,
                 if i + 1 < self.rows.len() { "," } else { "" },
             ));
@@ -264,6 +330,49 @@ mod tests {
         let json = sweep.to_json();
         assert!(json.contains("\"domain\": \"to\\ny\""));
         assert!(json.contains("\"dataset\": \"t\\\"s\""));
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&xs, 50.0), 5.0);
+        assert_eq!(percentile(&xs, 95.0), 10.0);
+        assert_eq!(percentile(&xs, 99.0), 10.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 10.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[3.5], 99.0), 3.5);
+    }
+
+    #[test]
+    fn rows_carry_latency_percentiles() {
+        let queries: Vec<u32> = (0..32).map(|i| i % 8).collect();
+        let mut sweep = Sweep::new();
+        sweep.run("toy", "t", &index(2), &queries, &(), 4, 2);
+        let row = &sweep.rows[0];
+        assert!(row.p50_ms >= 0.0);
+        assert!(row.p50_ms <= row.p95_ms);
+        assert!(row.p95_ms <= row.p99_ms);
+        assert!(row.p99_ms <= row.total_ms);
+        let json = sweep.to_json();
+        assert!(json.contains("\"p50_ms\""));
+        assert!(json.contains("\"p95_ms\""));
+        assert!(json.contains("\"p99_ms\""));
+    }
+
+    #[test]
+    fn result_hasher_matches_push_order() {
+        let mut a = ResultHasher::new();
+        a.push(&[1, 2, 3]);
+        a.push(&[]);
+        let mut b = ResultHasher::new();
+        b.push(&[1, 2, 3]);
+        b.push(&[]);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = ResultHasher::new();
+        c.push(&[1, 2]);
+        c.push(&[3]);
+        assert_ne!(a.finish(), c.finish(), "boundaries are hashed");
     }
 
     #[test]
