@@ -7,7 +7,7 @@
 //!       [--quick | --paper] [--shards K] [--batch B] [--threads T]
 //! repro <serve|query|loadgen|server-smoke>
 //!       [--quick | --paper] [--shards K] [--threads T] [--port P] [--queue Q]
-//!       [--batch B] [--conns C] [--requests N] [--domain D]
+//!       [--batch B] [--conns C] [--requests N] [--pipeline P] [--mix] [--domain D]
 //! ```
 //!
 //! Each experiment prints an aligned table and writes a CSV under
@@ -106,7 +106,7 @@ fn main() {
                 "unknown experiment {other:?}; expected fig2|fig5..fig12|ablate-skip|ablate-alloc|sweep|all \
                  [--quick|--paper] [--shards K] [--batch B] [--threads T], or a server subcommand \
                  serve|query|loadgen|server-smoke [--port P] [--queue Q] [--conns C] [--requests N] \
-                 [--domain D]"
+                 [--pipeline P] [--mix] [--domain D]"
             );
             std::process::exit(2);
         }

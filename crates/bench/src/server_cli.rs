@@ -9,14 +9,19 @@
 //!   through a running server and prints the `result_hash` fingerprint —
 //!   comparable across processes and against `repro sweep`-style
 //!   in-process runs.
-//! * `loadgen` opens `--conns` concurrent connections, round-robins
-//!   requests across all four domains, and reports throughput plus
-//!   p50/p95/p99 latency into `results/BENCH_server.json`.
+//! * `loadgen` opens `--conns` concurrent connections, each keeping
+//!   `--pipeline` requests in flight (wire-v2 pipelining, responses
+//!   matched by id), and reports per-domain throughput plus p50/p95/p99
+//!   latency into `results/BENCH_server.json`. With `--mix` it runs the
+//!   *fairness experiment*: one solo phase per domain (that domain
+//!   only) followed by a mixed round-robin phase, recording each
+//!   domain's `mixed_over_solo_p50` — the number that shows whether a
+//!   slow domain (graph GED) still inflates a fast domain's tail.
 //! * `server-smoke` is the CI gate: in one process it starts a server on
 //!   an OS-assigned loopback port, diffs every domain's client-observed
 //!   `result_hash` against a direct in-process run on the *same*
-//!   engines, then runs a small loadgen for the artifact. Any mismatch
-//!   is a hard failure.
+//!   engines, then runs the mixed-load fairness loadgen for the
+//!   artifact. Any hash mismatch is a hard failure.
 
 use std::net::{SocketAddr, TcpListener};
 use std::sync::Arc;
@@ -41,14 +46,20 @@ pub struct ServerCliOpts {
     /// TCP port (`serve`/`query`/`loadgen`; `server-smoke` uses an
     /// OS-assigned port).
     pub port: u16,
-    /// Admission-control queue depth `Q`.
+    /// Admission-control depth `Q` of each per-domain lane.
     pub queue: usize,
     /// Micro-batch size `B` (max queued requests per pool dispatch).
     pub batch: usize,
     /// Concurrent loadgen connections.
     pub conns: usize,
-    /// Loadgen requests per connection.
+    /// Loadgen requests per connection (per phase).
     pub requests: usize,
+    /// Requests each loadgen connection keeps in flight (wire-v2
+    /// pipelining; 1 = the v1-era one-at-a-time behavior).
+    pub pipeline: usize,
+    /// Run the solo-vs-mixed fairness experiment in `loadgen`
+    /// (`server-smoke` always does).
+    pub mix: bool,
     /// Restrict `query` to one domain (`None` = all four).
     pub domain: Option<Domain>,
 }
@@ -57,8 +68,8 @@ impl ServerCliOpts {
     /// Parses and validates the server-subcommand flag set; unknown
     /// flags and malformed values are errors, not silent defaults.
     pub fn from_args(args: &[String]) -> Result<ServerCliOpts, String> {
-        const BOOL_FLAGS: [&str; 2] = ["--quick", "--paper"];
-        const VALUE_FLAGS: [&str; 8] = [
+        const BOOL_FLAGS: [&str; 3] = ["--quick", "--paper", "--mix"];
+        const VALUE_FLAGS: [&str; 9] = [
             "--shards",
             "--threads",
             "--port",
@@ -66,6 +77,7 @@ impl ServerCliOpts {
             "--batch",
             "--conns",
             "--requests",
+            "--pipeline",
             "--domain",
         ];
         let mut i = 0;
@@ -75,8 +87,9 @@ impl ServerCliOpts {
                 i += 2;
             } else if a.starts_with("--") && !BOOL_FLAGS.contains(&a) {
                 return Err(format!(
-                    "unknown flag {a:?}; known: --quick, --paper, --shards K, --threads T, \
-                     --port P, --queue Q, --batch B, --conns C, --requests N, --domain D"
+                    "unknown flag {a:?}; known: --quick, --paper, --mix, --shards K, \
+                     --threads T, --port P, --queue Q, --batch B, --conns C, --requests N, \
+                     --pipeline P, --domain D"
                 ));
             } else {
                 i += 1;
@@ -123,6 +136,8 @@ impl ServerCliOpts {
             batch: value_of("--batch")?.unwrap_or(16),
             conns: value_of("--conns")?.unwrap_or(4),
             requests: value_of("--requests")?.unwrap_or(64),
+            pipeline: value_of("--pipeline")?.unwrap_or(4),
+            mix: args.iter().any(|a| a == "--mix"),
             domain,
         })
     }
@@ -151,8 +166,9 @@ impl ServerCliOpts {
 
     fn server_config(&self) -> ServerConfig {
         ServerConfig {
-            queue_depth: self.queue,
+            lane_depth: self.queue,
             micro_batch: self.batch,
+            ..ServerConfig::default()
         }
     }
 }
@@ -184,7 +200,7 @@ fn serve(opts: &ServerCliOpts) -> Result<(), String> {
     let handle = start(listener, engines, pool, opts.server_config())
         .map_err(|e| format!("cannot start server: {e}"))?;
     println!(
-        "pigeonring-server listening on {} (queue depth {}, micro-batch {}, {} workers)",
+        "pigeonring-server listening on {} (lane depth {}, micro-batch {}, {} workers)",
         handle.addr(),
         opts.queue,
         opts.batch,
@@ -251,6 +267,9 @@ fn run_query_set(
                     results += ids.len();
                     break;
                 }
+                Outcome::Failed { code, message } => {
+                    return Err(format!("query failed ({code:?}): {message}"));
+                }
                 Outcome::Busy => {
                     busy += 1;
                     attempts += 1;
@@ -268,24 +287,83 @@ fn run_query_set(
     Ok((hasher.finish(), results, busy))
 }
 
-/// One loadgen measurement for one domain.
+/// One loadgen measurement for one domain under one load shape.
 struct LoadRow {
     domain: &'static str,
+    /// `"solo"` (only this domain on the wire) or `"mixed"` (all four
+    /// round-robin).
+    mode: &'static str,
     requests: usize,
     busy: usize,
     qps: f64,
     p50_ms: f64,
     p95_ms: f64,
     p99_ms: f64,
+    /// On mixed rows when the solo baseline was also measured: this
+    /// domain's mixed-load p50 over its solo-load p50 — 1.0 means the
+    /// other domains add nothing to its latency; the old global-FIFO
+    /// server showed ≈ 3.5× for hamming/setsim.
+    mixed_over_solo_p50: Option<f64>,
 }
 
-/// `repro loadgen`: concurrent connections round-robining all four
-/// domains; reports throughput and tail latency, writes
-/// `results/BENCH_server.json`.
+/// The load shape one phase drives.
+#[derive(Clone, Copy)]
+enum Phase {
+    /// Every request targets the one domain (index into [`Domain::ALL`]).
+    Solo(usize),
+    /// Requests round-robin all four domains, staggered per connection
+    /// so every micro-batch the server forms is mixed.
+    Mixed,
+}
+
+/// `repro loadgen`: concurrent pipelined connections; reports
+/// per-domain throughput and tail latency, writes
+/// `results/BENCH_server.json`. With `--mix`, runs one solo phase per
+/// domain first so the mixed rows carry `mixed_over_solo_p50`.
 fn loadgen(opts: &ServerCliOpts) -> Result<(), String> {
     let addr: SocketAddr = ([127, 0, 0, 1], opts.port).into();
-    let rows = run_loadgen(opts, addr, sample_all_queries(opts))?;
+    let query_sets = sample_all_queries(opts);
+    let rows = if opts.mix {
+        run_fairness_loadgen(opts, addr, &query_sets)?
+    } else {
+        run_phase(opts, addr, &query_sets, Phase::Mixed)?
+    };
     emit_loadgen(&rows, opts)
+}
+
+/// The fairness experiment: one solo phase per domain, then the mixed
+/// phase, with each mixed row annotated with its solo-p50 ratio.
+fn run_fairness_loadgen(
+    opts: &ServerCliOpts,
+    addr: SocketAddr,
+    query_sets: &Arc<Vec<Vec<DomainQuery>>>,
+) -> Result<Vec<LoadRow>, String> {
+    let mut rows = Vec::new();
+    let mut solo_p50: Vec<(&'static str, f64)> = Vec::new();
+    for (di, domain) in Domain::ALL.iter().enumerate() {
+        let solo = run_phase(opts, addr, query_sets, Phase::Solo(di))?;
+        let row = solo
+            .into_iter()
+            .find(|r| r.domain == domain.as_str() && r.requests > 0)
+            .ok_or_else(|| format!("solo phase for {domain} measured nothing"))?;
+        solo_p50.push((row.domain, row.p50_ms));
+        rows.push(row);
+    }
+    let mixed = run_phase(opts, addr, query_sets, Phase::Mixed)?;
+    for mut row in mixed {
+        // Join baselines by domain, not by position: run_phase drops
+        // domains the phase never measured, and a busy-only row (p50 0)
+        // must not record a meaningless ratio.
+        let solo = solo_p50
+            .iter()
+            .find(|(d, _)| *d == row.domain)
+            .map(|&(_, p50)| p50);
+        if let Some(solo) = solo.filter(|&p50| p50 > 0.0 && row.requests > 0) {
+            row.mixed_over_solo_p50 = Some(row.p50_ms / solo);
+        }
+        rows.push(row);
+    }
+    Ok(rows)
 }
 
 /// Every domain's standard query set for this scale, in `Domain::ALL`
@@ -302,31 +380,62 @@ fn sample_all_queries(opts: &ServerCliOpts) -> Arc<Vec<Vec<DomainQuery>>> {
     )
 }
 
-/// Drives the load and aggregates per-domain latency samples.
-fn run_loadgen(
+/// Drives one load phase and aggregates per-domain latency samples.
+/// Each connection keeps `opts.pipeline` requests in flight and
+/// timestamps every request individually, matching responses by id
+/// (out-of-order completion is expected from the v2 server).
+fn run_phase(
     opts: &ServerCliOpts,
     addr: SocketAddr,
-    query_sets: Arc<Vec<Vec<DomainQuery>>>,
+    query_sets: &Arc<Vec<Vec<DomainQuery>>>,
+    phase: Phase,
 ) -> Result<Vec<LoadRow>, String> {
     let start = Instant::now();
     let workers: Vec<_> = (0..opts.conns)
         .map(|c| {
-            let query_sets = Arc::clone(&query_sets);
+            let query_sets = Arc::clone(query_sets);
             let requests = opts.requests;
+            let window = opts.pipeline.max(1);
             std::thread::spawn(move || -> Result<Vec<(usize, f64, bool)>, String> {
                 let mut client =
                     Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+                // The connection's request sequence, fixed up front.
+                let seq: Vec<(usize, DomainQuery)> = (0..requests)
+                    .map(|i| {
+                        let di = match phase {
+                            Phase::Solo(di) => di,
+                            // Stagger domains across connections so
+                            // every micro-batch the server forms is
+                            // mixed.
+                            Phase::Mixed => (i + c) % query_sets.len(),
+                        };
+                        let q = &query_sets[di][(i / query_sets.len()) % query_sets[di].len()];
+                        (di, q.clone())
+                    })
+                    .collect();
+                let mut in_flight: std::collections::HashMap<u64, (usize, Instant)> =
+                    std::collections::HashMap::with_capacity(window);
                 let mut samples = Vec::with_capacity(requests);
-                for i in 0..requests {
-                    // Stagger domains across connections so every
-                    // micro-batch the server forms is mixed.
-                    let di = (i + c) % query_sets.len();
-                    let q = &query_sets[di][(i / query_sets.len()) % query_sets[di].len()];
-                    let t = Instant::now();
-                    let outcome = client
-                        .search(q.clone())
+                let mut next = 0usize;
+                while samples.len() < seq.len() {
+                    while in_flight.len() < window && next < seq.len() {
+                        let (di, q) = &seq[next];
+                        let id = client
+                            .send_query(q.clone())
+                            .map_err(|e| format!("loadgen send failed: {e}"))?;
+                        in_flight.insert(id, (*di, Instant::now()));
+                        next += 1;
+                    }
+                    let (id, outcome) = client
+                        .recv_reply()
                         .map_err(|e| format!("loadgen request failed: {e}"))?;
-                    let ms = t.elapsed().as_secs_f64() * 1e3;
+                    let (di, t0) = in_flight
+                        .remove(&id)
+                        .ok_or("server answered an unknown request id")?;
+                    if let Outcome::Failed { code, message } = &outcome {
+                        return Err(format!("loadgen query failed ({code:?}): {message}"));
+                    }
+                    let ms = t0.elapsed().as_secs_f64() * 1e3;
                     samples.push((di, ms, matches!(outcome, Outcome::Busy)));
                 }
                 Ok(samples)
@@ -338,6 +447,10 @@ fn run_loadgen(
         samples.extend(w.join().map_err(|_| "loadgen thread panicked")??);
     }
     let wall_s = start.elapsed().as_secs_f64();
+    let mode = match phase {
+        Phase::Solo(_) => "solo",
+        Phase::Mixed => "mixed",
+    };
 
     Ok(Domain::ALL
         .iter()
@@ -352,6 +465,7 @@ fn run_loadgen(
             let busy = samples.iter().filter(|(i, _, b)| *i == di && *b).count();
             LoadRow {
                 domain: d.as_str(),
+                mode,
                 requests: lat.len(),
                 busy,
                 qps: if wall_s > 0.0 {
@@ -362,37 +476,62 @@ fn run_loadgen(
                 p50_ms: percentile(&lat, 50.0),
                 p95_ms: percentile(&lat, 95.0),
                 p99_ms: percentile(&lat, 99.0),
+                mixed_over_solo_p50: None,
             }
         })
+        .filter(|row| row.requests > 0 || row.busy > 0)
         .collect())
 }
 
-/// Prints the loadgen table and writes `results/BENCH_server.json`.
+/// Prints the loadgen table and writes `results/BENCH_server.json`,
+/// then prints the per-domain fairness ratios when both phases ran.
 fn emit_loadgen(rows: &[LoadRow], opts: &ServerCliOpts) -> Result<(), String> {
     let mut rep = Report::new(
         "server_loadgen",
         &[
-            "domain", "conns", "requests", "busy", "qps", "p50_ms", "p95_ms", "p99_ms",
+            "domain",
+            "mode",
+            "conns",
+            "pipeline",
+            "requests",
+            "busy",
+            "qps",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+            "mixed_over_solo_p50",
         ],
     );
     let mut json = String::from("[\n");
     for (i, row) in rows.iter().enumerate() {
+        let ratio = row
+            .mixed_over_solo_p50
+            .map_or("-".to_string(), |r| format!("{r:.2}"));
         rep.row(&[
             row.domain.to_string(),
+            row.mode.to_string(),
             opts.conns.to_string(),
+            opts.pipeline.to_string(),
             row.requests.to_string(),
             row.busy.to_string(),
             f1(row.qps),
             f3(row.p50_ms),
             f3(row.p95_ms),
             f3(row.p99_ms),
+            ratio,
         ]);
+        let ratio_json = row.mixed_over_solo_p50.map_or(String::new(), |r| {
+            format!(", \"mixed_over_solo_p50\": {r:.3}")
+        });
         json.push_str(&format!(
-            "  {{\"domain\": \"{}\", \"conns\": {}, \"shards\": {}, \"queue_depth\": {}, \
-             \"micro_batch\": {}, \"requests\": {}, \"busy\": {}, \"qps\": {:.3}, \
-             \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}}}{}\n",
+            "  {{\"domain\": \"{}\", \"mode\": \"{}\", \"conns\": {}, \"pipeline\": {}, \
+             \"shards\": {}, \"lane_depth\": {}, \"micro_batch\": {}, \"requests\": {}, \
+             \"busy\": {}, \"qps\": {:.3}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \
+             \"p99_ms\": {:.3}{}}}{}\n",
             row.domain,
+            row.mode,
             opts.conns,
+            opts.pipeline,
             opts.shards,
             opts.queue,
             opts.batch,
@@ -402,6 +541,7 @@ fn emit_loadgen(rows: &[LoadRow], opts: &ServerCliOpts) -> Result<(), String> {
             row.p50_ms,
             row.p95_ms,
             row.p99_ms,
+            ratio_json,
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
@@ -411,6 +551,17 @@ fn emit_loadgen(rows: &[LoadRow], opts: &ServerCliOpts) -> Result<(), String> {
     std::fs::write("results/BENCH_server.json", json)
         .map_err(|e| format!("cannot write results/BENCH_server.json: {e}"))?;
     println!("wrote results/BENCH_server.json ({} rows)", rows.len());
+    for row in rows {
+        if let Some(r) = row.mixed_over_solo_p50 {
+            println!(
+                "fairness: {} mixed/solo p50 = {:.2}x ({:.3} ms vs {:.3} ms)",
+                row.domain,
+                r,
+                row.p50_ms,
+                row.p50_ms / r
+            );
+        }
+    }
     Ok(())
 }
 
@@ -455,7 +606,7 @@ fn server_smoke(opts: &ServerCliOpts) -> Result<(), String> {
         let mut hasher = ResultHasher::new();
         for resp in engines.run(&reference_pool, queries.clone()) {
             match resp {
-                Response::Results { ids } => hasher.push(&ids),
+                Response::Results { ids, .. } => hasher.push(&ids),
                 other => return Err(format!("in-process run failed for {domain}: {other:?}")),
             }
         }
@@ -474,7 +625,10 @@ fn server_smoke(opts: &ServerCliOpts) -> Result<(), String> {
     }
     rep.emit();
 
-    let rows = run_loadgen(opts, addr, query_sets)?;
+    // The fairness experiment is part of the smoke artifact: solo
+    // baselines per domain, then mixed load, so BENCH_server.json
+    // records each domain's mixed_over_solo_p50 isolation ratio.
+    let rows = run_fairness_loadgen(opts, addr, &query_sets)?;
     emit_loadgen(&rows, opts)?;
     handle.shutdown();
 
@@ -501,14 +655,27 @@ mod tests {
         let o = ServerCliOpts::from_args(&args(&[])).expect("defaults parse");
         assert_eq!(o.port, 7878);
         assert_eq!(o.shards, 2);
+        assert_eq!(o.pipeline, 4);
+        assert!(!o.mix);
         assert!(o.domain.is_none());
         let o = ServerCliOpts::from_args(&args(&[
-            "--quick", "--port", "9000", "--domain", "graph", "--conns", "7",
+            "--quick",
+            "--port",
+            "9000",
+            "--domain",
+            "graph",
+            "--conns",
+            "7",
+            "--pipeline",
+            "16",
+            "--mix",
         ]))
         .expect("flags parse");
         assert_eq!(o.scale, Scale::Quick);
         assert_eq!(o.port, 9000);
         assert_eq!(o.conns, 7);
+        assert_eq!(o.pipeline, 16);
+        assert!(o.mix);
         assert_eq!(o.domain, Some(Domain::Graph));
     }
 

@@ -1,17 +1,28 @@
-//! Blocking client for the pigeonring wire protocol.
+//! Blocking client for the pigeonring wire protocol (v2).
 //!
-//! One [`Client`] wraps one TCP connection with one request in flight
-//! at a time (concurrency comes from opening more clients — see
-//! `repro loadgen`). [`Client::connect`] performs the Hello/HelloOk
-//! version negotiation before returning, so a connected client is
-//! always protocol-compatible.
+//! One [`Client`] wraps one TCP connection. [`Client::connect`]
+//! performs the Hello/HelloOk version negotiation before returning, so
+//! a connected client is always protocol-compatible.
+//!
+//! Two modes:
+//!
+//! * **One at a time** — [`Client::search`] sends a query and waits for
+//!   its answer (the v1-era call pattern, now id-checked under the
+//!   hood).
+//! * **Pipelined** — [`Client::search_pipelined`] keeps up to `window`
+//!   queries in flight on the one connection, collecting answers *by
+//!   request id* (the server may answer out of order) and returning
+//!   outcomes in query order. The primitives it is built from —
+//!   [`Client::send_query`] / [`Client::recv_reply`] — are public, so
+//!   load generators can timestamp each request individually.
 
+use std::collections::HashMap;
 use std::io::{BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::wire::{
     decode_response, encode_request, read_frame, write_frame, DomainQuery, ErrorCode, Request,
-    Response, WireError, PROTOCOL_VERSION,
+    Response, WireError, CONNECTION_REQUEST_ID, PROTOCOL_VERSION,
 };
 
 /// Client-side failure talking to a pigeonring server.
@@ -29,7 +40,7 @@ pub enum ClientError {
         message: String,
     },
     /// The server answered with the wrong message kind (e.g. results
-    /// for a Hello), or closed mid-exchange.
+    /// for a Hello), an unknown request id, or closed mid-exchange.
     Protocol(&'static str),
 }
 
@@ -66,8 +77,20 @@ pub enum Outcome {
     /// The query ran: global record ids within the threshold,
     /// ascending.
     Results(Vec<u32>),
-    /// Admission control rejected the query (queue full); retry later.
+    /// Admission control rejected the query (its domain's lane is
+    /// full); retry later.
     Busy,
+    /// The server answered this query with a typed per-query error
+    /// (e.g. wrong vector dimensionality); the connection stays
+    /// usable. [`Client::search`] surfaces this as
+    /// [`ClientError::Server`]; pipelined collection keeps it inline so
+    /// one bad query doesn't hide the other outcomes.
+    Failed {
+        /// The server's error category.
+        code: ErrorCode,
+        /// The server's message.
+        message: String,
+    },
 }
 
 /// A connected, version-negotiated client.
@@ -75,6 +98,9 @@ pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     version: u8,
+    /// Next request id to allocate; starts at 1 (0 is the reserved
+    /// connection-scoped id) and only grows.
+    next_id: u64,
 }
 
 impl Client {
@@ -87,15 +113,20 @@ impl Client {
             reader,
             writer,
             version: PROTOCOL_VERSION,
+            next_id: 1,
         };
-        match client.round_trip(&Request::Hello {
-            max_version: PROTOCOL_VERSION,
-        })? {
+        write_frame(
+            &mut client.writer,
+            &encode_request(&Request::Hello {
+                max_version: PROTOCOL_VERSION,
+            }),
+        )?;
+        match client.read_response()? {
             Response::HelloOk { version } => {
                 client.version = version;
                 Ok(client)
             }
-            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            Response::Error { code, message, .. } => Err(ClientError::Server { code, message }),
             _ => Err(ClientError::Protocol("expected HelloOk to Hello")),
         }
     }
@@ -105,13 +136,55 @@ impl Client {
         self.version
     }
 
+    /// Sends one query without waiting for its answer, returning the
+    /// request id its response will carry. Pair with
+    /// [`Client::recv_reply`]; up to the server's per-lane queue depth
+    /// may be usefully in flight at once.
+    pub fn send_query(&mut self, query: DomainQuery) -> Result<u64, ClientError> {
+        let request_id = self.next_id;
+        self.next_id += 1;
+        write_frame(
+            &mut self.writer,
+            &encode_request(&Request::Query { request_id, query }),
+        )?;
+        Ok(request_id)
+    }
+
+    /// Receives the next query-scoped response — **not necessarily for
+    /// the oldest in-flight request**; match the returned id against
+    /// [`Client::send_query`]'s. A connection-scoped error (id 0) is
+    /// surfaced as [`ClientError::Server`] since it dooms every
+    /// in-flight request.
+    pub fn recv_reply(&mut self) -> Result<(u64, Outcome), ClientError> {
+        match self.read_response()? {
+            Response::Results { request_id, ids } => Ok((request_id, Outcome::Results(ids))),
+            Response::Busy { request_id } => Ok((request_id, Outcome::Busy)),
+            Response::Error {
+                request_id,
+                code,
+                message,
+            } => {
+                if request_id == CONNECTION_REQUEST_ID {
+                    Err(ClientError::Server { code, message })
+                } else {
+                    Ok((request_id, Outcome::Failed { code, message }))
+                }
+            }
+            Response::HelloOk { .. } => Err(ClientError::Protocol("unexpected HelloOk")),
+        }
+    }
+
     /// Sends one query and waits for its answer.
     pub fn search(&mut self, query: DomainQuery) -> Result<Outcome, ClientError> {
-        match self.round_trip(&Request::Query(query))? {
-            Response::Results { ids } => Ok(Outcome::Results(ids)),
-            Response::Busy => Ok(Outcome::Busy),
-            Response::Error { code, message } => Err(ClientError::Server { code, message }),
-            Response::HelloOk { .. } => Err(ClientError::Protocol("unexpected HelloOk")),
+        let id = self.send_query(query)?;
+        let (got, outcome) = self.recv_reply()?;
+        if got != id {
+            // One request in flight ⇒ the reply must be its.
+            return Err(ClientError::Protocol("response id does not match request"));
+        }
+        match outcome {
+            Outcome::Failed { code, message } => Err(ClientError::Server { code, message }),
+            done => Ok(done),
         }
     }
 
@@ -131,8 +204,43 @@ impl Client {
         self.search(query)
     }
 
-    fn round_trip(&mut self, req: &Request) -> Result<Response, ClientError> {
-        write_frame(&mut self.writer, &encode_request(req))?;
+    /// Runs `queries` through the connection with up to `window`
+    /// requests in flight, collecting responses by id — out-of-order
+    /// completion is expected — and returning one [`Outcome`] per query
+    /// **in query order**.
+    ///
+    /// On a connection-level failure (`Err`) the in-flight requests are
+    /// lost and the client should be discarded.
+    pub fn search_pipelined(
+        &mut self,
+        queries: &[DomainQuery],
+        window: usize,
+    ) -> Result<Vec<Outcome>, ClientError> {
+        let window = window.max(1);
+        let mut outcomes: Vec<Option<Outcome>> = queries.iter().map(|_| None).collect();
+        let mut in_flight: HashMap<u64, usize> = HashMap::with_capacity(window);
+        let mut next = 0usize;
+        let mut done = 0usize;
+        while done < queries.len() {
+            while in_flight.len() < window && next < queries.len() {
+                let id = self.send_query(queries[next].clone())?;
+                in_flight.insert(id, next);
+                next += 1;
+            }
+            let (id, outcome) = self.recv_reply()?;
+            let slot = in_flight
+                .remove(&id)
+                .ok_or(ClientError::Protocol("response for unknown request id"))?;
+            outcomes[slot] = Some(outcome);
+            done += 1;
+        }
+        Ok(outcomes
+            .into_iter()
+            .map(|o| o.expect("every query answered"))
+            .collect())
+    }
+
+    fn read_response(&mut self) -> Result<Response, ClientError> {
         let payload = read_frame(&mut self.reader)?
             .ok_or(ClientError::Protocol("server closed before responding"))?;
         Ok(decode_response(&payload)?)

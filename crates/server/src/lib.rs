@@ -10,16 +10,20 @@
 //! server boundary in front of it, the way FAISS-style similarity
 //! systems are consumed in production (batched service APIs):
 //!
-//! * [`wire`] — the frame format and message codec. Strict, typed,
-//!   allocation-bounded decoding: malformed input fails the connection
-//!   closed, never panics the server.
-//! * [`queue`] — the bounded request queue. Admission control lives
-//!   here: a full queue answers `Busy` instead of buffering without
-//!   bound.
-//! * [`server`] — accept loop, per-connection framing threads, and the
-//!   micro-batching dispatcher that coalesces up to `B` queued queries
-//!   per fan-out so the network path inherits the service layer's batch
-//!   amortization on the shared persistent
+//! * [`wire`] — the frame format and message codec (v2: tagged request
+//!   ids, so many requests ride one connection and responses may return
+//!   out of order). Strict, typed, allocation-bounded decoding:
+//!   malformed input fails the connection closed, never panics the
+//!   server.
+//! * [`queue`] — the bounded request queues. Admission control lives
+//!   here: the [`FairQueue`] keeps one bounded lane per domain, so a
+//!   full lane answers `Busy` for *that domain only* and weighted
+//!   round-robin batch formation stops a slow-domain burst from
+//!   inflating every domain's tail.
+//! * [`server`] — accept loop, pipelined per-connection reader/writer
+//!   threads, and the weighted-fair dispatchers that coalesce up to `B`
+//!   queued queries per fan-out so the network path inherits the
+//!   service layer's batch amortization on the shared persistent
 //!   [`WorkerPool`](pigeonring_service::WorkerPool).
 //! * [`registry`] — deterministic engine construction
 //!   ([`EngineSpec`] → [`EngineSet`]) from the same data loaders the
@@ -36,7 +40,10 @@ pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientError, Outcome};
-pub use queue::BoundedQueue;
+pub use queue::{BoundedQueue, FairQueue, PushError};
 pub use registry::{EngineSet, EngineSpec};
 pub use server::{start, start_with_handler, Handler, ServerConfig, ServerHandle};
-pub use wire::{Domain, DomainQuery, ErrorCode, Request, Response, WireError, PROTOCOL_VERSION};
+pub use wire::{
+    Domain, DomainQuery, ErrorCode, Request, Response, WireError, CONNECTION_REQUEST_ID,
+    MAX_FRAME_LEN, PROTOCOL_VERSION,
+};

@@ -1,15 +1,54 @@
-//! Bounded request queue: the admission-control point.
+//! Bounded request queues: the admission-control point.
 //!
-//! Producers (connection threads) *never block*: [`BoundedQueue::try_push`]
-//! either enqueues or returns the item back immediately when the queue
-//! holds `capacity` items — the caller then answers the client with a
-//! typed `Busy` response instead of queueing unboundedly. The single
-//! consumer (the dispatcher) blocks in [`BoundedQueue::pop_batch`] and
-//! drains up to `max` items per wakeup, which is what turns queued
-//! singles into micro-batches.
+//! Producers (connection threads) *never block*: `try_push` either
+//! enqueues or returns the item back immediately — as
+//! [`PushError::Full`] when the lane holds `capacity` items (the caller
+//! answers a retryable `Busy`), or as [`PushError::Closed`] during
+//! shutdown (the caller answers a *terminal* error, so clients don't
+//! retry-storm a dying server). Consumers (dispatchers) block in
+//! `pop_batch` and drain up to `max` items per wakeup, which is what
+//! turns queued singles into micro-batches.
+//!
+//! Two queues live here:
+//!
+//! * [`BoundedQueue`] — the original single-FIFO queue, kept for
+//!   single-stream workloads and as the building-block reference.
+//! * [`FairQueue`] — one bounded lane per [`Domain`] with
+//!   weighted-round-robin batch formation. A burst of slow-domain
+//!   queries (graph GED) fills *its own* lane and draws per-lane `Busy`
+//!   while the other domains' lanes keep admitting and every popped
+//!   micro-batch contains each backlogged domain in proportion to its
+//!   weight — the fix for the head-of-line blocking recorded in
+//!   `results/BENCH_server.json` (editdist/graph p50 ≈ 3.5× faster
+//!   domains under the old global FIFO).
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+
+use crate::wire::Domain;
+
+/// Why `try_push` refused an item; the item rides back in either case.
+///
+/// `Full` is *retryable* (the queue is at capacity right now); `Closed`
+/// is *terminal* (the queue is shutting down and will never admit
+/// again). Conflating the two turns shutdown into a retry storm, which
+/// is exactly the bug this distinction fixes.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The lane is at capacity; the caller may retry later.
+    Full(T),
+    /// The queue is closed; no future push will ever succeed.
+    Closed(T),
+}
+
+impl<T> PushError<T> {
+    /// The rejected item, regardless of the reason.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Full(item) | PushError::Closed(item) => item,
+        }
+    }
+}
 
 struct QueueState<T> {
     items: VecDeque<T>,
@@ -51,13 +90,16 @@ impl<T> BoundedQueue<T> {
         self.len() == 0
     }
 
-    /// Attempts to enqueue. Returns `Err(item)` — immediately, never
-    /// blocking — when the queue is full or closed; the caller turns
-    /// that into a `Busy` (or connection-shutdown) response.
-    pub fn try_push(&self, item: T) -> Result<(), T> {
+    /// Attempts to enqueue. Returns immediately — never blocking — with
+    /// [`PushError::Full`] at capacity (retryable `Busy`) or
+    /// [`PushError::Closed`] after [`BoundedQueue::close`] (terminal).
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
         let mut state = self.state.lock().expect("queue mutex poisoned");
-        if state.closed || state.items.len() >= self.capacity {
-            return Err(item);
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
         }
         state.items.push_back(item);
         drop(state);
@@ -88,12 +130,148 @@ impl<T> BoundedQueue<T> {
         }
     }
 
-    /// Closes the queue: future pushes fail, and the consumer unblocks
-    /// once the remaining items are drained.
+    /// Closes the queue: future pushes fail with [`PushError::Closed`],
+    /// and consumers unblock once the remaining items are drained.
     pub fn close(&self) {
         self.state.lock().expect("queue mutex poisoned").closed = true;
         self.not_empty.notify_all();
     }
+}
+
+const NUM_LANES: usize = Domain::ALL.len();
+
+struct FairState<T> {
+    lanes: [VecDeque<T>; NUM_LANES],
+    closed: bool,
+    /// Next lane the weighted-round-robin sweep starts from, so no lane
+    /// is systematically favored across batches.
+    cursor: usize,
+}
+
+impl<T> FairState<T> {
+    fn total(&self) -> usize {
+        self.lanes.iter().map(VecDeque::len).sum()
+    }
+}
+
+/// A bounded multi-lane queue: one FIFO lane per [`Domain`], weighted
+/// round-robin batch formation, per-lane admission control.
+///
+/// Supports multiple concurrent consumers (the server runs several
+/// dispatcher threads); each [`FairQueue::pop_batch`] call atomically
+/// assembles one mixed-domain batch.
+pub struct FairQueue<T> {
+    state: Mutex<FairState<T>>,
+    not_empty: Condvar,
+    lane_capacity: usize,
+    weights: [usize; NUM_LANES],
+}
+
+impl<T> FairQueue<T> {
+    /// A queue admitting at most `lane_capacity.max(1)` buffered items
+    /// *per lane*. `weights[i]` (clamped to ≥ 1) is how many items lane
+    /// `i` — indexed in [`Domain::ALL`] order — contributes per
+    /// round-robin sweep of [`FairQueue::pop_batch`].
+    pub fn new(lane_capacity: usize, weights: [usize; NUM_LANES]) -> Self {
+        FairQueue {
+            state: Mutex::new(FairState {
+                lanes: Default::default(),
+                closed: false,
+                cursor: 0,
+            }),
+            not_empty: Condvar::new(),
+            lane_capacity: lane_capacity.max(1),
+            weights: weights.map(|w| w.max(1)),
+        }
+    }
+
+    /// The per-lane admission-control depth.
+    pub fn lane_capacity(&self) -> usize {
+        self.lane_capacity
+    }
+
+    /// Items currently buffered across all lanes (racy outside tests).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue mutex poisoned").total()
+    }
+
+    /// Whether every lane is currently empty (racy outside tests).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Items currently buffered in `domain`'s lane (racy outside tests).
+    pub fn lane_len(&self, domain: Domain) -> usize {
+        self.state.lock().expect("queue mutex poisoned").lanes[lane_of(domain)].len()
+    }
+
+    /// Attempts to enqueue into `domain`'s lane. Returns immediately —
+    /// never blocking — with [`PushError::Full`] when *that lane* is at
+    /// capacity (the other lanes are unaffected: a graph burst cannot
+    /// consume Hamming's admission budget) or [`PushError::Closed`]
+    /// after [`FairQueue::close`].
+    pub fn try_push(&self, domain: Domain, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        let lane = &mut state.lanes[lane_of(domain)];
+        if lane.len() >= self.lane_capacity {
+            return Err(PushError::Full(item));
+        }
+        lane.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until any lane has an item (or the queue is closed), then
+    /// assembles one batch of up to `max` items by weighted round-robin:
+    /// sweeping lanes from the rotating cursor, each non-empty lane
+    /// contributes up to its weight per sweep, until `max` is reached or
+    /// every lane is drained. Within a lane order stays FIFO; across
+    /// lanes no backlog can starve another lane. Returns `false` when
+    /// the queue is closed *and* fully drained.
+    pub fn pop_batch(&self, max: usize, out: &mut Vec<T>) -> bool {
+        out.clear();
+        let max = max.max(1);
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        loop {
+            if state.total() > 0 {
+                while out.len() < max && state.total() > 0 {
+                    let li = state.cursor % NUM_LANES;
+                    state.cursor = state.cursor.wrapping_add(1);
+                    let quota = self.weights[li].min(max - out.len());
+                    let lane = &mut state.lanes[li];
+                    let take = quota.min(lane.len());
+                    out.extend(lane.drain(..take));
+                }
+                return true;
+            }
+            if state.closed {
+                return false;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .expect("queue mutex poisoned while waiting");
+        }
+    }
+
+    /// Closes every lane: future pushes fail with [`PushError::Closed`],
+    /// and consumers unblock once the remaining items are drained.
+    pub fn close(&self) {
+        self.state.lock().expect("queue mutex poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+/// Lane index for a domain ([`Domain::ALL`] order).
+fn lane_of(domain: Domain) -> usize {
+    Domain::ALL
+        .iter()
+        .position(|&d| d == domain)
+        .expect("every domain has a lane")
 }
 
 #[cfg(test)]
@@ -106,7 +284,11 @@ mod tests {
         let q = BoundedQueue::new(2);
         assert!(q.try_push(1).is_ok());
         assert!(q.try_push(2).is_ok());
-        assert_eq!(q.try_push(3), Err(3), "depth-2 queue rejects the third");
+        assert_eq!(
+            q.try_push(3),
+            Err(PushError::Full(3)),
+            "depth-2 queue rejects the third as retryable"
+        );
         assert_eq!(q.len(), 2);
         let mut out = Vec::new();
         assert!(q.pop_batch(8, &mut out));
@@ -146,7 +328,11 @@ mod tests {
         };
         q.close();
         assert_eq!(consumer.join().expect("consumer exits"), vec![1]);
-        assert_eq!(q.try_push(2), Err(2), "closed queue rejects pushes");
+        assert_eq!(
+            q.try_push(2),
+            Err(PushError::Closed(2)),
+            "closed queue rejects pushes terminally, not as Full"
+        );
     }
 
     #[test]
@@ -154,7 +340,157 @@ mod tests {
         let q = BoundedQueue::new(0);
         assert_eq!(q.capacity(), 1);
         assert!(q.try_push(1).is_ok());
-        assert_eq!(q.try_push(2), Err(2));
+        assert_eq!(q.try_push(2), Err(PushError::Full(2)));
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn push_error_returns_the_item() {
+        assert_eq!(PushError::Full(7).into_inner(), 7);
+        assert_eq!(PushError::Closed(9).into_inner(), 9);
+    }
+
+    // ------------------------------------------------------- FairQueue
+
+    /// `(domain, tag)` items for lane tests.
+    fn fq(lane_capacity: usize) -> FairQueue<(Domain, u32)> {
+        FairQueue::new(lane_capacity, [1, 1, 1, 1])
+    }
+
+    #[test]
+    fn fair_admission_is_per_lane() {
+        let q = fq(2);
+        // Fill the graph lane.
+        q.try_push(Domain::Graph, (Domain::Graph, 0)).expect("room");
+        q.try_push(Domain::Graph, (Domain::Graph, 1)).expect("room");
+        assert!(
+            matches!(
+                q.try_push(Domain::Graph, (Domain::Graph, 2)),
+                Err(PushError::Full(_))
+            ),
+            "graph lane at capacity"
+        );
+        // Every other lane still admits: the burst is contained.
+        for d in [Domain::Hamming, Domain::Edit, Domain::Set] {
+            q.try_push(d, (d, 0))
+                .expect("other lanes unaffected by the graph burst");
+        }
+        assert_eq!(q.lane_len(Domain::Graph), 2);
+        assert_eq!(q.lane_len(Domain::Hamming), 1);
+        assert_eq!(q.len(), 5);
+    }
+
+    #[test]
+    fn fair_pop_interleaves_a_backlogged_lane() {
+        let q = fq(16);
+        // 8 graph items queued first, then 2 hamming items.
+        for i in 0..8 {
+            q.try_push(Domain::Graph, (Domain::Graph, i)).expect("room");
+        }
+        for i in 0..2 {
+            q.try_push(Domain::Hamming, (Domain::Hamming, i))
+                .expect("room");
+        }
+        // A batch of 4 with unit weights must contain hamming items even
+        // though graph queued strictly earlier — no FIFO head-of-line.
+        let mut out = Vec::new();
+        assert!(q.pop_batch(4, &mut out));
+        assert_eq!(out.len(), 4);
+        let hamming = out.iter().filter(|(d, _)| *d == Domain::Hamming).count();
+        assert!(
+            hamming >= 1,
+            "WRR batch must include the backlogged hamming lane: {out:?}"
+        );
+        // Lane order stays FIFO: graph items appear in insertion order.
+        let graph_tags: Vec<u32> = out
+            .iter()
+            .filter(|(d, _)| *d == Domain::Graph)
+            .map(|&(_, t)| t)
+            .collect();
+        assert!(graph_tags.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn fair_weights_set_the_mix() {
+        // Weights [3, 1, 1, 1]: a sweep takes 3 hamming per 1 of each
+        // other lane.
+        let q: FairQueue<(Domain, u32)> = FairQueue::new(16, [3, 1, 1, 1]);
+        for i in 0..6 {
+            q.try_push(Domain::Hamming, (Domain::Hamming, i))
+                .expect("room");
+            q.try_push(Domain::Graph, (Domain::Graph, i)).expect("room");
+        }
+        let mut out = Vec::new();
+        assert!(q.pop_batch(4, &mut out));
+        let hamming = out.iter().filter(|(d, _)| *d == Domain::Hamming).count();
+        let graph = out.iter().filter(|(d, _)| *d == Domain::Graph).count();
+        assert_eq!((hamming, graph), (3, 1), "weighted shares: {out:?}");
+    }
+
+    #[test]
+    fn fair_pop_drains_everything_across_batches() {
+        let q = fq(64);
+        let mut pushed = 0u32;
+        for d in Domain::ALL {
+            for _ in 0..5 {
+                q.try_push(d, (d, pushed)).expect("room");
+                pushed += 1;
+            }
+        }
+        q.close();
+        let mut seen = Vec::new();
+        let mut out = Vec::new();
+        while q.pop_batch(3, &mut out) {
+            seen.extend(out.iter().map(|&(_, t)| t));
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..pushed).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fair_close_is_terminal_and_unblocks_consumers() {
+        let q = Arc::new(fq(4));
+        q.try_push(Domain::Set, (Domain::Set, 1)).expect("room");
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut out = Vec::new();
+                let mut seen = 0;
+                while q.pop_batch(4, &mut out) {
+                    seen += out.len();
+                }
+                seen
+            })
+        };
+        q.close();
+        assert_eq!(consumer.join().expect("consumer exits"), 1);
+        assert!(matches!(
+            q.try_push(Domain::Set, (Domain::Set, 2)),
+            Err(PushError::Closed(_))
+        ));
+    }
+
+    #[test]
+    fn fair_cursor_rotates_between_batches() {
+        // With every lane loaded and batch = 1, consecutive pops must
+        // visit different lanes (the cursor advances), not hammer lane 0.
+        let q = fq(8);
+        for d in Domain::ALL {
+            for i in 0..4 {
+                q.try_push(d, (d, i)).expect("room");
+            }
+        }
+        let mut out = Vec::new();
+        let mut first_domains = Vec::new();
+        for _ in 0..4 {
+            assert!(q.pop_batch(1, &mut out));
+            first_domains.push(out[0].0);
+        }
+        first_domains.sort_by_key(|d| lane_of(*d));
+        assert_eq!(
+            first_domains,
+            Domain::ALL.to_vec(),
+            "four unit batches visit all four lanes"
+        );
     }
 }

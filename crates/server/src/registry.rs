@@ -9,11 +9,19 @@
 //! CI) diff a network round-trip's `result_hash` against a direct
 //! in-process [`ShardedIndex::search_batch`] run.
 //!
-//! [`EngineSet::run`] is the server's execution core: it takes one
-//! micro-batch of mixed-domain queries, groups them by domain and by
-//! equal per-request parameters, fans each group through
+//! [`EngineSet::run_streaming`] is the server's execution core: it
+//! takes one micro-batch of mixed-domain queries, groups them by domain
+//! and by equal per-request parameters, fans each group through
 //! [`ShardedIndex::search_batch_on`] on the shared persistent
-//! [`WorkerPool`], and scatters the answers back into request order.
+//! [`WorkerPool`], and emits each group's answers as it completes —
+//! cheapest group first (shortest-job-first by a measured per-query
+//! cost EMA, with heavy groups serialized across dispatchers), so a
+//! mixed batch's cheap replies never wait for its GED share.
+//! [`EngineSet::run`] is the collect-everything wrapper used by
+//! in-process reference runs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use pigeonring_datagen::{sample_query_ids, GraphConfig, SetConfig, StringConfig, VectorConfig};
 use pigeonring_editdist::{EditParams, GramOrder, QGramCollection, RingEdit};
@@ -22,7 +30,7 @@ use pigeonring_hamming::{AllocationStrategy, HammingParams, RingHamming};
 use pigeonring_service::{ShardedIndex, WorkerPool};
 use pigeonring_setsim::{Collection, RingSetSim, SetParams, Threshold};
 
-use crate::wire::{Domain, DomainQuery, ErrorCode, Response};
+use crate::wire::{Domain, DomainQuery, ErrorCode, Response, CONNECTION_REQUEST_ID};
 
 /// Everything needed to reconstruct the served datasets and engines
 /// deterministically. Field-for-field equality ⇒ identical indexes.
@@ -176,7 +184,28 @@ pub struct EngineSet {
     /// dimensionality are rejected with a typed `InvalidQuery` error
     /// (the engine itself would panic on a mismatch).
     hamming_dims: usize,
+    /// Exponential moving average of measured per-query execution
+    /// nanos, one slot per domain in [`Domain::ALL`] order (`0` = not
+    /// sampled yet). [`EngineSet::run_streaming`] uses it to order a
+    /// mixed batch's domain groups shortest-job-first, so whichever
+    /// domains are cheap *on this dataset and scale* answer before the
+    /// expensive ones — the ordering adapts instead of hard-coding
+    /// "graph is slow".
+    cost_ema_ns: [AtomicU64; 4],
+    /// Serializes *heavy* group executions (estimated over
+    /// [`HEAVY_GROUP_NS`]) across dispatcher threads: expensive compute
+    /// queues behind this lock instead of timeslicing against other
+    /// expensive compute, so a dispatcher running a cheap group always
+    /// has the core to itself long enough to answer in ~its solo
+    /// latency. Cheap groups never touch the lock, and SJF ordering
+    /// guarantees a batch's cheap replies are already out before its
+    /// heavy share blocks here.
+    heavy: Mutex<()>,
 }
+
+/// Estimated group execution time above which the group takes the
+/// [`EngineSet::heavy`] lock (6 ms — several scheduler quanta, so only long graph/bulk runs qualify and a millisecond-scale group never queues behind them).
+const HEAVY_GROUP_NS: u128 = 6_000_000;
 
 impl EngineSet {
     /// Builds all four domain indexes from `spec` (deterministic:
@@ -218,6 +247,8 @@ impl EngineSet {
             set,
             graph,
             hamming_dims,
+            cost_ema_ns: Default::default(),
+            heavy: Mutex::new(()),
         }
     }
 
@@ -248,14 +279,40 @@ impl EngineSet {
 
     /// Executes one micro-batch of mixed-domain queries on `pool`,
     /// returning one [`Response`] per query in request order.
+    /// Convenience wrapper over [`EngineSet::run_streaming`] for
+    /// callers that want the whole batch at once (the in-process
+    /// reference path of `repro server-smoke`); responses carry
+    /// [`CONNECTION_REQUEST_ID`](crate::wire::CONNECTION_REQUEST_ID) —
+    /// the server's dispatcher stamps real ids on.
+    pub fn run(&self, pool: &WorkerPool, queries: Vec<DomainQuery>) -> Vec<Response> {
+        let mut responses: Vec<Option<Response>> = queries.iter().map(|_| None).collect();
+        self.run_streaming(pool, queries, &mut |slot, resp| {
+            responses[slot] = Some(resp);
+        });
+        responses
+            .into_iter()
+            .map(|r| r.expect("every query answered"))
+            .collect()
+    }
+
+    /// Executes one micro-batch of mixed-domain queries on `pool`,
+    /// calling `emit(slot, response)` exactly once per query — **as
+    /// each domain group completes**, cheapest group first
+    /// (shortest-job-first by the measured per-query cost EMA), so a
+    /// mixed batch's cheap answers are on the wire before its expensive
+    /// share has run.
     ///
     /// Queries are grouped by domain *and* by equal per-request
     /// parameters, so each group inherits the batched shard fan-out of
     /// [`ShardedIndex::search_batch_on`]; invalid queries (e.g. a
     /// Hamming vector of the wrong dimensionality) get a typed error
     /// without disturbing the rest of the batch.
-    pub fn run(&self, pool: &WorkerPool, queries: Vec<DomainQuery>) -> Vec<Response> {
-        let mut responses: Vec<Option<Response>> = queries.iter().map(|_| None).collect();
+    pub fn run_streaming(
+        &self,
+        pool: &WorkerPool,
+        queries: Vec<DomainQuery>,
+        emit: &mut dyn FnMut(usize, Response),
+    ) {
         let mut hamming: Vec<(usize, pigeonring_hamming::BitVector, HammingParams)> = Vec::new();
         let mut edit: Vec<(usize, Vec<u8>, EditParams)> = Vec::new();
         let mut set: Vec<(usize, Vec<u32>, SetParams)> = Vec::new();
@@ -264,14 +321,18 @@ impl EngineSet {
             match q {
                 DomainQuery::Hamming { query, tau, l } => {
                     if query.dims() != self.hamming_dims {
-                        responses[i] = Some(Response::Error {
-                            code: ErrorCode::InvalidQuery,
-                            message: format!(
-                                "query has {} dims, dataset has {}",
-                                query.dims(),
-                                self.hamming_dims
-                            ),
-                        });
+                        emit(
+                            i,
+                            Response::Error {
+                                request_id: CONNECTION_REQUEST_ID,
+                                code: ErrorCode::InvalidQuery,
+                                message: format!(
+                                    "query has {} dims, dataset has {}",
+                                    query.dims(),
+                                    self.hamming_dims
+                                ),
+                            },
+                        );
                     } else {
                         hamming.push((i, query, HammingParams { tau, l: l as usize }));
                     }
@@ -287,25 +348,67 @@ impl EngineSet {
                 }
             }
         }
-        run_groups(pool, &self.hamming, hamming, &mut responses);
-        run_groups(pool, &self.edit, edit, &mut responses);
-        run_groups(pool, &self.set, set, &mut responses);
-        run_groups(pool, &self.graph, graph, &mut responses);
-        responses
-            .into_iter()
-            .map(|r| r.expect("every query answered"))
-            .collect()
+        // Shortest job first: order the batch's domain groups by their
+        // estimated total execution time (per-query cost EMA × group
+        // size), so the cheap share of a mixed batch never waits on the
+        // expensive share. Unsampled domains estimate 0 and run early —
+        // they get sampled on first contact. Ties keep Domain::ALL
+        // order, so the ordering (and the result stream) stays
+        // deterministic for a given cost state.
+        let sizes = [hamming.len(), edit.len(), set.len(), graph.len()];
+        let mut order: [usize; 4] = [0, 1, 2, 3];
+        let estimate = |di: usize| -> u128 {
+            self.cost_ema_ns[di].load(Ordering::Relaxed) as u128 * sizes[di] as u128
+        };
+        order.sort_by_key(|&di| (estimate(di), di));
+        for di in order {
+            if sizes[di] == 0 {
+                continue;
+            }
+            // Heavy groups serialize across dispatchers (cheap groups
+            // already answered above in SJF order, so blocking here
+            // delays no cheap reply of this batch).
+            // The lock guards no data — only execution overlap — so a
+            // poisoned lock (a panicking engine on another dispatcher)
+            // is safe to keep using.
+            let _heavy_guard = if estimate(di) > HEAVY_GROUP_NS {
+                Some(self.heavy.lock().unwrap_or_else(|e| e.into_inner()))
+            } else {
+                None
+            };
+            let start = std::time::Instant::now();
+            match Domain::ALL[di] {
+                Domain::Hamming => {
+                    run_groups(pool, &self.hamming, std::mem::take(&mut hamming), emit)
+                }
+                Domain::Edit => run_groups(pool, &self.edit, std::mem::take(&mut edit), emit),
+                Domain::Set => run_groups(pool, &self.set, std::mem::take(&mut set), emit),
+                Domain::Graph => run_groups(pool, &self.graph, std::mem::take(&mut graph), emit),
+            }
+            let per_query_ns =
+                (start.elapsed().as_nanos() / sizes[di] as u128).min(u64::MAX as u128) as u64;
+            // EMA with a 1/4 step: smooth enough to ride out one odd
+            // batch, fresh enough to track warmup and load shifts.
+            let _ =
+                self.cost_ema_ns[di].fetch_update(Ordering::Relaxed, Ordering::Relaxed, |old| {
+                    Some(if old == 0 {
+                        per_query_ns.max(1)
+                    } else {
+                        (old - old / 4).saturating_add(per_query_ns / 4).max(1)
+                    })
+                });
+        }
     }
 }
 
 /// Runs one domain's share of a micro-batch: splits it into runs of
 /// equal parameters, answers each run with one batched shard fan-out,
-/// and scatters results back into their request slots.
+/// and emits results into their request slots as each run completes.
 fn run_groups<E>(
     pool: &WorkerPool,
     index: &ShardedIndex<E>,
     items: Vec<(usize, E::Query, E::Params)>,
-    responses: &mut [Option<Response>],
+    emit: &mut dyn FnMut(usize, Response),
 ) where
     E: pigeonring_service::SearchEngine,
     E::Params: PartialEq,
@@ -320,7 +423,13 @@ fn run_groups<E>(
         }
         let results = index.search_batch_on(pool, &batch, &params);
         for (slot, result) in slots.into_iter().zip(results) {
-            responses[slot] = Some(Response::Results { ids: result.ids });
+            emit(
+                slot,
+                Response::Results {
+                    request_id: CONNECTION_REQUEST_ID,
+                    ids: result.ids,
+                },
+            );
         }
     }
 }
@@ -354,7 +463,7 @@ mod tests {
         let responses = engines.run(&pool, batch.clone());
         assert_eq!(responses.len(), batch.len());
         for (q, resp) in batch.iter().zip(&responses) {
-            let Response::Results { ids } = resp else {
+            let Response::Results { ids, .. } = resp else {
                 panic!("expected results for {q:?}, got {resp:?}");
             };
             let expect = match q {
@@ -419,6 +528,33 @@ mod tests {
             }
         ));
         assert!(matches!(responses[2], Response::Results { .. }));
+    }
+
+    #[test]
+    fn streaming_emits_fast_domains_before_graph() {
+        let engines = EngineSet::build(tiny_spec());
+        let pool = WorkerPool::new(2);
+        let mut batch = Vec::new();
+        for d in Domain::ALL {
+            batch.extend(engines.spec().sample_queries(d).into_iter().take(2));
+        }
+        batch.rotate_left(5); // graph queries sit in front of hamming's
+        let domains: Vec<Domain> = batch.iter().map(DomainQuery::domain).collect();
+        let mut order = Vec::new();
+        engines.run_streaming(&pool, batch, &mut |slot, _| order.push(domains[slot]));
+        assert_eq!(order.len(), domains.len(), "every query answered once");
+        let last_hamming = order
+            .iter()
+            .rposition(|&d| d == Domain::Hamming)
+            .expect("hamming in batch");
+        let first_graph = order
+            .iter()
+            .position(|&d| d == Domain::Graph)
+            .expect("graph in batch");
+        assert!(
+            last_hamming < first_graph,
+            "hamming must be emitted before any graph reply: {order:?}"
+        );
     }
 
     #[test]

@@ -1,90 +1,187 @@
-//! The TCP frontend: accept loop, per-connection framing threads, and
-//! the micro-batching dispatcher between the bounded queue and the
-//! worker pool.
+//! The TCP frontend: accept loop, pipelined per-connection reader /
+//! writer threads, and the weighted-fair dispatchers between the
+//! per-domain lanes and the worker pool.
 //!
-//! Data path of one request:
+//! Data path of one request (wire v2):
 //!
 //! ```text
-//! client ──frame──▶ connection thread ──try_push──▶ BoundedQueue (≤ Q)
-//!                        │  full? ◀─────────────────────┘
-//!                        ▼  typed Busy
-//!                   dispatcher ──pop_batch(≤ B)──▶ EngineSet::run
-//!                        │                         (WorkerPool fan-out)
-//!                        └──reply channel──▶ connection thread ──frame──▶ client
+//! client ══frames══▶ reader thread ──try_push──▶ FairQueue (4 lanes, ≤ Q each)
+//!   ║                     │  lane full? ◀────────────┘
+//!   ║                     ▼  Busy{id} ──▶ reply channel
+//!   ║                dispatchers (D threads) ──WRR pop_batch(≤ B)──▶ handler
+//!   ║                     │ streams Response{id} per domain group
+//! client ◀══frames══ writer thread ◀──reply channel──┘
 //! ```
 //!
-//! * **Admission control**: connection threads never queue unboundedly —
-//!   a full queue answers [`Response::Busy`] immediately; queued
-//!   requests are unaffected.
-//! * **Micro-batching**: the dispatcher drains up to `micro_batch`
-//!   queued requests per wakeup and hands them to the handler as one
-//!   mixed-domain batch, so concurrent clients inherit the service
-//!   layer's batch amortization.
+//! * **Pipelining**: the reader admits frames without waiting for
+//!   replies, so many requests per connection are in flight at once;
+//!   the writer drains a per-connection reply channel and responses
+//!   return in completion order, matched to requests by id — out of
+//!   order is normal and expected.
+//! * **Weighted-fair admission**: each domain owns a bounded lane; a
+//!   full lane answers [`Response::Busy`] for *that domain only*, so a
+//!   graph burst can't consume Hamming's admission budget, and
+//!   [`FairQueue::pop_batch`] assembles every micro-batch by weighted
+//!   round-robin so no backlog starves another lane.
+//! * **Streamed replies**: the handler answers each domain *group* of a
+//!   micro-batch as it completes, cheapest measured group first — see
+//!   [`EngineSet::run_streaming`](crate::registry::EngineSet::run_streaming) —
+//!   so a cheap reply never waits for the GED share of its own batch.
 //! * **Fail closed**: any frame that does not decode draws a typed
-//!   [`Response::Error`] and the connection is closed; a handler panic
-//!   answers every in-flight request of that batch with a typed
-//!   `Internal` error instead of hanging clients.
+//!   connection-scoped [`Response::Error`] and the connection winds
+//!   down; a handler panic answers that batch's unanswered requests
+//!   with typed `Internal` errors instead of hanging clients; a closed
+//!   queue (shutdown) answers a *terminal* `Internal` error, not a
+//!   retryable `Busy`.
 
 use std::io::{BufReader, BufWriter};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 
 use pigeonring_service::WorkerPool;
 
-use crate::queue::BoundedQueue;
+use crate::queue::{FairQueue, PushError};
 use crate::registry::EngineSet;
 use crate::wire::{
-    decode_request, encode_response, read_frame, write_frame, DomainQuery, ErrorCode, Request,
-    Response, WireError, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    decode_request, encode_response, read_frame, write_frame, Domain, DomainQuery, ErrorCode,
+    Request, Response, WireError, CONNECTION_REQUEST_ID, MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 
 /// Server tuning knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct ServerConfig {
-    /// Bounded request-queue depth `Q` (admission control): request
-    /// `Q+1` while `Q` are buffered receives [`Response::Busy`].
-    pub queue_depth: usize,
+    /// Bounded per-lane queue depth `Q` (admission control): request
+    /// `Q+1` of a domain while `Q` are buffered in its lane receives
+    /// [`Response::Busy`]; other domains' lanes are unaffected.
+    pub lane_depth: usize,
     /// Maximum queued requests coalesced into one dispatch `B`.
     pub micro_batch: usize,
+    /// Parallel dispatcher threads. More than one lets a fast domain's
+    /// batch dispatch while a slow batch is still executing — combined
+    /// with streamed replies this is what decouples per-domain tails.
+    pub dispatchers: usize,
+    /// Weighted-round-robin share per lane (in [`Domain::ALL`] order:
+    /// Hamming, edit, set, graph): how many items a lane contributes
+    /// per sweep when batches are assembled. Slow domains get smaller
+    /// weights so one micro-batch never carries a long slow-domain run.
+    pub lane_weights: [usize; 4],
+    /// Per-connection reply budget: the maximum responses a connection
+    /// may have admitted-or-unwritten at once. Beyond it the reader
+    /// stops reading frames (real TCP backpressure) until the writer
+    /// drains — so a client that pipelines requests but reads replies
+    /// slowly cannot grow server memory without bound.
+    pub conn_in_flight: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
-            queue_depth: 64,
+            lane_depth: 64,
             micro_batch: 16,
+            dispatchers: 4,
+            // Hamming/setsim answer in ~µs, editdist in ~100µs, graph
+            // GED in ~ms (see results/BENCH_server.json): weight the
+            // fast lanes up so their share of every batch is large and
+            // the slow lanes' share is bounded.
+            lane_weights: [8, 4, 8, 2],
+            conn_in_flight: 32,
         }
     }
 }
 
-/// One queued request: the decoded query plus the channel its answer
-/// travels back on.
+/// How long the writer half waits on a blocked socket before declaring
+/// the client wedged and tearing the connection down (which frees its
+/// buffered replies and unparks a backpressured reader).
+const WRITER_STALL_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
+
+/// One queued request: the decoded query, the id to echo, and the
+/// connection's reply channel (shared by every in-flight request of
+/// that connection; the writer thread serializes the frames).
 struct Job {
+    request_id: u64,
     query: DomainQuery,
     reply: mpsc::Sender<Response>,
 }
 
-/// A batch handler: answers one micro-batch of queries, one response
-/// per query, in order. Production uses [`EngineSet::run`] on a shared
-/// [`WorkerPool`]; tests inject stalling handlers to exercise admission
-/// control.
-pub type Handler = Arc<dyn Fn(Vec<DomainQuery>) -> Vec<Response> + Send + Sync>;
+/// Bounds a connection's admitted-or-unwritten responses.
+///
+/// The *reader* reserves one slot per response it will cause (an
+/// admitted query, a `Busy`, a `HelloOk`, an error) and **blocks** when
+/// the budget is exhausted — it simply stops reading frames, which is
+/// honest TCP backpressure on a client that pipelines faster than it
+/// reads. The *writer* releases a slot per response written.
+/// Dispatchers never touch the budget, so one slow-reading connection
+/// can never stall another connection's dispatch.
+struct ReplyBudget {
+    /// `(outstanding, writer_gone)`.
+    state: Mutex<(usize, bool)>,
+    changed: Condvar,
+    cap: usize,
+}
+
+impl ReplyBudget {
+    fn new(cap: usize) -> Self {
+        ReplyBudget {
+            state: Mutex::new((0, false)),
+            changed: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Blocks until a slot is free, then reserves it. Returns `false`
+    /// when the writer is gone (client wedged or disconnected) — the
+    /// reader should wind the connection down instead of admitting.
+    fn reserve(&self) -> bool {
+        let mut state = self.state.lock().expect("budget mutex poisoned");
+        while state.0 >= self.cap && !state.1 {
+            state = self
+                .changed
+                .wait(state)
+                .expect("budget mutex poisoned while waiting");
+        }
+        if state.1 {
+            return false;
+        }
+        state.0 += 1;
+        true
+    }
+
+    /// Releases one slot (a response reached the socket).
+    fn release(&self) {
+        self.state.lock().expect("budget mutex poisoned").0 -= 1;
+        self.changed.notify_all();
+    }
+
+    /// Marks the writer as gone, unparking any backpressured reader.
+    fn writer_gone(&self) {
+        self.state.lock().expect("budget mutex poisoned").1 = true;
+        self.changed.notify_all();
+    }
+}
+
+/// A batch handler: answers one micro-batch of queries by calling
+/// `emit(slot, response)` once per query, in whatever order it
+/// completes them (the dispatcher stamps request ids on). Production
+/// uses [`EngineSet::run_streaming`] on a shared [`WorkerPool`]; tests
+/// inject stalling handlers to exercise admission control and
+/// out-of-order completion.
+pub type Handler = Arc<dyn Fn(Vec<DomainQuery>, &mut dyn FnMut(usize, Response)) + Send + Sync>;
 
 /// A running server; dropping (or calling [`ServerHandle::shutdown`])
-/// stops the accept loop and dispatcher.
+/// stops the accept loop and dispatchers.
 pub struct ServerHandle {
     addr: SocketAddr,
-    queue: Arc<BoundedQueue<Job>>,
+    queue: Arc<FairQueue<Job>>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
-    dispatch_thread: Option<std::thread::JoinHandle<()>>,
+    dispatch_threads: Vec<std::thread::JoinHandle<()>>,
 }
 
 /// Starts a server answering from `engines` with `pool` as the
 /// execution backend. The listener should already be bound (use port 0
-/// for tests); the accept loop, dispatcher, and per-connection threads
+/// for tests); the accept loop, dispatchers, and per-connection threads
 /// are all spawned here.
 pub fn start(
     listener: TcpListener,
@@ -92,28 +189,36 @@ pub fn start(
     pool: WorkerPool,
     config: ServerConfig,
 ) -> std::io::Result<ServerHandle> {
-    let handler: Handler = Arc::new(move |queries| engines.run(&pool, queries));
+    let handler: Handler = Arc::new(move |queries, emit| {
+        engines.run_streaming(&pool, queries, emit);
+    });
     start_with_handler(listener, handler, config)
 }
 
 /// [`start`], but with an arbitrary batch handler (test seam: inject a
-/// stalled handler to hold the pool busy and exercise admission
-/// control).
+/// stalled handler to hold a lane busy and exercise admission control
+/// or out-of-order completion).
 pub fn start_with_handler(
     listener: TcpListener,
     handler: Handler,
     config: ServerConfig,
 ) -> std::io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
-    let queue = Arc::new(BoundedQueue::<Job>::new(config.queue_depth));
+    let queue = Arc::new(FairQueue::<Job>::new(
+        config.lane_depth,
+        config.lane_weights,
+    ));
     let stop = Arc::new(AtomicBool::new(false));
 
-    let dispatch_thread = {
-        let queue = Arc::clone(&queue);
-        std::thread::Builder::new()
-            .name("pigeonring-dispatch".into())
-            .spawn(move || dispatch_loop(&queue, &handler, config.micro_batch))?
-    };
+    let dispatch_threads = (0..config.dispatchers.max(1))
+        .map(|i| {
+            let queue = Arc::clone(&queue);
+            let handler = Arc::clone(&handler);
+            std::thread::Builder::new()
+                .name(format!("pigeonring-dispatch-{i}"))
+                .spawn(move || dispatch_loop(&queue, &handler, config.micro_batch))
+        })
+        .collect::<std::io::Result<Vec<_>>>()?;
 
     let accept_thread = {
         let queue = Arc::clone(&queue);
@@ -134,12 +239,13 @@ pub fn start_with_handler(
                         continue;
                     };
                     let queue = Arc::clone(&queue);
+                    let conn_in_flight = config.conn_in_flight;
                     // Connection threads are detached: they exit when
                     // the peer hangs up or a protocol error closes the
                     // stream.
                     let _ = std::thread::Builder::new()
                         .name("pigeonring-conn".into())
-                        .spawn(move || serve_connection(stream, &queue));
+                        .spawn(move || serve_connection(stream, &queue, conn_in_flight));
                 }
             })?
     };
@@ -149,7 +255,7 @@ pub fn start_with_handler(
         queue,
         stop,
         accept_thread: Some(accept_thread),
-        dispatch_thread: Some(dispatch_thread),
+        dispatch_threads,
     })
 }
 
@@ -159,29 +265,53 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Requests currently buffered in the admission queue (metrics /
-    /// tests).
+    /// Requests currently buffered across all lanes (metrics / tests).
     pub fn queue_len(&self) -> usize {
         self.queue.len()
     }
 
-    /// Stops accepting, drains the queue, and joins the accept and
-    /// dispatch threads.
+    /// Requests currently buffered in one domain's lane (metrics /
+    /// tests).
+    pub fn lane_len(&self, domain: Domain) -> usize {
+        self.queue.lane_len(domain)
+    }
+
+    /// Stops accepting, drains the lanes, and joins the accept and
+    /// dispatcher threads.
     pub fn shutdown(mut self) {
         self.stop_threads();
     }
 
     fn stop_threads(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
+        // Unblock the accept loop with a throwaway connection. When the
+        // listener is bound to a wildcard address (0.0.0.0 / ::),
+        // dialing that address is platform-dependent and can hang;
+        // always dial the loopback of the same family at the bound
+        // port instead.
+        let _ = TcpStream::connect(unblock_addr(self.addr));
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
         self.queue.close();
-        if let Some(t) = self.dispatch_thread.take() {
+        for t in self.dispatch_threads.drain(..) {
             let _ = t.join();
         }
+    }
+}
+
+/// The address [`ServerHandle::stop_threads`] dials to unblock the
+/// accept loop: the bound address itself, unless it is a wildcard —
+/// then the same-family loopback at the bound port.
+fn unblock_addr(bound: SocketAddr) -> SocketAddr {
+    if bound.ip().is_unspecified() {
+        let loopback: IpAddr = match bound.ip() {
+            IpAddr::V4(_) => Ipv4Addr::LOCALHOST.into(),
+            IpAddr::V6(_) => Ipv6Addr::LOCALHOST.into(),
+        };
+        SocketAddr::new(loopback, bound.port())
+    } else {
+        bound
     }
 }
 
@@ -191,24 +321,39 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Pops micro-batches off the queue and answers them until the queue is
-/// closed and drained.
-fn dispatch_loop(queue: &BoundedQueue<Job>, handler: &Handler, micro_batch: usize) {
+/// Pops weighted-fair micro-batches off the lanes and answers them
+/// until the queue is closed and drained. Several dispatchers run this
+/// loop concurrently; replies carry request ids, so completion order
+/// across batches is free to interleave.
+fn dispatch_loop(queue: &FairQueue<Job>, handler: &Handler, micro_batch: usize) {
     let mut jobs: Vec<Job> = Vec::new();
     while queue.pop_batch(micro_batch, &mut jobs) {
-        let (queries, replies): (Vec<DomainQuery>, Vec<mpsc::Sender<Response>>) =
-            jobs.drain(..).map(|j| (j.query, j.reply)).unzip();
+        let mut queries = Vec::with_capacity(jobs.len());
+        let mut ids = Vec::with_capacity(jobs.len());
+        let mut replies = Vec::with_capacity(jobs.len());
+        for job in jobs.drain(..) {
+            queries.push(job.query);
+            ids.push(job.request_id);
+            replies.push(job.reply);
+        }
         let n = queries.len();
-        // A panicking handler (engine bug) must not hang the n clients
-        // of this batch, nor kill the dispatcher for future batches.
-        let responses = catch_unwind(AssertUnwindSafe(|| handler(queries))).unwrap_or_default();
-        if responses.len() == n {
-            for (reply, resp) in replies.into_iter().zip(responses) {
-                let _ = reply.send(resp); // receiver gone ⇒ client left
-            }
-        } else {
-            for reply in replies {
-                let _ = reply.send(Response::Error {
+        let mut answered = vec![false; n];
+        // A panicking handler (engine bug) must not hang this batch's
+        // clients, nor kill the dispatcher for future batches; whatever
+        // the handler already emitted before the panic stands.
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            handler(queries, &mut |slot, resp| {
+                if slot < n && !answered[slot] {
+                    answered[slot] = true;
+                    // Receiver gone ⇒ client left; nothing to do.
+                    let _ = replies[slot].send(resp.with_request_id(ids[slot]));
+                }
+            });
+        }));
+        for slot in 0..n {
+            if !answered[slot] {
+                let _ = replies[slot].send(Response::Error {
+                    request_id: ids[slot],
                     code: ErrorCode::Internal,
                     message: "query execution failed".into(),
                 });
@@ -217,87 +362,167 @@ fn dispatch_loop(queue: &BoundedQueue<Job>, handler: &Handler, micro_batch: usiz
     }
 }
 
-/// One connection: read frames, decode, admit, reply — until EOF or a
-/// protocol error (which draws a typed error response, then closes).
+/// One connection, reader half: read frames, decode, admit — without
+/// waiting for replies — until EOF or a protocol error (which draws a
+/// typed connection-scoped error, then winds the connection down). The
+/// writer half runs on its own thread, draining the reply channel; it
+/// exits once the reader and every in-flight request have dropped
+/// their senders, so admitted queries still get their answers even
+/// when the reader stops early.
 ///
 /// The protocol requires `Hello` as the first frame; a query before
-/// negotiation draws a typed `Malformed` error and closes (enforced, so
-/// a future v2 can rely on every connection having negotiated).
-fn serve_connection(stream: TcpStream, queue: &BoundedQueue<Job>) {
+/// negotiation draws a typed `Malformed` error and closes (so the
+/// server can rely on every connection having negotiated v2).
+fn serve_connection(stream: TcpStream, queue: &FairQueue<Job>, conn_in_flight: usize) {
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     });
-    let mut writer = BufWriter::new(stream);
+    // A client that stops draining its socket must not pin the writer
+    // (and the replies the budget still counts) forever.
+    let _ = stream.set_write_timeout(Some(WRITER_STALL_TIMEOUT));
+    let budget = Arc::new(ReplyBudget::new(conn_in_flight));
+    let (reply_tx, reply_rx) = mpsc::channel::<Response>();
+    let writer_thread = {
+        let budget = Arc::clone(&budget);
+        std::thread::Builder::new()
+            .name("pigeonring-conn-writer".into())
+            .spawn(move || writer_loop(BufWriter::new(stream), &reply_rx, &budget))
+    };
+    let Ok(writer_thread) = writer_thread else {
+        return;
+    };
+
     let mut negotiated = false;
     loop {
         let payload = match read_frame(&mut reader) {
             Ok(Some(payload)) => payload,
-            Ok(None) => return, // clean EOF between frames
+            Ok(None) => break, // clean EOF between frames
             Err(e) => {
-                let _ = write_frame(&mut writer, &encode_response(&error_response(&e)));
-                return;
+                if budget.reserve() {
+                    let _ = reply_tx.send(error_response(&e));
+                }
+                break;
             }
         };
-        let response = match decode_request(&payload) {
+        // Every frame below produces exactly one response; reserve its
+        // reply slot up front. Blocking here *is* the backpressure: a
+        // connection with `conn_in_flight` responses admitted or
+        // unwritten stops being read until the writer drains.
+        if !budget.reserve() {
+            break; // writer gone: client wedged or disconnected
+        }
+        match decode_request(&payload) {
             Err(e) => {
-                let _ = write_frame(&mut writer, &encode_response(&error_response(&e)));
-                return; // fail closed on any undecodable frame
+                // Fail closed on any undecodable frame.
+                let _ = reply_tx.send(error_response(&e));
+                break;
             }
             Ok(Request::Hello { max_version }) => {
                 if max_version >= PROTOCOL_VERSION {
                     negotiated = true;
-                    Response::HelloOk {
+                    let _ = reply_tx.send(Response::HelloOk {
                         version: PROTOCOL_VERSION,
-                    }
+                    });
                 } else {
-                    let resp = Response::Error {
+                    let _ = reply_tx.send(Response::Error {
+                        request_id: CONNECTION_REQUEST_ID,
                         code: ErrorCode::UnsupportedVersion,
                         message: format!(
                             "client speaks up to v{max_version}, server requires v{PROTOCOL_VERSION}"
                         ),
-                    };
-                    let _ = write_frame(&mut writer, &encode_response(&resp));
-                    return;
+                    });
+                    break;
                 }
             }
-            Ok(Request::Query(query)) => {
+            Ok(Request::Query { request_id, query }) => {
                 if !negotiated {
-                    let resp = Response::Error {
+                    let _ = reply_tx.send(Response::Error {
+                        request_id: CONNECTION_REQUEST_ID,
                         code: ErrorCode::Malformed,
                         message: "expected Hello as the first frame".into(),
-                    };
-                    let _ = write_frame(&mut writer, &response_payload(&resp));
-                    return;
+                    });
+                    break;
                 }
-                let (reply, rx) = mpsc::channel();
-                match queue.try_push(Job { query, reply }) {
-                    // Admission control: full (or closing) queue answers
-                    // Busy immediately; nothing is buffered.
-                    Err(_) => Response::Busy,
-                    Ok(()) => rx.recv().unwrap_or(Response::Error {
-                        code: ErrorCode::Internal,
-                        message: "server shut down mid-request".into(),
-                    }),
+                if request_id == CONNECTION_REQUEST_ID {
+                    let _ = reply_tx.send(Response::Error {
+                        request_id: CONNECTION_REQUEST_ID,
+                        code: ErrorCode::Malformed,
+                        message: "request id 0 is reserved for connection-scoped errors".into(),
+                    });
+                    break;
+                }
+                let domain = query.domain();
+                let job = Job {
+                    request_id,
+                    query,
+                    reply: reply_tx.clone(),
+                };
+                match queue.try_push(domain, job) {
+                    // Pipelining: admitted — do NOT wait for the reply;
+                    // the dispatcher sends it to the writer directly.
+                    Ok(()) => {}
+                    // This lane is at capacity right now: retryable.
+                    Err(PushError::Full(_)) => {
+                        let _ = reply_tx.send(Response::Busy { request_id });
+                    }
+                    // Shutdown: terminal, not Busy — retrying a dying
+                    // server is a retry storm, not persistence.
+                    Err(PushError::Closed(_)) => {
+                        let _ = reply_tx.send(Response::Error {
+                            request_id,
+                            code: ErrorCode::Internal,
+                            message: "server shutting down".into(),
+                        });
+                        break;
+                    }
                 }
             }
-        };
-        if write_frame(&mut writer, &response_payload(&response)).is_err() {
-            return; // client hung up
         }
     }
+    // Dropping the reader's sender lets the writer exit once every
+    // in-flight request's sender (held by queued jobs / dispatchers)
+    // is gone too — admitted work still answers before the socket
+    // closes.
+    drop(reply_tx);
+    let _ = writer_thread.join();
 }
 
-/// Encodes a response, substituting a typed `Internal` error when the
-/// encoding exceeds the frame cap (a result set too large for one
-/// frame) — the client gets a diagnosable answer instead of a
-/// connection that dies on an unsendable frame.
+/// One connection, writer half: frames every response — there is no
+/// other path to the socket, so the frame-cap substitution in
+/// [`response_payload`] covers every outbound message — until all
+/// senders hang up (connection winding down) or a write fails (client
+/// gone, or stalled past [`WRITER_STALL_TIMEOUT`]). Releases one
+/// [`ReplyBudget`] slot per response taken off the channel, and marks
+/// the budget on exit so a backpressured reader unparks.
+fn writer_loop(
+    mut writer: BufWriter<TcpStream>,
+    replies: &mpsc::Receiver<Response>,
+    budget: &ReplyBudget,
+) {
+    while let Ok(response) = replies.recv() {
+        let ok = write_frame(&mut writer, &response_payload(&response)).is_ok();
+        budget.release();
+        if !ok {
+            break; // client hung up or wedged; senders' sends fail silently
+        }
+    }
+    budget.writer_gone();
+}
+
+/// Encodes a response, substituting a typed `Internal` error (tagged
+/// with the same request id) when the encoding exceeds the frame cap (a
+/// result set too large for one frame) — the client gets a diagnosable
+/// answer instead of a connection that dies on an unsendable frame.
+/// Every outbound frame goes through here; nothing calls
+/// [`encode_response`] + [`write_frame`] directly.
 fn response_payload(response: &Response) -> Vec<u8> {
     let payload = encode_response(response);
     if payload.len() <= MAX_FRAME_LEN as usize {
         return payload;
     }
     encode_response(&Response::Error {
+        request_id: response.request_id(),
         code: ErrorCode::Internal,
         message: format!(
             "response of {} bytes exceeds the {MAX_FRAME_LEN}-byte frame cap; \
@@ -307,14 +532,15 @@ fn response_payload(response: &Response) -> Vec<u8> {
     })
 }
 
-/// Maps a decode failure to the typed error the peer sees before the
-/// connection closes.
+/// Maps a decode failure to the typed connection-scoped error the peer
+/// sees before the connection closes.
 fn error_response(e: &WireError) -> Response {
     let code = match e {
         WireError::BadVersion(_) => ErrorCode::UnsupportedVersion,
         _ => ErrorCode::Malformed,
     };
     Response::Error {
+        request_id: CONNECTION_REQUEST_ID,
         code,
         message: e.to_string(),
     }

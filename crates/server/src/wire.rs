@@ -19,9 +19,20 @@
 //!
 //! Version negotiation: a client opens with [`Request::Hello`] carrying
 //! the highest version it speaks; the server answers
-//! [`Response::HelloOk`] with the version to use (today always `1`) or
-//! an `UnsupportedVersion` error. Every later frame carries the agreed
-//! version in its header.
+//! [`Response::HelloOk`] with the version to use (today always `2`) or
+//! an `UnsupportedVersion` error — a v1-only client is refused in
+//! negotiation, and a stray v1 frame is [`WireError::BadVersion`].
+//! Every later frame carries the agreed version in its header.
+//!
+//! **v2: tagged request ids.** Every [`Request::Query`] carries a
+//! client-chosen `request_id: u64`, echoed verbatim on the
+//! query-scoped responses ([`Response::Results`], [`Response::Busy`],
+//! [`Response::Error`]). This is what makes request *pipelining*
+//! possible: a client may keep many queries in flight on one connection
+//! and the server may answer them **out of order** — responses are
+//! matched by id, not by position. Id `0` ([`CONNECTION_REQUEST_ID`])
+//! is reserved for connection-scoped errors (an undecodable frame has
+//! no id to echo); clients allocate ids from `1`.
 //!
 //! Decoding is strict: truncated bodies are [`WireError::Truncated`],
 //! unconsumed trailing bytes are [`WireError::TrailingBytes`], unknown
@@ -37,8 +48,17 @@ use std::io::{Read, Write};
 use pigeonring_graph::Graph;
 use pigeonring_hamming::BitVector;
 
-/// The protocol version this build speaks (and the only one so far).
-pub const PROTOCOL_VERSION: u8 = 1;
+/// The protocol version this build speaks. v2 added tagged request ids
+/// (pipelining); v1 — one un-tagged request/response pair at a time —
+/// is no longer served, so a v1 client draws a typed
+/// `UnsupportedVersion` in negotiation.
+pub const PROTOCOL_VERSION: u8 = 2;
+
+/// The reserved request id for connection-scoped messages: errors the
+/// server must send without a query to echo an id from (an undecodable
+/// frame, a pre-negotiation violation). Clients allocate query ids
+/// starting at `1`, so id `0` is unambiguous.
+pub const CONNECTION_REQUEST_ID: u64 = 0;
 
 /// Upper bound on a frame's payload length (4 MiB) — generous for any
 /// realistic query, small enough that a corrupt length prefix cannot
@@ -188,8 +208,16 @@ pub enum Request {
         /// Highest version the client supports.
         max_version: u8,
     },
-    /// One similarity query.
-    Query(DomainQuery),
+    /// One similarity query, tagged with a client-chosen id that the
+    /// server echoes on the matching response. Ids let many queries be
+    /// in flight per connection (answers may return out of order);
+    /// `request_id` must not be [`CONNECTION_REQUEST_ID`].
+    Query {
+        /// The client-chosen id echoed on this query's response.
+        request_id: u64,
+        /// The query itself.
+        query: DomainQuery,
+    },
 }
 
 /// Typed error category carried by [`Response::Error`].
@@ -231,7 +259,9 @@ impl ErrorCode {
     }
 }
 
-/// A server → client message.
+/// A server → client message. Query-scoped responses (`Results`,
+/// `Busy`, `Error`) echo the request id of the query they answer;
+/// connection-scoped errors carry [`CONNECTION_REQUEST_ID`].
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
     /// Version accepted; all further frames use `version`.
@@ -241,21 +271,64 @@ pub enum Response {
     },
     /// The query's merged result: global record ids, ascending.
     Results {
+        /// Id of the query this answers.
+        request_id: u64,
         /// Global record ids within the threshold, ascending.
         ids: Vec<u32>,
     },
-    /// Admission control rejected the request: the bounded queue is
-    /// full. The client may retry; the connection stays open.
-    Busy,
+    /// Admission control rejected the request: the queried domain's
+    /// lane is full. The client may retry; the connection stays open
+    /// and other domains' lanes are unaffected.
+    Busy {
+        /// Id of the rejected query.
+        request_id: u64,
+    },
     /// Typed failure; the server closes the connection after sending
     /// this for protocol-level errors (`UnsupportedVersion`,
-    /// `Malformed`) and keeps it open for per-query errors.
+    /// `Malformed` — then `request_id` is [`CONNECTION_REQUEST_ID`])
+    /// and keeps it open for per-query errors.
     Error {
+        /// Id of the failed query, or [`CONNECTION_REQUEST_ID`] for a
+        /// connection-scoped failure.
+        request_id: u64,
         /// What category of failure.
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
     },
+}
+
+impl Response {
+    /// The request id this response answers ([`CONNECTION_REQUEST_ID`]
+    /// for `HelloOk` and connection-scoped errors).
+    pub fn request_id(&self) -> u64 {
+        match self {
+            Response::HelloOk { .. } => CONNECTION_REQUEST_ID,
+            Response::Results { request_id, .. }
+            | Response::Busy { request_id }
+            | Response::Error { request_id, .. } => *request_id,
+        }
+    }
+
+    /// The same response re-tagged with `request_id` (`HelloOk`, which
+    /// carries no id, is returned unchanged). The dispatcher uses this
+    /// to stamp handler-produced responses with the id of the request
+    /// they answer.
+    pub fn with_request_id(self, id: u64) -> Response {
+        match self {
+            Response::HelloOk { .. } => self,
+            Response::Results { ids, .. } => Response::Results {
+                request_id: id,
+                ids,
+            },
+            Response::Busy { .. } => Response::Busy { request_id: id },
+            Response::Error { code, message, .. } => Response::Error {
+                request_id: id,
+                code,
+                message,
+            },
+        }
+    }
 }
 
 // Message tags. Requests are < 0x80, responses ≥ 0x80.
@@ -438,48 +511,54 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             w.u8(*max_version);
             w.buf
         }
-        Request::Query(DomainQuery::Hamming { query, tau, l }) => {
-            let mut w = BodyWriter::new(TAG_Q_HAMMING);
-            w.u32(*tau);
-            w.u32(*l);
-            w.u32(query.dims() as u32);
-            w.u32(query.words().len() as u32);
-            for word in query.words() {
-                w.u64(*word);
+        Request::Query { request_id, query } => match query {
+            DomainQuery::Hamming { query, tau, l } => {
+                let mut w = BodyWriter::new(TAG_Q_HAMMING);
+                w.u64(*request_id);
+                w.u32(*tau);
+                w.u32(*l);
+                w.u32(query.dims() as u32);
+                w.u32(query.words().len() as u32);
+                for word in query.words() {
+                    w.u64(*word);
+                }
+                w.buf
             }
-            w.buf
-        }
-        Request::Query(DomainQuery::Edit { query, l }) => {
-            let mut w = BodyWriter::new(TAG_Q_EDIT);
-            w.u32(*l);
-            w.u32(query.len() as u32);
-            w.bytes(query);
-            w.buf
-        }
-        Request::Query(DomainQuery::Set { tokens, l }) => {
-            let mut w = BodyWriter::new(TAG_Q_SET);
-            w.u32(*l);
-            w.u32(tokens.len() as u32);
-            for t in tokens {
-                w.u32(*t);
+            DomainQuery::Edit { query, l } => {
+                let mut w = BodyWriter::new(TAG_Q_EDIT);
+                w.u64(*request_id);
+                w.u32(*l);
+                w.u32(query.len() as u32);
+                w.bytes(query);
+                w.buf
             }
-            w.buf
-        }
-        Request::Query(DomainQuery::Graph { query, l }) => {
-            let mut w = BodyWriter::new(TAG_Q_GRAPH);
-            w.u32(*l);
-            w.u32(query.num_vertices() as u32);
-            for &vl in query.vlabels() {
-                w.u32(vl);
+            DomainQuery::Set { tokens, l } => {
+                let mut w = BodyWriter::new(TAG_Q_SET);
+                w.u64(*request_id);
+                w.u32(*l);
+                w.u32(tokens.len() as u32);
+                for t in tokens {
+                    w.u32(*t);
+                }
+                w.buf
             }
-            w.u32(query.num_edges() as u32);
-            for (u, v, el) in query.edges() {
-                w.u32(u);
-                w.u32(v);
-                w.u32(el);
+            DomainQuery::Graph { query, l } => {
+                let mut w = BodyWriter::new(TAG_Q_GRAPH);
+                w.u64(*request_id);
+                w.u32(*l);
+                w.u32(query.num_vertices() as u32);
+                for &vl in query.vlabels() {
+                    w.u32(vl);
+                }
+                w.u32(query.num_edges() as u32);
+                for (u, v, el) in query.edges() {
+                    w.u32(u);
+                    w.u32(v);
+                    w.u32(el);
+                }
+                w.buf
             }
-            w.buf
-        }
+        },
     }
 }
 
@@ -492,6 +571,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
             max_version: r.u8()?,
         },
         TAG_Q_HAMMING => {
+            let request_id = r.u64()?;
             let tau = r.u32()?;
             let l = r.u32()?;
             let dims = r.u32()? as usize;
@@ -502,24 +582,36 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
             }
             let query = BitVector::from_words(dims, words)
                 .ok_or(WireError::Malformed("invalid packed vector"))?;
-            Request::Query(DomainQuery::Hamming { query, tau, l })
+            Request::Query {
+                request_id,
+                query: DomainQuery::Hamming { query, tau, l },
+            }
         }
         TAG_Q_EDIT => {
+            let request_id = r.u64()?;
             let l = r.u32()?;
             let len = r.checked_count(1)?;
             let query = r.take(len)?.to_vec();
-            Request::Query(DomainQuery::Edit { query, l })
+            Request::Query {
+                request_id,
+                query: DomainQuery::Edit { query, l },
+            }
         }
         TAG_Q_SET => {
+            let request_id = r.u64()?;
             let l = r.u32()?;
             let count = r.checked_count(4)?;
             let mut tokens = Vec::with_capacity(count);
             for _ in 0..count {
                 tokens.push(r.u32()?);
             }
-            Request::Query(DomainQuery::Set { tokens, l })
+            Request::Query {
+                request_id,
+                query: DomainQuery::Set { tokens, l },
+            }
         }
         TAG_Q_GRAPH => {
+            let request_id = r.u64()?;
             let l = r.u32()?;
             let nv = r.checked_count(4)?;
             if nv == 0 {
@@ -544,7 +636,10 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
                 }
                 query.add_edge(u, v, el);
             }
-            Request::Query(DomainQuery::Graph { query, l })
+            Request::Query {
+                request_id,
+                query: DomainQuery::Graph { query, l },
+            }
         }
         other => return Err(WireError::BadTag(other)),
     };
@@ -562,17 +657,27 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             w.u8(*version);
             w.buf
         }
-        Response::Results { ids } => {
+        Response::Results { request_id, ids } => {
             let mut w = BodyWriter::new(TAG_RESULTS);
+            w.u64(*request_id);
             w.u32(ids.len() as u32);
             for id in ids {
                 w.u32(*id);
             }
             w.buf
         }
-        Response::Busy => BodyWriter::new(TAG_BUSY).buf,
-        Response::Error { code, message } => {
+        Response::Busy { request_id } => {
+            let mut w = BodyWriter::new(TAG_BUSY);
+            w.u64(*request_id);
+            w.buf
+        }
+        Response::Error {
+            request_id,
+            code,
+            message,
+        } => {
             let mut w = BodyWriter::new(TAG_ERROR);
+            w.u64(*request_id);
             w.u8(code.to_u8());
             w.u32(message.len() as u32);
             w.bytes(message.as_bytes());
@@ -588,21 +693,29 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
     let resp = match tag {
         TAG_HELLO_OK => Response::HelloOk { version: r.u8()? },
         TAG_RESULTS => {
+            let request_id = r.u64()?;
             let count = r.checked_count(4)?;
             let mut ids = Vec::with_capacity(count);
             for _ in 0..count {
                 ids.push(r.u32()?);
             }
-            Response::Results { ids }
+            Response::Results { request_id, ids }
         }
-        TAG_BUSY => Response::Busy,
+        TAG_BUSY => Response::Busy {
+            request_id: r.u64()?,
+        },
         TAG_ERROR => {
+            let request_id = r.u64()?;
             let code =
                 ErrorCode::from_u8(r.u8()?).ok_or(WireError::Malformed("unknown error code"))?;
             let len = r.checked_count(1)?;
             let message = String::from_utf8(r.take(len)?.to_vec())
                 .map_err(|_| WireError::Malformed("error message is not UTF-8"))?;
-            Response::Error { code, message }
+            Response::Error {
+                request_id,
+                code,
+                message,
+            }
         }
         other => return Err(WireError::BadTag(other)),
     };
@@ -697,6 +810,7 @@ mod tests {
     fn hostile_count_cannot_drive_allocation() {
         // A Set query declaring u32::MAX tokens with a 4-byte body.
         let mut w = BodyWriter::new(TAG_Q_SET);
+        w.u64(1); // request id
         w.u32(1); // l
         w.u32(u32::MAX); // token count
         w.u32(7); // only one token actually present
@@ -707,6 +821,7 @@ mod tests {
     fn graph_validation() {
         let mk = |edges: &[(u32, u32, u32)]| {
             let mut w = BodyWriter::new(TAG_Q_GRAPH);
+            w.u64(1); // request id
             w.u32(1); // l
             w.u32(3); // nv
             for vl in [1u32, 2, 3] {
@@ -732,6 +847,44 @@ mod tests {
         assert!(matches!(
             decode_request(&mk(&[(0, 1, 9), (1, 0, 9)])),
             Err(WireError::Malformed("duplicate graph edge"))
+        ));
+    }
+
+    #[test]
+    fn request_id_helpers_cover_every_variant() {
+        assert_eq!(
+            Response::HelloOk { version: 2 }.request_id(),
+            CONNECTION_REQUEST_ID
+        );
+        let variants = [
+            Response::Results {
+                request_id: 9,
+                ids: vec![1, 2],
+            },
+            Response::Busy { request_id: 9 },
+            Response::Error {
+                request_id: 9,
+                code: ErrorCode::Internal,
+                message: "x".into(),
+            },
+        ];
+        for resp in variants {
+            assert_eq!(resp.request_id(), 9);
+            let retagged = resp.with_request_id(42);
+            assert_eq!(retagged.request_id(), 42);
+        }
+        // HelloOk carries no id; retagging is a no-op.
+        let hello = Response::HelloOk { version: 2 }.with_request_id(42);
+        assert_eq!(hello, Response::HelloOk { version: 2 });
+    }
+
+    #[test]
+    fn v1_frame_fails_closed_with_bad_version() {
+        let mut payload = encode_request(&Request::Hello { max_version: 2 });
+        payload[0] = 1; // a v1-era frame header
+        assert!(matches!(
+            decode_request(&payload),
+            Err(WireError::BadVersion(1))
         ));
     }
 

@@ -1,7 +1,7 @@
-//! Admission control end to end: with queue depth `Q` and a stalled
-//! worker pool, request `Q+1` receives a typed `Busy` — immediately,
-//! without queueing — and every previously queued request still
-//! completes once the pool unstalls.
+//! Admission control end to end: with lane depth `Q` and a stalled
+//! worker pool, request `Q+1` of that domain receives a typed `Busy` —
+//! immediately, without queueing — and every previously queued request
+//! still completes once the pool unstalls.
 
 use std::net::TcpListener;
 use std::sync::mpsc;
@@ -9,15 +9,43 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use pigeonring_server::server::{start_with_handler, Handler, ServerConfig};
-use pigeonring_server::wire::{DomainQuery, Response};
-use pigeonring_server::{Client, Outcome};
+use pigeonring_server::wire::{DomainQuery, ErrorCode, Response, CONNECTION_REQUEST_ID};
+use pigeonring_server::{Client, ClientError, Outcome};
 
 const Q: usize = 3;
+
+/// A single-dispatcher config so the tests can reason about exactly one
+/// in-flight batch (the pipelining tests cover multi-dispatcher
+/// behavior).
+fn config(lane_depth: usize) -> ServerConfig {
+    ServerConfig {
+        lane_depth,
+        micro_batch: 1,
+        dispatchers: 1,
+        ..ServerConfig::default()
+    }
+}
 
 fn query(tag: u32) -> DomainQuery {
     DomainQuery::Set {
         tokens: vec![tag],
         l: 1,
+    }
+}
+
+/// Echo the query's tag back as its result ids.
+fn echo(queries: &[DomainQuery], emit: &mut dyn FnMut(usize, Response)) {
+    for (i, q) in queries.iter().enumerate() {
+        let DomainQuery::Set { tokens, .. } = q else {
+            panic!("test sends Set queries only");
+        };
+        emit(
+            i,
+            Response::Results {
+                request_id: CONNECTION_REQUEST_ID,
+                ids: tokens.clone(),
+            },
+        );
     }
 }
 
@@ -42,40 +70,25 @@ fn queue_overflow_answers_busy_and_queued_requests_complete() {
     let served: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
     let handler: Handler = {
         let served = Arc::clone(&served);
-        Arc::new(move |queries| {
+        Arc::new(move |queries, emit| {
             started_tx.send(()).expect("test alive");
             gate_rx
                 .lock()
                 .expect("gate lock")
                 .recv()
                 .expect("gate open");
-            queries
-                .iter()
-                .map(|q| {
-                    let DomainQuery::Set { tokens, .. } = q else {
-                        panic!("test sends Set queries only");
-                    };
-                    served.lock().expect("served lock").push(tokens[0]);
-                    // Echo the tag back so each client can check its own
-                    // request was the one answered.
-                    Response::Results {
-                        ids: tokens.clone(),
-                    }
-                })
-                .collect()
+            for q in &queries {
+                let DomainQuery::Set { tokens, .. } = q else {
+                    panic!("test sends Set queries only");
+                };
+                served.lock().expect("served lock").push(tokens[0]);
+            }
+            echo(&queries, emit);
         })
     };
 
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
-    let handle = start_with_handler(
-        listener,
-        handler,
-        ServerConfig {
-            queue_depth: Q,
-            micro_batch: 1,
-        },
-    )
-    .expect("server starts");
+    let handle = start_with_handler(listener, handler, config(Q)).expect("server starts");
     let addr = handle.addr();
 
     // Request 0 is popped by the dispatcher, which then stalls on the
@@ -86,7 +99,7 @@ fn queue_overflow_answers_busy_and_queued_requests_complete() {
     });
     started_rx.recv().expect("dispatcher picked up request 0");
 
-    // Q more requests fill the queue to capacity while the pool stalls.
+    // Q more requests fill the lane to capacity while the pool stalls.
     let queued: Vec<_> = (1..=Q as u32)
         .map(|tag| {
             std::thread::spawn(move || {
@@ -129,33 +142,61 @@ fn queue_overflow_answers_busy_and_queued_requests_complete() {
 }
 
 #[test]
+fn shutdown_answers_terminal_internal_error_not_busy() {
+    // A client that is mid-connection when the server shuts down must
+    // see a *terminal* typed error, not a retryable Busy — otherwise
+    // well-behaved retry loops hammer a dying server.
+    let handler: Handler = Arc::new(|queries: Vec<DomainQuery>, emit| echo(&queries, emit));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let handle = start_with_handler(listener, handler, config(Q)).expect("server starts");
+    let addr = handle.addr();
+
+    let mut client = Client::connect(addr).expect("connect");
+    assert_eq!(
+        client.search(query(5)).expect("live server answers"),
+        Outcome::Results(vec![5])
+    );
+
+    // Shutdown closes the lanes; the connection thread stays up long
+    // enough to answer in-flight frames.
+    handle.shutdown();
+    match client.search(query(6)) {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, ErrorCode::Internal);
+            assert!(
+                message.contains("shutting down"),
+                "terminal shutdown error, got: {message}"
+            );
+        }
+        other => panic!("expected a terminal Internal error, got {other:?}"),
+    }
+}
+
+#[test]
 fn busy_connection_stays_usable() {
     // After a Busy, the same connection can retry and succeed.
     let (gate_tx, gate_rx) = mpsc::channel::<()>();
     let gate_rx = Mutex::new(gate_rx);
     let (started_tx, started_rx) = mpsc::channel::<()>();
-    let handler: Handler = Arc::new(move |queries| {
+    let handler: Handler = Arc::new(move |queries: Vec<DomainQuery>, emit| {
         started_tx.send(()).expect("test alive");
         gate_rx
             .lock()
             .expect("gate lock")
             .recv()
             .expect("gate open");
-        queries
-            .iter()
-            .map(|_| Response::Results { ids: vec![7] })
-            .collect()
+        for i in 0..queries.len() {
+            emit(
+                i,
+                Response::Results {
+                    request_id: CONNECTION_REQUEST_ID,
+                    ids: vec![7],
+                },
+            );
+        }
     });
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
-    let handle = start_with_handler(
-        listener,
-        handler,
-        ServerConfig {
-            queue_depth: 1,
-            micro_batch: 1,
-        },
-    )
-    .expect("server starts");
+    let handle = start_with_handler(listener, handler, config(1)).expect("server starts");
     let addr = handle.addr();
 
     let head = std::thread::spawn(move || {

@@ -137,7 +137,7 @@ fn loopback_round_trip_matches_in_process_for_all_domains() {
         for q in &queries {
             match client.search(q.clone()).expect("query over loopback") {
                 Outcome::Results(ids) => server_hasher.push(&ids),
-                Outcome::Busy => panic!("unloaded server must not be busy"),
+                other => panic!("unloaded server must answer results, got {other:?}"),
             }
         }
         let expect = in_process_hash(&engines, domain, &queries);
@@ -156,7 +156,7 @@ fn garbage_bytes_fail_closed_with_typed_error() {
     // Handler irrelevant: garbage never reaches it.
     let handle = pigeonring_server::start_with_handler(
         listener,
-        Arc::new(|_| Vec::new()),
+        Arc::new(|_, _| {}),
         ServerConfig::default(),
     )
     .expect("server starts");
@@ -185,10 +185,13 @@ fn garbage_bytes_fail_closed_with_typed_error() {
 
     // A frame with a bogus version draws UnsupportedVersion.
     let mut stream = TcpStream::connect(handle.addr()).expect("connect");
-    let mut payload = encode_request(&Request::Query(DomainQuery::Set {
-        tokens: vec![1],
-        l: 1,
-    }));
+    let mut payload = encode_request(&Request::Query {
+        request_id: 1,
+        query: DomainQuery::Set {
+            tokens: vec![1],
+            l: 1,
+        },
+    });
     payload[0] = 42;
     write_frame(&mut stream, &payload).expect("send bad version");
     let reply = read_frame(&mut stream)
@@ -210,7 +213,7 @@ fn query_before_hello_is_refused() {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let handle = pigeonring_server::start_with_handler(
         listener,
-        Arc::new(|_| Vec::new()),
+        Arc::new(|_, _| {}),
         ServerConfig::default(),
     )
     .expect("server starts");
@@ -218,10 +221,13 @@ fn query_before_hello_is_refused() {
     let mut stream = TcpStream::connect(handle.addr()).expect("connect");
     write_frame(
         &mut stream,
-        &encode_request(&Request::Query(DomainQuery::Set {
-            tokens: vec![1],
-            l: 1,
-        })),
+        &encode_request(&Request::Query {
+            request_id: 1,
+            query: DomainQuery::Set {
+                tokens: vec![1],
+                l: 1,
+            },
+        }),
     )
     .expect("send premature query");
     let reply = read_frame(&mut stream)
@@ -247,33 +253,40 @@ fn old_client_version_is_refused_in_negotiation() {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let handle = pigeonring_server::start_with_handler(
         listener,
-        Arc::new(|_| Vec::new()),
+        Arc::new(|_, _| {}),
         ServerConfig::default(),
     )
     .expect("server starts");
 
-    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
-    write_frame(
-        &mut stream,
-        &encode_request(&Request::Hello { max_version: 0 }),
-    )
-    .expect("send hello");
-    let reply = read_frame(&mut stream)
-        .expect("typed error frame")
-        .expect("server responds");
-    let resp = pigeonring_server::wire::decode_response(&reply).expect("decodes");
-    assert!(matches!(
-        resp,
-        pigeonring_server::Response::Error {
-            code: ErrorCode::UnsupportedVersion,
-            ..
-        }
-    ));
+    // A v1-only client (and anything older) is refused in negotiation
+    // with the typed UnsupportedVersion — it never reaches a query.
+    for max_version in [0u8, 1] {
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        write_frame(
+            &mut stream,
+            &encode_request(&Request::Hello { max_version }),
+        )
+        .expect("send hello");
+        let reply = read_frame(&mut stream)
+            .expect("typed error frame")
+            .expect("server responds");
+        let resp = pigeonring_server::wire::decode_response(&reply).expect("decodes");
+        assert!(
+            matches!(
+                resp,
+                pigeonring_server::Response::Error {
+                    code: ErrorCode::UnsupportedVersion,
+                    ..
+                }
+            ),
+            "max_version {max_version} must be refused, got {resp:?}"
+        );
+    }
 
     // The high-level client surfaces this as a typed server error.
     match Client::connect(handle.addr()) {
-        Ok(_) => {} // current client always speaks v1, so this path is fine
-        Err(ClientError::Server { .. }) => panic!("v1 client must connect"),
+        Ok(_) => {} // current client speaks v2, so this path is fine
+        Err(ClientError::Server { .. }) => panic!("v2 client must connect"),
         Err(e) => panic!("unexpected error: {e}"),
     }
     handle.shutdown();

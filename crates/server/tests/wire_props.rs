@@ -1,6 +1,7 @@
 //! Wire-protocol coverage: round-trip property tests for every
-//! request/response variant, plus malformed-frame tests asserting the
-//! codec fails closed with a typed [`WireError`] — never a panic.
+//! request/response variant — including the v2 request ids — plus
+//! malformed-frame tests asserting the codec fails closed with a typed
+//! [`WireError`], never a panic.
 
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -50,41 +51,61 @@ proptest! {
 
     #[test]
     fn hamming_query_round_trips(
+        request_id in prop::num::u64::ANY,
         bits in prop::collection::vec(prop::bool::ANY, 1..200),
         tau in 0u32..512,
         l in 0u32..16,
     ) {
-        assert_request_round_trips(&Request::Query(DomainQuery::Hamming {
-            query: BitVector::from_bits(bits),
-            tau,
-            l,
-        }));
+        assert_request_round_trips(&Request::Query {
+            request_id,
+            query: DomainQuery::Hamming {
+                query: BitVector::from_bits(bits),
+                tau,
+                l,
+            },
+        });
     }
 
     #[test]
     fn edit_query_round_trips(
+        request_id in prop::num::u64::ANY,
         bytes in prop::collection::vec(0u64..256, 0..64),
         l in 0u32..8,
     ) {
         let query: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
-        assert_request_round_trips(&Request::Query(DomainQuery::Edit { query, l }));
+        assert_request_round_trips(&Request::Query {
+            request_id,
+            query: DomainQuery::Edit { query, l },
+        });
     }
 
     #[test]
     fn set_query_round_trips(
+        request_id in prop::num::u64::ANY,
         tokens in prop::collection::vec(prop::num::u64::ANY, 0..64),
         l in 0u32..8,
     ) {
         let tokens: Vec<u32> = tokens.into_iter().map(|t| t as u32).collect();
-        assert_request_round_trips(&Request::Query(DomainQuery::Set { tokens, l }));
+        assert_request_round_trips(&Request::Query {
+            request_id,
+            query: DomainQuery::Set { tokens, l },
+        });
     }
 
     #[test]
-    fn graph_query_round_trips(seed in prop::num::u64::ANY, n in 1u64..10, l in 0u32..8) {
-        assert_request_round_trips(&Request::Query(DomainQuery::Graph {
-            query: random_graph(seed, n as usize),
-            l,
-        }));
+    fn graph_query_round_trips(
+        request_id in prop::num::u64::ANY,
+        seed in prop::num::u64::ANY,
+        n in 1u64..10,
+        l in 0u32..8,
+    ) {
+        assert_request_round_trips(&Request::Query {
+            request_id,
+            query: DomainQuery::Graph {
+                query: random_graph(seed, n as usize),
+                l,
+            },
+        });
     }
 
     #[test]
@@ -93,13 +114,20 @@ proptest! {
     }
 
     #[test]
-    fn results_round_trip(ids in prop::collection::vec(prop::num::u64::ANY, 0..256)) {
+    fn results_round_trip(
+        request_id in prop::num::u64::ANY,
+        ids in prop::collection::vec(prop::num::u64::ANY, 0..256),
+    ) {
         let ids: Vec<u32> = ids.into_iter().map(|i| i as u32).collect();
-        assert_response_round_trips(&Response::Results { ids });
+        assert_response_round_trips(&Response::Results { request_id, ids });
     }
 
     #[test]
-    fn error_round_trips(code in 0u64..5, msg in prop::collection::vec(0u64..0xd800, 0..32)) {
+    fn error_round_trips(
+        request_id in prop::num::u64::ANY,
+        code in 0u64..5,
+        msg in prop::collection::vec(0u64..0xd800, 0..32),
+    ) {
         let code = [
             ErrorCode::UnsupportedVersion,
             ErrorCode::Malformed,
@@ -111,12 +139,33 @@ proptest! {
             .into_iter()
             .filter_map(|c| char::from_u32(c as u32))
             .collect();
-        assert_response_round_trips(&Response::Error { code, message });
+        assert_response_round_trips(&Response::Error { request_id, code, message });
     }
 
     #[test]
-    fn busy_round_trips(_x in 0u64..2) {
-        assert_response_round_trips(&Response::Busy);
+    fn busy_round_trips(request_id in prop::num::u64::ANY) {
+        assert_response_round_trips(&Response::Busy { request_id });
+    }
+
+    /// The request id survives the round trip bit-exactly — pipelining
+    /// correctness rests on this.
+    #[test]
+    fn request_id_is_preserved_exactly(request_id in prop::num::u64::ANY) {
+        let req = Request::Query {
+            request_id,
+            query: DomainQuery::Set { tokens: vec![1, 2], l: 1 },
+        };
+        let Request::Query { request_id: back, .. } =
+            decode_request(&encode_request(&req)).expect("decodes")
+        else {
+            panic!("wrong variant");
+        };
+        prop_assert_eq!(back, request_id);
+        let resp = Response::Results { request_id, ids: vec![3] };
+        prop_assert_eq!(
+            decode_response(&encode_response(&resp)).expect("decodes").request_id(),
+            request_id
+        );
     }
 
     /// Any truncation of a valid frame decodes to a typed error — never
@@ -126,11 +175,14 @@ proptest! {
         bits in prop::collection::vec(prop::bool::ANY, 1..100),
         cut in prop::num::u64::ANY,
     ) {
-        let payload = encode_request(&Request::Query(DomainQuery::Hamming {
-            query: BitVector::from_bits(bits),
-            tau: 5,
-            l: 3,
-        }));
+        let payload = encode_request(&Request::Query {
+            request_id: 7,
+            query: DomainQuery::Hamming {
+                query: BitVector::from_bits(bits),
+                tau: 5,
+                l: 3,
+            },
+        });
         let cut = 1 + (cut as usize) % (payload.len() - 1);
         let result = decode_request(&payload[..cut]);
         prop_assert!(
@@ -144,7 +196,7 @@ proptest! {
     /// Flipping the tag to an unassigned value is a typed BadTag.
     #[test]
     fn unknown_tags_fail_closed(tag in 0x06u64..0x81) {
-        let mut payload = encode_request(&Request::Hello { max_version: 1 });
+        let mut payload = encode_request(&Request::Hello { max_version: 2 });
         payload[1] = tag as u8;
         prop_assert!(matches!(
             decode_request(&payload),
@@ -177,11 +229,16 @@ fn oversized_frame_is_typed() {
 
 #[test]
 fn wrong_version_is_typed() {
-    for version in [0u8, 2, 7, 255] {
-        let mut payload = encode_request(&Request::Query(DomainQuery::Edit {
-            query: b"abc".to_vec(),
-            l: 1,
-        }));
+    // 1 is the retired v1: its frames draw the same typed BadVersion as
+    // any other unknown version — there is no silent downgrade.
+    for version in [0u8, 1, 7, 255] {
+        let mut payload = encode_request(&Request::Query {
+            request_id: 1,
+            query: DomainQuery::Edit {
+                query: b"abc".to_vec(),
+                l: 1,
+            },
+        });
         payload[0] = version;
         if version == PROTOCOL_VERSION {
             continue;
@@ -195,12 +252,12 @@ fn wrong_version_is_typed() {
 
 #[test]
 fn response_decoder_rejects_request_tags_and_vice_versa() {
-    let req = encode_request(&Request::Hello { max_version: 1 });
+    let req = encode_request(&Request::Hello { max_version: 2 });
     assert!(matches!(
         decode_response(&req),
         Err(WireError::BadTag(0x01))
     ));
-    let resp = encode_response(&Response::Busy);
+    let resp = encode_response(&Response::Busy { request_id: 1 });
     assert!(matches!(
         decode_request(&resp),
         Err(WireError::BadTag(0x83))

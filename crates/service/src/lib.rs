@@ -46,6 +46,6 @@ pub mod sharded;
 pub mod sweep;
 
 pub use engine::{MergeStats, SearchEngine};
-pub use pool::{ScratchStore, WorkerPool};
+pub use pool::{JobRejected, ScratchStore, WorkerPool};
 pub use sharded::{shard_of, SearchResult, ShardedIndex};
 pub use sweep::{percentile, ResultHasher, Sweep, SweepRow};

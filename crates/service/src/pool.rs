@@ -6,8 +6,9 @@
 //! frontend produces (the ROADMAP "persistent worker pool" item). A
 //! [`WorkerPool`] spawns its threads once; jobs are boxed closures fed
 //! through a bounded-by-nothing internal queue (admission control is the
-//! *caller's* concern — see `pigeonring-server` — the pool itself never
-//! rejects work).
+//! *caller's* concern — see `pigeonring-server`; a live pool never
+//! rejects work, only a [shut-down](WorkerPool::shutdown) one does, and
+//! then visibly via [`JobRejected`]).
 //!
 //! Each worker owns a [`ScratchStore`]: a type-erased map from scratch
 //! type to one long-lived instance. A job asks for its engine's scratch
@@ -22,8 +23,25 @@
 
 use std::any::{Any, TypeId};
 use std::collections::{HashMap, VecDeque};
+use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
+
+/// Returned by [`WorkerPool::submit`] when the pool has been shut down:
+/// the job was **not** enqueued and will never run. Callers either
+/// propagate this as a typed failure (the server answers the client with
+/// an `Internal` error) or treat it as a bug and panic — silently
+/// dropping work is not an option.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JobRejected;
+
+impl fmt::Display for JobRejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("worker pool is shut down; job rejected")
+    }
+}
+
+impl std::error::Error for JobRejected {}
 
 /// Per-worker, long-lived scratch storage: one instance per scratch
 /// *type*, allocated on first use and reused for every later job.
@@ -100,24 +118,40 @@ impl WorkerPool {
     }
 
     /// Queues one job. Jobs run in submission order (pulled FIFO by
-    /// whichever worker frees up first); the pool never rejects or
-    /// reorders work.
-    pub fn submit(&self, job: impl FnOnce(&mut ScratchStore) + Send + 'static) {
+    /// whichever worker frees up first); a live pool never drops or
+    /// reorders work. After [`WorkerPool::shutdown`] (or mid-`Drop`) the
+    /// job is rejected with [`JobRejected`] instead of being silently
+    /// enqueued on a pool whose workers may already be gone.
+    pub fn submit(
+        &self,
+        job: impl FnOnce(&mut ScratchStore) + Send + 'static,
+    ) -> Result<(), JobRejected> {
         let mut state = self.shared.state.lock().expect("pool mutex poisoned");
-        debug_assert!(!state.shutdown, "submit after shutdown");
+        if state.shutdown {
+            return Err(JobRejected);
+        }
         state.jobs.push_back(Box::new(job));
         drop(state);
         self.shared.available.notify_one();
+        Ok(())
+    }
+
+    /// Begins a graceful shutdown: already-queued jobs still run, but
+    /// every later [`WorkerPool::submit`] returns [`JobRejected`].
+    /// Workers exit once the queue drains; [`Drop`] joins them.
+    pub fn shutdown(&self) {
+        self.shared
+            .state
+            .lock()
+            .expect("pool mutex poisoned")
+            .shutdown = true;
+        self.shared.available.notify_all();
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        {
-            let mut state = self.shared.state.lock().expect("pool mutex poisoned");
-            state.shutdown = true;
-        }
-        self.shared.available.notify_all();
+        self.shutdown();
         for handle in self.workers.drain(..) {
             // A worker that panicked outside a job (impossible today —
             // job panics are caught) would surface here; propagate.
@@ -177,7 +211,8 @@ mod tests {
             pool.submit(move |_| {
                 counter.fetch_add(1, Ordering::SeqCst);
                 tx.send(()).expect("receiver alive");
-            });
+            })
+            .expect("pool accepts jobs");
         }
         for _ in 0..50 {
             rx.recv().expect("job completed");
@@ -197,7 +232,8 @@ mod tests {
                 let n: &mut usize = scratch.get_mut();
                 *n += 1;
                 tx.send(*n).expect("receiver alive");
-            });
+            })
+            .expect("pool accepts jobs");
         }
         let seen: Vec<usize> = (0..10).map(|_| rx.recv().expect("job ran")).collect();
         assert_eq!(seen, (1..=10).collect::<Vec<_>>());
@@ -208,7 +244,8 @@ mod tests {
         let pool = WorkerPool::new(0);
         assert_eq!(pool.workers(), 1);
         let (tx, rx) = mpsc::channel();
-        pool.submit(move |_| tx.send(7).expect("receiver alive"));
+        pool.submit(move |_| tx.send(7).expect("receiver alive"))
+            .expect("pool accepts jobs");
         assert_eq!(rx.recv().expect("job ran"), 7);
     }
 
@@ -220,7 +257,8 @@ mod tests {
             let counter = Arc::clone(&counter);
             pool.submit(move |_| {
                 counter.fetch_add(1, Ordering::SeqCst);
-            });
+            })
+            .expect("pool accepts jobs");
         }
         drop(pool);
         assert_eq!(counter.load(Ordering::SeqCst), 20);
@@ -229,10 +267,49 @@ mod tests {
     #[test]
     fn panicking_job_does_not_kill_the_worker() {
         let pool = WorkerPool::new(1);
-        pool.submit(|_| panic!("job panic"));
+        pool.submit(|_| panic!("job panic"))
+            .expect("pool accepts jobs");
         let (tx, rx) = mpsc::channel();
-        pool.submit(move |_| tx.send(1).expect("receiver alive"));
+        pool.submit(move |_| tx.send(1).expect("receiver alive"))
+            .expect("pool accepts jobs");
         assert_eq!(rx.recv().expect("worker survived the panic"), 1);
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected_not_silently_enqueued() {
+        let pool = WorkerPool::new(1);
+        let (tx, rx) = mpsc::channel();
+        pool.submit(move |_| tx.send(1).expect("receiver alive"))
+            .expect("live pool accepts jobs");
+        assert_eq!(rx.recv().expect("job ran"), 1);
+        pool.shutdown();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let job_ran = Arc::clone(&ran);
+        assert_eq!(
+            pool.submit(move |_| {
+                job_ran.fetch_add(1, Ordering::SeqCst);
+            }),
+            Err(JobRejected),
+            "shut-down pool must reject, not enqueue"
+        );
+        drop(pool); // joins workers; the rejected job must never run
+        assert_eq!(ran.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn shutdown_drains_already_queued_jobs() {
+        let pool = WorkerPool::new(1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let counter = Arc::clone(&counter);
+            pool.submit(move |_| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            })
+            .expect("pool accepts jobs");
+        }
+        pool.shutdown();
+        drop(pool);
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
     }
 
     #[test]

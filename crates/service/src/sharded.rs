@@ -259,7 +259,11 @@ impl<E: SearchEngine> ShardedIndex<E> {
                 let scratch = store.get_mut::<E::Scratch>();
                 // The receiver only hangs up on panic-unwind; ignore.
                 let _ = tx.send((si, shards[si].run_batch(scratch, &batch, &params)));
-            });
+            })
+            // Searching on a pool the caller already shut down is a
+            // caller bug; failing loudly beats deadlocking below on
+            // results that will never arrive.
+            .expect("search_batch_on called on a shut-down worker pool");
         }
         drop(tx);
         let mut slots: Vec<Option<ShardBatch<E::Stats>>> = (0..ns).map(|_| None).collect();
