@@ -23,14 +23,21 @@
 //! layer across shard counts and writes `results/BENCH_service.json`
 //! (per-shard throughput, uploaded by CI).
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use pigeonring_bench::{f1, f3, time_per_query, Report, Scale, ServiceOpts};
 use pigeonring_core::analysis::{DiscreteDist, FilterAnalysis};
 use pigeonring_datagen::{sample_query_ids, GraphConfig, SetConfig, StringConfig, VectorConfig};
-use pigeonring_editdist::{EditParams, GramOrder, Pivotal, QGramCollection, RingEdit};
+use pigeonring_editdist::{
+    EditParams, GramDictionary, GramOrder, Pivotal, QGramCollection, RingEdit,
+};
 use pigeonring_graph::{Graph, GraphParams, Pars, RingGraph};
 use pigeonring_hamming::{AllocationStrategy, BitVector, HammingParams, RingHamming};
 use pigeonring_service::{ShardedIndex, Sweep};
-use pigeonring_setsim::{AdaptSearch, Collection, PartAlloc, RingSetSim, SetParams, Threshold};
+use pigeonring_setsim::{
+    AdaptSearch, Collection, PartAlloc, RingSetSim, SetParams, Threshold, TokenDictionary,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -505,6 +512,11 @@ fn fig7_classic(scale: Scale) {
 /// `result_hash` column fingerprints every query's result ids — equal
 /// hashes across different `--shards K` runs certify identical result
 /// sets (the service-layer acceptance check).
+///
+/// The index is built dictionary-first (one corpus-wide gram dictionary,
+/// shard-local postings), so each query is planned **once per `τ`** —
+/// the plan is shared across all `K` shards *and* the whole `l` sweep
+/// via [`Sweep::run_with_plans`].
 fn fig7_sharded(scale: Scale, opts: &ServiceOpts, shards: usize) {
     let threads = opts.threads_for(shards);
     let mut rep = Report::new(
@@ -519,6 +531,7 @@ fn fig7_sharded(scale: Scale, opts: &ServiceOpts, shards: usize) {
             "avg_res",
             "result_hash",
             "ms_per_query",
+            "plan_us_per_q",
             "qps",
         ],
     );
@@ -540,18 +553,31 @@ fn fig7_sharded(scale: Scale, opts: &ServiceOpts, shards: usize) {
             .collect();
         for tau in taus {
             let kappa = kappa_for(setup.name, tau);
-            let index = ShardedIndex::build(setup.strings.clone(), shards, |shard| {
-                RingEdit::build(
-                    QGramCollection::build(shard, kappa, GramOrder::Frequency),
-                    tau,
-                )
-            });
+            let index = ShardedIndex::build_global(
+                setup.strings.clone(),
+                shards,
+                |corpus| Arc::new(GramDictionary::build(corpus, kappa, GramOrder::Frequency)),
+                |dict, shard| {
+                    RingEdit::build(
+                        QGramCollection::with_dictionary(shard, Arc::clone(dict)),
+                        tau,
+                    )
+                },
+            );
+            // One plan set serves every l below (plans are l-independent).
+            let plan_start = Instant::now();
+            let plans = index
+                .plan_batch(&queries)
+                .expect("dictionary-first build shares plans");
+            let plan_ms = plan_start.elapsed().as_secs_f64() * 1e3;
             for l in 1..=4usize.min(tau + 1) {
-                let (row, stats) = sweep.run(
+                let (row, stats) = sweep.run_with_plans(
                     "editdist",
                     setup.name,
                     &index,
                     &queries,
+                    &plans,
+                    plan_ms,
                     &EditParams { l },
                     opts.batch,
                     threads,
@@ -567,6 +593,7 @@ fn fig7_sharded(scale: Scale, opts: &ServiceOpts, shards: usize) {
                     f1(stats.results as f64 / nq),
                     format!("{:016x}", row.result_hash),
                     f3(row.total_ms / nq),
+                    f3(row.plan_us_per_query),
                     f1(row.qps),
                 ]);
             }
@@ -797,6 +824,8 @@ fn sweep(scale: Scale, opts: &ServiceOpts) {
             "p50_ms",
             "p95_ms",
             "p99_ms",
+            "plan_us_per_q",
+            "dict_build_ms",
             "speedup_vs_first",
             "result_hash",
         ],
@@ -815,6 +844,10 @@ fn sweep(scale: Scale, opts: &ServiceOpts) {
             f3(row.p50_ms),
             f3(row.p95_ms),
             f3(row.p99_ms),
+            // The plan-once acceptance metric: flat in the shard count
+            // for the dictionary-first (editdist/setsim) builds.
+            f3(row.plan_us_per_query),
+            f3(row.dict_build_ms),
             // base_qps can be the 0.0 "too fast to measure" sentinel
             // (see Sweep::run); don't let inf/NaN into the CSV.
             if base_qps > 0.0 {
@@ -834,6 +867,8 @@ fn sweep(scale: Scale, opts: &ServiceOpts) {
         let params = HammingParams { tau: 48, l: 5 };
         let mut base_qps = None;
         for &k in &shard_counts {
+            // No dictionary for hamming: the legacy build avoids the
+            // plan-once machinery's per-query `Arc<()>` overhead.
             let index = ShardedIndex::build(data.clone(), k, |shard| {
                 RingHamming::build(shard, 16, AllocationStrategy::CostModel)
             });
@@ -859,9 +894,18 @@ fn sweep(scale: Scale, opts: &ServiceOpts) {
         let params = SetParams { l: 2 };
         let mut base_qps = None;
         for &k in &shard_counts {
-            let index = ShardedIndex::build(data.clone(), k, |shard| {
-                RingSetSim::build(Collection::new(shard), Threshold::jaccard(0.8), 5)
-            });
+            let index = ShardedIndex::build_global(
+                data.clone(),
+                k,
+                |corpus| Arc::new(TokenDictionary::build(corpus)),
+                |dict, shard| {
+                    RingSetSim::build(
+                        Collection::with_dictionary(shard, Arc::clone(dict)),
+                        Threshold::jaccard(0.8),
+                        5,
+                    )
+                },
+            );
             let (row, _) = sw.run(
                 "setsim",
                 "dblp",
@@ -886,12 +930,17 @@ fn sweep(scale: Scale, opts: &ServiceOpts) {
         let params = EditParams { l: 3 };
         let mut base_qps = None;
         for &k in &shard_counts {
-            let index = ShardedIndex::build(data.clone(), k, |shard| {
-                RingEdit::build(
-                    QGramCollection::build(shard, kappa, GramOrder::Frequency),
-                    tau,
-                )
-            });
+            let index = ShardedIndex::build_global(
+                data.clone(),
+                k,
+                |corpus| Arc::new(GramDictionary::build(corpus, kappa, GramOrder::Frequency)),
+                |dict, shard| {
+                    RingEdit::build(
+                        QGramCollection::with_dictionary(shard, Arc::clone(dict)),
+                        tau,
+                    )
+                },
+            );
             let (row, _) = sw.run(
                 "editdist",
                 "imdb",
@@ -915,6 +964,7 @@ fn sweep(scale: Scale, opts: &ServiceOpts) {
         let params = GraphParams { l: tau };
         let mut base_qps = None;
         for &k in &shard_counts {
+            // No dictionary for graph either (see the hamming note).
             let index = ShardedIndex::build(data.clone(), k, |shard| RingGraph::build(shard, tau));
             let (row, _) = sw.run(
                 "graph",

@@ -33,8 +33,8 @@ pub mod service;
 pub mod verify;
 
 pub use pivotal::{EditStats, Pivotal, PivotalIndex};
-pub use qgram::{GramOrder, QGramCollection};
-pub use ring::{EditScratch, RingEdit};
+pub use qgram::{GramDictionary, GramOrder, QGramCollection};
+pub use ring::{EditPlan, EditScratch, RingEdit};
 pub use service::EditParams;
 
 #[cfg(test)]

@@ -157,9 +157,20 @@ impl PivotalIndex {
     /// Query-side structures: (tie-extended prefix, pivotal grams, last
     /// prefix rank). Pivotal is `None` for short queries.
     pub fn query_side(&self, q: &[u8]) -> (Vec<PositionalGram>, Option<Vec<PositionalGram>>, u32) {
-        let grams = self.collection.query_grams(q);
+        self.query_side_with(&mut Vec::new(), q)
+    }
+
+    /// [`PivotalIndex::query_side`] against a caller-owned gram buffer
+    /// (the full extracted gram list, reused across queries by the
+    /// planning path so only the prefix/pivotal vectors allocate).
+    pub fn query_side_with(
+        &self,
+        gram_buf: &mut Vec<PositionalGram>,
+        q: &[u8],
+    ) -> (Vec<PositionalGram>, Option<Vec<PositionalGram>>, u32) {
+        self.collection.dictionary().query_grams_into(q, gram_buf);
         let kappa = self.collection.kappa();
-        let prefix = prefix_grams(&grams, kappa, self.tau).to_vec();
+        let prefix = prefix_grams(gram_buf, kappa, self.tau).to_vec();
         let piv = select_pivotal(&prefix, kappa, self.tau);
         let last = prefix.last().map_or(u32::MAX, |pg| pg.id);
         (prefix, piv, last)

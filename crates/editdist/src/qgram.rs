@@ -1,10 +1,22 @@
-//! q-gram extraction and the global gram order.
+//! q-gram extraction, the global gram dictionary, and the global order.
 //!
 //! A string of length `n` has `n − κ + 1` positional q-grams (substring,
 //! start position). Grams are interned into dense `u32` ids whose natural
 //! order **is** the global order — by increasing collection frequency
 //! (ties by gram bytes) or, for the paper's worked examples,
 //! lexicographically.
+//!
+//! The interning table lives in a [`GramDictionary`], shared (via `Arc`)
+//! by every [`QGramCollection`] built from it. One dictionary built over
+//! the *whole corpus* makes the frequency order — and hence prefix and
+//! pivotal selection — identical in every shard of a partitioned
+//! collection, which is what lets the service layer compute a query's
+//! gram plan once and reuse it across shards
+//! (`ShardedIndex::build_global` in `pigeonring-service`).
+//! [`QGramCollection::build`] keeps the legacy single-collection path:
+//! it builds a private dictionary from its own strings.
+
+use std::sync::Arc;
 
 use pigeonring_core::fxhash::FxHashMap;
 
@@ -27,27 +39,30 @@ pub struct PositionalGram {
     pub pos: u32,
 }
 
-/// A collection of strings with interned q-grams.
-pub struct QGramCollection {
-    strings: Vec<Vec<u8>>,
+/// The gram interning table: gram bytes → dense `u32` id, where the id
+/// order is the global order (by corpus frequency or lexicographic).
+///
+/// Built once over a corpus with [`GramDictionary::build`]; shard-local
+/// collections then attach to it with
+/// [`QGramCollection::with_dictionary`], so every shard agrees on gram
+/// ids, the frequency order, and therefore prefix/pivotal selection.
+#[derive(Debug)]
+pub struct GramDictionary {
     kappa: usize,
     /// gram bytes → interned id.
     intern: FxHashMap<Box<[u8]>, u32>,
-    /// Per-string grams sorted by (id, pos) — i.e. global order.
-    grams: Vec<Vec<PositionalGram>>,
 }
 
-impl QGramCollection {
-    /// Builds the collection, interning grams of length `kappa` under the
-    /// given order.
+impl GramDictionary {
+    /// Builds the dictionary over `strings`, interning grams of length
+    /// `kappa` under the given order.
     ///
     /// # Panics
     /// Panics if `kappa == 0`.
-    pub fn build(strings: Vec<Vec<u8>>, kappa: usize, order: GramOrder) -> Self {
+    pub fn build(strings: &[Vec<u8>], kappa: usize, order: GramOrder) -> Self {
         assert!(kappa > 0, "q-gram length must be positive");
-        // Collect frequencies of all grams.
         let mut freq: FxHashMap<Box<[u8]>, u64> = FxHashMap::default();
-        for s in &strings {
+        for s in strings {
             if s.len() >= kappa {
                 for w in s.windows(kappa) {
                     *freq.entry(w.into()).or_insert(0) += 1;
@@ -64,6 +79,82 @@ impl QGramCollection {
             .enumerate()
             .map(|(i, (k, _))| (k.clone(), i as u32))
             .collect();
+        GramDictionary { kappa, intern }
+    }
+
+    /// The gram length `κ`.
+    pub fn kappa(&self) -> usize {
+        self.kappa
+    }
+
+    /// Number of distinct interned grams.
+    pub fn num_grams(&self) -> usize {
+        self.intern.len()
+    }
+
+    /// The interned id of `gram`, if the corpus contains it.
+    pub fn id(&self, gram: &[u8]) -> Option<u32> {
+        self.intern.get(gram).copied()
+    }
+
+    /// Interns an external string's grams (query path) into `out`
+    /// (cleared first), sorted by `(id, pos)` — i.e. global order. Grams
+    /// unseen in the corpus get fresh ids beyond the interned range —
+    /// they sort after every known gram and can never match a posting.
+    pub fn query_grams_into(&self, s: &[u8], out: &mut Vec<PositionalGram>) {
+        out.clear();
+        if s.len() < self.kappa {
+            return;
+        }
+        let base = self.intern.len() as u32;
+        let mut fresh: FxHashMap<&[u8], u32> = FxHashMap::default();
+        out.extend(s.windows(self.kappa).enumerate().map(|(pos, w)| {
+            let id = self.intern.get(w).copied().unwrap_or_else(|| {
+                let next = base + fresh.len() as u32;
+                *fresh.entry(w).or_insert(next)
+            });
+            PositionalGram {
+                id,
+                pos: pos as u32,
+            }
+        }));
+        out.sort_by_key(|pg| (pg.id, pg.pos));
+    }
+}
+
+/// A collection of strings with interned q-grams over a (possibly
+/// shared) [`GramDictionary`].
+pub struct QGramCollection {
+    strings: Vec<Vec<u8>>,
+    dict: Arc<GramDictionary>,
+    /// Per-string grams sorted by (id, pos) — i.e. global order.
+    grams: Vec<Vec<PositionalGram>>,
+}
+
+impl QGramCollection {
+    /// Builds the collection with a private dictionary interned from
+    /// these strings alone (the legacy single-collection path; sharded
+    /// builds share one corpus-wide dictionary via
+    /// [`QGramCollection::with_dictionary`]).
+    ///
+    /// # Panics
+    /// Panics if `kappa == 0`.
+    pub fn build(strings: Vec<Vec<u8>>, kappa: usize, order: GramOrder) -> Self {
+        let dict = Arc::new(GramDictionary::build(&strings, kappa, order));
+        QGramCollection::with_dictionary(strings, dict)
+    }
+
+    /// Builds the collection over a shared dictionary: every gram id —
+    /// and the frequency order behind prefix/pivotal selection — comes
+    /// from `dict`, so collections of different shards of one corpus
+    /// agree on all query-side structures.
+    ///
+    /// # Panics
+    /// Panics if any string contains a gram absent from `dict`: the
+    /// dictionary must be built over a superset of these strings (the
+    /// whole corpus), or matching records could silently be missed.
+    pub fn with_dictionary(strings: Vec<Vec<u8>>, dict: Arc<GramDictionary>) -> Self {
+        let kappa = dict.kappa();
         let grams = strings
             .iter()
             .map(|s| {
@@ -71,7 +162,10 @@ impl QGramCollection {
                     s.windows(kappa)
                         .enumerate()
                         .map(|(pos, w)| PositionalGram {
-                            id: intern[w],
+                            id: dict.id(w).expect(
+                                "record gram missing from the dictionary — build the \
+                                 GramDictionary over the full corpus",
+                            ),
                             pos: pos as u32,
                         })
                         .collect()
@@ -84,15 +178,19 @@ impl QGramCollection {
             .collect();
         QGramCollection {
             strings,
-            kappa,
-            intern,
+            dict,
             grams,
         }
     }
 
+    /// The shared gram dictionary.
+    pub fn dictionary(&self) -> &Arc<GramDictionary> {
+        &self.dict
+    }
+
     /// The gram length `κ`.
     pub fn kappa(&self) -> usize {
-        self.kappa
+        self.dict.kappa()
     }
 
     /// Number of strings.
@@ -120,31 +218,14 @@ impl QGramCollection {
         &self.grams[id]
     }
 
-    /// Interns an external string's grams (query path). Grams unseen in
-    /// the collection get fresh ids beyond the interned range — they sort
-    /// after every known gram and can never match a posting.
+    /// Interns an external string's grams (query path); see
+    /// [`GramDictionary::query_grams_into`]. Allocates per call — the
+    /// engines' planning path reuses a scratch buffer via the `_into`
+    /// variant instead.
     pub fn query_grams(&self, s: &[u8]) -> Vec<PositionalGram> {
-        if s.len() < self.kappa {
-            return Vec::new();
-        }
-        let base = self.intern.len() as u32;
-        let mut fresh: FxHashMap<&[u8], u32> = FxHashMap::default();
-        let mut g: Vec<PositionalGram> = s
-            .windows(self.kappa)
-            .enumerate()
-            .map(|(pos, w)| {
-                let id = self.intern.get(w).copied().unwrap_or_else(|| {
-                    let next = base + fresh.len() as u32;
-                    *fresh.entry(w).or_insert(next)
-                });
-                PositionalGram {
-                    id,
-                    pos: pos as u32,
-                }
-            })
-            .collect();
-        g.sort_by_key(|pg| (pg.id, pg.pos));
-        g
+        let mut out = Vec::new();
+        self.dict.query_grams_into(s, &mut out);
+        out
     }
 }
 
@@ -249,6 +330,32 @@ mod tests {
         // "ab" is known, "bx"/"xy" are fresh and sort after known ids.
         let known_max = 2u32; // ab, bc, cd interned
         assert!(qg.iter().filter(|g| g.id > known_max).count() == 2);
+    }
+
+    #[test]
+    fn shared_dictionary_assigns_identical_ids_across_collections() {
+        // A corpus split into two "shards" over one dictionary: both
+        // halves (and queries against either) see the same gram ids.
+        let corpus = strs(&["abab", "abzz", "zzzz", "baba"]);
+        let dict = Arc::new(GramDictionary::build(&corpus, 2, GramOrder::Frequency));
+        let left = QGramCollection::with_dictionary(corpus[..2].to_vec(), Arc::clone(&dict));
+        let right = QGramCollection::with_dictionary(corpus[2..].to_vec(), Arc::clone(&dict));
+        // "ab" occurs in both shards; its id must agree.
+        let ab = dict.id(b"ab").expect("ab interned");
+        assert!(left.grams(0).iter().any(|pg| pg.id == ab));
+        assert_eq!(left.query_grams(b"ab"), right.query_grams(b"ab"));
+        // The dictionary's frequency order is corpus-wide: "ab" (freq 3)
+        // sorts after "bz" (freq 1) in *both* shards' query views.
+        let bz = dict.id(b"bz").expect("bz interned");
+        assert!(bz < ab, "corpus-rare gram precedes corpus-common gram");
+    }
+
+    #[test]
+    #[should_panic(expected = "record gram missing from the dictionary")]
+    fn foreign_record_grams_fail_loudly() {
+        let corpus = strs(&["abcd"]);
+        let dict = Arc::new(GramDictionary::build(&corpus, 2, GramOrder::Frequency));
+        let _ = QGramCollection::with_dictionary(strs(&["wxyz"]), dict);
     }
 
     #[test]

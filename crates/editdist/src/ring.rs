@@ -10,19 +10,55 @@
 //! non-viable prefix. Lower-bounding box values only shrinks chain sums,
 //! so every true result keeps its prefix-viable chain — completeness is
 //! preserved (and asserted against linear scan in the tests).
+//!
+//! Query execution is split into *plan once, execute per index*: an
+//! [`EditPlan`] carries every query-side structure (interned prefix,
+//! pivotal grams, character masks), computed by [`RingEdit::plan_query`]
+//! and consumed read-only by [`RingEdit::search_with_plan`]. When shards
+//! share one [`GramDictionary`](crate::qgram::GramDictionary), one plan
+//! is valid for every shard — the `pigeonring-service` plan-once path.
 
 use crate::content::{char_mask, min_window_bound, window_masks};
 use crate::pivotal::{EditStats, PivotalIndex, ViableBox};
-use crate::qgram::QGramCollection;
+use crate::qgram::{PositionalGram, QGramCollection};
 use crate::verify::edit_distance_within;
 use pigeonring_core::viability::{check_prefix_viable_lazy, Direction, ThresholdScheme};
 
 /// Per-thread mutable query state for [`RingEdit`]: the shared
 /// epoch-stamped candidate dedup array and Corollary-2 ruled-start
-/// bitmasks ([`pigeonring_core::scratch::EpochScratch`]). `Default`
-/// yields an empty scratch that lazily sizes itself to the engine's
-/// record count on first use.
-pub type EditScratch = pigeonring_core::scratch::EpochScratch;
+/// bitmasks ([`pigeonring_core::scratch::EpochScratch`]), plus the
+/// gram-extraction buffer the planning path reuses across queries.
+/// `Default` yields an empty scratch that lazily sizes itself to the
+/// engine's record count on first use.
+#[derive(Clone, Debug, Default)]
+pub struct EditScratch {
+    /// Epoch-stamped dedup + Corollary-2 ruled-start core.
+    pub(crate) epochs: pigeonring_core::scratch::EpochScratch,
+    /// Reused buffer for the query's full extracted gram list (only the
+    /// prefix/pivotal selections escape into the [`EditPlan`]).
+    pub(crate) gram_buf: Vec<PositionalGram>,
+}
+
+/// The query-side plan for one edit-distance query: everything that
+/// depends on the query (and the shared gram dictionary) but not on any
+/// particular shard's postings. Computed once by
+/// [`RingEdit::plan_query`]; reusable across shards sharing the query's
+/// dictionary and across chain lengths `l` (nothing here depends on `l`).
+#[derive(Clone, Debug)]
+pub struct EditPlan {
+    /// The query's tie-extended prefix grams in global order.
+    prefix: Vec<PositionalGram>,
+    /// The query's `τ + 1` disjoint pivotal grams (`None`: the query
+    /// carries no pivotal guarantee and all length-compatible records
+    /// are candidates).
+    pivotal: Option<Vec<PositionalGram>>,
+    /// Largest prefix gram id (`u32::MAX` when the prefix is empty).
+    last: u32,
+    /// Character masks of every query window (case A box values).
+    q_masks: Vec<u64>,
+    /// Character mask of each query pivotal gram (case B box values).
+    q_piv_masks: Vec<u64>,
+}
 
 /// The pigeonring edit-distance search engine. `l = 1` keeps only the
 /// pivotal prefix filter (Cand-1); the paper's best setting is
@@ -55,6 +91,32 @@ impl RingEdit {
         &self.index
     }
 
+    /// Computes the query-side plan: gram extraction, interning, prefix
+    /// and pivotal selection, and character masks — the work that is
+    /// identical for every shard sharing this engine's gram dictionary.
+    /// `scratch` only lends its gram buffer; no per-record state is
+    /// touched.
+    pub fn plan_query(&self, scratch: &mut EditScratch, q: &[u8]) -> EditPlan {
+        let (prefix, pivotal, last) = self.index.query_side_with(&mut scratch.gram_buf, q);
+        let kappa = self.index.collection().kappa();
+        let (q_masks, q_piv_masks) = match &pivotal {
+            Some(piv) => (
+                window_masks(q, kappa),
+                piv.iter()
+                    .map(|pg| char_mask(&q[pg.pos as usize..pg.pos as usize + kappa]))
+                    .collect(),
+            ),
+            None => (Vec::new(), Vec::new()),
+        };
+        EditPlan {
+            prefix,
+            pivotal,
+            last,
+            q_masks,
+            q_piv_masks,
+        }
+    }
+
     /// Searches for all strings with `ed(x, q) ≤ τ` using chain length
     /// `l` (clamped to `[1..τ+1]`). Returns ascending ids and statistics.
     pub fn search(&mut self, q: &[u8], l: usize) -> (Vec<u32>, EditStats) {
@@ -73,7 +135,20 @@ impl RingEdit {
         q: &[u8],
         l: usize,
     ) -> (Vec<u32>, EditStats) {
-        let (cands, mut stats) = self.candidates_with(scratch, q, l);
+        let plan = self.plan_query(scratch, q);
+        self.search_with_plan(scratch, &plan, q, l)
+    }
+
+    /// [`RingEdit::search_with`] against a precomputed [`EditPlan`] (the
+    /// plan-once path: one plan serves every shard and every `l`).
+    pub fn search_with_plan(
+        &self,
+        scratch: &mut EditScratch,
+        plan: &EditPlan,
+        q: &[u8],
+        l: usize,
+    ) -> (Vec<u32>, EditStats) {
+        let (cands, mut stats) = self.candidates_with_plan(scratch, plan, q, l);
         let tau = self.index.tau();
         let mut results: Vec<u32> = cands
             .into_iter()
@@ -104,19 +179,34 @@ impl RingEdit {
         q: &[u8],
         l: usize,
     ) -> (Vec<u32>, EditStats) {
+        let plan = self.plan_query(scratch, q);
+        self.candidates_with_plan(scratch, &plan, q, l)
+    }
+
+    /// [`RingEdit::candidates_with`] against a precomputed [`EditPlan`]:
+    /// the execute-per-shard half of the split. Reads the plan's
+    /// query-side structures and this engine's postings; never touches
+    /// the dictionary.
+    pub fn candidates_with_plan(
+        &self,
+        scratch: &mut EditScratch,
+        plan: &EditPlan,
+        q: &[u8],
+        l: usize,
+    ) -> (Vec<u32>, EditStats) {
         let tau = self.index.tau();
         let m = tau + 1;
         let l = l.clamp(1, m);
         let kappa = self.index.collection().kappa();
         let mut stats = EditStats::default();
-        let epoch = scratch.next_epoch(self.index.collection().len());
+        let epoch = scratch.epochs.next_epoch(self.index.collection().len());
 
-        let (q_prefix, q_pivotal, q_last) = self.index.query_side(q);
         let mut cands: Vec<u32> = Vec::new();
 
-        if q.len() < kappa || q_pivotal.is_none() {
-            // No pivotal guarantee on the query side: all
-            // length-compatible records are candidates.
+        if plan.pivotal.is_none() {
+            // No pivotal guarantee on the query side (short query or no
+            // disjoint pivotal set): all length-compatible records are
+            // candidates.
             for id in 0..self.index.collection().len() as u32 {
                 if self.index.length_compatible(id, q.len()) {
                     cands.push(id);
@@ -124,13 +214,9 @@ impl RingEdit {
             }
         } else {
             let scheme = ThresholdScheme::uniform(tau as i64, m);
-            let q_masks = window_masks(q, kappa);
-            let q_piv = q_pivotal.as_deref().expect("checked above");
-            // Pre-mask the query's pivotal grams for case B boxes.
-            let q_piv_masks: Vec<u64> = q_piv
-                .iter()
-                .map(|pg| char_mask(&q[pg.pos as usize..pg.pos as usize + kappa]))
-                .collect();
+            let q_piv = plan.pivotal.as_deref().expect("checked above");
+            let q_masks = &plan.q_masks;
+            let q_piv_masks = &plan.q_piv_masks;
 
             let index = &self.index;
             let pigeonring_core::scratch::EpochScratch {
@@ -138,77 +224,78 @@ impl RingEdit {
                 ref mut ruled_epoch,
                 ref mut ruled_mask,
                 ..
-            } = *scratch;
+            } = scratch.epochs;
             let collection: &QGramCollection = index.collection();
 
-            stats.postings_scanned = index.probe(&q_prefix, Some(q_piv), q_last, q.len(), |vb| {
-                stats.cand1 += 1;
-                let ViableBox {
-                    id,
-                    slot,
-                    record_side,
-                } = vb;
-                let idu = id as usize;
-                if accepted[idu] == epoch {
-                    return;
-                }
-                let start = slot as usize;
-                if ruled_epoch[idu] == epoch && (ruled_mask[idu] >> start) & 1 == 1 {
-                    stats.skipped_by_corollary2 += 1;
-                    return;
-                }
-                if l == 1 {
-                    accepted[idu] = epoch;
-                    cands.push(id);
-                    return;
-                }
-                let x = collection.string(idu);
-                let check = if record_side {
-                    // Case A: boxes are x's pivotal grams, windows in q.
-                    let piv = index.pivotal(id).expect("probed record has pivotal");
-                    check_prefix_viable_lazy(&scheme, Direction::Le, start, l, |j| {
-                        stats.boxes_checked += 1;
-                        let jm = j % m;
-                        if jm == start {
-                            return 0; // exact match
-                        }
-                        let pg = piv[jm];
-                        let g = &x[pg.pos as usize..pg.pos as usize + kappa];
-                        min_window_bound(
-                            char_mask(g),
-                            &q_masks,
-                            pg.pos as i64 - tau as i64,
-                            pg.pos as i64 + tau as i64,
-                        ) as i64
-                    })
-                } else {
-                    // Case B: boxes are q's pivotal grams, windows in x.
-                    check_prefix_viable_lazy(&scheme, Direction::Le, start, l, |j| {
-                        stats.boxes_checked += 1;
-                        let jm = j % m;
-                        if jm == start {
-                            return 0;
-                        }
-                        let pg = q_piv[jm];
-                        lazy_window_bound(q_piv_masks[jm], x, kappa, pg.pos, tau) as i64
-                    })
-                };
-                match check {
-                    Ok(()) => {
+            stats.postings_scanned =
+                index.probe(&plan.prefix, Some(q_piv), plan.last, q.len(), |vb| {
+                    stats.cand1 += 1;
+                    let ViableBox {
+                        id,
+                        slot,
+                        record_side,
+                    } = vb;
+                    let idu = id as usize;
+                    if accepted[idu] == epoch {
+                        return;
+                    }
+                    let start = slot as usize;
+                    if ruled_epoch[idu] == epoch && (ruled_mask[idu] >> start) & 1 == 1 {
+                        stats.skipped_by_corollary2 += 1;
+                        return;
+                    }
+                    if l == 1 {
                         accepted[idu] = epoch;
                         cands.push(id);
+                        return;
                     }
-                    Err(l_fail) => {
-                        if ruled_epoch[idu] != epoch {
-                            ruled_epoch[idu] = epoch;
-                            ruled_mask[idu] = 0;
+                    let x = collection.string(idu);
+                    let check = if record_side {
+                        // Case A: boxes are x's pivotal grams, windows in q.
+                        let piv = index.pivotal(id).expect("probed record has pivotal");
+                        check_prefix_viable_lazy(&scheme, Direction::Le, start, l, |j| {
+                            stats.boxes_checked += 1;
+                            let jm = j % m;
+                            if jm == start {
+                                return 0; // exact match
+                            }
+                            let pg = piv[jm];
+                            let g = &x[pg.pos as usize..pg.pos as usize + kappa];
+                            min_window_bound(
+                                char_mask(g),
+                                q_masks,
+                                pg.pos as i64 - tau as i64,
+                                pg.pos as i64 + tau as i64,
+                            ) as i64
+                        })
+                    } else {
+                        // Case B: boxes are q's pivotal grams, windows in x.
+                        check_prefix_viable_lazy(&scheme, Direction::Le, start, l, |j| {
+                            stats.boxes_checked += 1;
+                            let jm = j % m;
+                            if jm == start {
+                                return 0;
+                            }
+                            let pg = q_piv[jm];
+                            lazy_window_bound(q_piv_masks[jm], x, kappa, pg.pos, tau) as i64
+                        })
+                    };
+                    match check {
+                        Ok(()) => {
+                            accepted[idu] = epoch;
+                            cands.push(id);
                         }
-                        for off in 0..l_fail {
-                            ruled_mask[idu] |= 1u64 << ((start + off) % m);
+                        Err(l_fail) => {
+                            if ruled_epoch[idu] != epoch {
+                                ruled_epoch[idu] = epoch;
+                                ruled_mask[idu] = 0;
+                            }
+                            for off in 0..l_fail {
+                                ruled_mask[idu] |= 1u64 << ((start + off) % m);
+                            }
                         }
                     }
-                }
-            });
+                });
             // Short records carry no guarantee: always candidates.
             for &id in index.short_ids() {
                 let idu = id as usize;
@@ -314,6 +401,25 @@ mod tests {
                     let (got, _) = eng.search(q, l);
                     assert_eq!(got, expect, "tau={tau} qid={qid} l={l}");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn one_plan_serves_every_l() {
+        // The plan is l-independent: computing it once and reusing it
+        // across chain lengths must match the fresh-plan path exactly.
+        let strings = pseudo_random_strings(100, 14, 11);
+        let c = QGramCollection::build(strings.clone(), 2, GramOrder::Frequency);
+        let eng = RingEdit::build(c, 3);
+        let mut scratch = EditScratch::default();
+        for q in strings.iter().step_by(9) {
+            let plan = eng.plan_query(&mut scratch, q);
+            for l in 1..=4usize {
+                let (fresh, fresh_stats) = eng.search_with(&mut EditScratch::default(), q, l);
+                let (planned, planned_stats) = eng.search_with_plan(&mut scratch, &plan, q, l);
+                assert_eq!(planned, fresh, "l={l}");
+                assert_eq!(planned_stats, fresh_stats, "l={l}");
             }
         }
     }

@@ -1,13 +1,21 @@
 //! [`SearchEngine`] adapter: plugs [`RingEdit`] into the
 //! `pigeonring-service` sharded query layer.
 //!
-//! Note that sharding changes each shard's *gram frequency order* (and
-//! hence prefix/pivotal selection), so per-shard candidate counts differ
-//! from the unsharded engine's — but verification is exact edit
-//! distance, so the merged *result set* is always identical.
+//! The plan ([`EditPlan`]) carries the query's interned prefix, pivotal
+//! grams, and character masks. With the legacy per-shard build each
+//! shard interns against its own gram dictionary, so plans are
+//! shard-local (the default `search_into` path). With a dictionary-first
+//! build (`ShardedIndex::build_global` over one corpus-wide
+//! [`GramDictionary`](crate::qgram::GramDictionary)) the global
+//! frequency order makes prefix/pivotal selection identical in every
+//! shard, so the service layer plans each query once and every shard
+//! executes the same plan.
+//!
+//! Either way verification is exact edit distance, so the merged
+//! *result set* is identical for any shard count and either build path.
 
 use crate::pivotal::EditStats;
-use crate::ring::{EditScratch, RingEdit};
+use crate::ring::{EditPlan, EditScratch, RingEdit};
 use pigeonring_service::{MergeStats, SearchEngine};
 
 /// Per-batch parameters for edit-distance search through the service
@@ -29,19 +37,25 @@ impl SearchEngine for RingEdit {
     type Params = EditParams;
     type Stats = EditStats;
     type Scratch = EditScratch;
+    type Plan = EditPlan;
 
     fn num_records(&self) -> usize {
         self.index().collection().len()
     }
 
-    fn search_into(
+    fn plan(&self, scratch: &mut EditScratch, query: &Vec<u8>) -> EditPlan {
+        self.plan_query(scratch, query)
+    }
+
+    fn search_planned(
         &self,
         scratch: &mut EditScratch,
+        plan: &EditPlan,
         query: &Vec<u8>,
         params: &EditParams,
         out: &mut Vec<u32>,
     ) -> EditStats {
-        let (ids, stats) = self.search_with(scratch, query, params.l);
+        let (ids, stats) = self.search_with_plan(scratch, plan, query, params.l);
         out.extend(ids);
         stats
     }

@@ -33,14 +33,21 @@ impl SearchEngine for RingGraph {
     type Params = GraphParams;
     type Stats = GraphStats;
     type Scratch = GraphScratch;
+    /// Graph queries decompose against each record's partitions, not a
+    /// shared dictionary, so there is no shard-independent query-side
+    /// work to hoist: the plan is empty.
+    type Plan = ();
 
     fn num_records(&self) -> usize {
         self.graphs().len()
     }
 
-    fn search_into(
+    fn plan(&self, _scratch: &mut GraphScratch, _query: &Graph) {}
+
+    fn search_planned(
         &self,
         _scratch: &mut GraphScratch,
+        _plan: &(),
         query: &Graph,
         params: &GraphParams,
         out: &mut Vec<u32>,

@@ -25,14 +25,21 @@ impl SearchEngine for RingHamming {
     type Params = HammingParams;
     type Stats = SearchStats;
     type Scratch = HammingScratch;
+    /// Hamming queries need no dictionary-dependent preprocessing (the
+    /// partition signature enumeration depends on `τ`/`l`, which are
+    /// per-batch parameters), so the plan is empty.
+    type Plan = ();
 
     fn num_records(&self) -> usize {
         self.data().len()
     }
 
-    fn search_into(
+    fn plan(&self, _scratch: &mut HammingScratch, _query: &BitVector) {}
+
+    fn search_planned(
         &self,
         scratch: &mut HammingScratch,
+        _plan: &(),
         query: &BitVector,
         params: &HammingParams,
         out: &mut Vec<u32>,

@@ -24,11 +24,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use pigeonring_datagen::{sample_query_ids, GraphConfig, SetConfig, StringConfig, VectorConfig};
-use pigeonring_editdist::{EditParams, GramOrder, QGramCollection, RingEdit};
+use pigeonring_editdist::{EditParams, GramDictionary, GramOrder, QGramCollection, RingEdit};
 use pigeonring_graph::{GraphParams, RingGraph};
 use pigeonring_hamming::{AllocationStrategy, HammingParams, RingHamming};
 use pigeonring_service::{ShardedIndex, WorkerPool};
-use pigeonring_setsim::{Collection, RingSetSim, SetParams, Threshold};
+use pigeonring_setsim::{Collection, RingSetSim, SetParams, Threshold, TokenDictionary};
 
 use crate::wire::{Domain, DomainQuery, ErrorCode, Response, CONNECTION_REQUEST_ID};
 
@@ -210,6 +210,16 @@ const HEAVY_GROUP_NS: u128 = 6_000_000;
 impl EngineSet {
     /// Builds all four domain indexes from `spec` (deterministic:
     /// equal specs ⇒ identical engines).
+    ///
+    /// The dictionary-bearing domains go through the dictionary-first
+    /// [`ShardedIndex::build_global`] path: editdist shards share one
+    /// corpus-wide [`GramDictionary`] and setsim shards one
+    /// [`TokenDictionary`], so the service layer plans each query once
+    /// and every shard executes the same plan — batched mixed-domain
+    /// dispatches through the TCP frontend inherit plan sharing for
+    /// free. Hamming and graph have no dictionary and empty plans, so
+    /// they keep the legacy build: routing them through the plan-once
+    /// machinery would cost one `Arc<()>` per query for nothing.
     pub fn build(spec: EngineSpec) -> Self {
         let vectors = VectorConfig::gist_like(spec.hamming_n).generate();
         let hamming_dims = vectors.first().map_or(0, |v| v.dims());
@@ -218,21 +228,31 @@ impl EngineSet {
             RingHamming::build(shard, m, AllocationStrategy::CostModel)
         });
         let (tau, kappa) = (spec.edit_tau, spec.edit_kappa);
-        let edit = ShardedIndex::build(
+        let edit = ShardedIndex::build_global(
             StringConfig::imdb_like(spec.edit_n).generate(),
             spec.shards,
-            |shard| {
+            |corpus| {
+                std::sync::Arc::new(GramDictionary::build(corpus, kappa, GramOrder::Frequency))
+            },
+            |dict, shard| {
                 RingEdit::build(
-                    QGramCollection::build(shard, kappa, GramOrder::Frequency),
+                    QGramCollection::with_dictionary(shard, std::sync::Arc::clone(dict)),
                     tau,
                 )
             },
         );
         let (jaccard, set_m) = (Threshold::jaccard(spec.set_tau), spec.set_m);
-        let set = ShardedIndex::build(
+        let set = ShardedIndex::build_global(
             SetConfig::dblp_like(spec.set_n).generate(),
             spec.shards,
-            |shard| RingSetSim::build(Collection::new(shard), jaccard, set_m),
+            |corpus| std::sync::Arc::new(TokenDictionary::build(corpus)),
+            |dict, shard| {
+                RingSetSim::build(
+                    Collection::with_dictionary(shard, std::sync::Arc::clone(dict)),
+                    jaccard,
+                    set_m,
+                )
+            },
         );
         let graph_tau = spec.graph_tau;
         let graph = ShardedIndex::build(

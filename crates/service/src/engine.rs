@@ -19,6 +19,19 @@ pub trait MergeStats: Default + Send + 'static {
 /// calling thread. One engine can therefore serve arbitrarily many
 /// threads concurrently, each with its own scratch.
 ///
+/// Query execution is split into **plan once, execute per shard**:
+/// [`SearchEngine::plan`] computes the query-side work (gram interning
+/// and prefix/pivotal selection for edit distance, token ranking and
+/// k-wise signature enumeration for set similarity) into a
+/// [`SearchEngine::Plan`], and [`SearchEngine::search_planned`] executes
+/// it against this engine's postings. A plan is only valid for an engine
+/// whose *dictionary* agrees with the planning engine's — guaranteed
+/// when shards are built dictionary-first
+/// ([`ShardedIndex::build_global`](crate::sharded::ShardedIndex::build_global)),
+/// in which case the sharded layer plans each query exactly once and
+/// hands `&Plan` to every shard worker. Engines without data-dependent
+/// query-side work use `type Plan = ()`.
+///
 /// Everything is `'static` (and queries are `Clone`) so batches can be
 /// shipped to the persistent [`WorkerPool`](crate::pool::WorkerPool),
 /// whose jobs outlive the caller's stack frame.
@@ -34,18 +47,56 @@ pub trait SearchEngine: Send + Sync + 'static {
     /// scratch; engines lazily size it to their record count on first
     /// use.
     type Scratch: Default + Send + 'static;
+    /// The precomputed query-side plan shared (read-only) by every
+    /// shard. Must not depend on search parameters such as the chain
+    /// length `l`, so one plan also serves parameter sweeps. `()` for
+    /// engines whose query side needs no preprocessing.
+    type Plan: Send + Sync + 'static;
 
     /// Number of records indexed by this engine.
     fn num_records(&self) -> usize;
 
+    /// Computes `query`'s plan. Must be a pure function of the query and
+    /// the engine's *dictionary* (never its postings), so any shard of a
+    /// dictionary-sharing build produces an identical plan. `scratch`
+    /// lends reusable buffers; no per-record state may be touched.
+    fn plan(&self, scratch: &mut Self::Scratch, query: &Self::Query) -> Self::Plan;
+
     /// Appends the ids (ascending, local to this engine) of all records
-    /// within the threshold of `query` to `out`, returning the per-query
-    /// statistics. Must not read `out`'s prior contents.
+    /// within the threshold of `query` to `out` using a precomputed
+    /// `plan`, returning the per-query statistics (excluding
+    /// [`SearchEngine::plan_stats`], which the caller accounts once per
+    /// query). Must not read `out`'s prior contents.
+    fn search_planned(
+        &self,
+        scratch: &mut Self::Scratch,
+        plan: &Self::Plan,
+        query: &Self::Query,
+        params: &Self::Params,
+        out: &mut Vec<u32>,
+    ) -> Self::Stats;
+
+    /// Statistics attributable to planning (e.g. signatures enumerated
+    /// from the query). Merged **once per query** — not once per shard —
+    /// by whoever computed the plan.
+    fn plan_stats(&self, _plan: &Self::Plan) -> Self::Stats {
+        Self::Stats::default()
+    }
+
+    /// Plan-and-search in one call: the legacy per-shard path, used when
+    /// shards do not share a dictionary (each shard then plans — and
+    /// accounts plan statistics — for itself, exactly as before the
+    /// plan/execute split).
     fn search_into(
         &self,
         scratch: &mut Self::Scratch,
         query: &Self::Query,
         params: &Self::Params,
         out: &mut Vec<u32>,
-    ) -> Self::Stats;
+    ) -> Self::Stats {
+        let plan = self.plan(scratch, query);
+        let mut stats = self.search_planned(scratch, &plan, query, params, out);
+        stats.merge(&self.plan_stats(&plan));
+        stats
+    }
 }

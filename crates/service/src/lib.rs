@@ -11,7 +11,12 @@
 //! * [`SearchEngine`] — the uniform engine interface. Implementations
 //!   take `&self` and keep all per-query mutable state in an external
 //!   per-thread [`SearchEngine::Scratch`], so one immutable index can
-//!   serve many worker threads concurrently.
+//!   serve many worker threads concurrently. Query execution is split
+//!   into *plan once, execute per shard*: [`SearchEngine::plan`]
+//!   computes a query's [`SearchEngine::Plan`] (interned grams, ranked
+//!   tokens, enumerated signatures) and
+//!   [`SearchEngine::search_planned`] executes it against one shard's
+//!   postings.
 //! * [`MergeStats`] — saturating aggregation of per-query counters, so
 //!   per-shard statistics can be combined without overflow or drift.
 //! * [`WorkerPool`] — a persistent, channel-fed worker pool whose
@@ -21,8 +26,12 @@
 //! * [`ShardedIndex`] — hash-partitions records across `N` shards, fans a
 //!   query batch out over the worker pool (one job per shard), and merges
 //!   per-shard result sets back into stable ascending record-id order.
-//!   Because every engine verifies candidates exactly, the merged result
-//!   set is *identical* to the unsharded engine's for any shard count
+//!   [`ShardedIndex::build_global`] is the dictionary-first build: one
+//!   corpus-wide dictionary, shard-local postings, and each query's plan
+//!   computed exactly once ([`ShardedIndex::plan_batch`]) and shared by
+//!   every shard worker. Because every engine verifies candidates
+//!   exactly, the merged result set is *identical* to the unsharded
+//!   engine's for any shard count and either build path
 //!   (property-tested across all four domains).
 //! * [`Sweep`] — a throughput-sweep driver used by the `repro` binary's
 //!   `--shards K --batch B` flags and `sweep` subcommand; emits the

@@ -11,6 +11,21 @@
 //! back into ascending *global* id order and aggregates statistics with
 //! [`MergeStats::merge`].
 //!
+//! ## Plan once, execute per shard
+//!
+//! [`ShardedIndex::build_global`] is the **dictionary-first** build path:
+//! a caller-supplied closure derives one shared dictionary (gram interning
+//! table, token rank space, …) from the *whole* record set, and every
+//! shard engine is built against it. Because all shards then agree on the
+//! query-side structures, each query's [`SearchEngine::Plan`] is computed
+//! **exactly once** — by [`ShardedIndex::plan_batch`], against a
+//! long-lived planner scratch — and handed read-only to every shard
+//! worker, so query-side preprocessing no longer scales with the shard
+//! count. Plan-time statistics ([`SearchEngine::plan_stats`]) are folded
+//! in once per query. The legacy [`ShardedIndex::build`] keeps per-shard
+//! dictionaries; its shards plan for themselves inside
+//! [`SearchEngine::search_into`], exactly as before the split.
+//!
 //! The pool is persistent (the ROADMAP "persistent worker pool" item):
 //! `search_batch` lazily spawns one sized to its `threads` argument and
 //! keeps it for later batches, while [`ShardedIndex::search_batch_on`]
@@ -19,7 +34,8 @@
 //! Merging is by fixed shard order regardless of job completion order,
 //! so results are deterministic for any worker count.
 //!
-//! Every domain engine verifies its candidates exactly, so sharding
+//! Every domain engine verifies its candidates exactly, so sharding —
+//! and the choice between the legacy and dictionary-first build paths —
 //! cannot change the result set: the union over shards of "records within
 //! the threshold" is exactly the unsharded answer, independent of how
 //! data-dependent build decisions (gram frequency orders, cost models)
@@ -27,9 +43,10 @@
 
 use std::hash::{BuildHasher, BuildHasherDefault};
 use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
 
 use crate::engine::{MergeStats, SearchEngine};
-use crate::pool::WorkerPool;
+use crate::pool::{ScratchStore, WorkerPool};
 use pigeonring_core::fxhash::FxHasher;
 
 /// Deterministic shard assignment for global record id `id` among
@@ -63,8 +80,9 @@ struct Shard<E> {
 }
 
 impl<E: SearchEngine> Shard<E> {
-    /// Runs every query of `batch` against this shard, translating
-    /// shard-local ids to global ids.
+    /// Runs every query of `batch` against this shard (planning
+    /// per query locally — the legacy path), translating shard-local ids
+    /// to global ids.
     fn run_batch(
         &self,
         scratch: &mut E::Scratch,
@@ -83,6 +101,32 @@ impl<E: SearchEngine> Shard<E> {
             })
             .collect()
     }
+
+    /// Runs every query of `batch` against this shard with precomputed
+    /// plans (`plans[i]` belongs to `batch[i]`), translating shard-local
+    /// ids to global ids.
+    fn run_batch_planned(
+        &self,
+        scratch: &mut E::Scratch,
+        batch: &[E::Query],
+        plans: &[Arc<E::Plan>],
+        params: &E::Params,
+    ) -> ShardBatch<E::Stats> {
+        batch
+            .iter()
+            .zip(plans)
+            .map(|(q, plan)| {
+                let mut out = Vec::new();
+                let stats = self
+                    .engine
+                    .search_planned(scratch, plan, q, params, &mut out);
+                for id in &mut out {
+                    *id = self.ids[*id as usize];
+                }
+                (out, stats)
+            })
+            .collect()
+    }
 }
 
 /// A hash-partitioned collection of engines answering queries as one
@@ -93,11 +137,36 @@ pub struct ShardedIndex<E> {
     shards: Arc<Vec<Shard<E>>>,
     requested_shards: usize,
     total: usize,
+    /// Whether the shards were built dictionary-first
+    /// ([`ShardedIndex::build_global`]): query plans are then
+    /// shard-independent and computed once per query.
+    plan_once: bool,
+    /// Wall time spent building the shared dictionary (0 for the legacy
+    /// per-shard-dictionary path).
+    dict_build_ms: f64,
+    /// Long-lived planner scratch for [`ShardedIndex::plan_batch`]:
+    /// plan-side buffers (gram/token scratch vectors) are reused across
+    /// queries and batches instead of being allocated per query — the
+    /// same [`ScratchStore`] mechanism the pool workers use.
+    planner: Mutex<ScratchStore>,
     /// Lazily-spawned interior pool for [`ShardedIndex::search_batch`];
     /// resized (respawned) when a call asks for a different thread
     /// count. Callers wanting to share one pool across indexes use
     /// [`ShardedIndex::search_batch_on`] instead.
     pool: Mutex<Option<WorkerPool>>,
+}
+
+/// Hash-partitions `records`: returns per-shard `(global ids, records)`
+/// pairs, skipping empty shards.
+fn partition<R>(records: Vec<R>, shards: usize) -> Vec<(Vec<u32>, Vec<R>)> {
+    let mut parts: Vec<(Vec<u32>, Vec<R>)> = (0..shards).map(|_| Default::default()).collect();
+    for (id, record) in records.into_iter().enumerate() {
+        let s = shard_of(id as u64, shards);
+        parts[s].0.push(id as u32);
+        parts[s].1.push(record);
+    }
+    parts.retain(|(ids, _)| !ids.is_empty());
+    parts
 }
 
 impl<E: SearchEngine> ShardedIndex<E> {
@@ -106,21 +175,20 @@ impl<E: SearchEngine> ShardedIndex<E> {
     /// for tiny collections — are skipped, since the domain engines
     /// reject empty datasets).
     ///
+    /// This is the **legacy** build path: each shard derives its own
+    /// dictionary (gram/token frequency order) from its records alone,
+    /// so query plans are shard-local and each shard re-plans every
+    /// query. Prefer [`ShardedIndex::build_global`] for engines with a
+    /// dictionary.
+    ///
     /// # Panics
     /// Panics if `shards == 0`.
     pub fn build<R>(records: Vec<R>, shards: usize, build: impl Fn(Vec<R>) -> E) -> Self {
         assert!(shards > 0, "need at least one shard");
         let requested_shards = shards;
         let total = records.len();
-        let mut parts: Vec<(Vec<u32>, Vec<R>)> = (0..shards).map(|_| Default::default()).collect();
-        for (id, record) in records.into_iter().enumerate() {
-            let s = shard_of(id as u64, shards);
-            parts[s].0.push(id as u32);
-            parts[s].1.push(record);
-        }
-        let shards = parts
+        let shards = partition(records, shards)
             .into_iter()
-            .filter(|(ids, _)| !ids.is_empty())
             .map(|(ids, records)| Shard {
                 engine: build(records),
                 ids,
@@ -130,6 +198,54 @@ impl<E: SearchEngine> ShardedIndex<E> {
             shards: Arc::new(shards),
             requested_shards,
             total,
+            plan_once: false,
+            dict_build_ms: 0.0,
+            planner: Mutex::new(ScratchStore::default()),
+            pool: Mutex::new(None),
+        }
+    }
+
+    /// The **dictionary-first** build path: `dictionary` derives one
+    /// shared artifact (a gram interning table, a token rank space, …)
+    /// from the *whole* record set, and `build` constructs each shard's
+    /// engine against it. All shards then agree on every query-side
+    /// structure, so the index plans each query exactly once
+    /// ([`ShardedIndex::plan_batch`]) and hands the plan to every shard —
+    /// query-side preprocessing stops scaling with the shard count, and
+    /// per-shard candidate statistics become invariant under resharding.
+    ///
+    /// Engines without a dictionary (`Plan = ()`) gain nothing from
+    /// this path — prefer the legacy [`ShardedIndex::build`] for them,
+    /// since plan-once execution still pays one `Arc` per query.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn build_global<R, D>(
+        records: Vec<R>,
+        shards: usize,
+        dictionary: impl FnOnce(&[R]) -> D,
+        build: impl Fn(&D, Vec<R>) -> E,
+    ) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let requested_shards = shards;
+        let total = records.len();
+        let dict_start = Instant::now();
+        let dict = dictionary(&records);
+        let dict_build_ms = dict_start.elapsed().as_secs_f64() * 1e3;
+        let shards = partition(records, shards)
+            .into_iter()
+            .map(|(ids, records)| Shard {
+                engine: build(&dict, records),
+                ids,
+            })
+            .collect();
+        ShardedIndex {
+            shards: Arc::new(shards),
+            requested_shards,
+            total,
+            plan_once: true,
+            dict_build_ms,
+            planner: Mutex::new(ScratchStore::default()),
             pool: Mutex::new(None),
         }
     }
@@ -149,8 +265,55 @@ impl<E: SearchEngine> ShardedIndex<E> {
         self.total
     }
 
+    /// Whether this index plans each query once and shares the plan
+    /// across shards (the [`ShardedIndex::build_global`] path).
+    pub fn plan_once(&self) -> bool {
+        self.plan_once
+    }
+
+    /// Wall time spent building the shared dictionary, in milliseconds
+    /// (0 for the legacy per-shard-dictionary path).
+    pub fn dictionary_build_ms(&self) -> f64 {
+        self.dict_build_ms
+    }
+
+    /// Computes every query's plan exactly once against the index's
+    /// long-lived planner scratch. Returns `None` for legacy-built
+    /// indexes (per-shard dictionaries make plans shard-dependent) and
+    /// for empty indexes; callers then fall back to
+    /// [`ShardedIndex::search_batch`]'s per-shard planning.
+    ///
+    /// Concurrent callers (the server's dispatcher threads) do not
+    /// serialize here: the shared planner scratch is taken with
+    /// `try_lock`, and a contended caller plans against a fresh local
+    /// scratch instead of waiting out another batch's whole plan phase.
+    pub fn plan_batch(&self, batch: &[E::Query]) -> Option<Vec<Arc<E::Plan>>> {
+        if !self.plan_once {
+            return None;
+        }
+        let shard0 = self.shards.first()?;
+        let mut guard = match self.planner.try_lock() {
+            Ok(store) => Some(store),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+            Err(std::sync::TryLockError::Poisoned(e)) => panic!("planner mutex poisoned: {e}"),
+        };
+        let mut local: Option<E::Scratch> = None;
+        let scratch: &mut E::Scratch = match guard.as_mut() {
+            Some(store) => store.get_mut::<E::Scratch>(),
+            None => local.insert(E::Scratch::default()),
+        };
+        Some(
+            batch
+                .iter()
+                .map(|q| Arc::new(shard0.engine.plan(scratch, q)))
+                .collect(),
+        )
+    }
+
     /// Answers a single query on the calling thread (all shards,
-    /// serially, one scratch).
+    /// serially, one scratch). On a [`ShardedIndex::build_global`] index
+    /// the plan is computed once and reused by every shard, so the
+    /// query-side preprocessing cost is flat in the shard count.
     ///
     /// Convenience path: shards usually differ in record count, so the
     /// shared scratch re-sizes on every shard transition. Hot callers
@@ -162,11 +325,30 @@ impl<E: SearchEngine> ShardedIndex<E> {
             ids: Vec::new(),
             stats: E::Stats::default(),
         };
+        let plan = if self.plan_once {
+            self.shards
+                .first()
+                .map(|s0| Arc::new(s0.engine.plan(&mut scratch, query)))
+        } else {
+            None
+        };
         for shard in self.shards.iter() {
-            let mut res = shard.run_batch(&mut scratch, std::slice::from_ref(query), params);
+            let mut res = match &plan {
+                Some(p) => shard.run_batch_planned(
+                    &mut scratch,
+                    std::slice::from_ref(query),
+                    std::slice::from_ref(p),
+                    params,
+                ),
+                None => shard.run_batch(&mut scratch, std::slice::from_ref(query), params),
+            };
             let (ids, stats) = res.pop().expect("one query in, one result out");
             merged.ids.extend(ids);
             merged.stats.merge(&stats);
+        }
+        if let Some(p) = &plan {
+            let shard0 = self.shards.first().expect("plan implies a shard");
+            merged.stats.merge(&shard0.engine.plan_stats(p));
         }
         merged.ids.sort_unstable();
         merged
@@ -174,6 +356,10 @@ impl<E: SearchEngine> ShardedIndex<E> {
 
     /// Answers a batch of queries with up to `threads` worker threads
     /// from the index's interior persistent pool.
+    ///
+    /// On a [`ShardedIndex::build_global`] index every query is planned
+    /// exactly once ([`ShardedIndex::plan_batch`]) and the plan shared
+    /// by all shard jobs; legacy indexes plan per shard as before.
     ///
     /// The pool is spawned on the first parallel call and reused by
     /// every later batch (respawned only when `threads` changes), so
@@ -192,22 +378,54 @@ impl<E: SearchEngine> ShardedIndex<E> {
         params: &E::Params,
         threads: usize,
     ) -> Vec<SearchResult<E::Stats>> {
+        match self.plan_batch(batch) {
+            Some(plans) => self.search_batch_planned(batch, &plans, params, threads),
+            None => {
+                let ns = self.shards.len();
+                let workers = threads.clamp(1, ns.max(1));
+                if workers <= 1 || ns <= 1 {
+                    return self.merge(batch.len(), self.run_serial(batch, params));
+                }
+                let per_shard =
+                    self.with_interior_pool(workers, |pool| self.run_on(pool, batch, params));
+                self.merge(batch.len(), per_shard)
+            }
+        }
+    }
+
+    /// [`ShardedIndex::search_batch`] with caller-provided plans
+    /// (`plans[i]` belongs to `batch[i]`, from
+    /// [`ShardedIndex::plan_batch`]). Lets parameter sweeps reuse one
+    /// set of plans across several `params` values — plans are
+    /// parameter-independent by the [`SearchEngine::Plan`] contract.
+    ///
+    /// # Panics
+    /// Panics if `plans.len() != batch.len()`.
+    pub fn search_batch_planned(
+        &self,
+        batch: &[E::Query],
+        plans: &[Arc<E::Plan>],
+        params: &E::Params,
+        threads: usize,
+    ) -> Vec<SearchResult<E::Stats>> {
+        assert_eq!(batch.len(), plans.len(), "one plan per query");
         let ns = self.shards.len();
         let workers = threads.clamp(1, ns.max(1));
-        if workers <= 1 || ns <= 1 {
-            return self.merge(batch.len(), self.run_serial(batch, params));
-        }
-        let mut pool = self.pool.lock().expect("interior pool mutex poisoned");
-        if pool.as_ref().is_none_or(|p| p.workers() != workers) {
-            *pool = Some(WorkerPool::new(workers));
-        }
-        let per_shard = self.run_on(pool.as_ref().expect("pool just ensured"), batch, params);
-        self.merge(batch.len(), per_shard)
+        let per_shard = if workers <= 1 || ns <= 1 {
+            self.run_serial_planned(batch, plans, params)
+        } else {
+            self.with_interior_pool(workers, |pool| {
+                self.run_on_planned(pool, batch, plans, params)
+            })
+        };
+        self.merge_planned(batch.len(), per_shard, plans)
     }
 
     /// Answers a batch of queries on a caller-owned [`WorkerPool`]
     /// (shared across indexes — and across *domains*, since worker
-    /// scratch is keyed by scratch type).
+    /// scratch is keyed by scratch type). Plans once per query on
+    /// [`ShardedIndex::build_global`] indexes, exactly like
+    /// [`ShardedIndex::search_batch`].
     ///
     /// Same determinism guarantee as [`ShardedIndex::search_batch`]:
     /// per-shard results are merged in fixed shard order and sorted.
@@ -217,12 +435,39 @@ impl<E: SearchEngine> ShardedIndex<E> {
         batch: &[E::Query],
         params: &E::Params,
     ) -> Vec<SearchResult<E::Stats>> {
-        let per_shard = if self.shards.len() <= 1 || pool.workers() <= 1 {
-            self.run_serial(batch, params)
-        } else {
-            self.run_on(pool, batch, params)
-        };
-        self.merge(batch.len(), per_shard)
+        match self.plan_batch(batch) {
+            Some(plans) => {
+                let per_shard = if self.shards.len() <= 1 || pool.workers() <= 1 {
+                    self.run_serial_planned(batch, &plans, params)
+                } else {
+                    self.run_on_planned(pool, batch, &plans, params)
+                };
+                self.merge_planned(batch.len(), per_shard, &plans)
+            }
+            None => {
+                let per_shard = if self.shards.len() <= 1 || pool.workers() <= 1 {
+                    self.run_serial(batch, params)
+                } else {
+                    self.run_on(pool, batch, params)
+                };
+                self.merge(batch.len(), per_shard)
+            }
+        }
+    }
+
+    /// Ensures the interior pool has `workers` threads and runs `f` on
+    /// it (shared by the legacy and plan-sharing fan-outs, so the
+    /// ensure/respawn policy cannot diverge between them).
+    fn with_interior_pool(
+        &self,
+        workers: usize,
+        f: impl FnOnce(&WorkerPool) -> Vec<ShardBatch<E::Stats>>,
+    ) -> Vec<ShardBatch<E::Stats>> {
+        let mut pool = self.pool.lock().expect("interior pool mutex poisoned");
+        if pool.as_ref().is_none_or(|p| p.workers() != workers) {
+            *pool = Some(WorkerPool::new(workers));
+        }
+        f(pool.as_ref().expect("pool just ensured"))
     }
 
     /// Serial fallback: every shard on the calling thread, one scratch.
@@ -231,6 +476,21 @@ impl<E: SearchEngine> ShardedIndex<E> {
         self.shards
             .iter()
             .map(|s| s.run_batch(&mut scratch, batch, params))
+            .collect()
+    }
+
+    /// Serial plan-sharing fallback: every shard on the calling thread,
+    /// one scratch, one plan per query.
+    fn run_serial_planned(
+        &self,
+        batch: &[E::Query],
+        plans: &[Arc<E::Plan>],
+        params: &E::Params,
+    ) -> Vec<ShardBatch<E::Stats>> {
+        let mut scratch = E::Scratch::default();
+        self.shards
+            .iter()
+            .map(|s| s.run_batch_planned(&mut scratch, batch, plans, params))
             .collect()
     }
 
@@ -247,18 +507,55 @@ impl<E: SearchEngine> ShardedIndex<E> {
         batch: &[E::Query],
         params: &E::Params,
     ) -> Vec<ShardBatch<E::Stats>> {
-        let ns = self.shards.len();
         let batch: Arc<Vec<E::Query>> = Arc::new(batch.to_vec());
+        self.fan_out(
+            pool,
+            move |shard, scratch, params| shard.run_batch(scratch, &batch, params),
+            params,
+        )
+    }
+
+    /// [`ShardedIndex::run_on`] with shared plans: each shard job
+    /// receives `&Plan` references into one `Arc`'d plan set.
+    fn run_on_planned(
+        &self,
+        pool: &WorkerPool,
+        batch: &[E::Query],
+        plans: &[Arc<E::Plan>],
+        params: &E::Params,
+    ) -> Vec<ShardBatch<E::Stats>> {
+        let batch: Arc<Vec<E::Query>> = Arc::new(batch.to_vec());
+        let plans: Arc<Vec<Arc<E::Plan>>> = Arc::new(plans.to_vec());
+        self.fan_out(
+            pool,
+            move |shard, scratch, params| shard.run_batch_planned(scratch, &batch, &plans, params),
+            params,
+        )
+    }
+
+    /// Shared fan-out skeleton: one job per shard on `pool`, results
+    /// collected back into fixed shard order.
+    fn fan_out(
+        &self,
+        pool: &WorkerPool,
+        run: impl Fn(&Shard<E>, &mut E::Scratch, &E::Params) -> ShardBatch<E::Stats>
+            + Clone
+            + Send
+            + Sync
+            + 'static,
+        params: &E::Params,
+    ) -> Vec<ShardBatch<E::Stats>> {
+        let ns = self.shards.len();
         let (tx, rx) = mpsc::channel::<(usize, ShardBatch<E::Stats>)>();
         for si in 0..ns {
             let shards = Arc::clone(&self.shards);
-            let batch = Arc::clone(&batch);
             let params = params.clone();
             let tx = tx.clone();
+            let run = run.clone();
             pool.submit(move |store| {
                 let scratch = store.get_mut::<E::Scratch>();
                 // The receiver only hangs up on panic-unwind; ignore.
-                let _ = tx.send((si, shards[si].run_batch(scratch, &batch, &params)));
+                let _ = tx.send((si, run(&shards[si], scratch, &params)));
             })
             // Searching on a pool the caller already shut down is a
             // caller bug; failing loudly beats deadlocking below on
@@ -303,11 +600,30 @@ impl<E: SearchEngine> ShardedIndex<E> {
         }
         merged
     }
+
+    /// [`ShardedIndex::merge`] plus each query's plan-time statistics,
+    /// folded in **once per query** (the shards reported execution-only
+    /// statistics).
+    fn merge_planned(
+        &self,
+        batch_len: usize,
+        per_shard: Vec<ShardBatch<E::Stats>>,
+        plans: &[Arc<E::Plan>],
+    ) -> Vec<SearchResult<E::Stats>> {
+        let mut merged = self.merge(batch_len, per_shard);
+        if let Some(shard0) = self.shards.first() {
+            for (res, plan) in merged.iter_mut().zip(plans) {
+                res.stats.merge(&shard0.engine.plan_stats(plan));
+            }
+        }
+        merged
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     /// Toy engine for service-layer tests: records are integers, a query
     /// matches every record within `params` of it.
@@ -333,14 +649,18 @@ mod tests {
         type Params = i64;
         type Stats = AbsDiffStats;
         type Scratch = ();
+        type Plan = ();
 
         fn num_records(&self) -> usize {
             self.values.len()
         }
 
-        fn search_into(
+        fn plan(&self, _scratch: &mut (), _query: &i64) {}
+
+        fn search_planned(
             &self,
             _scratch: &mut (),
+            _plan: &(),
             query: &i64,
             params: &i64,
             out: &mut Vec<u32>,
@@ -357,10 +677,73 @@ mod tests {
         }
     }
 
+    /// A plan-counting engine: its plan is the query doubled, and every
+    /// `plan` call is counted so tests can assert plan-once behaviour.
+    struct CountingEngine {
+        inner: AbsDiffEngine,
+        plans_computed: Arc<AtomicUsize>,
+    }
+
+    impl SearchEngine for CountingEngine {
+        type Query = i64;
+        type Params = i64;
+        type Stats = AbsDiffStats;
+        type Scratch = ();
+        type Plan = i64;
+
+        fn num_records(&self) -> usize {
+            self.inner.num_records()
+        }
+
+        fn plan(&self, _scratch: &mut (), query: &i64) -> i64 {
+            self.plans_computed.fetch_add(1, Ordering::SeqCst);
+            query * 2
+        }
+
+        fn search_planned(
+            &self,
+            scratch: &mut (),
+            plan: &i64,
+            query: &i64,
+            params: &i64,
+            out: &mut Vec<u32>,
+        ) -> AbsDiffStats {
+            assert_eq!(*plan, query * 2, "shard received a foreign plan");
+            self.inner.search_planned(scratch, &(), query, params, out)
+        }
+    }
+
     fn build_sharded(n: usize, shards: usize) -> (Vec<i64>, ShardedIndex<AbsDiffEngine>) {
         let values: Vec<i64> = (0..n as i64).map(|i| (i * 37) % 101).collect();
         let index = ShardedIndex::build(values.clone(), shards, |values| AbsDiffEngine { values });
         (values, index)
+    }
+
+    fn build_counting(
+        n: usize,
+        shards: usize,
+        global: bool,
+    ) -> (Arc<AtomicUsize>, ShardedIndex<CountingEngine>) {
+        let values: Vec<i64> = (0..n as i64).map(|i| (i * 37) % 101).collect();
+        let plans = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&plans);
+        let index = if global {
+            ShardedIndex::build_global(
+                values,
+                shards,
+                |_| (),
+                move |_, values| CountingEngine {
+                    inner: AbsDiffEngine { values },
+                    plans_computed: Arc::clone(&counter),
+                },
+            )
+        } else {
+            ShardedIndex::build(values, shards, move |values| CountingEngine {
+                inner: AbsDiffEngine { values },
+                plans_computed: Arc::clone(&counter),
+            })
+        };
+        (plans, index)
     }
 
     #[test]
@@ -417,6 +800,62 @@ mod tests {
     }
 
     #[test]
+    fn global_build_plans_once_per_query_for_any_shard_count() {
+        let batch: Vec<i64> = (0..10).map(|i| i * 11).collect();
+        for k in [1usize, 2, 4, 7] {
+            let (plans, index) = build_counting(300, k, true);
+            assert!(index.plan_once());
+            for threads in [1usize, 4] {
+                plans.store(0, Ordering::SeqCst);
+                let _ = index.search_batch(&batch, &7, threads);
+                assert_eq!(
+                    plans.load(Ordering::SeqCst),
+                    batch.len(),
+                    "k={k} threads={threads}: one plan per query, not per shard"
+                );
+            }
+            // Single-query path plans once too.
+            plans.store(0, Ordering::SeqCst);
+            let _ = index.search(&5, &7);
+            assert_eq!(plans.load(Ordering::SeqCst), 1, "k={k}");
+        }
+    }
+
+    #[test]
+    fn legacy_build_plans_per_shard_and_matches_global_results() {
+        let batch: Vec<i64> = (0..10).map(|i| i * 11).collect();
+        let (legacy_plans, legacy) = build_counting(300, 4, false);
+        let (_, global) = build_counting(300, 4, true);
+        assert!(!legacy.plan_once());
+        assert!(legacy.plan_batch(&batch).is_none());
+        let legacy_res = legacy.search_batch(&batch, &7, 2);
+        let global_res = global.search_batch(&batch, &7, 2);
+        // The legacy path plans once per (query, shard).
+        assert_eq!(
+            legacy_plans.load(Ordering::SeqCst),
+            batch.len() * legacy.num_shards()
+        );
+        for qi in 0..batch.len() {
+            assert_eq!(legacy_res[qi].ids, global_res[qi].ids, "qi={qi}");
+            assert_eq!(legacy_res[qi].stats, global_res[qi].stats, "qi={qi}");
+        }
+    }
+
+    #[test]
+    fn precomputed_plans_are_reusable_across_params() {
+        let (_, index) = build_counting(200, 3, true);
+        let batch: Vec<i64> = (0..8).collect();
+        let plans = index.plan_batch(&batch).expect("global build plans");
+        for params in [3i64, 7, 11] {
+            let via_plans = index.search_batch_planned(&batch, &plans, &params, 2);
+            let direct = index.search_batch(&batch, &params, 2);
+            for qi in 0..batch.len() {
+                assert_eq!(via_plans[qi].ids, direct[qi].ids, "params={params} qi={qi}");
+            }
+        }
+    }
+
+    #[test]
     fn search_batch_on_shared_pool_matches_interior_pool() {
         let (_, index_a) = build_sharded(300, 4);
         let (_, index_b) = build_sharded(150, 3);
@@ -436,6 +875,20 @@ mod tests {
             for qi in 0..batch.len() {
                 assert_eq!(via_pool_b[qi].ids, via_interior_b[qi].ids, "qi={qi}");
             }
+        }
+    }
+
+    #[test]
+    fn search_batch_on_plans_once_with_shared_pool() {
+        let (plans, index) = build_counting(300, 4, true);
+        let pool = WorkerPool::new(2);
+        let batch: Vec<i64> = (0..9).collect();
+        let expect = index.search_batch(&batch, &5, 1);
+        plans.store(0, Ordering::SeqCst);
+        let got = index.search_batch_on(&pool, &batch, &5);
+        assert_eq!(plans.load(Ordering::SeqCst), batch.len());
+        for qi in 0..batch.len() {
+            assert_eq!(got[qi].ids, expect[qi].ids, "qi={qi}");
         }
     }
 
@@ -484,5 +937,12 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         let _ = ShardedIndex::build(vec![1i64], 0, |values| AbsDiffEngine { values });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected_global() {
+        let _ =
+            ShardedIndex::build_global(vec![1i64], 0, |_| (), |_, values| AbsDiffEngine { values });
     }
 }

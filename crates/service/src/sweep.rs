@@ -10,6 +10,7 @@
 //! `BENCH_service.json` artifact CI uploads.
 
 use std::hash::{BuildHasher, BuildHasherDefault, Hasher};
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::engine::SearchEngine;
@@ -33,19 +34,32 @@ pub struct SweepRow {
     pub queries: usize,
     /// Total result ids across all queries.
     pub results: usize,
-    /// End-to-end wall time in milliseconds.
+    /// End-to-end wall time in milliseconds, *including* this row's
+    /// query-plan cost (whether planning ran inline or was precomputed
+    /// by the caller), so rows from [`Sweep::run`] and
+    /// [`Sweep::run_with_plans`] are comparable.
     pub total_ms: f64,
-    /// Queries per second over the whole sweep.
+    /// Queries per second over the whole sweep (from `total_ms`).
     pub qps: f64,
     /// `qps / shards`: per-shard throughput CI tracks for regressions.
     pub per_shard_qps: f64,
     /// Median per-query latency in milliseconds (a query's latency is
-    /// its batch's wall time: batched queries complete together).
+    /// its batch's *execution* wall time — batched queries complete
+    /// together; plan time is reported separately in `plan_ms`).
     pub p50_ms: f64,
     /// 95th-percentile per-query latency in milliseconds.
     pub p95_ms: f64,
     /// 99th-percentile per-query latency in milliseconds.
     pub p99_ms: f64,
+    /// Total wall time spent computing query plans (0 for legacy
+    /// per-shard-dictionary indexes, whose shards plan internally).
+    pub plan_ms: f64,
+    /// `plan_ms` per query in microseconds — the plan-once acceptance
+    /// metric: flat across shard counts on `build_global` indexes.
+    pub plan_us_per_query: f64,
+    /// Wall time the index spent building its shared dictionary (0 for
+    /// legacy builds).
+    pub dict_build_ms: f64,
     /// Order-sensitive FxHash fingerprint of every query's result ids.
     pub result_hash: u64,
 }
@@ -113,6 +127,11 @@ impl Sweep {
     /// `threads` workers, records a row labelled `domain`/`dataset`, and
     /// returns it along with the statistics aggregated over every query
     /// and shard.
+    ///
+    /// On a [`ShardedIndex::build_global`] index every chunk's plans are
+    /// computed once (timed into the row's `plan_ms`) and shared by all
+    /// shards; legacy indexes run the per-shard-planning path with
+    /// `plan_ms = 0`.
     #[expect(
         clippy::too_many_arguments,
         reason = "one timed configuration is exactly these eight knobs"
@@ -127,19 +146,97 @@ impl Sweep {
         batch: usize,
         threads: usize,
     ) -> (&SweepRow, E::Stats) {
+        self.run_inner(
+            domain, dataset, index, queries, None, params, batch, threads,
+        )
+    }
+
+    /// [`Sweep::run`] with caller-precomputed plans (one per query, from
+    /// [`ShardedIndex::plan_batch`]) and the caller-measured planning
+    /// time — the parameter-sweep path: one plan set serves every
+    /// `params` value, so e.g. an `l` sweep plans each query once total.
+    #[expect(
+        clippy::too_many_arguments,
+        reason = "Sweep::run's eight knobs plus the shared plan set"
+    )]
+    pub fn run_with_plans<E: SearchEngine>(
+        &mut self,
+        domain: &str,
+        dataset: &str,
+        index: &ShardedIndex<E>,
+        queries: &[E::Query],
+        plans: &[Arc<E::Plan>],
+        plan_ms: f64,
+        params: &E::Params,
+        batch: usize,
+        threads: usize,
+    ) -> (&SweepRow, E::Stats) {
+        self.run_inner(
+            domain,
+            dataset,
+            index,
+            queries,
+            Some((plans, plan_ms)),
+            params,
+            batch,
+            threads,
+        )
+    }
+
+    #[expect(
+        clippy::too_many_arguments,
+        reason = "shared core of the two public run flavours"
+    )]
+    fn run_inner<E: SearchEngine>(
+        &mut self,
+        domain: &str,
+        dataset: &str,
+        index: &ShardedIndex<E>,
+        queries: &[E::Query],
+        shared_plans: Option<(&[Arc<E::Plan>], f64)>,
+        params: &E::Params,
+        batch: usize,
+        threads: usize,
+    ) -> (&SweepRow, E::Stats) {
         use crate::engine::MergeStats;
         let batch = batch.max(1);
         let mut hasher = ResultHasher::new();
         let mut results = 0usize;
         let mut agg = E::Stats::default();
+        let mut plan_ms = shared_plans.map_or(0.0, |(_, ms)| ms);
         // Per-query latency samples: every query in a batch completes
-        // when its batch does, so a batch contributes its wall time once
-        // per query it carried.
+        // when its batch does, so a batch contributes its *execution*
+        // wall time (planning excluded — it is reported in `plan_ms`)
+        // once per query it carried.
         let mut latencies: Vec<f64> = Vec::with_capacity(queries.len());
         let start = Instant::now();
+        let mut served = 0usize;
         for chunk in queries.chunks(batch) {
+            // Plan outside the per-batch latency window so p50/p95/p99
+            // mean the same thing whether plans were inlined here or
+            // precomputed by the caller.
+            let chunk_plans = match shared_plans {
+                Some(_) => None,
+                None => {
+                    let plan_start = Instant::now();
+                    let plans = index.plan_batch(chunk);
+                    if plans.is_some() {
+                        plan_ms += plan_start.elapsed().as_secs_f64() * 1e3;
+                    }
+                    plans
+                }
+            };
             let batch_start = Instant::now();
-            let batch_results = index.search_batch(chunk, params, threads);
+            let batch_results = match (shared_plans, &chunk_plans) {
+                (Some((plans, _)), _) => index.search_batch_planned(
+                    chunk,
+                    &plans[served..served + chunk.len()],
+                    params,
+                    threads,
+                ),
+                (None, Some(plans)) => index.search_batch_planned(chunk, plans, params, threads),
+                (None, None) => index.search_batch(chunk, params, threads),
+            };
             let batch_ms = batch_start.elapsed().as_secs_f64() * 1e3;
             latencies.extend(std::iter::repeat_n(batch_ms, chunk.len()));
             for res in batch_results {
@@ -147,8 +244,14 @@ impl Sweep {
                 results += res.ids.len();
                 agg.merge(&res.stats);
             }
+            served += chunk.len();
         }
-        let total_ms = start.elapsed().as_secs_f64() * 1e3;
+        // End-to-end time *including* the row's plan cost: inline
+        // planning already sits inside the `start` window, and
+        // caller-precomputed planning is added explicitly, so
+        // `total_ms`/`qps` are comparable between the two run flavours
+        // (and with a standalone run at one parameter value).
+        let total_ms = start.elapsed().as_secs_f64() * 1e3 + shared_plans.map_or(0.0, |(_, ms)| ms);
         latencies.sort_by(f64::total_cmp);
         // A zero elapsed time (coarse clock, empty query slice) would
         // make qps infinite — which `{:.3}` renders as `inf`, breaking
@@ -172,6 +275,9 @@ impl Sweep {
             p50_ms: percentile(&latencies, 50.0),
             p95_ms: percentile(&latencies, 95.0),
             p99_ms: percentile(&latencies, 99.0),
+            plan_ms,
+            plan_us_per_query: plan_ms * 1e3 / queries.len().max(1) as f64,
+            dict_build_ms: index.dictionary_build_ms(),
             result_hash: hasher.finish(),
         });
         (self.rows.last().expect("row just pushed"), agg)
@@ -186,7 +292,9 @@ impl Sweep {
                 "  {{\"domain\": \"{}\", \"dataset\": \"{}\", \"shards\": {}, \"threads\": {}, \
                  \"batch\": {}, \"queries\": {}, \"results\": {}, \"total_ms\": {:.3}, \
                  \"qps\": {:.3}, \"per_shard_qps\": {:.3}, \"p50_ms\": {:.3}, \
-                 \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"result_hash\": \"{:016x}\"}}{}\n",
+                 \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"plan_ms\": {:.3}, \
+                 \"plan_us_per_query\": {:.3}, \"dict_build_ms\": {:.3}, \
+                 \"result_hash\": \"{:016x}\"}}{}\n",
                 escape(&row.domain),
                 escape(&row.dataset),
                 row.shards,
@@ -200,6 +308,9 @@ impl Sweep {
                 row.p50_ms,
                 row.p95_ms,
                 row.p99_ms,
+                row.plan_ms,
+                row.plan_us_per_query,
+                row.dict_build_ms,
                 row.result_hash,
                 if i + 1 < self.rows.len() { "," } else { "" },
             ));
@@ -255,14 +366,18 @@ mod tests {
         type Params = ();
         type Stats = NoStats;
         type Scratch = ();
+        type Plan = ();
 
         fn num_records(&self) -> usize {
             self.values.len()
         }
 
-        fn search_into(
+        fn plan(&self, _scratch: &mut (), _query: &u32) {}
+
+        fn search_planned(
             &self,
             _scratch: &mut (),
+            _plan: &(),
             query: &u32,
             _params: &(),
             out: &mut Vec<u32>,
@@ -279,6 +394,11 @@ mod tests {
     fn index(k: usize) -> ShardedIndex<EqEngine> {
         let values: Vec<u32> = (0..64).map(|i| i % 8).collect();
         ShardedIndex::build(values, k, |values| EqEngine { values })
+    }
+
+    fn global_index(k: usize) -> ShardedIndex<EqEngine> {
+        let values: Vec<u32> = (0..64).map(|i| i % 8).collect();
+        ShardedIndex::build_global(values, k, |_| (), |_, values| EqEngine { values })
     }
 
     #[test]
@@ -358,6 +478,31 @@ mod tests {
         assert!(json.contains("\"p50_ms\""));
         assert!(json.contains("\"p95_ms\""));
         assert!(json.contains("\"p99_ms\""));
+    }
+
+    #[test]
+    fn rows_carry_plan_and_dictionary_timing() {
+        let queries: Vec<u32> = (0..16).map(|i| i % 8).collect();
+        let mut sweep = Sweep::new();
+        // Legacy build: shards plan internally, so plan_ms stays 0.
+        sweep.run("toy", "legacy", &index(2), &queries, &(), 4, 1);
+        assert_eq!(sweep.rows[0].plan_ms, 0.0);
+        assert_eq!(sweep.rows[0].dict_build_ms, 0.0);
+        // Dictionary-first build: the plan phase is timed (possibly 0.0
+        // on a coarse clock, but the hash must match the legacy run).
+        let g = global_index(2);
+        sweep.run("toy", "global", &g, &queries, &(), 4, 1);
+        assert!(sweep.rows[1].plan_ms >= 0.0);
+        assert_eq!(sweep.rows[0].result_hash, sweep.rows[1].result_hash);
+        // Precomputed plans reuse: same answers, caller-measured time.
+        let plans = g.plan_batch(&queries).expect("global build plans");
+        sweep.run_with_plans("toy", "shared", &g, &queries, &plans, 1.25, &(), 4, 1);
+        assert_eq!(sweep.rows[2].result_hash, sweep.rows[1].result_hash);
+        assert!(sweep.rows[2].plan_ms >= 1.25);
+        let json = sweep.to_json();
+        assert!(json.contains("\"plan_ms\""));
+        assert!(json.contains("\"plan_us_per_query\""));
+        assert!(json.contains("\"dict_build_ms\""));
     }
 
     #[test]

@@ -39,9 +39,9 @@ pub use adapt::AdaptSearch;
 pub use join::self_join;
 pub use partalloc::PartAlloc;
 pub use pkwise::{ClassMap, PkwiseIndex};
-pub use ring::{Pkwise, RingSetSim, SetScratch, SetStats};
+pub use ring::{Pkwise, RingSetSim, SetPlan, SetScratch, SetStats};
 pub use service::SetParams;
-pub use types::{Collection, LinearScanSets, Threshold};
+pub use types::{Collection, LinearScanSets, Threshold, TokenDictionary};
 
 #[cfg(test)]
 mod paper_examples;

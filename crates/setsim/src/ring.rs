@@ -60,6 +60,44 @@ impl SetStats {
     }
 }
 
+/// The query-side plan for one set-similarity query: everything that
+/// depends on the query (and the shared token dictionary) but not on any
+/// particular shard's postings — the ranked query, its class prefix, the
+/// Theorem-7 threshold scheme, and the **enumerated k-wise signatures**.
+/// Computed once by [`RingSetSim::plan_query`]; reusable across shards
+/// sharing the query's dictionary and across chain lengths `l` (nothing
+/// here depends on `l`), so the combinatorial signature enumeration runs
+/// once per query instead of once per shard per `l`.
+#[derive(Clone, Debug)]
+pub struct SetPlan {
+    /// The query in the dictionary's rank space (sorted, deduplicated).
+    ranked: Vec<u32>,
+    /// The query's class prefix; `None` when no record can reach the
+    /// required overlap (`o(q) > |q|`) and the search is empty.
+    prefix: Option<Prefix>,
+    /// Theorem-7 (≥) thresholds; `None` when `prefix` is `None` or
+    /// degenerate (no signature guarantee from the query side).
+    scheme: Option<ThresholdScheme<i64>>,
+    /// Enumerated query signatures: `(class k, signature hash)` pairs in
+    /// class-then-lexicographic order.
+    sigs: Vec<(u8, u64)>,
+    /// Signatures enumerated (the `C_C1` proxy) — a plan-time statistic,
+    /// accounted once per query by the service layer.
+    sig_probes: usize,
+}
+
+impl SetPlan {
+    /// The query translated into the dictionary's rank space.
+    pub fn ranked(&self) -> &[u32] {
+        &self.ranked
+    }
+
+    /// Signatures enumerated while planning.
+    pub fn sig_probes(&self) -> usize {
+        self.sig_probes
+    }
+}
+
 /// Per-thread mutable query state for [`RingSetSim`]: the epoch-stamped
 /// candidate dedup array, the Corollary-2 ruled-start bitmasks, and the
 /// per-record *box-value cache*.
@@ -83,6 +121,8 @@ pub struct SetScratch {
     box_vals: Vec<u32>,
     /// Box count the cache was sized for.
     m: usize,
+    /// Reused dedup buffer for raw-query ranking in the planning path.
+    pub(crate) rank_buf: Vec<u32>,
 }
 
 impl SetScratch {
@@ -162,8 +202,25 @@ impl RingSetSim {
         q: &[u32],
         l: usize,
     ) -> (Vec<u32>, SetStats) {
-        let (cands, mut stats) = self.candidates_with(scratch, q, l);
+        let plan = self.plan_query(q);
+        let (ids, mut stats) = self.search_with_plan(scratch, &plan, l);
+        stats.sig_probes = stats.sig_probes.saturating_add(plan.sig_probes);
+        (ids, stats)
+    }
+
+    /// [`RingSetSim::search_with`] against a precomputed [`SetPlan`]
+    /// (the plan-once path: one plan serves every shard and every `l`).
+    /// Plan-time statistics ([`SetPlan::sig_probes`]) are *not* included
+    /// — the plan's owner accounts them once per query.
+    pub fn search_with_plan(
+        &self,
+        scratch: &mut SetScratch,
+        plan: &SetPlan,
+        l: usize,
+    ) -> (Vec<u32>, SetStats) {
+        let (cands, mut stats) = self.candidates_with_plan(scratch, plan, l);
         let threshold = self.threshold;
+        let q = plan.ranked();
         let mut results: Vec<u32> = cands
             .into_iter()
             .filter(|&id| {
@@ -177,6 +234,84 @@ impl RingSetSim {
         (results, stats)
     }
 
+    /// Computes the query-side plan from a query already in this
+    /// engine's rank space: required overlap, class prefix, Theorem-7
+    /// thresholds, and the full k-wise signature enumeration — the work
+    /// that is identical for every shard sharing this engine's token
+    /// dictionary. Touches no per-record state.
+    pub fn plan_query(&self, q: &[u32]) -> SetPlan {
+        self.plan_ranked(q.to_vec())
+    }
+
+    /// [`RingSetSim::plan_query`] taking ownership of the rank array
+    /// (avoids a second copy on the raw-query path).
+    fn plan_ranked(&self, ranked: Vec<u32>) -> SetPlan {
+        let q: &[u32] = &ranked;
+        let m = self.m();
+        let threshold = self.threshold;
+        let oq = threshold.min_overlap_single(q.len());
+        if oq as usize > q.len() {
+            // No record can reach the overlap: an empty plan.
+            return SetPlan {
+                ranked,
+                prefix: None,
+                scheme: None,
+                sigs: Vec::new(),
+                sig_probes: 0,
+            };
+        }
+        let qp = compute_prefix(q, self.index.classes(), oq).expect("o(q) ≤ |q| was just checked");
+        if qp.degenerate {
+            return SetPlan {
+                ranked,
+                prefix: Some(qp),
+                scheme: None,
+                sigs: Vec::new(),
+                sig_probes: 0,
+            };
+        }
+        // Theorem 7 (≥) thresholds: t₀ for the suffix box, t_k per
+        // class; ‖T‖₁ = o(q) + m − 1.
+        let mut t = vec![0i64; m];
+        t[0] = q.len() as i64 - qp.len as i64 + 1;
+        for (k, tk) in t.iter_mut().enumerate().skip(1) {
+            let cnt = qp.count(k) as i64;
+            *tk = if cnt >= k as i64 { k as i64 } else { cnt + 1 };
+        }
+        debug_assert_eq!(t.iter().sum::<i64>(), oq as i64 + m as i64 - 1);
+        let scheme = ThresholdScheme::integer_reduced(t);
+        let mut sigs: Vec<(u8, u64)> = Vec::new();
+        let mut sig_probes = 0usize;
+        for k in 1..m {
+            let toks = &qp.grouped[k - 1];
+            if toks.len() < k {
+                continue;
+            }
+            sig_probes += combination_count(toks.len(), k) as usize;
+            for_each_combination(toks, k, &mut |combo| {
+                sigs.push((k as u8, signature_hash(combo)));
+            });
+        }
+        SetPlan {
+            ranked,
+            prefix: Some(qp),
+            scheme: Some(scheme),
+            sigs,
+            sig_probes,
+        }
+    }
+
+    /// [`RingSetSim::plan_query`] from a *raw*-token query: ranks it
+    /// through the collection's dictionary first (reusing `scratch`'s
+    /// dedup buffer), then plans. This is the service-layer entry point.
+    pub fn plan_raw_query(&self, scratch: &mut SetScratch, raw: &[u32]) -> SetPlan {
+        let ranked = self
+            .collection
+            .dictionary()
+            .rank_query_with(&mut scratch.rank_buf, raw);
+        self.plan_ranked(ranked)
+    }
+
     /// Candidate generation only (no verification), for timing the
     /// filter separately (Figure 6's "Cand." series).
     pub fn candidates(&mut self, q: &[u32], l: usize) -> (Vec<u32>, SetStats) {
@@ -187,11 +322,37 @@ impl RingSetSim {
     }
 
     /// [`RingSetSim::candidates`] against a caller-owned scratch
-    /// (`&self`; see [`RingSetSim::search_with`]).
+    /// (`&self`; see [`RingSetSim::search_with`]). Plan-time statistics
+    /// (`sig_probes`) are included, as before the plan/execute split.
+    ///
+    /// This plan-and-discard path materializes the signature enumeration
+    /// into one per-query `Vec` (the pre-split code streamed each
+    /// combination straight into a lookup). The CPU cost is unchanged —
+    /// the same combinations were always enumerated and hashed — and
+    /// the transient memory is bounded by the lookup count the query
+    /// performs anyway; accepting that buys the sharded/service callers
+    /// enumeration reuse across shards and `l` values.
     pub fn candidates_with(
         &self,
         scratch: &mut SetScratch,
         q: &[u32],
+        l: usize,
+    ) -> (Vec<u32>, SetStats) {
+        let plan = self.plan_query(q);
+        let (ids, mut stats) = self.candidates_with_plan(scratch, &plan, l);
+        stats.sig_probes = stats.sig_probes.saturating_add(plan.sig_probes);
+        (ids, stats)
+    }
+
+    /// [`RingSetSim::candidates_with`] against a precomputed [`SetPlan`]:
+    /// the execute-per-shard half of the split. Probes this engine's
+    /// signature index with the plan's pre-enumerated signatures — no
+    /// combinatorial enumeration happens here, so running one plan
+    /// against `K` shards (or several `l` values) enumerates once total.
+    pub fn candidates_with_plan(
+        &self,
+        scratch: &mut SetScratch,
+        plan: &SetPlan,
         l: usize,
     ) -> (Vec<u32>, SetStats) {
         let m = self.m();
@@ -199,13 +360,11 @@ impl RingSetSim {
         let mut stats = SetStats::default();
         let epoch = scratch.next_epoch(self.collection.len(), m);
         let threshold = self.threshold;
+        let q = plan.ranked();
 
-        let oq = threshold.min_overlap_single(q.len());
-        if oq as usize > q.len() {
+        let Some(qp) = &plan.prefix else {
             return (Vec::new(), stats); // no record can reach the overlap
-        }
-        let qp = compute_prefix(q, self.index.classes(), oq).expect("o(q) ≤ |q| was just checked");
-
+        };
         let mut cands: Vec<u32> = Vec::new();
         if qp.degenerate {
             // No signature guarantee from the query side: every
@@ -216,16 +375,10 @@ impl RingSetSim {
                 }
             }
         } else {
-            // Theorem 7 (≥) thresholds: t₀ for the suffix box, t_k per
-            // class; ‖T‖₁ = o(q) + m − 1.
-            let mut t = vec![0i64; m];
-            t[0] = q.len() as i64 - qp.len as i64 + 1;
-            for (k, tk) in t.iter_mut().enumerate().skip(1) {
-                let cnt = qp.count(k) as i64;
-                *tk = if cnt >= k as i64 { k as i64 } else { cnt + 1 };
-            }
-            debug_assert_eq!(t.iter().sum::<i64>(), oq as i64 + m as i64 - 1);
-            let scheme = ThresholdScheme::integer_reduced(t);
+            let scheme = plan
+                .scheme
+                .as_ref()
+                .expect("non-degenerate plan carries a threshold scheme");
 
             let collection = &self.collection;
             let index = &self.index;
@@ -243,15 +396,11 @@ impl RingSetSim {
                 ..
             } = *inner;
 
-            for k in 1..m {
-                let toks = &qp.grouped[k - 1];
-                if toks.len() < k {
-                    continue;
-                }
-                stats.sig_probes += combination_count(toks.len(), k) as usize;
-                for_each_combination(toks, k, &mut |combo| {
-                    let Some(ids) = index.lookup(k, signature_hash(combo)) else {
-                        return;
+            for &(k8, sig) in &plan.sigs {
+                let k = k8 as usize;
+                {
+                    let Some(ids) = index.lookup(k, sig) else {
+                        continue;
                     };
                     for &id in ids {
                         stats.viable_boxes += 1;
@@ -276,23 +425,22 @@ impl RingSetSim {
                         // box (a chain reaching b₀ verifies directly).
                         let span = l.min(m - k);
                         let xp = index.prefix(id).expect("indexed record has a prefix");
-                        let check =
-                            check_prefix_viable_lazy(&scheme, Direction::Ge, k, span, |j| {
-                                let c = j % m;
-                                debug_assert!(c >= 1);
-                                cached_class_overlap(
-                                    xp,
-                                    &qp,
-                                    c,
-                                    idu,
-                                    epoch,
-                                    m,
-                                    box_epoch,
-                                    box_mask,
-                                    box_vals,
-                                    &mut stats.boxes_checked,
-                                ) as i64
-                            });
+                        let check = check_prefix_viable_lazy(scheme, Direction::Ge, k, span, |j| {
+                            let c = j % m;
+                            debug_assert!(c >= 1);
+                            cached_class_overlap(
+                                xp,
+                                qp,
+                                c,
+                                idu,
+                                epoch,
+                                m,
+                                box_epoch,
+                                box_mask,
+                                box_vals,
+                                &mut stats.boxes_checked,
+                            ) as i64
+                        });
                         match check {
                             Ok(()) => {
                                 accepted[idu] = epoch;
@@ -318,7 +466,7 @@ impl RingSetSim {
                                     let b0_ub =
                                         (x.len() - xp.len) as i64 + (q.len() - qp.len) as i64;
                                     let c0 = check_prefix_viable_lazy(
-                                        &scheme,
+                                        scheme,
                                         Direction::Ge,
                                         0,
                                         l,
@@ -328,7 +476,7 @@ impl RingSetSim {
                                             } else {
                                                 cached_class_overlap(
                                                     xp,
-                                                    &qp,
+                                                    qp,
                                                     j,
                                                     idu,
                                                     epoch,
@@ -353,7 +501,7 @@ impl RingSetSim {
                             }
                         }
                     }
-                });
+                }
             }
             // Degenerate records carry no signature guarantee: always
             // candidates (subject to the length filter).

@@ -2,15 +2,19 @@
 //! `pigeonring-service` sharded query layer.
 //!
 //! Queries through this adapter are **raw token sets** (arbitrary `u32`
-//! token ids, as fed to [`crate::Collection::new`]), not rank arrays:
-//! every shard re-ranks its own records by local frequency, so a single
-//! rank-space query cannot be valid across shards. The adapter
-//! translates the raw query into each shard's rank space with
-//! [`crate::Collection::rank_query`], which preserves set sizes and
-//! overlaps exactly — so the merged result set is identical for every
-//! shard count.
+//! token ids, as fed to [`crate::Collection::new`]), not rank arrays.
+//! The plan ([`SetPlan`]) ranks the raw query through the collection's
+//! [`TokenDictionary`](crate::types::TokenDictionary) and enumerates its
+//! k-wise signatures once. With the legacy per-shard build each shard
+//! ranks independently, so plans are shard-local (the default
+//! `search_into` path re-plans per shard — translation preserves set
+//! sizes and overlaps exactly, so results are identical either way).
+//! With a dictionary-first build (`ShardedIndex::build_global` over one
+//! corpus-wide dictionary) all shards share one rank space, so the
+//! service layer ranks and enumerates each query exactly once and every
+//! shard probes with the same pre-enumerated signatures.
 
-use crate::ring::{RingSetSim, SetScratch, SetStats};
+use crate::ring::{RingSetSim, SetPlan, SetScratch, SetStats};
 use pigeonring_service::{MergeStats, SearchEngine};
 
 /// Per-batch parameters for set-similarity search through the service
@@ -33,22 +37,34 @@ impl SearchEngine for RingSetSim {
     type Params = SetParams;
     type Stats = SetStats;
     type Scratch = SetScratch;
+    type Plan = SetPlan;
 
     fn num_records(&self) -> usize {
         self.collection().len()
     }
 
-    fn search_into(
+    fn plan(&self, scratch: &mut SetScratch, query: &Vec<u32>) -> SetPlan {
+        self.plan_raw_query(scratch, query)
+    }
+
+    fn search_planned(
         &self,
         scratch: &mut SetScratch,
-        query: &Vec<u32>,
+        plan: &SetPlan,
+        _query: &Vec<u32>,
         params: &SetParams,
         out: &mut Vec<u32>,
     ) -> SetStats {
-        let ranked = self.collection().rank_query(query);
-        let (ids, stats) = self.search_with(scratch, &ranked, params.l);
+        let (ids, stats) = self.search_with_plan(scratch, plan, params.l);
         out.extend(ids);
         stats
+    }
+
+    fn plan_stats(&self, plan: &SetPlan) -> SetStats {
+        SetStats {
+            sig_probes: plan.sig_probes(),
+            ..SetStats::default()
+        }
     }
 }
 
@@ -83,5 +99,31 @@ mod tests {
             "only record 0 reaches J ≥ 0.5 against {{1,2,3,99}}"
         );
         assert_eq!(stats.results, 1);
+    }
+
+    #[test]
+    fn planned_search_matches_plan_and_search() {
+        let raw = vec![
+            vec![1u32, 2, 3, 4, 5],
+            vec![2, 3, 4, 5, 6],
+            vec![10, 11, 12, 13, 14],
+            vec![1, 2, 3, 4, 6],
+        ];
+        let c = Collection::new(raw.clone());
+        let eng = RingSetSim::build(c, Threshold::jaccard(0.6), 5);
+        let mut scratch = SetScratch::default();
+        for q in &raw {
+            let plan = eng.plan(&mut scratch, q);
+            for l in 1..=3usize {
+                let mut direct = Vec::new();
+                let direct_stats = eng.search_into(&mut scratch, q, &SetParams { l }, &mut direct);
+                let mut planned = Vec::new();
+                let mut planned_stats =
+                    eng.search_planned(&mut scratch, &plan, q, &SetParams { l }, &mut planned);
+                planned_stats.merge(&eng.plan_stats(&plan));
+                assert_eq!(planned, direct, "l={l}");
+                assert_eq!(planned_stats, direct_stats, "l={l}");
+            }
+        }
     }
 }

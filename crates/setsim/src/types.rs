@@ -92,37 +92,37 @@ impl Threshold {
     }
 }
 
-/// A collection of token-set records, re-numbered into global frequency
-/// order (rarest token = rank 0).
-#[derive(Clone, Debug)]
-pub struct Collection {
-    records: Vec<Vec<u32>>,
-    universe: usize,
-    /// Raw token id → rank, kept so external (raw-token) queries can be
-    /// translated into this collection's rank space
-    /// ([`Collection::rank_query`]); essential for sharding, where every
-    /// shard ranks independently.
+/// The token ranking table: raw token id → dense rank in global
+/// frequency order (rarest token = rank 0; ties by token id).
+///
+/// Built once over a corpus with [`TokenDictionary::build`]; shard-local
+/// collections then attach to it with [`Collection::with_dictionary`],
+/// so every shard agrees on the rank space — and a raw query can be
+/// ranked once ([`TokenDictionary::rank_query`]) and searched against
+/// every shard.
+#[derive(Debug)]
+pub struct TokenDictionary {
+    /// Raw token id → rank.
     rank: pigeonring_core::fxhash::FxHashMap<u32, u32>,
+    universe: usize,
 }
 
-impl Collection {
-    /// Builds a collection from raw token sets (arbitrary `u32` token
-    /// ids; duplicates within a record are removed). Tokens are ranked by
-    /// (frequency ascending, token id ascending) and every record is
-    /// rewritten as a sorted array of ranks.
-    pub fn new(raw: Vec<Vec<u32>>) -> Self {
+impl TokenDictionary {
+    /// Builds the dictionary over raw token sets. Frequency counts each
+    /// token once per record (duplicates within a record are ignored),
+    /// matching [`Collection::new`]'s record dedup, so a dictionary
+    /// built from a corpus ranks exactly as the legacy single-collection
+    /// path does.
+    pub fn build(raw: &[Vec<u32>]) -> Self {
         use pigeonring_core::fxhash::FxHashMap;
         let mut freq: FxHashMap<u32, u32> = FxHashMap::default();
-        let mut deduped: Vec<Vec<u32>> = raw
-            .into_iter()
-            .map(|mut r| {
-                r.sort_unstable();
-                r.dedup();
-                r
-            })
-            .collect();
-        for r in &deduped {
-            for &t in r {
+        let mut seen: Vec<u32> = Vec::new();
+        for r in raw {
+            seen.clear();
+            seen.extend_from_slice(r);
+            seen.sort_unstable();
+            seen.dedup();
+            for &t in &seen {
                 *freq.entry(t).or_insert(0) += 1;
             }
         }
@@ -133,31 +133,42 @@ impl Collection {
             .enumerate()
             .map(|(i, &(_, t))| (t, i as u32))
             .collect();
-        for r in &mut deduped {
-            for t in r.iter_mut() {
-                *t = rank[t];
-            }
-            r.sort_unstable();
-        }
-        Collection {
-            records: deduped,
-            universe: tokens.len(),
+        TokenDictionary {
             rank,
+            universe: tokens.len(),
         }
     }
 
-    /// Translates a *raw*-token query into this collection's rank space:
+    /// Number of distinct tokens.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// The rank of raw token `t`, if the corpus contains it.
+    pub fn rank_of(&self, t: u32) -> Option<u32> {
+        self.rank.get(&t).copied()
+    }
+
+    /// Translates a *raw*-token query into this dictionary's rank space:
     /// known tokens map to their rank; unseen tokens map to fresh
     /// distinct ids `≥ universe` (they can never match a record token,
     /// so both the query size and every record overlap — and hence any
     /// set-similarity value — are preserved exactly). Returns a sorted,
     /// deduplicated rank array suitable for the search engines.
     pub fn rank_query(&self, raw: &[u32]) -> Vec<u32> {
-        let mut toks: Vec<u32> = raw.to_vec();
-        toks.sort_unstable();
-        toks.dedup();
+        self.rank_query_with(&mut Vec::new(), raw)
+    }
+
+    /// [`TokenDictionary::rank_query`] against a caller-owned dedup
+    /// buffer (reused across queries by the planning path, so only the
+    /// final rank array allocates).
+    pub fn rank_query_with(&self, buf: &mut Vec<u32>, raw: &[u32]) -> Vec<u32> {
+        buf.clear();
+        buf.extend_from_slice(raw);
+        buf.sort_unstable();
+        buf.dedup();
         let mut next_unseen = self.universe as u32;
-        let mut out: Vec<u32> = toks
+        let mut out: Vec<u32> = buf
             .iter()
             .map(|t| match self.rank.get(t) {
                 Some(&r) => r,
@@ -170,6 +181,66 @@ impl Collection {
             .collect();
         out.sort_unstable();
         out
+    }
+}
+
+/// A collection of token-set records, re-numbered into the global
+/// frequency order of a (possibly shared) [`TokenDictionary`] (rarest
+/// token = rank 0).
+#[derive(Clone, Debug)]
+pub struct Collection {
+    records: Vec<Vec<u32>>,
+    dict: std::sync::Arc<TokenDictionary>,
+}
+
+impl Collection {
+    /// Builds a collection from raw token sets (arbitrary `u32` token
+    /// ids; duplicates within a record are removed) with a private
+    /// dictionary ranked from these records alone (the legacy
+    /// single-collection path; sharded builds share one corpus-wide
+    /// dictionary via [`Collection::with_dictionary`]).
+    pub fn new(raw: Vec<Vec<u32>>) -> Self {
+        let dict = std::sync::Arc::new(TokenDictionary::build(&raw));
+        Collection::with_dictionary(raw, dict)
+    }
+
+    /// Builds a collection over a shared dictionary: every record token
+    /// is mapped through `dict`'s corpus-wide rank space, so collections
+    /// of different shards of one corpus agree on ranks (and on the
+    /// class assignments derived from them).
+    ///
+    /// # Panics
+    /// Panics if any record contains a token absent from `dict`: the
+    /// dictionary must be built over a superset of these records (the
+    /// whole corpus), or matching records could silently be missed.
+    pub fn with_dictionary(raw: Vec<Vec<u32>>, dict: std::sync::Arc<TokenDictionary>) -> Self {
+        let records: Vec<Vec<u32>> = raw
+            .into_iter()
+            .map(|mut r| {
+                r.sort_unstable();
+                r.dedup();
+                for t in r.iter_mut() {
+                    *t = dict.rank_of(*t).expect(
+                        "record token missing from the dictionary — build the \
+                         TokenDictionary over the full corpus",
+                    );
+                }
+                r.sort_unstable();
+                r
+            })
+            .collect();
+        Collection { records, dict }
+    }
+
+    /// The shared token dictionary.
+    pub fn dictionary(&self) -> &std::sync::Arc<TokenDictionary> {
+        &self.dict
+    }
+
+    /// Translates a *raw*-token query into this collection's rank space;
+    /// see [`TokenDictionary::rank_query`].
+    pub fn rank_query(&self, raw: &[u32]) -> Vec<u32> {
+        self.dict.rank_query(raw)
     }
 
     /// The records (sorted rank arrays).
@@ -192,9 +263,11 @@ impl Collection {
         self.records.is_empty()
     }
 
-    /// Number of distinct tokens.
+    /// Number of distinct tokens in the dictionary's corpus (the whole
+    /// corpus for shared dictionaries, not just this collection's
+    /// records).
     pub fn universe(&self) -> usize {
-        self.universe
+        self.dict.universe()
     }
 }
 
@@ -334,6 +407,47 @@ mod tests {
     fn collection_dedups_record_tokens() {
         let c = Collection::new(vec![vec![3, 3, 7, 7, 7]]);
         assert_eq!(c.record(0).len(), 2);
+    }
+
+    #[test]
+    fn shared_dictionary_gives_one_rank_space_across_shards() {
+        // A corpus split into two "shards" over one dictionary: a raw
+        // query ranks identically against both, and record ranks agree
+        // with the corpus-wide frequency order.
+        let corpus = vec![vec![9u32, 5], vec![9, 5, 1], vec![9], vec![5, 1]];
+        let dict = std::sync::Arc::new(TokenDictionary::build(&corpus));
+        let left = Collection::with_dictionary(corpus[..2].to_vec(), std::sync::Arc::clone(&dict));
+        let right = Collection::with_dictionary(corpus[2..].to_vec(), std::sync::Arc::clone(&dict));
+        assert_eq!(left.universe(), right.universe());
+        assert_eq!(left.rank_query(&[5, 1, 42]), right.rank_query(&[5, 1, 42]));
+        // Corpus frequencies: 9 → 3, 5 → 3, 1 → 2; ranks 1→0, 5→1, 9→2.
+        assert_eq!(dict.rank_of(1), Some(0));
+        assert_eq!(dict.rank_of(5), Some(1));
+        assert_eq!(dict.rank_of(9), Some(2));
+        assert_eq!(right.record(1), &[0, 1]); // {5, 1} → ranks {1, 0}
+    }
+
+    #[test]
+    fn dictionary_ranking_matches_legacy_collection_ranking() {
+        // TokenDictionary::build over a corpus must rank exactly as
+        // Collection::new does (frequency counted once per record,
+        // ties by token id) — the K = 1 global-vs-legacy equivalence.
+        let corpus = vec![vec![7u32, 7, 3], vec![3, 11], vec![11, 7, 5], vec![5]];
+        let legacy = Collection::new(corpus.clone());
+        let global = Collection::with_dictionary(
+            corpus.clone(),
+            std::sync::Arc::new(TokenDictionary::build(&corpus)),
+        );
+        assert_eq!(legacy.records(), global.records());
+        assert_eq!(legacy.universe(), global.universe());
+        assert_eq!(legacy.rank_query(&[3, 99]), global.rank_query(&[3, 99]));
+    }
+
+    #[test]
+    #[should_panic(expected = "record token missing from the dictionary")]
+    fn foreign_record_tokens_fail_loudly() {
+        let dict = std::sync::Arc::new(TokenDictionary::build(&[vec![1u32, 2]]));
+        let _ = Collection::with_dictionary(vec![vec![3u32]], dict);
     }
 
     #[test]
