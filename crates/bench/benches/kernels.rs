@@ -2,16 +2,28 @@
 //! checks (with and without Corollary-2 skipping), popcount part
 //! distances, signature enumeration, k-combination signatures, content
 //! filter bounds, banded edit-distance verification, set-overlap merges,
-//! subgraph embedding, and threshold-pruned GED.
+//! subgraph embedding, and threshold-pruned GED — plus the
+//! scalar-vs-batched-vs-dispatched tier comparison for the vectorized
+//! distance kernels.
+//!
+//! This binary has a custom `main` (not `criterion_main!`): it accepts
+//! `--quick` (small sample counts, for the CI `kernel-bench-smoke` job;
+//! cargo-bench flags like `--bench` are ignored) and always writes the
+//! recorded timings plus a machine fingerprint to
+//! `results/BENCH_kernels.json`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, Criterion};
 use pigeonring_core::viability::{
     find_prefix_viable, find_prefix_viable_noskip, Direction, ThresholdScheme,
 };
 use pigeonring_editdist::content::{char_mask, min_window_bound, window_masks};
-use pigeonring_editdist::verify::{edit_distance, edit_distance_within};
+use pigeonring_editdist::verify::{
+    edit_distance, edit_distance_within, edit_distance_within_banded,
+    edit_distance_within_reference,
+};
 use pigeonring_hamming::index::enumerate_within;
-use pigeonring_hamming::BitVector;
+use pigeonring_hamming::{kernels, BitVector};
+use pigeonring_service::MachineFingerprint;
 use rand::{Rng, SeedableRng};
 
 fn rng() -> rand::rngs::SmallRng {
@@ -170,14 +182,105 @@ fn bench_graph_kernels(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    kernels,
-    bench_chain_check,
-    bench_part_distance,
-    bench_signature_enumeration,
-    bench_content_filter,
-    bench_verify,
-    bench_set_kernels,
-    bench_graph_kernels
-);
-criterion_main!(kernels);
+/// The scalar/batched/dispatch tier comparison for the vectorized
+/// distance kernels — the rows the CI `kernel-bench-smoke` job records.
+/// "dispatch" is the production entry point: the batched-scalar kernel
+/// by default, AVX2 when compiled with `--features simd` on an AVX2
+/// host.
+fn bench_kernel_tiers(c: &mut Criterion) {
+    let mut r = rng();
+    // 4096 dims = 64 words: long enough that per-batch structure shows.
+    let a = BitVector::from_bits((0..4096).map(|_| r.gen::<bool>()));
+    let b = BitVector::from_bits((0..4096).map(|_| r.gen::<bool>()));
+    let (aw, bw) = (a.words(), b.words());
+    let tau = a.distance(&b); // pass case: every kernel scans all words
+    c.bench_function("hamming/distance_within_4096/scalar", |bch| {
+        bch.iter(|| kernels::distance_within_scalar(black_box(aw), black_box(bw), tau))
+    });
+    c.bench_function("hamming/distance_within_4096/batched", |bch| {
+        bch.iter(|| kernels::distance_within_batched(black_box(aw), black_box(bw), tau))
+    });
+    c.bench_function("hamming/distance_within_4096/dispatch", |bch| {
+        bch.iter(|| kernels::distance_within(black_box(aw), black_box(bw), tau))
+    });
+    // Unaligned interior part [67, 4031): masked head/tail words plus a
+    // long unmasked interior run.
+    c.bench_function("hamming/part_distance_4096/scalar", |bch| {
+        bch.iter(|| kernels::part_distance_scalar(black_box(aw), black_box(bw), 67, 4031))
+    });
+    c.bench_function("hamming/part_distance_4096/batched", |bch| {
+        bch.iter(|| kernels::part_distance_batched(black_box(aw), black_box(bw), 67, 4031))
+    });
+    c.bench_function("hamming/part_distance_4096/dispatch", |bch| {
+        bch.iter(|| kernels::part_distance(black_box(aw), black_box(bw), 67, 4031))
+    });
+    // Banded edit distance at τ = 12 (band width 25: three full 8-lane
+    // chunks) over 256-char strings with 9 scattered substitutions.
+    let s: Vec<u8> = (0..256).map(|_| b'a' + r.gen_range(0..4)).collect();
+    let mut t = s.clone();
+    for _ in 0..9 {
+        let p = r.gen_range(0..t.len());
+        t[p] = b'a' + r.gen_range(0..4);
+    }
+    c.bench_function("editdist/edit_distance_within_256_tau12/scalar", |bch| {
+        bch.iter(|| edit_distance_within_reference(black_box(&s), black_box(&t), 12))
+    });
+    c.bench_function("editdist/edit_distance_within_256_tau12/batched", |bch| {
+        bch.iter(|| edit_distance_within_banded(black_box(&s), black_box(&t), 12))
+    });
+    c.bench_function("editdist/edit_distance_within_256_tau12/dispatch", |bch| {
+        bch.iter(|| edit_distance_within(black_box(&s), black_box(&t), 12))
+    });
+}
+
+/// Writes the recorded summaries plus the machine fingerprint as the
+/// `results/BENCH_kernels.json` artifact (the CI `kernel-bench-smoke`
+/// job validates and uploads it). Written relative to the manifest so
+/// `cargo bench` finds `results/` regardless of its working directory.
+fn write_kernels_json(c: &Criterion, quick: bool) {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_kernels.json"
+    );
+    let mut out = String::from("{\n\"machine\": ");
+    out.push_str(&MachineFingerprint::detect().to_json());
+    out.push_str(&format!(
+        ",\n\"simd_compiled\": {},\n\"hamming_backend\": \"{}\",\n\"quick\": {},\n\"rows\": [\n",
+        cfg!(feature = "simd"),
+        kernels::backend(),
+        quick
+    ));
+    for (i, s) in c.summaries().iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"id\": \"{}\", \"median_ns\": {:.1}, \"low_ns\": {:.1}, \"high_ns\": {:.1}}}{}\n",
+            s.id,
+            s.median_ns,
+            s.low_ns,
+            s.high_ns,
+            if i + 1 < c.summaries().len() { "," } else { "" },
+        ));
+    }
+    out.push_str("]\n}");
+    std::fs::write(path, out).expect("write BENCH_kernels.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    // `cargo bench` appends harness flags like `--bench`; take `--quick`
+    // for the CI smoke run and ignore everything else.
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut c = if quick {
+        Criterion::default().sample_size(5)
+    } else {
+        Criterion::default()
+    };
+    bench_chain_check(&mut c);
+    bench_part_distance(&mut c);
+    bench_signature_enumeration(&mut c);
+    bench_content_filter(&mut c);
+    bench_verify(&mut c);
+    bench_set_kernels(&mut c);
+    bench_graph_kernels(&mut c);
+    bench_kernel_tiers(&mut c);
+    write_kernels_json(&c, quick);
+}

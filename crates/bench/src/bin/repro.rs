@@ -797,16 +797,18 @@ fn ablate_skip(scale: Scale) {
 /// Service-layer throughput sweep over all four domain engines.
 ///
 /// For each domain a representative dataset/threshold is run through
-/// [`ShardedIndex`] across shard counts (the `--shards K` value, or
-/// `{1, 2, 4, 8}` when unset), batching `--batch B` queries per fan-out.
-/// Emits `results/service_sweep.csv` (with speedup vs the domain's
-/// first shard count) and `results/BENCH_service.json` (per-shard
-/// throughput, the artifact CI uploads). Combined with `--paper` this is
-/// the paper-§8-scale "all" mode the ROADMAP Scale item asks for.
+/// [`ShardedIndex`] across shard counts (the `--shards K` value, or the
+/// core-aware `{1, 2, 4, 8, …}` ladder from
+/// [`pigeonring_service::default_shard_counts`] when unset), batching
+/// `--batch B` queries per fan-out. Emits `results/service_sweep.csv`
+/// (with speedup vs the domain's first shard count) and
+/// `results/BENCH_service.json` (per-shard throughput plus the machine
+/// fingerprint, the artifact CI uploads). Combined with `--paper` this
+/// is the paper-§8-scale "all" mode the ROADMAP Scale item asks for.
 fn sweep(scale: Scale, opts: &ServiceOpts) {
     let shard_counts: Vec<usize> = match opts.shards {
         Some(k) => vec![k],
-        None => vec![1, 2, 4, 8],
+        None => pigeonring_service::default_shard_counts(),
     };
     let mut sw = Sweep::new();
     let mut rep = Report::new(

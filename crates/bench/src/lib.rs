@@ -123,13 +123,12 @@ impl ServiceOpts {
     /// Worker threads to use for `shards` shards: the explicit
     /// `--threads` value, else `min(shards, hardware parallelism)` —
     /// spawning more workers than cores only adds overhead (and this
-    /// repo's CI containers are often single-core).
+    /// repo's CI containers are often single-core). Core detection is
+    /// the same [`pigeonring_service::machine`] probe that the benchmark
+    /// artifacts record, so what ran and what was recorded agree.
     pub fn threads_for(&self, shards: usize) -> usize {
         self.threads
-            .unwrap_or_else(|| {
-                let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-                shards.min(cores)
-            })
+            .unwrap_or_else(|| shards.min(pigeonring_service::cores()))
             .max(1)
     }
 }

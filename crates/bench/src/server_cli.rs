@@ -157,10 +157,7 @@ impl ServerCliOpts {
     /// `min(shards, hardware cores)`, always ≥ 1.
     pub fn worker_threads(&self) -> usize {
         self.threads
-            .unwrap_or_else(|| {
-                let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-                self.shards.min(cores)
-            })
+            .unwrap_or_else(|| self.shards.min(pigeonring_service::cores()))
             .max(1)
     }
 
@@ -502,7 +499,12 @@ fn emit_loadgen(rows: &[LoadRow], opts: &ServerCliOpts) -> Result<(), String> {
             "mixed_over_solo_p50",
         ],
     );
-    let mut json = String::from("[\n");
+    // BENCH_server.json schema: machine fingerprint + rows, mirroring
+    // BENCH_service.json — loadgen numbers without the machine are not
+    // comparable across runs.
+    let mut json = String::from("{\n\"machine\": ");
+    json.push_str(&pigeonring_service::MachineFingerprint::detect().to_json());
+    json.push_str(",\n\"rows\": [\n");
     for (i, row) in rows.iter().enumerate() {
         let ratio = row
             .mixed_over_solo_p50
@@ -545,7 +547,7 @@ fn emit_loadgen(rows: &[LoadRow], opts: &ServerCliOpts) -> Result<(), String> {
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
-    json.push(']');
+    json.push_str("]\n}");
     rep.emit();
     std::fs::create_dir_all("results").map_err(|e| format!("cannot create results/: {e}"))?;
     std::fs::write("results/BENCH_server.json", json)

@@ -1,0 +1,113 @@
+//! Differential gate for the vectorized banded edit-distance kernel
+//! (the CI `kernel-differential` job): the original cell-at-a-time
+//! reference, the always-scalar lane-pass kernel, and the production
+//! dispatch entry point (AVX2 lane pass with `--features simd` on an
+//! AVX2 host) must return bit-identical `Option<u32>` values. τ is
+//! driven to the exact early-exit boundary (`ed − 1`, `ed`, `ed + 1`)
+//! and the full DP provides ground truth.
+
+use pigeonring_editdist::verify::{
+    edit_distance, edit_distance_within, edit_distance_within_banded,
+    edit_distance_within_reference,
+};
+use proptest::prelude::*;
+
+fn word(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::sample::select(b"abcd".to_vec()), 0..max_len)
+}
+
+/// Asserts every compiled tier agrees with the reference (and, when
+/// `Some`, with the full DP) for one `(a, b, tau)`.
+fn assert_tiers_agree(a: &[u8], b: &[u8], tau: u32) -> Result<(), TestCaseError> {
+    let reference = edit_distance_within_reference(a, b, tau);
+    let banded = edit_distance_within_banded(a, b, tau);
+    let dispatch = edit_distance_within(a, b, tau);
+    prop_assert_eq!(
+        banded,
+        reference,
+        "banded diverged: {:?} {:?} tau={}",
+        a,
+        b,
+        tau
+    );
+    prop_assert_eq!(
+        dispatch,
+        reference,
+        "dispatch diverged: {:?} {:?} tau={}",
+        a,
+        b,
+        tau
+    );
+    let ed = edit_distance(a, b);
+    prop_assert_eq!(reference.is_some(), ed <= tau);
+    if let Some(got) = reference {
+        prop_assert_eq!(got, ed);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn tiers_agree_at_the_early_exit_boundary(a in word(24), b in word(24)) {
+        let ed = edit_distance(&a, &b);
+        // τ straddling the exact accept/reject boundary, plus the
+        // degenerate τ = 0 and a slack value.
+        for tau in [ed.saturating_sub(1), ed, ed + 1, 0, ed + 7] {
+            assert_tiers_agree(&a, &b, tau)?;
+        }
+    }
+
+    #[test]
+    fn tiers_agree_on_random_tau(a in word(40), b in word(40), tau in 0u32..14) {
+        assert_tiers_agree(&a, &b, tau)?;
+    }
+
+    #[test]
+    fn tiers_agree_on_near_duplicates(
+        base in word(64),
+        edits in prop::collection::vec((0usize..64, prop::sample::select(b"abcd".to_vec())), 0..6),
+        tau in 0u32..14,
+    ) {
+        // Near-duplicates keep the band full of live values — the case
+        // where every lane of the vectorized pass carries real data.
+        let mut b = base.clone();
+        for (pos, c) in edits {
+            if !b.is_empty() {
+                let p = pos % b.len();
+                b[p] = c;
+            }
+        }
+        assert_tiers_agree(&base, &b, tau)?;
+    }
+}
+
+#[test]
+fn tiers_agree_on_wide_bands_with_full_lane_chunks() {
+    // τ = 12 (band width 25: three full 8-lane chunks plus remainder)
+    // on 150-char near-duplicates, at the boundary and both sides.
+    let mut s = 0xACEDu64;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let a: Vec<u8> = (0..150).map(|_| b'a' + (next() % 3) as u8).collect();
+    let mut b = a.clone();
+    for _ in 0..11 {
+        let p = (next() % b.len() as u64) as usize;
+        b[p] = b'a' + (next() % 3) as u8;
+    }
+    let ed = edit_distance(&a, &b);
+    for tau in [ed.saturating_sub(1), ed, ed + 1, 12, 20] {
+        let reference = edit_distance_within_reference(&a, &b, tau);
+        assert_eq!(
+            edit_distance_within_banded(&a, &b, tau),
+            reference,
+            "tau={tau}"
+        );
+        assert_eq!(edit_distance_within(&a, &b, tau), reference, "tau={tau}");
+    }
+}

@@ -133,43 +133,27 @@ impl BitVector {
             .sum()
     }
 
-    /// Hamming distance with early abandon: returns `None` as soon as the
-    /// running distance exceeds `tau` (verification fast path).
+    /// Hamming distance with early abandon: returns `None` as soon as
+    /// the running distance exceeds `tau` (verification fast path).
+    /// Runs on the batched (and, with the `simd` feature on an AVX2
+    /// host, vectorized) kernel from [`crate::kernels`]; the abandon
+    /// check fires at batch granularity, which never changes the result.
     pub fn distance_within(&self, other: &BitVector, tau: u32) -> Option<u32> {
         assert_eq!(self.dims, other.dims, "dimension mismatch");
-        let mut acc = 0u32;
-        for (a, b) in self.words.iter().zip(&other.words) {
-            acc += (a ^ b).count_ones();
-            if acc > tau {
-                return None;
-            }
-        }
-        Some(acc)
+        crate::kernels::distance_within(&self.words, &other.words, tau)
     }
 
     /// Hamming distance restricted to dimensions `[lo, hi)` — one box
-    /// value `b_i(x, q) = H(x^i, q^i)` for a part `[lo, hi)`.
+    /// value `b_i(x, q) = H(x^i, q^i)` for a part `[lo, hi)`. Boundary
+    /// words are masked; interior words run the batched/vectorized
+    /// kernel from [`crate::kernels`].
     ///
     /// # Panics
     /// Panics if the range is invalid or out of bounds.
     pub fn part_distance(&self, other: &BitVector, lo: usize, hi: usize) -> u32 {
         assert!(lo <= hi && hi <= self.dims, "invalid part range");
         assert_eq!(self.dims, other.dims, "dimension mismatch");
-        let mut acc = 0u32;
-        let (wlo, whi) = (lo / 64, hi.div_ceil(64));
-        for w in wlo..whi {
-            let mut x = self.words[w] ^ other.words[w];
-            let word_base = w * 64;
-            // Mask off bits below lo in the first word and ≥ hi in the last.
-            if lo > word_base {
-                x &= !0u64 << (lo - word_base);
-            }
-            if hi < word_base + 64 {
-                x &= (1u64 << (hi - word_base)) - 1;
-            }
-            acc += x.count_ones();
-        }
-        acc
+        crate::kernels::part_distance(&self.words, &other.words, lo, hi)
     }
 
     /// The bits of part `[lo, hi)` packed into a `u64` signature (used as
@@ -250,6 +234,35 @@ mod tests {
         assert_eq!(x.part_distance(&q, 63, 65), 2);
         assert_eq!(x.part_distance(&q, 0, 62), 0);
         assert_eq!(x.part_distance(&q, 66, 128), 0);
+    }
+
+    #[test]
+    fn part_distance_mask_edges_pinned() {
+        // Pinned regression cases for the mask edge cases the
+        // vectorized kernels must reproduce exactly (ISSUE 6).
+        let dims = 200; // not a multiple of 64 (tail word has 8 live bits)
+        let mut x = BitVector::zeros(dims);
+        let q = BitVector::zeros(dims);
+        for i in [0, 1, 30, 31, 62, 63, 64, 100, 127, 128, 190, 198, 199] {
+            x.flip(i);
+        }
+        // lo and hi inside the same word (both masks on one word).
+        assert_eq!(x.part_distance(&q, 1, 32), 3); // bits 1, 30, 31
+        assert_eq!(x.part_distance(&q, 1, 31), 2); // bits 1, 30
+        assert_eq!(x.part_distance(&q, 30, 31), 1);
+        // hi == dims on a ragged tail word.
+        assert_eq!(x.part_distance(&q, 190, dims), 3); // bits 190, 198, 199
+        assert_eq!(x.part_distance(&q, 199, dims), 1);
+        // Zero-width parts anywhere, including word boundaries.
+        for lo in [0, 1, 63, 64, 65, 128, dims] {
+            assert_eq!(x.part_distance(&q, lo, lo), 0, "zero width at {lo}");
+        }
+        // Whole-range part equals the full distance.
+        assert_eq!(x.part_distance(&q, 0, dims), x.distance(&q));
+        // Word-aligned lo with ragged hi and vice versa.
+        assert_eq!(x.part_distance(&q, 64, 190), 4); // bits 64, 100, 127, 128
+        assert_eq!(x.part_distance(&q, 63, 64), 1);
+        assert_eq!(x.part_distance(&q, 64, 65), 1);
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod bitvec;
 pub mod engine;
 pub mod index;
 pub mod join;
+pub mod kernels;
 pub mod partition;
 pub mod service;
 

@@ -1,0 +1,152 @@
+//! Differential gate for the vectorized Hamming kernels (the CI
+//! `kernel-differential` job): the scalar reference, the unrolled
+//! batched kernel, the production dispatch entry point, and — when
+//! compiled with `--features simd` on an AVX2 host — the explicit AVX2
+//! kernel must agree bit-for-bit on random inputs. Dimensions are drawn
+//! to straddle the 64-bit word and 8-word batch boundaries (not
+//! multiples of 64 or 256 bits included), and τ is exercised right at
+//! the early-abandon boundary (`d − 1`, `d`, `d + 1`), where a kernel
+//! that abandons at the wrong granularity would diverge.
+
+use pigeonring_hamming::kernels;
+use pigeonring_hamming::BitVector;
+use proptest::prelude::*;
+
+/// Dimension counts straddling the word (64-bit) and batch (512-bit)
+/// boundaries, deliberately including non-multiples of 64 and 256. The
+/// vendored proptest has no `prop_flat_map`, so tests draw `MAX_DIMS`
+/// bits and truncate to the selected count.
+const DIMS: [usize; 15] = [
+    1, 7, 63, 64, 65, 127, 128, 200, 255, 256, 257, 511, 512, 513, 700,
+];
+const MAX_DIMS: usize = 700;
+
+fn dims_strategy() -> impl Strategy<Value = usize> {
+    prop::sample::select(DIMS.to_vec())
+}
+
+fn bits_strategy() -> impl Strategy<Value = Vec<bool>> {
+    prop::collection::vec(prop::bool::ANY, MAX_DIMS)
+}
+
+fn truncate(bits: &[bool], dims: usize) -> BitVector {
+    BitVector::from_bits(bits[..dims].iter().copied())
+}
+
+/// Every compiled tier's `distance_within` on one input.
+fn distance_tiers(a: &[u64], b: &[u64], tau: u32) -> Vec<(&'static str, Option<u32>)> {
+    #[cfg_attr(not(all(feature = "simd", target_arch = "x86_64")), allow(unused_mut))]
+    let mut tiers = vec![
+        ("scalar", kernels::distance_within_scalar(a, b, tau)),
+        ("batched", kernels::distance_within_batched(a, b, tau)),
+        ("dispatch", kernels::distance_within(a, b, tau)),
+    ];
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if kernels::avx2::available() {
+        tiers.push(("avx2", kernels::avx2::distance_within(a, b, tau)));
+    }
+    tiers
+}
+
+/// Every compiled tier's `part_distance` on one input.
+fn part_tiers(a: &[u64], b: &[u64], lo: usize, hi: usize) -> Vec<(&'static str, u32)> {
+    #[cfg_attr(not(all(feature = "simd", target_arch = "x86_64")), allow(unused_mut))]
+    let mut tiers = vec![
+        ("scalar", kernels::part_distance_scalar(a, b, lo, hi)),
+        ("batched", kernels::part_distance_batched(a, b, lo, hi)),
+        ("dispatch", kernels::part_distance(a, b, lo, hi)),
+    ];
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if kernels::avx2::available() {
+        tiers.push(("avx2", kernels::avx2::part_distance(a, b, lo, hi)));
+    }
+    tiers
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn distance_within_tiers_agree_on_random_vectors(
+        dims in dims_strategy(),
+        bits_a in bits_strategy(),
+        bits_b in bits_strategy(),
+        extra_tau in 0u32..700,
+    ) {
+        let (a, b) = (truncate(&bits_a, dims), truncate(&bits_b, dims));
+        let (aw, bw) = (a.words(), b.words());
+        let d = a.distance(&b);
+        // τ at and around the early-abandon boundary plus a random one:
+        // the exact place where batch-granularity abandon could diverge.
+        for tau in [d.saturating_sub(1), d, d + 1, extra_tau] {
+            let tiers = distance_tiers(aw, bw, tau);
+            let expected = if d <= tau { Some(d) } else { None };
+            for (name, got) in &tiers {
+                prop_assert_eq!(
+                    *got, expected,
+                    "tier {} diverged at dims={} tau={} d={}", name, a.dims(), tau, d
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn part_distance_tiers_agree_on_random_ranges(
+        dims in dims_strategy(),
+        bits_a in bits_strategy(),
+        bits_b in bits_strategy(),
+        lo_seed in 0usize..=1000,
+        hi_seed in 0usize..=1000,
+    ) {
+        let (a, b) = (truncate(&bits_a, dims), truncate(&bits_b, dims));
+        let (aw, bw) = (a.words(), b.words());
+        let lo = lo_seed % (dims + 1);
+        let hi = lo + hi_seed % (dims + 1 - lo);
+        // Naive per-bit reference for the range.
+        let naive: u32 = (lo..hi).map(|i| (a.get(i) != b.get(i)) as u32).sum();
+        for (name, got) in part_tiers(aw, bw, lo, hi) {
+            prop_assert_eq!(
+                got, naive,
+                "tier {} diverged at dims={} range=[{}, {})", name, dims, lo, hi
+            );
+        }
+    }
+}
+
+#[test]
+fn part_distance_tiers_agree_on_pinned_boundaries() {
+    // Deterministic sweep of the mask edge cases: lo/hi in one word,
+    // word-aligned lo/hi, hi == dims on a ragged tail, zero width.
+    let dims = 519; // 8 words + 7 live tail bits: not a multiple of 64 or 256
+    let mut s = 0xD1FFu64;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let a = BitVector::from_bits((0..dims).map(|_| next() % 2 == 0));
+    let b = BitVector::from_bits((0..dims).map(|_| next() % 3 == 0));
+    let (aw, bw) = (a.words(), b.words());
+    let ranges = [
+        (0, 0),
+        (0, dims),
+        (1, 31),
+        (1, 32),
+        (30, 31),
+        (63, 64),
+        (63, 65),
+        (64, 65),
+        (64, 512),
+        (67, 517),
+        (512, dims),
+        (518, dims),
+        (dims, dims),
+    ];
+    for (lo, hi) in ranges {
+        let naive: u32 = (lo..hi).map(|i| (a.get(i) != b.get(i)) as u32).sum();
+        for (name, got) in part_tiers(aw, bw, lo, hi) {
+            assert_eq!(got, naive, "tier {name} diverged at [{lo}, {hi})");
+        }
+    }
+}

@@ -50,11 +50,13 @@
 //! [`RingGraph`]: https://docs.rs/pigeonring-graph
 
 pub mod engine;
+pub mod machine;
 pub mod pool;
 pub mod sharded;
 pub mod sweep;
 
 pub use engine::{MergeStats, SearchEngine};
+pub use machine::{cores, default_shard_counts, MachineFingerprint};
 pub use pool::{JobRejected, ScratchStore, WorkerPool};
 pub use sharded::{shard_of, SearchResult, ShardedIndex};
 pub use sweep::{percentile, ResultHasher, Sweep, SweepRow};

@@ -283,10 +283,16 @@ impl Sweep {
         (self.rows.last().expect("row just pushed"), agg)
     }
 
-    /// Renders the recorded rows as a JSON array (the
-    /// `BENCH_service.json` schema: one object per row, snake_case keys).
+    /// Renders the recorded rows as the `BENCH_service.json` schema: an
+    /// object with a `machine` fingerprint
+    /// ([`crate::machine::MachineFingerprint`]) and a `rows` array (one
+    /// object per row, snake_case keys). The fingerprint makes rows
+    /// comparable across runs — a 1-core container's shard scaling says
+    /// nothing about an 8-core host's.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("[\n");
+        let mut out = String::from("{\n\"machine\": ");
+        out.push_str(&crate::machine::MachineFingerprint::detect().to_json());
+        out.push_str(",\n\"rows\": [\n");
         for (i, row) in self.rows.iter().enumerate() {
             out.push_str(&format!(
                 "  {{\"domain\": \"{}\", \"dataset\": \"{}\", \"shards\": {}, \"threads\": {}, \
@@ -315,7 +321,7 @@ impl Sweep {
                 if i + 1 < self.rows.len() { "," } else { "" },
             ));
         }
-        out.push(']');
+        out.push_str("]\n}");
         out
     }
 
@@ -525,8 +531,11 @@ mod tests {
         let mut sweep = Sweep::new();
         sweep.run("toy", "t", &index(2), &[1u32, 2], &(), 2, 1);
         let json = sweep.to_json();
-        assert!(json.starts_with('['));
-        assert!(json.ends_with(']'));
+        assert!(json.starts_with('{'));
+        assert!(json.ends_with('}'));
+        assert!(json.contains("\"machine\": {\"arch\": "));
+        assert!(json.contains("\"cores\": "));
+        assert!(json.contains("\"rows\": [\n"));
         assert!(json.contains("\"domain\": \"toy\""));
         assert!(json.contains("\"shards\": 2"));
         assert!(json.contains("result_hash"));

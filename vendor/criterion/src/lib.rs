@@ -12,14 +12,34 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// One finished benchmark's timing summary, in nanoseconds per call.
+/// Collected by [`Criterion::bench_function`] and exposed through
+/// [`Criterion::summaries`] so bench binaries with a custom `main` can
+/// emit machine-readable artifacts (e.g. `BENCH_kernels.json`).
+#[derive(Clone, Debug)]
+pub struct Summary {
+    /// The benchmark id (`group/name` for grouped benches).
+    pub id: String,
+    /// Median of the recorded samples.
+    pub median_ns: f64,
+    /// Fastest recorded sample.
+    pub low_ns: f64,
+    /// Slowest recorded sample.
+    pub high_ns: f64,
+}
+
 /// Top-level benchmark driver.
 pub struct Criterion {
     sample_size: usize,
+    summaries: Vec<Summary>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 30 }
+        Criterion {
+            sample_size: 30,
+            summaries: Vec::new(),
+        }
     }
 }
 
@@ -43,8 +63,15 @@ impl Criterion {
             samples: Vec::new(),
         };
         f(&mut bencher);
-        report(&id, &mut bencher.samples);
+        if let Some(summary) = report(&id, &mut bencher.samples) {
+            self.summaries.push(summary);
+        }
         self
+    }
+
+    /// Timing summaries of every benchmark run so far, in run order.
+    pub fn summaries(&self) -> &[Summary] {
+        &self.summaries
     }
 
     /// Starts a named group of related benchmarks.
@@ -114,10 +141,10 @@ impl Bencher {
     }
 }
 
-fn report(id: &str, samples: &mut [Duration]) {
+fn report(id: &str, samples: &mut [Duration]) -> Option<Summary> {
     if samples.is_empty() {
         println!("{id:<48} (no samples: Bencher::iter never called)");
-        return;
+        return None;
     }
     samples.sort_unstable();
     let median = samples[samples.len() / 2];
@@ -129,6 +156,12 @@ fn report(id: &str, samples: &mut [Duration]) {
         fmt_duration(median),
         fmt_duration(hi)
     );
+    Some(Summary {
+        id: id.to_string(),
+        median_ns: median.as_nanos() as f64,
+        low_ns: lo.as_nanos() as f64,
+        high_ns: hi.as_nanos() as f64,
+    })
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -203,5 +236,21 @@ mod tests {
     fn groups_are_callable() {
         positional();
         configured();
+    }
+
+    #[test]
+    fn summaries_record_every_bench_in_run_order() {
+        let mut criterion = Criterion::default().sample_size(3);
+        sample_bench(&mut criterion);
+        let ids: Vec<&str> = criterion
+            .summaries()
+            .iter()
+            .map(|s| s.id.as_str())
+            .collect();
+        assert_eq!(ids, ["sum_small", "grouped/l3"]);
+        for s in criterion.summaries() {
+            assert!(s.low_ns <= s.median_ns && s.median_ns <= s.high_ns);
+            assert!(s.median_ns > 0.0);
+        }
     }
 }
