@@ -5,9 +5,10 @@
 //! ```text
 //! repro <fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|ablate-skip|ablate-alloc|sweep|all>
 //!       [--quick | --paper] [--shards K] [--batch B] [--threads T]
-//! repro <serve|query|loadgen|server-smoke>
+//! repro <serve|query|loadgen|stats|server-smoke>
 //!       [--quick | --paper] [--shards K] [--threads T] [--port P] [--queue Q]
 //!       [--batch B] [--conns C] [--requests N] [--pipeline P] [--mix] [--domain D]
+//!       [--raw] [--slow-query-ms MS] [--metrics-dump PATH] [--metrics-interval-secs S]
 //! ```
 //!
 //! Each experiment prints an aligned table and writes a CSV under
@@ -44,7 +45,10 @@ fn main() {
     // The server subcommands own their flag set (ports, connection
     // counts, queue depth) and are parsed by the server CLI module.
     if let Some(cmd) = args.first().map(String::as_str) {
-        if matches!(cmd, "serve" | "query" | "loadgen" | "server-smoke") {
+        if matches!(
+            cmd,
+            "serve" | "query" | "loadgen" | "stats" | "server-smoke"
+        ) {
             if let Err(e) = pigeonring_bench::server_cli::run(cmd, &args[1..]) {
                 eprintln!("{e}");
                 std::process::exit(1);
@@ -112,8 +116,9 @@ fn main() {
             eprintln!(
                 "unknown experiment {other:?}; expected fig2|fig5..fig12|ablate-skip|ablate-alloc|sweep|all \
                  [--quick|--paper] [--shards K] [--batch B] [--threads T], or a server subcommand \
-                 serve|query|loadgen|server-smoke [--port P] [--queue Q] [--conns C] [--requests N] \
-                 [--pipeline P] [--mix] [--domain D]"
+                 serve|query|loadgen|stats|server-smoke [--port P] [--queue Q] [--conns C] \
+                 [--requests N] [--pipeline P] [--mix] [--domain D] [--raw] [--slow-query-ms MS] \
+                 [--metrics-dump PATH] [--metrics-interval-secs S]"
             );
             std::process::exit(2);
         }

@@ -1,10 +1,16 @@
-//! The `repro serve` / `repro query` / `repro loadgen` /
-//! `repro server-smoke` subcommands: the measurable end-to-end path of
-//! the `pigeonring-server` network frontend.
+//! The `repro serve` / `repro query` / `repro loadgen` / `repro stats`
+//! / `repro server-smoke` subcommands: the measurable end-to-end path
+//! of the `pigeonring-server` network frontend.
 //!
 //! * `serve` builds the four domain engines ([`EngineSpec`] is
 //!   deterministic per scale, so clients at the same scale hold the same
 //!   datasets) and answers on a loopback-style TCP port until killed.
+//!   `--slow-query-ms` arms the server's slow-query log;
+//!   `--metrics-dump PATH` writes the live metrics snapshot to a file
+//!   every `--metrics-interval-secs` seconds.
+//! * `stats` asks a running server for its live telemetry snapshot
+//!   (`Request::Stats`) and pretty-prints it; `--raw` emits the JSON
+//!   byte-for-byte for piping into `jq`.
 //! * `query` drives one domain's (or every domain's) standard query set
 //!   through a running server and prints the `result_hash` fingerprint —
 //!   comparable across processes and against `repro sweep`-style
@@ -31,11 +37,12 @@ use pigeonring_server::{
     start, Client, Domain, DomainQuery, EngineSet, EngineSpec, Outcome, Response, ServerConfig,
 };
 use pigeonring_service::{percentile, ResultHasher, WorkerPool};
+use pigeonring_telemetry::json as telemetry_json;
 
 use crate::{f1, f3, Report, Scale};
 
 /// Parsed flags shared by the server subcommands.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerCliOpts {
     /// Dataset scale (`--quick` / `--paper`).
     pub scale: Scale,
@@ -62,14 +69,24 @@ pub struct ServerCliOpts {
     pub mix: bool,
     /// Restrict `query` to one domain (`None` = all four).
     pub domain: Option<Domain>,
+    /// `stats`: print the raw snapshot JSON instead of pretty-printing.
+    pub raw: bool,
+    /// `serve`: periodically write the live metrics snapshot to this
+    /// file (`--metrics-dump PATH`).
+    pub metrics_dump: Option<String>,
+    /// `serve`: seconds between metrics-dump writes.
+    pub metrics_interval_secs: usize,
+    /// `serve` / `server-smoke`: slow-query log threshold in
+    /// milliseconds (`None` = disabled).
+    pub slow_query_ms: Option<u64>,
 }
 
 impl ServerCliOpts {
     /// Parses and validates the server-subcommand flag set; unknown
     /// flags and malformed values are errors, not silent defaults.
     pub fn from_args(args: &[String]) -> Result<ServerCliOpts, String> {
-        const BOOL_FLAGS: [&str; 3] = ["--quick", "--paper", "--mix"];
-        const VALUE_FLAGS: [&str; 9] = [
+        const BOOL_FLAGS: [&str; 4] = ["--quick", "--paper", "--mix", "--raw"];
+        const VALUE_FLAGS: [&str; 12] = [
             "--shards",
             "--threads",
             "--port",
@@ -79,6 +96,9 @@ impl ServerCliOpts {
             "--requests",
             "--pipeline",
             "--domain",
+            "--metrics-dump",
+            "--metrics-interval-secs",
+            "--slow-query-ms",
         ];
         let mut i = 0;
         while i < args.len() {
@@ -87,9 +107,10 @@ impl ServerCliOpts {
                 i += 2;
             } else if a.starts_with("--") && !BOOL_FLAGS.contains(&a) {
                 return Err(format!(
-                    "unknown flag {a:?}; known: --quick, --paper, --mix, --shards K, \
+                    "unknown flag {a:?}; known: --quick, --paper, --mix, --raw, --shards K, \
                      --threads T, --port P, --queue Q, --batch B, --conns C, --requests N, \
-                     --pipeline P, --domain D"
+                     --pipeline P, --domain D, --metrics-dump PATH, \
+                     --metrics-interval-secs S, --slow-query-ms MS"
                 ));
             } else {
                 i += 1;
@@ -123,6 +144,15 @@ impl ServerCliOpts {
                 }
             }
         };
+        let metrics_dump = match args.iter().position(|a| a == "--metrics-dump") {
+            None => None,
+            Some(i) => Some(
+                args.get(i + 1)
+                    .filter(|p| !p.starts_with("--"))
+                    .ok_or("--metrics-dump requires a file path")?
+                    .clone(),
+            ),
+        };
         let port = value_of("--port")?.unwrap_or(7878);
         if port > u16::MAX as usize {
             return Err(format!("--port must be at most 65535 (got {port})"));
@@ -139,6 +169,10 @@ impl ServerCliOpts {
             pipeline: value_of("--pipeline")?.unwrap_or(4),
             mix: args.iter().any(|a| a == "--mix"),
             domain,
+            raw: args.iter().any(|a| a == "--raw"),
+            metrics_dump,
+            metrics_interval_secs: value_of("--metrics-interval-secs")?.unwrap_or(10),
+            slow_query_ms: value_of("--slow-query-ms")?.map(|ms| ms as u64),
         })
     }
 
@@ -165,6 +199,7 @@ impl ServerCliOpts {
         ServerConfig {
             lane_depth: self.queue,
             micro_batch: self.batch,
+            slow_query_ms: self.slow_query_ms,
             ..ServerConfig::default()
         }
     }
@@ -178,6 +213,7 @@ pub fn run(cmd: &str, args: &[String]) -> Result<(), String> {
         "serve" => serve(&opts),
         "query" => query(&opts),
         "loadgen" => loadgen(&opts),
+        "stats" => stats(&opts),
         "server-smoke" => server_smoke(&opts),
         other => Err(format!("not a server subcommand: {other:?}")),
     }
@@ -203,10 +239,43 @@ fn serve(opts: &ServerCliOpts) -> Result<(), String> {
         opts.batch,
         opts.worker_threads()
     );
+    if let Some(path) = &opts.metrics_dump {
+        let path = path.clone();
+        let interval = std::time::Duration::from_secs(opts.metrics_interval_secs.max(1) as u64);
+        let metrics = Arc::clone(handle.metrics());
+        std::thread::spawn(move || loop {
+            std::thread::sleep(interval);
+            if let Err(e) = std::fs::write(&path, metrics.stats_json()) {
+                eprintln!("metrics dump to {path:?} failed: {e}");
+            }
+        });
+        println!(
+            "metrics dump: {} every {}s",
+            opts.metrics_dump.as_deref().unwrap_or(""),
+            opts.metrics_interval_secs.max(1)
+        );
+    }
     // Serve until the process is killed.
     loop {
         std::thread::park();
     }
+}
+
+/// `repro stats`: fetch a running server's live metrics snapshot over
+/// the wire (`Request::Stats`) and pretty-print it (`--raw` dumps the
+/// JSON exactly as the server sent it).
+fn stats(opts: &ServerCliOpts) -> Result<(), String> {
+    let addr: SocketAddr = ([127, 0, 0, 1], opts.port).into();
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let snapshot = client.stats().map_err(|e| format!("stats failed: {e}"))?;
+    if opts.raw {
+        println!("{snapshot}");
+    } else {
+        let doc = telemetry_json::parse(&snapshot)
+            .map_err(|e| format!("server sent an unparseable snapshot: {e}"))?;
+        println!("{}", doc.pretty());
+    }
+    Ok(())
 }
 
 /// `repro query`: one domain's (or all domains') standard query set
@@ -320,12 +389,154 @@ enum Phase {
 fn loadgen(opts: &ServerCliOpts) -> Result<(), String> {
     let addr: SocketAddr = ([127, 0, 0, 1], opts.port).into();
     let query_sets = sample_all_queries(opts);
+    // Snapshot the server's metrics around the run so the artifact
+    // carries the server-side delta (queue waits, stage survivor
+    // counts) next to the client-observed latencies. Best-effort: a
+    // server that can't answer Stats degrades the artifact, not the
+    // run.
+    let before = fetch_stats(addr);
     let rows = if opts.mix {
         run_fairness_loadgen(opts, addr, &query_sets)?
     } else {
         run_phase(opts, addr, &query_sets, Phase::Mixed)?
     };
-    emit_loadgen(&rows, opts)
+    let server_metrics = match (&before, fetch_stats(addr)) {
+        (Some(b), Some(a)) => Some(metrics_delta_json(b, &a)?),
+        _ => None,
+    };
+    emit_loadgen(&rows, opts, server_metrics.as_deref())
+}
+
+/// Best-effort Stats fetch on a fresh connection; `None` when the
+/// server is unreachable or refuses the request.
+fn fetch_stats(addr: SocketAddr) -> Option<String> {
+    Client::connect(addr).ok()?.stats().ok()
+}
+
+/// After-minus-before deltas between two wire Stats snapshots, rendered
+/// as the `server_metrics` object for `BENCH_server.json`: every
+/// counter that moved (per-domain query counts, filter-stage survivor
+/// counts, lane admissions) plus per-histogram interval summaries —
+/// delta count/sum with nearest-rank percentiles recomputed over the
+/// delta buckets, so queue waits and latencies describe *this run's*
+/// requests, not cumulative server history.
+fn metrics_delta_json(before: &str, after: &str) -> Result<String, String> {
+    use telemetry_json::Value;
+    let before =
+        telemetry_json::parse(before).map_err(|e| format!("bad 'before' stats snapshot: {e}"))?;
+    let after =
+        telemetry_json::parse(after).map_err(|e| format!("bad 'after' stats snapshot: {e}"))?;
+    let counters = |doc: &Value| -> Vec<(String, u64)> {
+        doc.get("metrics")
+            .and_then(|m| m.get("counters"))
+            .and_then(Value::entries)
+            .map(|entries| {
+                entries
+                    .iter()
+                    .filter_map(|(k, v)| v.as_u64().map(|n| (k.clone(), n)))
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    // name → (sum, sparse buckets as (upper bound, count)).
+    type HistEntry = (String, u64, Vec<(u64, u64)>);
+    let histograms = |doc: &Value| -> Vec<HistEntry> {
+        doc.get("metrics")
+            .and_then(|m| m.get("histograms"))
+            .and_then(Value::entries)
+            .map(|entries| {
+                entries
+                    .iter()
+                    .map(|(k, h)| {
+                        let sum = h.get("sum").and_then(Value::as_u64).unwrap_or(0);
+                        let buckets = h
+                            .get("buckets")
+                            .and_then(Value::entries)
+                            .map(|b| {
+                                b.iter()
+                                    .filter_map(|(bound, c)| {
+                                        Some((bound.parse::<u64>().ok()?, c.as_u64()?))
+                                    })
+                                    .collect()
+                            })
+                            .unwrap_or_default();
+                        (k.clone(), sum, buckets)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+
+    let mut out = String::from("{\n  \"counters\": {");
+    let before_counters = counters(&before);
+    let mut first = true;
+    for (name, now) in counters(&after) {
+        let was = before_counters
+            .iter()
+            .find(|(n, _)| n == &name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0);
+        let delta = now.saturating_sub(was);
+        if delta == 0 {
+            continue;
+        }
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        out.push_str(&format!("\"{name}\": {delta}"));
+    }
+    out.push_str("},\n  \"histograms\": {");
+    let before_hists = histograms(&before);
+    first = true;
+    for (name, sum_now, buckets_now) in histograms(&after) {
+        let (sum_was, buckets_was) = before_hists
+            .iter()
+            .find(|(n, _, _)| n == &name)
+            .map(|(_, s, b)| (*s, b.as_slice()))
+            .unwrap_or((0, &[][..]));
+        let mut delta: Vec<(u64, u64)> = buckets_now
+            .iter()
+            .map(|&(bound, c)| {
+                let was = buckets_was
+                    .iter()
+                    .find(|&&(b, _)| b == bound)
+                    .map(|&(_, c)| c)
+                    .unwrap_or(0);
+                (bound, c.saturating_sub(was))
+            })
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        delta.sort_unstable();
+        let count: u64 = delta.iter().map(|&(_, c)| c).sum();
+        if count == 0 {
+            continue;
+        }
+        let pct = |p: f64| -> u64 {
+            let rank = ((p / 100.0) * count as f64).ceil().max(1.0) as u64;
+            let mut cum = 0u64;
+            for &(bound, c) in &delta {
+                cum += c;
+                if cum >= rank {
+                    return bound;
+                }
+            }
+            delta.last().map(|&(b, _)| b).unwrap_or(0)
+        };
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        out.push_str(&format!(
+            "\"{name}\": {{\"count\": {count}, \"sum\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+            sum_now.saturating_sub(sum_was),
+            pct(50.0),
+            pct(95.0),
+            pct(99.0)
+        ));
+    }
+    out.push_str("}\n}");
+    Ok(out)
 }
 
 /// The fairness experiment: one solo phase per domain, then the mixed
@@ -480,9 +691,14 @@ fn run_phase(
         .collect())
 }
 
-/// Prints the loadgen table and writes `results/BENCH_server.json`,
+/// Prints the loadgen table and writes `results/BENCH_server.json`
+/// (embedding the server-side metrics delta when one was captured),
 /// then prints the per-domain fairness ratios when both phases ran.
-fn emit_loadgen(rows: &[LoadRow], opts: &ServerCliOpts) -> Result<(), String> {
+fn emit_loadgen(
+    rows: &[LoadRow],
+    opts: &ServerCliOpts,
+    server_metrics: Option<&str>,
+) -> Result<(), String> {
     let mut rep = Report::new(
         "server_loadgen",
         &[
@@ -547,12 +763,25 @@ fn emit_loadgen(rows: &[LoadRow], opts: &ServerCliOpts) -> Result<(), String> {
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
-    json.push_str("]\n}");
+    json.push(']');
+    if let Some(delta) = server_metrics {
+        json.push_str(",\n\"server_metrics\": ");
+        json.push_str(delta);
+    }
+    json.push_str("\n}");
     rep.emit();
     std::fs::create_dir_all("results").map_err(|e| format!("cannot create results/: {e}"))?;
     std::fs::write("results/BENCH_server.json", json)
         .map_err(|e| format!("cannot write results/BENCH_server.json: {e}"))?;
-    println!("wrote results/BENCH_server.json ({} rows)", rows.len());
+    println!(
+        "wrote results/BENCH_server.json ({} rows{})",
+        rows.len(),
+        if server_metrics.is_some() {
+            ", with server-side metrics delta"
+        } else {
+            ""
+        }
+    );
     for row in rows {
         if let Some(r) = row.mixed_over_solo_p50 {
             println!(
@@ -629,9 +858,20 @@ fn server_smoke(opts: &ServerCliOpts) -> Result<(), String> {
 
     // The fairness experiment is part of the smoke artifact: solo
     // baselines per domain, then mixed load, so BENCH_server.json
-    // records each domain's mixed_over_solo_p50 isolation ratio.
+    // records each domain's mixed_over_solo_p50 isolation ratio —
+    // bracketed by Stats fetches so the artifact also carries the
+    // server-side metrics delta for exactly this load.
+    let before = fetch_stats(addr).ok_or("server did not answer Stats before loadgen")?;
     let rows = run_fairness_loadgen(opts, addr, &query_sets)?;
-    emit_loadgen(&rows, opts)?;
+    let after = fetch_stats(addr).ok_or("server did not answer Stats after loadgen")?;
+    let server_metrics = metrics_delta_json(&before, &after)?;
+    emit_loadgen(&rows, opts, Some(&server_metrics))?;
+    // The raw post-load snapshot is its own CI-gated artifact: jq
+    // checks per-lane gauges, per-domain query counters, and the
+    // embedded machine fingerprint.
+    std::fs::write("results/server_stats.json", &after)
+        .map_err(|e| format!("cannot write results/server_stats.json: {e}"))?;
+    println!("wrote results/server_stats.json");
     handle.shutdown();
 
     if mismatches.is_empty() {
@@ -696,5 +936,69 @@ mod tests {
         assert!(ServerCliOpts::from_args(&args(&["--domain", "sets"])).is_err());
         assert!(ServerCliOpts::from_args(&args(&["--domain", "all"])).is_ok());
         assert!(ServerCliOpts::from_args(&args(&["--conns", "0"])).is_err());
+    }
+
+    #[test]
+    fn telemetry_flags_parse() {
+        let o = ServerCliOpts::from_args(&args(&[])).expect("defaults parse");
+        assert!(!o.raw);
+        assert!(o.metrics_dump.is_none());
+        assert_eq!(o.metrics_interval_secs, 10);
+        assert!(o.slow_query_ms.is_none());
+        let o = ServerCliOpts::from_args(&args(&[
+            "--raw",
+            "--metrics-dump",
+            "results/dump.json",
+            "--metrics-interval-secs",
+            "3",
+            "--slow-query-ms",
+            "250",
+        ]))
+        .expect("telemetry flags parse");
+        assert!(o.raw);
+        assert_eq!(o.metrics_dump.as_deref(), Some("results/dump.json"));
+        assert_eq!(o.metrics_interval_secs, 3);
+        assert_eq!(o.slow_query_ms, Some(250));
+        // A missing or flag-shaped path is an error, not a silent skip.
+        assert!(ServerCliOpts::from_args(&args(&["--metrics-dump"])).is_err());
+        assert!(ServerCliOpts::from_args(&args(&["--metrics-dump", "--raw"])).is_err());
+        assert!(ServerCliOpts::from_args(&args(&["--slow-query-ms", "0"])).is_err());
+    }
+
+    #[test]
+    fn metrics_delta_subtracts_and_recomputes_percentiles() {
+        let before = r#"{"metrics": {"counters": {"service.hamming.queries": 10, "server.errors": 2},
+            "gauges": {},
+            "histograms": {"server.hamming.latency_us": {"count": 4, "sum": 100,
+                "p50": 16, "p95": 64, "p99": 64,
+                "buckets": {"16": 3, "64": 1}}}}}"#;
+        let after = r#"{"metrics": {"counters": {"service.hamming.queries": 16, "server.errors": 2},
+            "gauges": {},
+            "histograms": {"server.hamming.latency_us": {"count": 10, "sum": 1300,
+                "p50": 16, "p95": 256, "p99": 256,
+                "buckets": {"16": 7, "64": 1, "256": 2}}}}}"#;
+        let delta = metrics_delta_json(before, after).expect("delta computes");
+        let doc = telemetry_json::parse(&delta).expect("delta is valid JSON");
+        let counters = doc.get("counters").expect("counters");
+        assert_eq!(
+            counters
+                .get("service.hamming.queries")
+                .and_then(telemetry_json::Value::as_u64),
+            Some(6)
+        );
+        // Unmoved counters are elided from the delta.
+        assert!(counters.get("server.errors").is_none());
+        let h = doc
+            .get("histograms")
+            .and_then(|h| h.get("server.hamming.latency_us"))
+            .expect("histogram delta");
+        let field = |k: &str| h.get(k).and_then(telemetry_json::Value::as_u64);
+        assert_eq!(field("count"), Some(6));
+        assert_eq!(field("sum"), Some(1200));
+        // Interval buckets: {16: 4, 256: 2} ⇒ p50 lands in 16, p95/p99
+        // in 256 — percentiles of the interval, not the cumulative run.
+        assert_eq!(field("p50"), Some(16));
+        assert_eq!(field("p95"), Some(256));
+        assert_eq!(field("p99"), Some(256));
     }
 }

@@ -30,6 +30,16 @@ impl MergeStats for EditStats {
     fn merge(&mut self, other: &Self) {
         EditStats::merge(self, other);
     }
+
+    fn visit(&self, emit: &mut dyn FnMut(&'static str, u64)) {
+        emit("cand1", self.cand1 as u64);
+        emit("cand2", self.cand2 as u64);
+        emit("candidates", self.candidates as u64);
+        emit("results", self.results as u64);
+        emit("postings_scanned", self.postings_scanned as u64);
+        emit("boxes_checked", self.boxes_checked as u64);
+        emit("skipped_by_corollary2", self.skipped_by_corollary2 as u64);
+    }
 }
 
 impl SearchEngine for RingEdit {

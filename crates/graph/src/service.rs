@@ -26,6 +26,14 @@ impl MergeStats for GraphStats {
     fn merge(&mut self, other: &Self) {
         GraphStats::merge(self, other);
     }
+
+    fn visit(&self, emit: &mut dyn FnMut(&'static str, u64)) {
+        emit("candidates", self.candidates as u64);
+        emit("results", self.results as u64);
+        emit("subiso_calls", self.subiso_calls as u64);
+        emit("boxes_checked", self.boxes_checked as u64);
+        emit("skipped_by_corollary2", self.skipped_by_corollary2 as u64);
+    }
 }
 
 impl SearchEngine for RingGraph {

@@ -171,6 +171,33 @@ impl Client {
                 }
             }
             Response::HelloOk { .. } => Err(ClientError::Protocol("unexpected HelloOk")),
+            Response::Stats { .. } => Err(ClientError::Protocol("unexpected Stats response")),
+        }
+    }
+
+    /// Fetches the server's live metrics snapshot (a JSON document:
+    /// machine fingerprint, uptime, all registered metrics, recent slow
+    /// queries). Must not be interleaved with in-flight pipelined
+    /// queries — like [`Client::search`], it waits for its own reply.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        let request_id = self.next_id;
+        self.next_id += 1;
+        write_frame(
+            &mut self.writer,
+            &encode_request(&Request::Stats { request_id }),
+        )?;
+        match self.read_response()? {
+            Response::Stats {
+                request_id: got,
+                json,
+            } => {
+                if got != request_id {
+                    return Err(ClientError::Protocol("response id does not match request"));
+                }
+                Ok(json)
+            }
+            Response::Error { code, message, .. } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Protocol("expected Stats response")),
         }
     }
 

@@ -40,9 +40,11 @@ pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientError, Outcome};
-pub use queue::{BoundedQueue, FairQueue, PushError};
+pub use queue::{lane_of, BoundedQueue, FairQueue, PushError, NUM_LANES};
 pub use registry::{EngineSet, EngineSpec};
-pub use server::{start, start_with_handler, Handler, ServerConfig, ServerHandle};
+pub use server::{
+    start, start_with_handler, Handler, ServerConfig, ServerHandle, ServerMetrics, SlowQuery,
+};
 pub use wire::{
     Domain, DomainQuery, ErrorCode, Request, Response, WireError, CONNECTION_REQUEST_ID,
     MAX_FRAME_LEN, PROTOCOL_VERSION,

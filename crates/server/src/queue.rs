@@ -23,7 +23,9 @@
 //!   domains under the old global FIFO).
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use pigeonring_telemetry::Gauge;
 
 use crate::wire::Domain;
 
@@ -138,7 +140,9 @@ impl<T> BoundedQueue<T> {
     }
 }
 
-const NUM_LANES: usize = Domain::ALL.len();
+/// Number of lanes in a [`FairQueue`] — one per [`Domain`], in
+/// [`Domain::ALL`] order.
+pub const NUM_LANES: usize = Domain::ALL.len();
 
 struct FairState<T> {
     lanes: [VecDeque<T>; NUM_LANES],
@@ -165,6 +169,9 @@ pub struct FairQueue<T> {
     not_empty: Condvar,
     lane_capacity: usize,
     weights: [usize; NUM_LANES],
+    /// Optional per-lane depth gauges, maintained at push/pop so depth
+    /// can be read without taking the queue mutex.
+    depth_gauges: OnceLock<[Arc<Gauge>; NUM_LANES]>,
 }
 
 impl<T> FairQueue<T> {
@@ -182,7 +189,20 @@ impl<T> FairQueue<T> {
             not_empty: Condvar::new(),
             lane_capacity: lane_capacity.max(1),
             weights: weights.map(|w| w.max(1)),
+            depth_gauges: OnceLock::new(),
         }
+    }
+
+    /// Attaches one depth gauge per lane ([`Domain::ALL`] order);
+    /// thereafter every successful push increments and every pop
+    /// decrements the owning lane's gauge. First attach wins.
+    pub fn attach_depth_gauges(&self, gauges: [Arc<Gauge>; NUM_LANES]) {
+        let _ = self.depth_gauges.set(gauges);
+    }
+
+    /// The attached depth gauge for `domain`'s lane, if any.
+    pub fn depth_gauge(&self, domain: Domain) -> Option<&Arc<Gauge>> {
+        self.depth_gauges.get().map(|g| &g[lane_of(domain)])
     }
 
     /// The per-lane admission-control depth.
@@ -221,6 +241,9 @@ impl<T> FairQueue<T> {
         }
         lane.push_back(item);
         drop(state);
+        if let Some(gauges) = self.depth_gauges.get() {
+            gauges[lane_of(domain)].inc();
+        }
         self.not_empty.notify_one();
         Ok(())
     }
@@ -238,6 +261,7 @@ impl<T> FairQueue<T> {
         let mut state = self.state.lock().expect("queue mutex poisoned");
         loop {
             if state.total() > 0 {
+                let mut taken = [0usize; NUM_LANES];
                 while out.len() < max && state.total() > 0 {
                     let li = state.cursor % NUM_LANES;
                     state.cursor = state.cursor.wrapping_add(1);
@@ -245,6 +269,15 @@ impl<T> FairQueue<T> {
                     let lane = &mut state.lanes[li];
                     let take = quota.min(lane.len());
                     out.extend(lane.drain(..take));
+                    taken[li] += take;
+                }
+                drop(state);
+                if let Some(gauges) = self.depth_gauges.get() {
+                    for (li, &n) in taken.iter().enumerate() {
+                        if n > 0 {
+                            gauges[li].sub(n as i64);
+                        }
+                    }
                 }
                 return true;
             }
@@ -267,7 +300,7 @@ impl<T> FairQueue<T> {
 }
 
 /// Lane index for a domain ([`Domain::ALL`] order).
-fn lane_of(domain: Domain) -> usize {
+pub fn lane_of(domain: Domain) -> usize {
     Domain::ALL
         .iter()
         .position(|&d| d == domain)
@@ -468,6 +501,26 @@ mod tests {
             q.try_push(Domain::Set, (Domain::Set, 2)),
             Err(PushError::Closed(_))
         ));
+    }
+
+    #[test]
+    fn fair_depth_gauges_track_push_and_pop() {
+        let q = fq(8);
+        q.attach_depth_gauges(std::array::from_fn(|_| Arc::new(Gauge::new())));
+        for i in 0..3 {
+            q.try_push(Domain::Graph, (Domain::Graph, i)).expect("room");
+        }
+        q.try_push(Domain::Edit, (Domain::Edit, 0)).expect("room");
+        let read = |d: Domain| q.depth_gauge(d).expect("attached").get();
+        assert_eq!(read(Domain::Graph), 3);
+        assert_eq!(read(Domain::Edit), 1);
+        assert_eq!(read(Domain::Hamming), 0);
+        let mut out = Vec::new();
+        assert!(q.pop_batch(16, &mut out));
+        assert_eq!(out.len(), 4);
+        for d in Domain::ALL {
+            assert_eq!(read(d), 0, "{d} lane drained");
+        }
     }
 
     #[test]

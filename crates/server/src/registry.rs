@@ -21,14 +21,15 @@
 //! in-process reference runs.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use pigeonring_datagen::{sample_query_ids, GraphConfig, SetConfig, StringConfig, VectorConfig};
 use pigeonring_editdist::{EditParams, GramDictionary, GramOrder, QGramCollection, RingEdit};
 use pigeonring_graph::{GraphParams, RingGraph};
 use pigeonring_hamming::{AllocationStrategy, HammingParams, RingHamming};
-use pigeonring_service::{ShardedIndex, WorkerPool};
+use pigeonring_service::{IndexMetrics, MergeStats, SearchEngine, ShardedIndex, WorkerPool};
 use pigeonring_setsim::{Collection, RingSetSim, SetParams, Threshold, TokenDictionary};
+use pigeonring_telemetry::{Counter, MetricsRegistry};
 
 use crate::wire::{Domain, DomainQuery, ErrorCode, Response, CONNECTION_REQUEST_ID};
 
@@ -201,6 +202,33 @@ pub struct EngineSet {
     /// guarantees a batch's cheap replies are already out before its
     /// heavy share blocks here.
     heavy: Mutex<()>,
+    /// Per-domain service-layer counters ([`Domain::ALL`] order),
+    /// populated by [`EngineSet::attach_metrics`]. Absent ⇒ queries run
+    /// with zero accounting overhead.
+    metrics: OnceLock<[DomainCounters; 4]>,
+}
+
+/// One domain's service-layer counters: total queries answered plus the
+/// engine's own filter-chain stage counters. Stage values come from the
+/// merged per-shard stats ([`MergeStats::visit`]), so the exported
+/// numbers are exactly what the engines measured — not a re-count.
+struct DomainCounters {
+    queries: Arc<Counter>,
+    stages: Vec<(&'static str, Arc<Counter>)>,
+}
+
+/// Registers `service.{domain}.queries` plus one
+/// `service.{domain}.stage.{field}` counter per field `S` exports.
+fn domain_counters<S: MergeStats>(registry: &MetricsRegistry, domain: Domain) -> DomainCounters {
+    let queries = registry.counter(&format!("service.{domain}.queries"));
+    let mut stages = Vec::new();
+    S::default().visit(&mut |name, _| {
+        stages.push((
+            name,
+            registry.counter(&format!("service.{domain}.stage.{name}")),
+        ));
+    });
+    DomainCounters { queries, stages }
 }
 
 /// Estimated group execution time above which the group takes the
@@ -269,7 +297,32 @@ impl EngineSet {
             hamming_dims,
             cost_ema_ns: Default::default(),
             heavy: Mutex::new(()),
+            metrics: OnceLock::new(),
         }
+    }
+
+    /// Registers this set's metrics in `registry` and starts recording:
+    /// per-domain plan/search latency and batch-size histograms
+    /// (`index.{domain}.*`, attached to each [`ShardedIndex`]), a
+    /// `service.{domain}.queries` counter, and one
+    /// `service.{domain}.stage.{field}` counter per filter-chain stage
+    /// statistic the domain's engine exports. First attach wins;
+    /// queries served before the attach are simply not counted.
+    pub fn attach_metrics(&self, registry: &MetricsRegistry) {
+        self.hamming
+            .attach_metrics(IndexMetrics::register(registry, "index.hamming"));
+        self.edit
+            .attach_metrics(IndexMetrics::register(registry, "index.editdist"));
+        self.set
+            .attach_metrics(IndexMetrics::register(registry, "index.setsim"));
+        self.graph
+            .attach_metrics(IndexMetrics::register(registry, "index.graph"));
+        let _ = self.metrics.set([
+            domain_counters::<<RingHamming as SearchEngine>::Stats>(registry, Domain::Hamming),
+            domain_counters::<<RingEdit as SearchEngine>::Stats>(registry, Domain::Edit),
+            domain_counters::<<RingSetSim as SearchEngine>::Stats>(registry, Domain::Set),
+            domain_counters::<<RingGraph as SearchEngine>::Stats>(registry, Domain::Graph),
+        ]);
     }
 
     /// The spec this set was built from.
@@ -397,13 +450,28 @@ impl EngineSet {
                 None
             };
             let start = std::time::Instant::now();
+            let counters = self.metrics.get().map(|m| &m[di]);
             match Domain::ALL[di] {
-                Domain::Hamming => {
-                    run_groups(pool, &self.hamming, std::mem::take(&mut hamming), emit)
+                Domain::Hamming => run_groups(
+                    pool,
+                    &self.hamming,
+                    std::mem::take(&mut hamming),
+                    counters,
+                    emit,
+                ),
+                Domain::Edit => {
+                    run_groups(pool, &self.edit, std::mem::take(&mut edit), counters, emit)
                 }
-                Domain::Edit => run_groups(pool, &self.edit, std::mem::take(&mut edit), emit),
-                Domain::Set => run_groups(pool, &self.set, std::mem::take(&mut set), emit),
-                Domain::Graph => run_groups(pool, &self.graph, std::mem::take(&mut graph), emit),
+                Domain::Set => {
+                    run_groups(pool, &self.set, std::mem::take(&mut set), counters, emit)
+                }
+                Domain::Graph => run_groups(
+                    pool,
+                    &self.graph,
+                    std::mem::take(&mut graph),
+                    counters,
+                    emit,
+                ),
             }
             let per_query_ns =
                 (start.elapsed().as_nanos() / sizes[di] as u128).min(u64::MAX as u128) as u64;
@@ -424,10 +492,13 @@ impl EngineSet {
 /// Runs one domain's share of a micro-batch: splits it into runs of
 /// equal parameters, answers each run with one batched shard fan-out,
 /// and emits results into their request slots as each run completes.
+/// When `counters` is attached, folds each run's merged engine stats
+/// into the domain's stage counters before emitting.
 fn run_groups<E>(
     pool: &WorkerPool,
     index: &ShardedIndex<E>,
     items: Vec<(usize, E::Query, E::Params)>,
+    counters: Option<&DomainCounters>,
     emit: &mut dyn FnMut(usize, Response),
 ) where
     E: pigeonring_service::SearchEngine,
@@ -442,6 +513,18 @@ fn run_groups<E>(
             batch.push(q);
         }
         let results = index.search_batch_on(pool, &batch, &params);
+        if let Some(c) = counters {
+            c.queries.add(batch.len() as u64);
+            let mut total = E::Stats::default();
+            for r in &results {
+                total.merge(&r.stats);
+            }
+            total.visit(&mut |name, value| {
+                if let Some((_, counter)) = c.stages.iter().find(|(n, _)| *n == name) {
+                    counter.add(value);
+                }
+            });
+        }
         for (slot, result) in slots.into_iter().zip(results) {
             emit(
                 slot,

@@ -34,15 +34,18 @@
 //!   queue (shutdown) answers a *terminal* `Internal` error, not a
 //!   retryable `Busy`.
 
+use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Instant;
 
-use pigeonring_service::WorkerPool;
+use pigeonring_service::{MachineFingerprint, PoolMetrics, WorkerPool};
+use pigeonring_telemetry::{Counter, Histogram, MetricsRegistry};
 
-use crate::queue::{FairQueue, PushError};
+use crate::queue::{lane_of, FairQueue, PushError, NUM_LANES};
 use crate::registry::EngineSet;
 use crate::wire::{
     decode_request, encode_response, read_frame, write_frame, Domain, DomainQuery, ErrorCode,
@@ -73,6 +76,11 @@ pub struct ServerConfig {
     /// drains — so a client that pipelines requests but reads replies
     /// slowly cannot grow server memory without bound.
     pub conn_in_flight: usize,
+    /// Slow-query threshold in milliseconds: a query whose
+    /// admitted-to-answered latency reaches it is echoed to stderr and
+    /// kept in the bounded slow-query ring the Stats snapshot exposes.
+    /// `None` (the default) disables the log entirely.
+    pub slow_query_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -87,6 +95,7 @@ impl Default for ServerConfig {
             // the slow lanes' share is bounded.
             lane_weights: [8, 4, 8, 2],
             conn_in_flight: 32,
+            slow_query_ms: None,
         }
     }
 }
@@ -102,7 +111,152 @@ const WRITER_STALL_TIMEOUT: std::time::Duration = std::time::Duration::from_secs
 struct Job {
     request_id: u64,
     query: DomainQuery,
+    domain: Domain,
+    admitted_at: Instant,
     reply: mpsc::Sender<Response>,
+}
+
+/// How many slow queries the ring buffer keeps for the Stats snapshot
+/// (oldest evicted first).
+const SLOW_QUERY_LOG_CAP: usize = 64;
+
+/// One completed query that crossed [`ServerConfig::slow_query_ms`]:
+/// kept in a bounded ring for the Stats snapshot and echoed to stderr
+/// as it happens.
+#[derive(Clone, Debug)]
+pub struct SlowQuery {
+    /// The query's domain.
+    pub domain: Domain,
+    /// The request id the client chose for it.
+    pub request_id: u64,
+    /// Admitted-to-answered latency in microseconds (queue wait plus
+    /// execution).
+    pub latency_us: u64,
+    /// Server uptime in milliseconds when the query completed.
+    pub at_ms: u64,
+}
+
+/// All of a running server's telemetry: the [`MetricsRegistry`] every
+/// layer records into (lanes, dispatchers, writer, worker pool, engine
+/// stage counters) plus the slow-query ring. One instance exists per
+/// server; [`ServerHandle::metrics`] exposes it and
+/// [`ServerMetrics::stats_json`] renders the live snapshot the
+/// `Request::Stats` wire endpoint returns.
+pub struct ServerMetrics {
+    registry: Arc<MetricsRegistry>,
+    started: Instant,
+    /// Host fingerprint, rendered once — snapshots embed it so an
+    /// artifact is attributable to the machine that produced it.
+    machine_json: String,
+    admitted: [Arc<Counter>; NUM_LANES],
+    busy: [Arc<Counter>; NUM_LANES],
+    latency_us: [Arc<Histogram>; NUM_LANES],
+    queue_wait_us: [Arc<Histogram>; NUM_LANES],
+    errors: Arc<Counter>,
+    frames_rejected: Arc<Counter>,
+    dispatch_batch: Arc<Histogram>,
+    writer_stalls: Arc<Counter>,
+    slow_query_us: Option<u64>,
+    slow_queries: Mutex<VecDeque<SlowQuery>>,
+}
+
+impl ServerMetrics {
+    fn new(slow_query_ms: Option<u64>) -> Self {
+        let registry = Arc::new(MetricsRegistry::new());
+        let lane_counter =
+            |kind: &str| Domain::ALL.map(|d| registry.counter(&format!("server.lane.{d}.{kind}")));
+        let domain_histogram =
+            |kind: &str| Domain::ALL.map(|d| registry.histogram(&format!("server.{d}.{kind}")));
+        ServerMetrics {
+            started: Instant::now(),
+            machine_json: MachineFingerprint::detect().to_json(),
+            admitted: lane_counter("admitted"),
+            busy: lane_counter("busy"),
+            latency_us: domain_histogram("latency_us"),
+            queue_wait_us: domain_histogram("queue_wait_us"),
+            errors: registry.counter("server.errors"),
+            frames_rejected: registry.counter("server.frames_rejected"),
+            dispatch_batch: registry.histogram("server.dispatch.batch_size"),
+            writer_stalls: registry.counter("server.writer.stalls"),
+            slow_query_us: slow_query_ms.map(|ms| ms.saturating_mul(1000)),
+            slow_queries: Mutex::new(VecDeque::new()),
+            registry,
+        }
+    }
+
+    /// The registry every server-side metric lives in; callers may
+    /// register additional metrics of their own here and they will ride
+    /// along in every snapshot.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Milliseconds since the server started.
+    pub fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis().min(u64::MAX as u128) as u64
+    }
+
+    /// The retained slow queries, oldest first (empty unless
+    /// [`ServerConfig::slow_query_ms`] is set).
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.slow_queries
+            .lock()
+            .expect("slow-query mutex poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Records one answered query: latency histogram, and the
+    /// slow-query log when the configured threshold is crossed.
+    fn record_completion(&self, domain: Domain, request_id: u64, latency_us: u64) {
+        self.latency_us[lane_of(domain)].record(latency_us);
+        let Some(threshold) = self.slow_query_us else {
+            return;
+        };
+        if latency_us < threshold {
+            return;
+        }
+        eprintln!(
+            "[pigeonring-server] slow query: domain={domain} request_id={request_id} \
+             latency_us={latency_us}"
+        );
+        let mut log = self.slow_queries.lock().expect("slow-query mutex poisoned");
+        if log.len() == SLOW_QUERY_LOG_CAP {
+            log.pop_front();
+        }
+        log.push_back(SlowQuery {
+            domain,
+            request_id,
+            latency_us,
+            at_ms: self.uptime_ms(),
+        });
+    }
+
+    /// The live snapshot document `Request::Stats` answers with:
+    /// machine fingerprint, uptime, every registered metric, and the
+    /// retained slow queries.
+    pub fn stats_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"machine\": ");
+        out.push_str(&self.machine_json);
+        out.push_str(", \"uptime_ms\": ");
+        out.push_str(&self.uptime_ms().to_string());
+        out.push_str(", \"metrics\": ");
+        out.push_str(&self.registry.snapshot().to_json());
+        out.push_str(", \"slow_queries\": [");
+        for (i, sq) in self.slow_queries().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"domain\": \"{}\", \"request_id\": {}, \"latency_us\": {}, \"at_ms\": {}}}",
+                sq.domain, sq.request_id, sq.latency_us, sq.at_ms
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
 }
 
 /// Bounds a connection's admitted-or-unwritten responses.
@@ -175,6 +329,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     queue: Arc<FairQueue<Job>>,
     stop: Arc<AtomicBool>,
+    metrics: Arc<ServerMetrics>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
     dispatch_threads: Vec<std::thread::JoinHandle<()>>,
 }
@@ -182,47 +337,69 @@ pub struct ServerHandle {
 /// Starts a server answering from `engines` with `pool` as the
 /// execution backend. The listener should already be bound (use port 0
 /// for tests); the accept loop, dispatchers, and per-connection threads
-/// are all spawned here.
+/// are all spawned here. The engine set's stage counters and the worker
+/// pool's utilization metrics are attached to the server's registry, so
+/// the Stats snapshot covers every layer.
 pub fn start(
     listener: TcpListener,
     engines: Arc<EngineSet>,
     pool: WorkerPool,
     config: ServerConfig,
 ) -> std::io::Result<ServerHandle> {
+    let metrics = Arc::new(ServerMetrics::new(config.slow_query_ms));
+    engines.attach_metrics(metrics.registry());
+    pool.attach_metrics(PoolMetrics::register(metrics.registry()));
     let handler: Handler = Arc::new(move |queries, emit| {
         engines.run_streaming(&pool, queries, emit);
     });
-    start_with_handler(listener, handler, config)
+    start_inner(listener, handler, config, metrics)
 }
 
 /// [`start`], but with an arbitrary batch handler (test seam: inject a
 /// stalled handler to hold a lane busy and exercise admission control
-/// or out-of-order completion).
+/// or out-of-order completion). Server-layer metrics (lanes,
+/// dispatchers, writer) are still recorded; engine/pool metrics are the
+/// caller's to attach via [`ServerMetrics::registry`].
 pub fn start_with_handler(
     listener: TcpListener,
     handler: Handler,
     config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let metrics = Arc::new(ServerMetrics::new(config.slow_query_ms));
+    start_inner(listener, handler, config, metrics)
+}
+
+fn start_inner(
+    listener: TcpListener,
+    handler: Handler,
+    config: ServerConfig,
+    metrics: Arc<ServerMetrics>,
 ) -> std::io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
     let queue = Arc::new(FairQueue::<Job>::new(
         config.lane_depth,
         config.lane_weights,
     ));
+    queue.attach_depth_gauges(
+        Domain::ALL.map(|d| metrics.registry.gauge(&format!("server.lane.{d}.depth"))),
+    );
     let stop = Arc::new(AtomicBool::new(false));
 
     let dispatch_threads = (0..config.dispatchers.max(1))
         .map(|i| {
             let queue = Arc::clone(&queue);
             let handler = Arc::clone(&handler);
+            let metrics = Arc::clone(&metrics);
             std::thread::Builder::new()
                 .name(format!("pigeonring-dispatch-{i}"))
-                .spawn(move || dispatch_loop(&queue, &handler, config.micro_batch))
+                .spawn(move || dispatch_loop(&queue, &handler, config.micro_batch, &metrics))
         })
         .collect::<std::io::Result<Vec<_>>>()?;
 
     let accept_thread = {
         let queue = Arc::clone(&queue);
         let stop = Arc::clone(&stop);
+        let metrics = Arc::clone(&metrics);
         std::thread::Builder::new()
             .name("pigeonring-accept".into())
             .spawn(move || {
@@ -239,13 +416,14 @@ pub fn start_with_handler(
                         continue;
                     };
                     let queue = Arc::clone(&queue);
+                    let metrics = Arc::clone(&metrics);
                     let conn_in_flight = config.conn_in_flight;
                     // Connection threads are detached: they exit when
                     // the peer hangs up or a protocol error closes the
                     // stream.
                     let _ = std::thread::Builder::new()
                         .name("pigeonring-conn".into())
-                        .spawn(move || serve_connection(stream, &queue, conn_in_flight));
+                        .spawn(move || serve_connection(stream, &queue, conn_in_flight, &metrics));
                 }
             })?
     };
@@ -254,6 +432,7 @@ pub fn start_with_handler(
         addr,
         queue,
         stop,
+        metrics,
         accept_thread: Some(accept_thread),
         dispatch_threads,
     })
@@ -265,15 +444,32 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Requests currently buffered across all lanes (metrics / tests).
+    /// Requests currently buffered across all lanes, read from the
+    /// per-lane depth gauges (no queue mutex taken).
     pub fn queue_len(&self) -> usize {
-        self.queue.len()
+        Domain::ALL.iter().map(|&d| self.lane_len(d)).sum()
     }
 
-    /// Requests currently buffered in one domain's lane (metrics /
-    /// tests).
+    /// Requests currently buffered in one domain's lane, read from its
+    /// depth gauge (no queue mutex taken). A pop in progress can make
+    /// the gauge transiently read one high or low; exact interior
+    /// counts are not observable without the lock anyway.
     pub fn lane_len(&self, domain: Domain) -> usize {
-        self.queue.lane_len(domain)
+        match self.queue.depth_gauge(domain) {
+            Some(gauge) => gauge.get().max(0) as usize,
+            None => self.queue.lane_len(domain),
+        }
+    }
+
+    /// The server's telemetry: registry, uptime, slow-query ring.
+    pub fn metrics(&self) -> &Arc<ServerMetrics> {
+        &self.metrics
+    }
+
+    /// The live snapshot document (same payload `Request::Stats`
+    /// returns over the wire).
+    pub fn stats_json(&self) -> String {
+        self.metrics.stats_json()
     }
 
     /// Stops accepting, drains the lanes, and joins the accept and
@@ -325,15 +521,27 @@ impl Drop for ServerHandle {
 /// until the queue is closed and drained. Several dispatchers run this
 /// loop concurrently; replies carry request ids, so completion order
 /// across batches is free to interleave.
-fn dispatch_loop(queue: &FairQueue<Job>, handler: &Handler, micro_batch: usize) {
+fn dispatch_loop(
+    queue: &FairQueue<Job>,
+    handler: &Handler,
+    micro_batch: usize,
+    metrics: &ServerMetrics,
+) {
     let mut jobs: Vec<Job> = Vec::new();
     while queue.pop_batch(micro_batch, &mut jobs) {
+        metrics.dispatch_batch.record(jobs.len() as u64);
         let mut queries = Vec::with_capacity(jobs.len());
         let mut ids = Vec::with_capacity(jobs.len());
+        let mut domains = Vec::with_capacity(jobs.len());
+        let mut admitted = Vec::with_capacity(jobs.len());
         let mut replies = Vec::with_capacity(jobs.len());
         for job in jobs.drain(..) {
+            let waited_us = job.admitted_at.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            metrics.queue_wait_us[lane_of(job.domain)].record(waited_us);
             queries.push(job.query);
             ids.push(job.request_id);
+            domains.push(job.domain);
+            admitted.push(job.admitted_at);
             replies.push(job.reply);
         }
         let n = queries.len();
@@ -345,6 +553,12 @@ fn dispatch_loop(queue: &FairQueue<Job>, handler: &Handler, micro_batch: usize) 
             handler(queries, &mut |slot, resp| {
                 if slot < n && !answered[slot] {
                     answered[slot] = true;
+                    let latency_us =
+                        admitted[slot].elapsed().as_micros().min(u64::MAX as u128) as u64;
+                    metrics.record_completion(domains[slot], ids[slot], latency_us);
+                    if matches!(resp, Response::Error { .. }) {
+                        metrics.errors.inc();
+                    }
                     // Receiver gone ⇒ client left; nothing to do.
                     let _ = replies[slot].send(resp.with_request_id(ids[slot]));
                 }
@@ -352,6 +566,7 @@ fn dispatch_loop(queue: &FairQueue<Job>, handler: &Handler, micro_batch: usize) 
         }));
         for slot in 0..n {
             if !answered[slot] {
+                metrics.errors.inc();
                 let _ = replies[slot].send(Response::Error {
                     request_id: ids[slot],
                     code: ErrorCode::Internal,
@@ -373,7 +588,12 @@ fn dispatch_loop(queue: &FairQueue<Job>, handler: &Handler, micro_batch: usize) 
 /// The protocol requires `Hello` as the first frame; a query before
 /// negotiation draws a typed `Malformed` error and closes (so the
 /// server can rely on every connection having negotiated v2).
-fn serve_connection(stream: TcpStream, queue: &FairQueue<Job>, conn_in_flight: usize) {
+fn serve_connection(
+    stream: TcpStream,
+    queue: &FairQueue<Job>,
+    conn_in_flight: usize,
+    metrics: &ServerMetrics,
+) {
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -385,9 +605,10 @@ fn serve_connection(stream: TcpStream, queue: &FairQueue<Job>, conn_in_flight: u
     let (reply_tx, reply_rx) = mpsc::channel::<Response>();
     let writer_thread = {
         let budget = Arc::clone(&budget);
+        let stalls = Arc::clone(&metrics.writer_stalls);
         std::thread::Builder::new()
             .name("pigeonring-conn-writer".into())
-            .spawn(move || writer_loop(BufWriter::new(stream), &reply_rx, &budget))
+            .spawn(move || writer_loop(BufWriter::new(stream), &reply_rx, &budget, &stalls))
     };
     let Ok(writer_thread) = writer_thread else {
         return;
@@ -399,7 +620,9 @@ fn serve_connection(stream: TcpStream, queue: &FairQueue<Job>, conn_in_flight: u
             Ok(Some(payload)) => payload,
             Ok(None) => break, // clean EOF between frames
             Err(e) => {
+                metrics.frames_rejected.inc();
                 if budget.reserve() {
+                    metrics.errors.inc();
                     let _ = reply_tx.send(error_response(&e));
                 }
                 break;
@@ -415,6 +638,8 @@ fn serve_connection(stream: TcpStream, queue: &FairQueue<Job>, conn_in_flight: u
         match decode_request(&payload) {
             Err(e) => {
                 // Fail closed on any undecodable frame.
+                metrics.frames_rejected.inc();
+                metrics.errors.inc();
                 let _ = reply_tx.send(error_response(&e));
                 break;
             }
@@ -425,6 +650,7 @@ fn serve_connection(stream: TcpStream, queue: &FairQueue<Job>, conn_in_flight: u
                         version: PROTOCOL_VERSION,
                     });
                 } else {
+                    metrics.errors.inc();
                     let _ = reply_tx.send(Response::Error {
                         request_id: CONNECTION_REQUEST_ID,
                         code: ErrorCode::UnsupportedVersion,
@@ -437,6 +663,7 @@ fn serve_connection(stream: TcpStream, queue: &FairQueue<Job>, conn_in_flight: u
             }
             Ok(Request::Query { request_id, query }) => {
                 if !negotiated {
+                    metrics.errors.inc();
                     let _ = reply_tx.send(Response::Error {
                         request_id: CONNECTION_REQUEST_ID,
                         code: ErrorCode::Malformed,
@@ -445,6 +672,7 @@ fn serve_connection(stream: TcpStream, queue: &FairQueue<Job>, conn_in_flight: u
                     break;
                 }
                 if request_id == CONNECTION_REQUEST_ID {
+                    metrics.errors.inc();
                     let _ = reply_tx.send(Response::Error {
                         request_id: CONNECTION_REQUEST_ID,
                         code: ErrorCode::Malformed,
@@ -456,19 +684,23 @@ fn serve_connection(stream: TcpStream, queue: &FairQueue<Job>, conn_in_flight: u
                 let job = Job {
                     request_id,
                     query,
+                    domain,
+                    admitted_at: Instant::now(),
                     reply: reply_tx.clone(),
                 };
                 match queue.try_push(domain, job) {
                     // Pipelining: admitted — do NOT wait for the reply;
                     // the dispatcher sends it to the writer directly.
-                    Ok(()) => {}
+                    Ok(()) => metrics.admitted[lane_of(domain)].inc(),
                     // This lane is at capacity right now: retryable.
                     Err(PushError::Full(_)) => {
+                        metrics.busy[lane_of(domain)].inc();
                         let _ = reply_tx.send(Response::Busy { request_id });
                     }
                     // Shutdown: terminal, not Busy — retrying a dying
                     // server is a retry storm, not persistence.
                     Err(PushError::Closed(_)) => {
+                        metrics.errors.inc();
                         let _ = reply_tx.send(Response::Error {
                             request_id,
                             code: ErrorCode::Internal,
@@ -477,6 +709,35 @@ fn serve_connection(stream: TcpStream, queue: &FairQueue<Job>, conn_in_flight: u
                         break;
                     }
                 }
+            }
+            // Stats never enters the queue: it is answered right here
+            // on the connection thread, so a snapshot is available even
+            // while every lane is saturated (which is exactly when you
+            // want one). Same preconditions as a query: negotiated
+            // connection, non-reserved id.
+            Ok(Request::Stats { request_id }) => {
+                if !negotiated {
+                    metrics.errors.inc();
+                    let _ = reply_tx.send(Response::Error {
+                        request_id: CONNECTION_REQUEST_ID,
+                        code: ErrorCode::Malformed,
+                        message: "expected Hello as the first frame".into(),
+                    });
+                    break;
+                }
+                if request_id == CONNECTION_REQUEST_ID {
+                    metrics.errors.inc();
+                    let _ = reply_tx.send(Response::Error {
+                        request_id: CONNECTION_REQUEST_ID,
+                        code: ErrorCode::Malformed,
+                        message: "request id 0 is reserved for connection-scoped errors".into(),
+                    });
+                    break;
+                }
+                let _ = reply_tx.send(Response::Stats {
+                    request_id,
+                    json: metrics.stats_json(),
+                });
             }
         }
     }
@@ -499,11 +760,20 @@ fn writer_loop(
     mut writer: BufWriter<TcpStream>,
     replies: &mpsc::Receiver<Response>,
     budget: &ReplyBudget,
+    stalls: &Counter,
 ) {
     while let Ok(response) = replies.recv() {
-        let ok = write_frame(&mut writer, &response_payload(&response)).is_ok();
+        let result = write_frame(&mut writer, &response_payload(&response));
         budget.release();
-        if !ok {
+        if let Err(e) = result {
+            // Distinguish a wedged client (stalled past the write
+            // timeout) from an ordinary hangup in the metrics.
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) {
+                stalls.inc();
+            }
             break; // client hung up or wedged; senders' sends fail silently
         }
     }

@@ -218,6 +218,15 @@ pub enum Request {
         /// The query itself.
         query: DomainQuery,
     },
+    /// Asks for a live metrics snapshot ([`Response::Stats`]). Answered
+    /// directly on the connection thread — it never enters the request
+    /// queue, so it works even when every lane is saturated. Follows
+    /// the same id rules as `Query`: `request_id` must not be
+    /// [`CONNECTION_REQUEST_ID`].
+    Stats {
+        /// The client-chosen id echoed on the snapshot response.
+        request_id: u64,
+    },
 }
 
 /// Typed error category carried by [`Response::Error`].
@@ -283,6 +292,16 @@ pub enum Response {
         /// Id of the rejected query.
         request_id: u64,
     },
+    /// A live metrics snapshot answering [`Request::Stats`]. The body
+    /// is a self-describing JSON document (machine fingerprint, uptime,
+    /// counters/gauges/histograms, recent slow queries) so the schema
+    /// can grow without a wire change.
+    Stats {
+        /// Id of the stats request this answers.
+        request_id: u64,
+        /// The snapshot document (UTF-8 JSON).
+        json: String,
+    },
     /// Typed failure; the server closes the connection after sending
     /// this for protocol-level errors (`UnsupportedVersion`,
     /// `Malformed` — then `request_id` is [`CONNECTION_REQUEST_ID`])
@@ -306,6 +325,7 @@ impl Response {
             Response::HelloOk { .. } => CONNECTION_REQUEST_ID,
             Response::Results { request_id, .. }
             | Response::Busy { request_id }
+            | Response::Stats { request_id, .. }
             | Response::Error { request_id, .. } => *request_id,
         }
     }
@@ -322,6 +342,10 @@ impl Response {
                 ids,
             },
             Response::Busy { .. } => Response::Busy { request_id: id },
+            Response::Stats { json, .. } => Response::Stats {
+                request_id: id,
+                json,
+            },
             Response::Error { code, message, .. } => Response::Error {
                 request_id: id,
                 code,
@@ -337,10 +361,12 @@ const TAG_Q_HAMMING: u8 = 0x02;
 const TAG_Q_EDIT: u8 = 0x03;
 const TAG_Q_SET: u8 = 0x04;
 const TAG_Q_GRAPH: u8 = 0x05;
+const TAG_STATS: u8 = 0x06;
 const TAG_HELLO_OK: u8 = 0x81;
 const TAG_RESULTS: u8 = 0x82;
 const TAG_BUSY: u8 = 0x83;
 const TAG_ERROR: u8 = 0x84;
+const TAG_STATS_RESP: u8 = 0x85;
 
 // ------------------------------------------------------------- frame IO
 
@@ -559,6 +585,11 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
                 w.buf
             }
         },
+        Request::Stats { request_id } => {
+            let mut w = BodyWriter::new(TAG_STATS);
+            w.u64(*request_id);
+            w.buf
+        }
     }
 }
 
@@ -641,6 +672,9 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
                 query: DomainQuery::Graph { query, l },
             }
         }
+        TAG_STATS => Request::Stats {
+            request_id: r.u64()?,
+        },
         other => return Err(WireError::BadTag(other)),
     };
     r.finish()?;
@@ -669,6 +703,13 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::Busy { request_id } => {
             let mut w = BodyWriter::new(TAG_BUSY);
             w.u64(*request_id);
+            w.buf
+        }
+        Response::Stats { request_id, json } => {
+            let mut w = BodyWriter::new(TAG_STATS_RESP);
+            w.u64(*request_id);
+            w.u32(json.len() as u32);
+            w.bytes(json.as_bytes());
             w.buf
         }
         Response::Error {
@@ -704,6 +745,13 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
         TAG_BUSY => Response::Busy {
             request_id: r.u64()?,
         },
+        TAG_STATS_RESP => {
+            let request_id = r.u64()?;
+            let len = r.checked_count(1)?;
+            let json = String::from_utf8(r.take(len)?.to_vec())
+                .map_err(|_| WireError::Malformed("stats snapshot is not UTF-8"))?;
+            Response::Stats { request_id, json }
+        }
         TAG_ERROR => {
             let request_id = r.u64()?;
             let code =
@@ -862,6 +910,10 @@ mod tests {
                 ids: vec![1, 2],
             },
             Response::Busy { request_id: 9 },
+            Response::Stats {
+                request_id: 9,
+                json: "{}".into(),
+            },
             Response::Error {
                 request_id: 9,
                 code: ErrorCode::Internal,
@@ -885,6 +937,48 @@ mod tests {
         assert!(matches!(
             decode_request(&payload),
             Err(WireError::BadVersion(1))
+        ));
+    }
+
+    #[test]
+    fn stats_messages_round_trip() {
+        let req = Request::Stats { request_id: 17 };
+        assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+        let resp = Response::Stats {
+            request_id: 17,
+            json: r#"{"counters": {"service.hamming.queries": 3}}"#.into(),
+        };
+        assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+    }
+
+    #[test]
+    fn stats_response_rejects_bad_utf8_and_hostile_length() {
+        // Valid frame, then corrupt the JSON bytes to invalid UTF-8.
+        let mut payload = encode_response(&Response::Stats {
+            request_id: 1,
+            json: "ab".into(),
+        });
+        let n = payload.len();
+        payload[n - 1] = 0xff;
+        assert!(matches!(
+            decode_response(&payload),
+            Err(WireError::Malformed("stats snapshot is not UTF-8"))
+        ));
+        // Declared length far beyond the body must fail before sizing.
+        let mut w = BodyWriter::new(TAG_STATS_RESP);
+        w.u64(1);
+        w.u32(u32::MAX);
+        w.bytes(b"{}");
+        assert!(matches!(decode_response(&w.buf), Err(WireError::Truncated)));
+        // A trailing byte after the declared JSON is rejected.
+        let mut payload = encode_response(&Response::Stats {
+            request_id: 1,
+            json: "{}".into(),
+        });
+        payload.push(0);
+        assert!(matches!(
+            decode_response(&payload),
+            Err(WireError::TrailingBytes(1))
         ));
     }
 

@@ -193,9 +193,49 @@ proptest! {
         );
     }
 
-    /// Flipping the tag to an unassigned value is a typed BadTag.
     #[test]
-    fn unknown_tags_fail_closed(tag in 0x06u64..0x81) {
+    fn stats_request_round_trips(request_id in prop::num::u64::ANY) {
+        assert_request_round_trips(&Request::Stats { request_id });
+    }
+
+    #[test]
+    fn stats_response_round_trips(
+        request_id in prop::num::u64::ANY,
+        body in prop::collection::vec(0u64..0xd800, 0..256),
+    ) {
+        let json: String = body
+            .into_iter()
+            .filter_map(|c| char::from_u32(c as u32))
+            .collect();
+        assert_response_round_trips(&Response::Stats { request_id, json });
+    }
+
+    /// Any truncation of a Stats snapshot frame decodes to a typed
+    /// error — the length-prefixed JSON body cannot half-parse.
+    #[test]
+    fn truncated_stats_response_fails_closed(
+        body in prop::collection::vec(0x20u64..0x7f, 1..64),
+        cut in prop::num::u64::ANY,
+    ) {
+        let json: String = body
+            .into_iter()
+            .filter_map(|c| char::from_u32(c as u32))
+            .collect();
+        let payload = encode_response(&Response::Stats { request_id: 7, json });
+        let cut = 1 + (cut as usize) % (payload.len() - 1);
+        let result = decode_response(&payload[..cut]);
+        prop_assert!(
+            matches!(result, Err(WireError::Truncated)),
+            "cut at {} gave {:?}",
+            cut,
+            result
+        );
+    }
+
+    /// Flipping the tag to an unassigned value is a typed BadTag
+    /// (0x01–0x06 are assigned requests, 0x81+ responses).
+    #[test]
+    fn unknown_tags_fail_closed(tag in 0x07u64..0x81) {
         let mut payload = encode_request(&Request::Hello { max_version: 2 });
         payload[1] = tag as u8;
         prop_assert!(matches!(

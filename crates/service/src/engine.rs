@@ -8,6 +8,14 @@
 pub trait MergeStats: Default + Send + 'static {
     /// Folds `other`'s counters into `self`, saturating on overflow.
     fn merge(&mut self, other: &Self);
+
+    /// Enumerates this stats struct's fields as `(name, value)` pairs —
+    /// the seam telemetry uses to export per-stage filter-chain
+    /// counters (candidates, survivors, verifications) without the
+    /// exporting layer knowing each domain's field set. Field names
+    /// must be stable identifiers (they become metric name suffixes).
+    /// The default exports nothing.
+    fn visit(&self, _emit: &mut dyn FnMut(&'static str, u64)) {}
 }
 
 /// A thresholded similarity-search engine usable from the service layer.

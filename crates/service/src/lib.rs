@@ -57,6 +57,11 @@ pub mod sweep;
 
 pub use engine::{MergeStats, SearchEngine};
 pub use machine::{cores, default_shard_counts, MachineFingerprint};
-pub use pool::{JobRejected, ScratchStore, WorkerPool};
-pub use sharded::{shard_of, SearchResult, ShardedIndex};
+pub use pool::{JobRejected, PoolMetrics, ScratchStore, WorkerPool};
+pub use sharded::{shard_of, IndexMetrics, SearchResult, ShardedIndex};
 pub use sweep::{percentile, ResultHasher, Sweep, SweepRow};
+
+/// The telemetry crate, re-exported so downstream layers (server,
+/// bench CLI) share one metrics implementation without naming the
+/// crate in their own manifests' dependency lists twice.
+pub use pigeonring_telemetry as telemetry;

@@ -25,7 +25,54 @@ use std::any::{Any, TypeId};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+use pigeonring_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
+
+/// Telemetry handles for a [`WorkerPool`], attached once via
+/// [`WorkerPool::attach_metrics`]. All fields are shared registry
+/// handles, so a snapshot of the registry sees the live values.
+#[derive(Clone)]
+pub struct PoolMetrics {
+    /// Total jobs submitted.
+    pub jobs: Arc<Counter>,
+    /// µs each job spent queued before a worker picked it up.
+    pub queue_wait_us: Arc<Histogram>,
+    /// Jobs currently waiting in the queue.
+    pub queued: Arc<Gauge>,
+    /// Workers currently executing a job.
+    pub busy_workers: Arc<Gauge>,
+}
+
+impl PoolMetrics {
+    /// Registers the pool metric family (`pool.*`) on `registry`.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        PoolMetrics {
+            jobs: registry.counter("pool.jobs"),
+            queue_wait_us: registry.histogram("pool.queue_wait_us"),
+            queued: registry.gauge("pool.queued"),
+            busy_workers: registry.gauge("pool.busy_workers"),
+        }
+    }
+}
+
+/// Decrements a gauge on drop, so a panicking job cannot leave
+/// `busy_workers` permanently elevated.
+struct GaugeGuard(Arc<Gauge>);
+
+impl GaugeGuard {
+    fn enter(gauge: &Arc<Gauge>) -> Self {
+        gauge.inc();
+        GaugeGuard(Arc::clone(gauge))
+    }
+}
+
+impl Drop for GaugeGuard {
+    fn drop(&mut self) {
+        self.0.dec();
+    }
+}
 
 /// Returned by [`WorkerPool::submit`] when the pool has been shut down:
 /// the job was **not** enqueued and will never run. Callers either
@@ -88,6 +135,7 @@ struct PoolShared {
 pub struct WorkerPool {
     shared: Arc<PoolShared>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    metrics: OnceLock<PoolMetrics>,
 }
 
 impl WorkerPool {
@@ -109,7 +157,11 @@ impl WorkerPool {
                     .expect("spawn worker thread")
             })
             .collect();
-        WorkerPool { shared, workers }
+        WorkerPool {
+            shared,
+            workers,
+            metrics: OnceLock::new(),
+        }
     }
 
     /// Spawns one worker per core visible to this process
@@ -124,6 +176,15 @@ impl WorkerPool {
         self.workers.len()
     }
 
+    /// Attaches telemetry to this pool: later submissions record job
+    /// counts, queue-wait latency, queue depth, and busy-worker
+    /// utilization. First attach wins; attaching is optional and an
+    /// un-instrumented pool pays zero overhead (one `OnceLock` load
+    /// per submit).
+    pub fn attach_metrics(&self, metrics: PoolMetrics) {
+        let _ = self.metrics.set(metrics);
+    }
+
     /// Queues one job. Jobs run in submission order (pulled FIFO by
     /// whichever worker frees up first); a live pool never drops or
     /// reorders work. After [`WorkerPool::shutdown`] (or mid-`Drop`) the
@@ -133,12 +194,36 @@ impl WorkerPool {
         &self,
         job: impl FnOnce(&mut ScratchStore) + Send + 'static,
     ) -> Result<(), JobRejected> {
+        // Instrumented pools wrap the job so the worker accounts
+        // queue-wait and utilization; the wrapper is built before the
+        // lock so the critical section stays one push, and the
+        // counters only move after the push succeeds (a rejected job
+        // must not leave `queued` elevated).
+        let metrics = self.metrics.get().cloned();
+        let job: Job = match &metrics {
+            Some(m) => {
+                let m = m.clone();
+                let submitted = Instant::now();
+                Box::new(move |scratch: &mut ScratchStore| {
+                    m.queued.dec();
+                    m.queue_wait_us
+                        .record(submitted.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                    let _busy = GaugeGuard::enter(&m.busy_workers);
+                    job(scratch);
+                })
+            }
+            None => Box::new(job),
+        };
         let mut state = self.shared.state.lock().expect("pool mutex poisoned");
         if state.shutdown {
             return Err(JobRejected);
         }
-        state.jobs.push_back(Box::new(job));
+        state.jobs.push_back(job);
         drop(state);
+        if let Some(m) = &metrics {
+            m.jobs.inc();
+            m.queued.inc();
+        }
         self.shared.available.notify_one();
         Ok(())
     }

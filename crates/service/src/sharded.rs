@@ -42,12 +42,45 @@
 //! shift per-shard candidate counts.
 
 use std::hash::{BuildHasher, BuildHasherDefault};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::engine::{MergeStats, SearchEngine};
 use crate::pool::{ScratchStore, WorkerPool};
 use pigeonring_core::fxhash::FxHasher;
+use pigeonring_telemetry::{Histogram, MetricsRegistry};
+
+/// Telemetry handles for one [`ShardedIndex`], attached via
+/// [`ShardedIndex::attach_metrics`]. Recorded on the shared-pool query
+/// path ([`ShardedIndex::search_batch_on`] — the path the server uses)
+/// and in [`ShardedIndex::plan_batch`].
+#[derive(Clone)]
+pub struct IndexMetrics {
+    /// µs spent planning a batch (one observation per `plan_batch`).
+    pub plan_us: Arc<Histogram>,
+    /// µs spent executing a batch end to end (fan-out + merge).
+    pub search_us: Arc<Histogram>,
+    /// Queries per executed batch.
+    pub batch_size: Arc<Histogram>,
+}
+
+impl IndexMetrics {
+    /// Registers the index metric family under `prefix` (e.g.
+    /// `index.hamming` → `index.hamming.plan_us`, `.search_us`,
+    /// `.batch_size`).
+    pub fn register(registry: &MetricsRegistry, prefix: &str) -> Self {
+        IndexMetrics {
+            plan_us: registry.histogram(&format!("{prefix}.plan_us")),
+            search_us: registry.histogram(&format!("{prefix}.search_us")),
+            batch_size: registry.histogram(&format!("{prefix}.batch_size")),
+        }
+    }
+}
+
+/// Elapsed µs since `start`, saturating into u64.
+fn elapsed_us(start: Instant) -> u64 {
+    start.elapsed().as_micros().min(u64::MAX as u128) as u64
+}
 
 /// Deterministic shard assignment for global record id `id` among
 /// `shards` shards (FxHash of the id).
@@ -154,6 +187,9 @@ pub struct ShardedIndex<E> {
     /// count. Callers wanting to share one pool across indexes use
     /// [`ShardedIndex::search_batch_on`] instead.
     pool: Mutex<Option<WorkerPool>>,
+    /// Optional telemetry (plan/search latency, batch sizes); attached
+    /// once by the owning service, absent for bench/test builds.
+    metrics: OnceLock<IndexMetrics>,
 }
 
 /// Hash-partitions `records`: returns per-shard `(global ids, records)`
@@ -202,6 +238,7 @@ impl<E: SearchEngine> ShardedIndex<E> {
             dict_build_ms: 0.0,
             planner: Mutex::new(ScratchStore::default()),
             pool: Mutex::new(None),
+            metrics: OnceLock::new(),
         }
     }
 
@@ -247,7 +284,16 @@ impl<E: SearchEngine> ShardedIndex<E> {
             dict_build_ms,
             planner: Mutex::new(ScratchStore::default()),
             pool: Mutex::new(None),
+            metrics: OnceLock::new(),
         }
+    }
+
+    /// Attaches telemetry to this index (first attach wins). Recorded
+    /// on the shared-pool query path and in
+    /// [`ShardedIndex::plan_batch`]; an un-instrumented index pays one
+    /// `OnceLock` load per batch.
+    pub fn attach_metrics(&self, metrics: IndexMetrics) {
+        let _ = self.metrics.set(metrics);
     }
 
     /// Number of non-empty shards actually built.
@@ -302,12 +348,15 @@ impl<E: SearchEngine> ShardedIndex<E> {
             Some(store) => store.get_mut::<E::Scratch>(),
             None => local.insert(E::Scratch::default()),
         };
-        Some(
-            batch
-                .iter()
-                .map(|q| Arc::new(shard0.engine.plan(scratch, q)))
-                .collect(),
-        )
+        let start = Instant::now();
+        let plans = batch
+            .iter()
+            .map(|q| Arc::new(shard0.engine.plan(scratch, q)))
+            .collect();
+        if let Some(m) = self.metrics.get() {
+            m.plan_us.record(elapsed_us(start));
+        }
+        Some(plans)
     }
 
     /// Answers a single query on the calling thread (all shards,
@@ -435,7 +484,8 @@ impl<E: SearchEngine> ShardedIndex<E> {
         batch: &[E::Query],
         params: &E::Params,
     ) -> Vec<SearchResult<E::Stats>> {
-        match self.plan_batch(batch) {
+        let start = Instant::now();
+        let merged = match self.plan_batch(batch) {
             Some(plans) => {
                 let per_shard = if self.shards.len() <= 1 || pool.workers() <= 1 {
                     self.run_serial_planned(batch, &plans, params)
@@ -452,7 +502,12 @@ impl<E: SearchEngine> ShardedIndex<E> {
                 };
                 self.merge(batch.len(), per_shard)
             }
+        };
+        if let Some(m) = self.metrics.get() {
+            m.batch_size.record(batch.len() as u64);
+            m.search_us.record(elapsed_us(start));
         }
+        merged
     }
 
     /// Ensures the interior pool has `workers` threads and runs `f` on

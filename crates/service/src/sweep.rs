@@ -64,15 +64,11 @@ pub struct SweepRow {
     pub result_hash: u64,
 }
 
-/// Nearest-rank percentile of `sorted` (ascending), `p` in `[0, 100]`.
-/// Returns 0.0 for an empty slice.
-pub fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
-}
+// The nearest-rank percentile helper now lives in
+// `pigeonring-telemetry` (the histograms there derive p50/p95/p99 from
+// the same definition); re-exported here so sweep callers keep their
+// import path.
+pub use pigeonring_telemetry::percentile;
 
 /// Order-sensitive FxHash fingerprint over a sequence of result-id
 /// sets. Two runs that return the same ids for the same queries in the

@@ -29,6 +29,15 @@ impl MergeStats for SetStats {
     fn merge(&mut self, other: &Self) {
         SetStats::merge(self, other);
     }
+
+    fn visit(&self, emit: &mut dyn FnMut(&'static str, u64)) {
+        emit("candidates", self.candidates as u64);
+        emit("results", self.results as u64);
+        emit("sig_probes", self.sig_probes as u64);
+        emit("viable_boxes", self.viable_boxes as u64);
+        emit("boxes_checked", self.boxes_checked as u64);
+        emit("skipped_by_corollary2", self.skipped_by_corollary2 as u64);
+    }
 }
 
 impl SearchEngine for RingSetSim {

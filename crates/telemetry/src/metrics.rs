@@ -1,0 +1,245 @@
+//! The atomic metric primitives: [`Counter`], [`Gauge`], and the
+//! log2-bucketed [`Histogram`].
+//!
+//! All operations use relaxed atomics — metrics are statistical, not
+//! synchronization points — so the hot-path cost is one or two
+//! uncontended atomic RMWs.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter (saturating at `u64::MAX` is not
+    /// required in practice; wrapping add is fine for a counter that
+    /// would take centuries to wrap).
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous level (queue depth, busy workers). Signed so a
+/// transient dec-before-inc interleaving cannot wrap to 2^64.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments the level by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements the level by one.
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n` from the level.
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Sets the level to an absolute value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one exact-zero bucket plus one per
+/// possible bit length of a `u64` value.
+pub const NUM_BUCKETS: usize = 65;
+
+/// The bucket index a value lands in: 0 for 0, else the value's bit
+/// length (so bucket `i ≥ 1` covers `[2^(i-1), 2^i - 1]`).
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// The inclusive upper bound of bucket `i` (the value reported for
+/// percentiles that land in the bucket): 0 for bucket 0, `2^i - 1`
+/// otherwise, saturating at `u64::MAX` for the top bucket.
+pub fn bucket_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        u64::MAX >> (64 - i.min(64))
+    }
+}
+
+/// A log2-bucketed value recorder with a total count and sum.
+///
+/// Bucket boundaries are powers of two, so recording needs only a
+/// `leading_zeros` and two relaxed atomic adds; percentiles are
+/// derived at snapshot time as the upper bound of the bucket the
+/// nearest-rank falls in (≤ 2× overestimate by construction, plenty
+/// for latency tails).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation of `value`.
+    pub fn record(&self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` observations of `value` (used when a batch of `n`
+    /// equal-cost items is accounted in one call).
+    pub fn record_n(&self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_index(value)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        // The sum saturates rather than wrapping (a wrapped sum would
+        // silently corrupt derived means): CAS loop, still lock-free.
+        let add = value.saturating_mul(n);
+        let mut cur = self.sum.load(Ordering::Relaxed);
+        while let Err(actual) = self.sum.compare_exchange_weak(
+            cur,
+            cur.saturating_add(add),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            cur = actual;
+        }
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Copies the per-bucket counts out (index = [`bucket_index`]).
+    pub fn bucket_counts(&self) -> [u64; NUM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_at_powers_of_two() {
+        // Zero gets its own exact bucket.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_bound(0), 0);
+        // Exact powers of two open a new bucket; one less closes the
+        // previous one.
+        for i in 0..63usize {
+            let p = 1u64 << i;
+            assert_eq!(bucket_index(p), i + 1, "2^{i}");
+            if p > 1 {
+                assert_eq!(bucket_index(p - 1), i, "2^{i} - 1");
+            }
+            assert_eq!(
+                bucket_bound(i + 1),
+                (p - 1) + p,
+                "bound of bucket {}",
+                i + 1
+            );
+        }
+        // Saturating top bucket.
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_bound(64), u64::MAX);
+        assert_eq!(bucket_index(1u64 << 63), 64);
+    }
+
+    #[test]
+    fn histogram_records_count_sum_and_buckets() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record_n(1000, 4);
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 6 + 4000);
+        let b = h.bucket_counts();
+        assert_eq!(b[0], 1); // 0
+        assert_eq!(b[1], 1); // 1
+        assert_eq!(b[2], 2); // 2, 3
+        assert_eq!(b[10], 4); // 1000 ∈ [512, 1023]
+        assert_eq!(b.iter().sum::<u64>(), 8);
+    }
+
+    #[test]
+    fn histogram_saturates_at_max() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        // The sum saturates instead of wrapping.
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.bucket_counts()[64], 2);
+    }
+
+    #[test]
+    fn gauge_can_go_transiently_negative() {
+        let g = Gauge::new();
+        g.dec();
+        assert_eq!(g.get(), -1);
+        g.inc();
+        g.inc();
+        assert_eq!(g.get(), 1);
+        g.set(42);
+        assert_eq!(g.get(), 42);
+        g.sub(2);
+        assert_eq!(g.get(), 40);
+    }
+}
