@@ -288,6 +288,48 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     black_box((queries.get(), latency.count()));
 }
 
+/// The tracing-overhead guard, same protocol as the telemetry guard:
+/// with sampling disabled (`--trace-sample` unset), the only per-query
+/// cost the tracing layer adds is one [`TraceCollector::sample`] call
+/// at admission — a single branch on the cadence. CI gates the derived
+/// `tracing_overhead_pct` below 1%.
+fn bench_tracing_overhead(c: &mut Criterion) {
+    use pigeonring_telemetry::TraceCollector;
+    let mut r = rng();
+    let a: Vec<u8> = (0..101).map(|_| b'a' + r.gen_range(0..26)).collect();
+    let mut bb = a.clone();
+    for _ in 0..6 {
+        let p = r.gen_range(0..bb.len());
+        bb[p] = b'a' + r.gen_range(0..26);
+    }
+    const CALLS: usize = 16;
+    let collector = TraceCollector::new(0, 64); // sampling disabled
+    for round in ["r1", "r2"] {
+        c.bench_function(format!("tracing/edit_within_bare/{round}"), |bch| {
+            bch.iter(|| {
+                let mut acc = 0usize;
+                for _ in 0..CALLS {
+                    acc += usize::from(
+                        edit_distance_within(black_box(&a), black_box(&bb), 6).is_some(),
+                    );
+                }
+                acc
+            })
+        });
+        c.bench_function(format!("tracing/edit_within_sampling_off/{round}"), |bch| {
+            bch.iter(|| {
+                let mut acc = 0usize;
+                for _ in 0..CALLS {
+                    let hit = edit_distance_within(black_box(&a), black_box(&bb), 6).is_some();
+                    black_box(collector.sample(false));
+                    acc += usize::from(hit);
+                }
+                acc
+            })
+        });
+    }
+}
+
 /// Writes the recorded summaries plus the machine fingerprint as the
 /// `results/BENCH_kernels.json` artifact (the CI `kernel-bench-smoke`
 /// job validates and uploads it). Written relative to the manifest so
@@ -308,18 +350,28 @@ fn write_kernels_json(c: &Criterion, quick: bool) {
             .map(|s| s.low_ns)
             .fold(f64::INFINITY, f64::min)
     };
-    let bare = min_low("telemetry/edit_within_bare/");
-    let instrumented = min_low("telemetry/edit_within_instrumented/");
-    let overhead_pct = if bare.is_finite() && instrumented.is_finite() && bare > 0.0 {
-        ((instrumented - bare) / bare * 100.0).max(0.0)
-    } else {
-        0.0
+    let overhead_pct_of = |bare: f64, instrumented: f64| {
+        if bare.is_finite() && instrumented.is_finite() && bare > 0.0 {
+            ((instrumented - bare) / bare * 100.0).max(0.0)
+        } else {
+            0.0
+        }
     };
+    let overhead_pct = overhead_pct_of(
+        min_low("telemetry/edit_within_bare/"),
+        min_low("telemetry/edit_within_instrumented/"),
+    );
+    // The sampling-disabled tracing hot path; CI gates this below 1%.
+    let tracing_pct = overhead_pct_of(
+        min_low("tracing/edit_within_bare/"),
+        min_low("tracing/edit_within_sampling_off/"),
+    );
     let mut out = String::from("{\n\"machine\": ");
     out.push_str(&MachineFingerprint::detect().to_json());
     out.push_str(&format!(
         ",\n\"simd_compiled\": {},\n\"hamming_backend\": \"{}\",\n\"quick\": {},\n\
-         \"telemetry_overhead_pct\": {overhead_pct:.3},\n\"rows\": [\n",
+         \"telemetry_overhead_pct\": {overhead_pct:.3},\n\
+         \"tracing_overhead_pct\": {tracing_pct:.3},\n\"rows\": [\n",
         cfg!(feature = "simd"),
         kernels::backend(),
         quick
@@ -357,5 +409,6 @@ fn main() {
     bench_graph_kernels(&mut c);
     bench_kernel_tiers(&mut c);
     bench_telemetry_overhead(&mut c);
+    bench_tracing_overhead(&mut c);
     write_kernels_json(&c, quick);
 }

@@ -5,10 +5,12 @@
 //! ```text
 //! repro <fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|ablate-skip|ablate-alloc|sweep|all>
 //!       [--quick | --paper] [--shards K] [--batch B] [--threads T]
-//! repro <serve|query|loadgen|stats|server-smoke>
+//! repro <serve|query|loadgen|stats|trace|server-smoke>
 //!       [--quick | --paper] [--shards K] [--threads T] [--port P] [--queue Q]
 //!       [--batch B] [--conns C] [--requests N] [--pipeline P] [--mix] [--domain D]
-//!       [--raw] [--slow-query-ms MS] [--metrics-dump PATH] [--metrics-interval-secs S]
+//!       [--raw] [--slow-query-ms MS] [--slow-query-ring N] [--metrics-dump PATH]
+//!       [--metrics-interval-secs S] [--trace-sample N] [--trace-buffer M]
+//!       [--watch SECS] [--chrome PATH]
 //! ```
 //!
 //! Each experiment prints an aligned table and writes a CSV under
@@ -47,7 +49,7 @@ fn main() {
     if let Some(cmd) = args.first().map(String::as_str) {
         if matches!(
             cmd,
-            "serve" | "query" | "loadgen" | "stats" | "server-smoke"
+            "serve" | "query" | "loadgen" | "stats" | "trace" | "server-smoke"
         ) {
             if let Err(e) = pigeonring_bench::server_cli::run(cmd, &args[1..]) {
                 eprintln!("{e}");
@@ -116,9 +118,10 @@ fn main() {
             eprintln!(
                 "unknown experiment {other:?}; expected fig2|fig5..fig12|ablate-skip|ablate-alloc|sweep|all \
                  [--quick|--paper] [--shards K] [--batch B] [--threads T], or a server subcommand \
-                 serve|query|loadgen|stats|server-smoke [--port P] [--queue Q] [--conns C] \
+                 serve|query|loadgen|stats|trace|server-smoke [--port P] [--queue Q] [--conns C] \
                  [--requests N] [--pipeline P] [--mix] [--domain D] [--raw] [--slow-query-ms MS] \
-                 [--metrics-dump PATH] [--metrics-interval-secs S]"
+                 [--slow-query-ring N] [--metrics-dump PATH] [--metrics-interval-secs S] \
+                 [--trace-sample N] [--trace-buffer M] [--watch SECS] [--chrome PATH]"
             );
             std::process::exit(2);
         }

@@ -1,6 +1,6 @@
 //! The `repro serve` / `repro query` / `repro loadgen` / `repro stats`
-//! / `repro server-smoke` subcommands: the measurable end-to-end path
-//! of the `pigeonring-server` network frontend.
+//! / `repro trace` / `repro server-smoke` subcommands: the measurable
+//! end-to-end path of the `pigeonring-server` network frontend.
 //!
 //! * `serve` builds the four domain engines ([`EngineSpec`] is
 //!   deterministic per scale, so clients at the same scale hold the same
@@ -10,7 +10,13 @@
 //!   every `--metrics-interval-secs` seconds.
 //! * `stats` asks a running server for its live telemetry snapshot
 //!   (`Request::Stats`) and pretty-prints it; `--raw` emits the JSON
-//!   byte-for-byte for piping into `jq`.
+//!   byte-for-byte for piping into `jq`; `--watch SECS` keeps polling
+//!   and prints what *moved* between snapshots (counter deltas and
+//!   interval histogram percentiles, via `Snapshot::delta`).
+//! * `trace` asks a running server for its recent sampled request
+//!   traces (`Request::Trace`); `--raw` dumps the JSON, `--chrome PATH`
+//!   writes Chrome trace-event JSON loadable in `chrome://tracing` /
+//!   Perfetto. Arm sampling with `serve --trace-sample N`.
 //! * `query` drives one domain's (or every domain's) standard query set
 //!   through a running server and prints the `result_hash` fingerprint —
 //!   comparable across processes and against `repro sweep`-style
@@ -38,6 +44,7 @@ use pigeonring_server::{
 };
 use pigeonring_service::{percentile, ResultHasher, WorkerPool};
 use pigeonring_telemetry::json as telemetry_json;
+use pigeonring_telemetry::{trace::chrome_trace, Snapshot};
 
 use crate::{f1, f3, Report, Scale};
 
@@ -79,6 +86,20 @@ pub struct ServerCliOpts {
     /// `serve` / `server-smoke`: slow-query log threshold in
     /// milliseconds (`None` = disabled).
     pub slow_query_ms: Option<u64>,
+    /// `serve` / `server-smoke`: slow-query ring capacity (`None` =
+    /// the server default of 64).
+    pub slow_query_ring: Option<usize>,
+    /// `serve` / `server-smoke`: trace one admitted query in N
+    /// (`None` = sampling disabled; EXPLAIN still traces).
+    pub trace_sample: Option<u64>,
+    /// `serve` / `server-smoke`: span-ring capacity (`None` = the
+    /// telemetry default).
+    pub trace_buffer: Option<usize>,
+    /// `stats`: poll every SECS seconds and print snapshot deltas
+    /// instead of one snapshot.
+    pub watch: Option<usize>,
+    /// `trace`: write Chrome trace-event JSON to this path.
+    pub chrome: Option<String>,
 }
 
 impl ServerCliOpts {
@@ -86,7 +107,7 @@ impl ServerCliOpts {
     /// flags and malformed values are errors, not silent defaults.
     pub fn from_args(args: &[String]) -> Result<ServerCliOpts, String> {
         const BOOL_FLAGS: [&str; 4] = ["--quick", "--paper", "--mix", "--raw"];
-        const VALUE_FLAGS: [&str; 12] = [
+        const VALUE_FLAGS: [&str; 17] = [
             "--shards",
             "--threads",
             "--port",
@@ -99,6 +120,11 @@ impl ServerCliOpts {
             "--metrics-dump",
             "--metrics-interval-secs",
             "--slow-query-ms",
+            "--slow-query-ring",
+            "--trace-sample",
+            "--trace-buffer",
+            "--watch",
+            "--chrome",
         ];
         let mut i = 0;
         while i < args.len() {
@@ -110,7 +136,8 @@ impl ServerCliOpts {
                     "unknown flag {a:?}; known: --quick, --paper, --mix, --raw, --shards K, \
                      --threads T, --port P, --queue Q, --batch B, --conns C, --requests N, \
                      --pipeline P, --domain D, --metrics-dump PATH, \
-                     --metrics-interval-secs S, --slow-query-ms MS"
+                     --metrics-interval-secs S, --slow-query-ms MS, --slow-query-ring N, \
+                     --trace-sample N, --trace-buffer M, --watch SECS, --chrome PATH"
                 ));
             } else {
                 i += 1;
@@ -144,15 +171,19 @@ impl ServerCliOpts {
                 }
             }
         };
-        let metrics_dump = match args.iter().position(|a| a == "--metrics-dump") {
-            None => None,
-            Some(i) => Some(
-                args.get(i + 1)
-                    .filter(|p| !p.starts_with("--"))
-                    .ok_or("--metrics-dump requires a file path")?
-                    .clone(),
-            ),
+        let path_value = |flag: &'static str| -> Result<Option<String>, String> {
+            match args.iter().position(|a| a == flag) {
+                None => Ok(None),
+                Some(i) => Ok(Some(
+                    args.get(i + 1)
+                        .filter(|p| !p.starts_with("--"))
+                        .ok_or(format!("{flag} requires a file path"))?
+                        .clone(),
+                )),
+            }
         };
+        let metrics_dump = path_value("--metrics-dump")?;
+        let chrome = path_value("--chrome")?;
         let port = value_of("--port")?.unwrap_or(7878);
         if port > u16::MAX as usize {
             return Err(format!("--port must be at most 65535 (got {port})"));
@@ -173,6 +204,11 @@ impl ServerCliOpts {
             metrics_dump,
             metrics_interval_secs: value_of("--metrics-interval-secs")?.unwrap_or(10),
             slow_query_ms: value_of("--slow-query-ms")?.map(|ms| ms as u64),
+            slow_query_ring: value_of("--slow-query-ring")?,
+            trace_sample: value_of("--trace-sample")?.map(|n| n as u64),
+            trace_buffer: value_of("--trace-buffer")?,
+            watch: value_of("--watch")?,
+            chrome,
         })
     }
 
@@ -196,11 +232,15 @@ impl ServerCliOpts {
     }
 
     fn server_config(&self) -> ServerConfig {
+        let defaults = ServerConfig::default();
         ServerConfig {
             lane_depth: self.queue,
             micro_batch: self.batch,
             slow_query_ms: self.slow_query_ms,
-            ..ServerConfig::default()
+            slow_query_ring: self.slow_query_ring.unwrap_or(defaults.slow_query_ring),
+            trace_sample: self.trace_sample.unwrap_or(defaults.trace_sample),
+            trace_buffer: self.trace_buffer.unwrap_or(defaults.trace_buffer),
+            ..defaults
         }
     }
 }
@@ -214,6 +254,7 @@ pub fn run(cmd: &str, args: &[String]) -> Result<(), String> {
         "query" => query(&opts),
         "loadgen" => loadgen(&opts),
         "stats" => stats(&opts),
+        "trace" => trace(&opts),
         "server-smoke" => server_smoke(&opts),
         other => Err(format!("not a server subcommand: {other:?}")),
     }
@@ -267,12 +308,89 @@ fn serve(opts: &ServerCliOpts) -> Result<(), String> {
 fn stats(opts: &ServerCliOpts) -> Result<(), String> {
     let addr: SocketAddr = ([127, 0, 0, 1], opts.port).into();
     let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    if let Some(secs) = opts.watch {
+        return watch_stats(&mut client, secs);
+    }
     let snapshot = client.stats().map_err(|e| format!("stats failed: {e}"))?;
     if opts.raw {
         println!("{snapshot}");
     } else {
         let doc = telemetry_json::parse(&snapshot)
             .map_err(|e| format!("server sent an unparseable snapshot: {e}"))?;
+        println!("{}", doc.pretty());
+    }
+    Ok(())
+}
+
+/// `repro stats --watch SECS`: poll the server and print only what
+/// *moved* between snapshots, via [`Snapshot::delta`] — counter
+/// increments plus interval histogram percentiles (recomputed over the
+/// delta buckets, so they describe this window's requests, not server
+/// history). The first tick's baseline is the empty snapshot, so it
+/// prints cumulative totals; runs until interrupted.
+fn watch_stats(client: &mut Client, secs: usize) -> Result<(), String> {
+    let mut prev = Snapshot::default();
+    loop {
+        let raw = client.stats().map_err(|e| format!("stats failed: {e}"))?;
+        let doc = telemetry_json::parse(&raw)
+            .map_err(|e| format!("server sent an unparseable snapshot: {e}"))?;
+        let now = doc
+            .get("metrics")
+            .and_then(Snapshot::from_json)
+            .ok_or("snapshot has no parseable \"metrics\" member")?;
+        let delta = now.delta(&prev);
+        let uptime_ms = doc
+            .get("uptime_ms")
+            .and_then(telemetry_json::Value::as_u64)
+            .unwrap_or(0);
+        println!(
+            "--- uptime {:.1}s, last {secs}s ---",
+            uptime_ms as f64 / 1e3
+        );
+        let mut quiet = true;
+        for (name, v) in &delta.counters {
+            if *v > 0 {
+                println!("  {name:<44} +{v}");
+                quiet = false;
+            }
+        }
+        for (name, h) in &delta.histograms {
+            if h.count > 0 {
+                println!(
+                    "  {name:<44} count={} p50={} p95={} p99={}",
+                    h.count, h.p50, h.p95, h.p99
+                );
+                quiet = false;
+            }
+        }
+        if quiet {
+            println!("  (idle)");
+        }
+        prev = now;
+        std::thread::sleep(std::time::Duration::from_secs(secs.max(1) as u64));
+    }
+}
+
+/// `repro trace`: fetch a running server's recent sampled traces
+/// (`Request::Trace`). Default pretty-prints the span trees; `--raw`
+/// dumps the JSON for `jq`; `--chrome PATH` writes Chrome trace-event
+/// JSON loadable in `chrome://tracing` or <https://ui.perfetto.dev>.
+fn trace(opts: &ServerCliOpts) -> Result<(), String> {
+    let addr: SocketAddr = ([127, 0, 0, 1], opts.port).into();
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let raw = client.trace().map_err(|e| format!("trace failed: {e}"))?;
+    if let Some(path) = &opts.chrome {
+        let doc = telemetry_json::parse(&raw)
+            .map_err(|e| format!("server sent an unparseable trace document: {e}"))?;
+        let events = chrome_trace(&doc)
+            .map_err(|e| format!("cannot convert to Chrome trace events: {e}"))?;
+        std::fs::write(path, &events).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path} (load in chrome://tracing or https://ui.perfetto.dev)");
+    } else if opts.raw {
+        println!("{raw}");
+    } else {
+        let doc = telemetry_json::parse(&raw)
+            .map_err(|e| format!("server sent an unparseable trace document: {e}"))?;
         println!("{}", doc.pretty());
     }
     Ok(())
@@ -328,7 +446,9 @@ fn run_query_set(
                 .search(q.clone())
                 .map_err(|e| format!("query failed: {e}"))?
             {
-                Outcome::Results(ids) => {
+                // A plain query never sets EXPLAIN, but a trace-forced
+                // answer still carries the same ids — hash them alike.
+                Outcome::Results(ids) | Outcome::Explained { ids, .. } => {
                     hasher.push(&ids);
                     results += ids.len();
                     break;
@@ -872,6 +992,42 @@ fn server_smoke(opts: &ServerCliOpts) -> Result<(), String> {
     std::fs::write("results/server_stats.json", &after)
         .map_err(|e| format!("cannot write results/server_stats.json: {e}"))?;
     println!("wrote results/server_stats.json");
+    // EXPLAIN must not change the answer, and it forces tracing: one
+    // explained query per domain *after* loadgen (so its spans cannot
+    // be evicted by sampled loadgen traffic) both diffs the flagged
+    // path's ids against the plain path and guarantees every domain
+    // has a root span in the recent-trace artifact, whatever the
+    // sampling cadence did.
+    let mut explain_client =
+        Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    for (domain, queries) in Domain::ALL.into_iter().zip(query_sets.iter()) {
+        let (explained_ids, span_tree) = explain_client
+            .explain(queries[0].clone())
+            .map_err(|e| format!("EXPLAIN failed for {domain}: {e}"))?;
+        match explain_client
+            .search(queries[0].clone())
+            .map_err(|e| format!("query failed for {domain}: {e}"))?
+        {
+            Outcome::Results(ids) | Outcome::Explained { ids, .. } => {
+                if ids != explained_ids {
+                    return Err(format!("EXPLAIN changed {domain}'s result ids"));
+                }
+            }
+            other => return Err(format!("unexpected outcome for {domain}: {other:?}")),
+        }
+        if !span_tree.contains("\"spans\"") {
+            return Err(format!("EXPLAIN for {domain} returned no span tree"));
+        }
+    }
+    // The recent-trace export is the second jq-gated artifact: the
+    // EXPLAIN round traced one query per domain, and loadgen traffic
+    // adds sampled traces when --trace-sample is armed.
+    let traces = explain_client
+        .trace()
+        .map_err(|e| format!("server did not answer Trace after loadgen: {e}"))?;
+    std::fs::write("results/server_trace.json", &traces)
+        .map_err(|e| format!("cannot write results/server_trace.json: {e}"))?;
+    println!("wrote results/server_trace.json");
     handle.shutdown();
 
     if mismatches.is_empty() {
@@ -963,6 +1119,41 @@ mod tests {
         assert!(ServerCliOpts::from_args(&args(&["--metrics-dump"])).is_err());
         assert!(ServerCliOpts::from_args(&args(&["--metrics-dump", "--raw"])).is_err());
         assert!(ServerCliOpts::from_args(&args(&["--slow-query-ms", "0"])).is_err());
+    }
+
+    #[test]
+    fn tracing_flags_parse() {
+        let o = ServerCliOpts::from_args(&args(&[])).expect("defaults parse");
+        assert!(o.trace_sample.is_none());
+        assert!(o.trace_buffer.is_none());
+        assert!(o.slow_query_ring.is_none());
+        assert!(o.watch.is_none());
+        assert!(o.chrome.is_none());
+        let o = ServerCliOpts::from_args(&args(&[
+            "--trace-sample",
+            "8",
+            "--trace-buffer",
+            "2048",
+            "--slow-query-ring",
+            "16",
+            "--watch",
+            "2",
+            "--chrome",
+            "results/trace.json",
+        ]))
+        .expect("tracing flags parse");
+        assert_eq!(o.trace_sample, Some(8));
+        assert_eq!(o.trace_buffer, Some(2048));
+        assert_eq!(o.slow_query_ring, Some(16));
+        assert_eq!(o.watch, Some(2));
+        assert_eq!(o.chrome.as_deref(), Some("results/trace.json"));
+        // Zero is "disabled" spelled wrong — reject it rather than
+        // silently arming a meaningless cadence.
+        assert!(ServerCliOpts::from_args(&args(&["--trace-sample", "0"])).is_err());
+        assert!(ServerCliOpts::from_args(&args(&["--slow-query-ring", "0"])).is_err());
+        // A missing or flag-shaped path is an error, not a silent skip.
+        assert!(ServerCliOpts::from_args(&args(&["--chrome"])).is_err());
+        assert!(ServerCliOpts::from_args(&args(&["--chrome", "--raw"])).is_err());
     }
 
     #[test]

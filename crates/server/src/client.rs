@@ -91,6 +91,14 @@ pub enum Outcome {
         /// The server's message.
         message: String,
     },
+    /// An EXPLAIN query's answer: the result ids plus the request's
+    /// span tree as a JSON document.
+    Explained {
+        /// Global record ids within the threshold, ascending.
+        ids: Vec<u32>,
+        /// The request's span tree (JSON: `{"trace_id", "spans"}`).
+        trace: String,
+    },
 }
 
 /// A connected, version-negotiated client.
@@ -145,7 +153,11 @@ impl Client {
         self.next_id += 1;
         write_frame(
             &mut self.writer,
-            &encode_request(&Request::Query { request_id, query }),
+            &encode_request(&Request::Query {
+                request_id,
+                query,
+                explain: false,
+            }),
         )?;
         Ok(request_id)
     }
@@ -158,6 +170,11 @@ impl Client {
     pub fn recv_reply(&mut self) -> Result<(u64, Outcome), ClientError> {
         match self.read_response()? {
             Response::Results { request_id, ids } => Ok((request_id, Outcome::Results(ids))),
+            Response::Explained {
+                request_id,
+                ids,
+                json,
+            } => Ok((request_id, Outcome::Explained { ids, trace: json })),
             Response::Busy { request_id } => Ok((request_id, Outcome::Busy)),
             Response::Error {
                 request_id,
@@ -172,6 +189,7 @@ impl Client {
             }
             Response::HelloOk { .. } => Err(ClientError::Protocol("unexpected HelloOk")),
             Response::Stats { .. } => Err(ClientError::Protocol("unexpected Stats response")),
+            Response::Trace { .. } => Err(ClientError::Protocol("unexpected Trace response")),
         }
     }
 
@@ -198,6 +216,59 @@ impl Client {
             }
             Response::Error { code, message, .. } => Err(ClientError::Server { code, message }),
             _ => Err(ClientError::Protocol("expected Stats response")),
+        }
+    }
+
+    /// Fetches the server's recent sampled traces (a JSON document:
+    /// sampling rate, dropped-span count, span trees). Like
+    /// [`Client::stats`], it is answered inline on the server's
+    /// connection thread — usable even under full lanes — and must not
+    /// be interleaved with in-flight pipelined queries.
+    pub fn trace(&mut self) -> Result<String, ClientError> {
+        let request_id = self.next_id;
+        self.next_id += 1;
+        write_frame(
+            &mut self.writer,
+            &encode_request(&Request::Trace { request_id }),
+        )?;
+        match self.read_response()? {
+            Response::Trace {
+                request_id: got,
+                json,
+            } => {
+                if got != request_id {
+                    return Err(ClientError::Protocol("response id does not match request"));
+                }
+                Ok(json)
+            }
+            Response::Error { code, message, .. } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Protocol("expected Trace response")),
+        }
+    }
+
+    /// Sends one query with the EXPLAIN flag set and waits for its
+    /// answer: the result ids plus the request's span tree. EXPLAIN
+    /// forces tracing, so this works against a server with sampling
+    /// disabled.
+    pub fn explain(&mut self, query: DomainQuery) -> Result<(Vec<u32>, String), ClientError> {
+        let request_id = self.next_id;
+        self.next_id += 1;
+        write_frame(
+            &mut self.writer,
+            &encode_request(&Request::Query {
+                request_id,
+                query,
+                explain: true,
+            }),
+        )?;
+        let (got, outcome) = self.recv_reply()?;
+        if got != request_id {
+            return Err(ClientError::Protocol("response id does not match request"));
+        }
+        match outcome {
+            Outcome::Explained { ids, trace } => Ok((ids, trace)),
+            Outcome::Failed { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Protocol("expected Explained response")),
         }
     }
 

@@ -32,6 +32,12 @@
 //!   check diffs their `result_hash`es).
 //! * [`client`] — a blocking client library; `repro query` and
 //!   `repro loadgen` are thin wrappers over it.
+//!
+//! Observability rides the same wire: `Request::Stats` returns the
+//! live metrics snapshot, `Request::Trace` the recent sampled span
+//! timelines (see `pigeonring_telemetry::trace`), and a query's
+//! EXPLAIN flag returns its own span tree inline with its results —
+//! all answered even when every lane is saturated.
 
 pub mod client;
 pub mod queue;
@@ -49,3 +55,7 @@ pub use wire::{
     Domain, DomainQuery, ErrorCode, Request, Response, WireError, CONNECTION_REQUEST_ID,
     MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
+
+// Re-exported so handler implementations (`Handler` takes a
+// `&TraceBatch`) need no direct telemetry dependency.
+pub use pigeonring_telemetry::trace::TraceBatch;

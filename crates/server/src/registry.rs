@@ -29,7 +29,8 @@ use pigeonring_graph::{GraphParams, RingGraph};
 use pigeonring_hamming::{AllocationStrategy, HammingParams, RingHamming};
 use pigeonring_service::{IndexMetrics, MergeStats, SearchEngine, ShardedIndex, WorkerPool};
 use pigeonring_setsim::{Collection, RingSetSim, SetParams, Threshold, TokenDictionary};
-use pigeonring_telemetry::{Counter, MetricsRegistry};
+use pigeonring_telemetry::trace::{kind, ShardTrace, TraceBatch};
+use pigeonring_telemetry::{Counter, MetricsRegistry, SpanHandle};
 
 use crate::wire::{Domain, DomainQuery, ErrorCode, Response, CONNECTION_REQUEST_ID};
 
@@ -359,7 +360,8 @@ impl EngineSet {
     /// the server's dispatcher stamps real ids on.
     pub fn run(&self, pool: &WorkerPool, queries: Vec<DomainQuery>) -> Vec<Response> {
         let mut responses: Vec<Option<Response>> = queries.iter().map(|_| None).collect();
-        self.run_streaming(pool, queries, &mut |slot, resp| {
+        let traces = TraceBatch::untraced(queries.len());
+        self.run_streaming(pool, queries, &traces, &mut |slot, resp| {
             responses[slot] = Some(resp);
         });
         responses
@@ -380,10 +382,18 @@ impl EngineSet {
     /// [`ShardedIndex::search_batch_on`]; invalid queries (e.g. a
     /// Hamming vector of the wrong dimensionality) get a typed error
     /// without disturbing the rest of the batch.
+    ///
+    /// `traces` names the traced slots: each traced query gets a
+    /// `dispatch` span for its param-group's execution (with `plan` /
+    /// `pool` / `shard` children from the sharded index) plus one
+    /// zero-duration `stage` marker per filter-chain statistic its
+    /// engine reported — all flushed *before* the query's `emit`, so an
+    /// EXPLAIN export taken at emit time sees the whole tree.
     pub fn run_streaming(
         &self,
         pool: &WorkerPool,
         queries: Vec<DomainQuery>,
+        traces: &TraceBatch,
         emit: &mut dyn FnMut(usize, Response),
     ) {
         let mut hamming: Vec<(usize, pigeonring_hamming::BitVector, HammingParams)> = Vec::new();
@@ -457,19 +467,31 @@ impl EngineSet {
                     &self.hamming,
                     std::mem::take(&mut hamming),
                     counters,
+                    traces,
                     emit,
                 ),
-                Domain::Edit => {
-                    run_groups(pool, &self.edit, std::mem::take(&mut edit), counters, emit)
-                }
-                Domain::Set => {
-                    run_groups(pool, &self.set, std::mem::take(&mut set), counters, emit)
-                }
+                Domain::Edit => run_groups(
+                    pool,
+                    &self.edit,
+                    std::mem::take(&mut edit),
+                    counters,
+                    traces,
+                    emit,
+                ),
+                Domain::Set => run_groups(
+                    pool,
+                    &self.set,
+                    std::mem::take(&mut set),
+                    counters,
+                    traces,
+                    emit,
+                ),
                 Domain::Graph => run_groups(
                     pool,
                     &self.graph,
                     std::mem::take(&mut graph),
                     counters,
+                    traces,
                     emit,
                 ),
             }
@@ -493,12 +515,15 @@ impl EngineSet {
 /// equal parameters, answers each run with one batched shard fan-out,
 /// and emits results into their request slots as each run completes.
 /// When `counters` is attached, folds each run's merged engine stats
-/// into the domain's stage counters before emitting.
+/// into the domain's stage counters before emitting. Traced slots get
+/// a `dispatch` span around their run plus per-stage markers carrying
+/// the query's own merged stats (flushed before `emit`).
 fn run_groups<E>(
     pool: &WorkerPool,
     index: &ShardedIndex<E>,
     items: Vec<(usize, E::Query, E::Params)>,
     counters: Option<&DomainCounters>,
+    traces: &TraceBatch,
     emit: &mut dyn FnMut(usize, Response),
 ) where
     E: pigeonring_service::SearchEngine,
@@ -512,7 +537,52 @@ fn run_groups<E>(
             slots.push(s);
             batch.push(q);
         }
-        let results = index.search_batch_on(pool, &batch, &params);
+        // Open one dispatch span per traced query of this run; the
+        // sharded index parents its plan/pool/shard spans under them.
+        let mut dispatch: Vec<Option<SpanHandle>> = vec![None; slots.len()];
+        let mut shard_trace = None;
+        if let Some(c) = traces.collector() {
+            for (i, &s) in slots.iter().enumerate() {
+                if let Some((trace_id, root)) = traces.target(s) {
+                    dispatch[i] = Some(c.child_of(trace_id, root));
+                }
+            }
+            let targets: Vec<(u64, u64)> = dispatch
+                .iter()
+                .flatten()
+                .map(|h| (h.trace_id, h.id))
+                .collect();
+            if !targets.is_empty() {
+                shard_trace = Some(ShardTrace {
+                    collector: Arc::clone(c),
+                    targets,
+                });
+            }
+        }
+        let results = index.search_batch_on_traced(pool, &batch, &params, shard_trace.as_ref());
+        if let Some(c) = traces.collector() {
+            let mut buf = Vec::new();
+            for h in dispatch.iter().flatten() {
+                buf.push(c.finish(*h, kind::DISPATCH, "", vec![("batch", batch.len() as u64)]));
+            }
+            // Stage markers carry each traced query's *own* merged
+            // stats (not the run total), parented on the root so the
+            // per-stage pruning story reads directly off the trace.
+            for (i, &s) in slots.iter().enumerate() {
+                if let Some((trace_id, root)) = traces.target(s) {
+                    results[i].stats.visit(&mut |name, value| {
+                        buf.push(c.instant(
+                            trace_id,
+                            root,
+                            kind::STAGE,
+                            name,
+                            vec![("count", value)],
+                        ));
+                    });
+                }
+            }
+            c.extend(buf);
+        }
         if let Some(c) = counters {
             c.queries.add(batch.len() as u64);
             let mut total = E::Stats::default();
@@ -644,7 +714,10 @@ mod tests {
         batch.rotate_left(5); // graph queries sit in front of hamming's
         let domains: Vec<Domain> = batch.iter().map(DomainQuery::domain).collect();
         let mut order = Vec::new();
-        engines.run_streaming(&pool, batch, &mut |slot, _| order.push(domains[slot]));
+        let traces = TraceBatch::untraced(batch.len());
+        engines.run_streaming(&pool, batch, &traces, &mut |slot, _| {
+            order.push(domains[slot])
+        });
         assert_eq!(order.len(), domains.len(), "every query answered once");
         let last_hamming = order
             .iter()

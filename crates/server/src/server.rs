@@ -43,7 +43,8 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use pigeonring_service::{MachineFingerprint, PoolMetrics, WorkerPool};
-use pigeonring_telemetry::{Counter, Histogram, MetricsRegistry};
+use pigeonring_telemetry::trace::{kind, TraceBatch, DEFAULT_TRACE_BUFFER};
+use pigeonring_telemetry::{Counter, Histogram, MetricsRegistry, SpanHandle, TraceCollector};
 
 use crate::queue::{lane_of, FairQueue, PushError, NUM_LANES};
 use crate::registry::EngineSet;
@@ -81,6 +82,16 @@ pub struct ServerConfig {
     /// kept in the bounded slow-query ring the Stats snapshot exposes.
     /// `None` (the default) disables the log entirely.
     pub slow_query_ms: Option<u64>,
+    /// How many completed slow queries the ring retains for the Stats
+    /// snapshot (oldest evicted first).
+    pub slow_query_ring: usize,
+    /// Head-sampling rate for per-request tracing: one admitted query
+    /// in `trace_sample` gets a full span timeline. `0` (the default)
+    /// disables sampling; EXPLAIN queries are always traced.
+    pub trace_sample: u64,
+    /// How many spans the trace ring retains (oldest evicted first;
+    /// slow-query traces are pinned and survive eviction).
+    pub trace_buffer: usize,
 }
 
 impl Default for ServerConfig {
@@ -96,6 +107,9 @@ impl Default for ServerConfig {
             lane_weights: [8, 4, 8, 2],
             conn_in_flight: 32,
             slow_query_ms: None,
+            slow_query_ring: 64,
+            trace_sample: 0,
+            trace_buffer: DEFAULT_TRACE_BUFFER,
         }
     }
 }
@@ -114,11 +128,17 @@ struct Job {
     domain: Domain,
     admitted_at: Instant,
     reply: mpsc::Sender<Response>,
+    trace: Option<JobTrace>,
 }
 
-/// How many slow queries the ring buffer keeps for the Stats snapshot
-/// (oldest evicted first).
-const SLOW_QUERY_LOG_CAP: usize = 64;
+/// Trace context riding along a sampled (or EXPLAIN) job: the root
+/// span opened at admission, and whether the answer must carry the
+/// span tree inline ([`Response::Explained`]).
+#[derive(Clone, Copy)]
+struct JobTrace {
+    root: SpanHandle,
+    explain: bool,
+}
 
 /// One completed query that crossed [`ServerConfig::slow_query_ms`]:
 /// kept in a bounded ring for the Stats snapshot and echoed to stderr
@@ -134,6 +154,12 @@ pub struct SlowQuery {
     pub latency_us: u64,
     /// Server uptime in milliseconds when the query completed.
     pub at_ms: u64,
+    /// The trace id, when the query was sampled (its trace is pinned
+    /// in the collector, so `repro trace` can still fetch it).
+    pub trace_id: Option<u64>,
+    /// Per-stage candidate counts from the trace's stage markers
+    /// (empty for untraced queries).
+    pub stages: Vec<(&'static str, u64)>,
 }
 
 /// All of a running server's telemetry: the [`MetricsRegistry`] every
@@ -157,11 +183,13 @@ pub struct ServerMetrics {
     dispatch_batch: Arc<Histogram>,
     writer_stalls: Arc<Counter>,
     slow_query_us: Option<u64>,
+    slow_query_cap: usize,
     slow_queries: Mutex<VecDeque<SlowQuery>>,
+    tracer: Arc<TraceCollector>,
 }
 
 impl ServerMetrics {
-    fn new(slow_query_ms: Option<u64>) -> Self {
+    fn new(config: &ServerConfig) -> Self {
         let registry = Arc::new(MetricsRegistry::new());
         let lane_counter =
             |kind: &str| Domain::ALL.map(|d| registry.counter(&format!("server.lane.{d}.{kind}")));
@@ -178,10 +206,21 @@ impl ServerMetrics {
             frames_rejected: registry.counter("server.frames_rejected"),
             dispatch_batch: registry.histogram("server.dispatch.batch_size"),
             writer_stalls: registry.counter("server.writer.stalls"),
-            slow_query_us: slow_query_ms.map(|ms| ms.saturating_mul(1000)),
+            slow_query_us: config.slow_query_ms.map(|ms| ms.saturating_mul(1000)),
+            slow_query_cap: config.slow_query_ring.max(1),
             slow_queries: Mutex::new(VecDeque::new()),
+            tracer: Arc::new(TraceCollector::new(
+                config.trace_sample,
+                config.trace_buffer,
+            )),
             registry,
         }
+    }
+
+    /// The per-request trace collector (sampling decisions, the span
+    /// ring, JSON export). `Request::Trace` reads it over the wire.
+    pub fn tracer(&self) -> &Arc<TraceCollector> {
+        &self.tracer
     }
 
     /// The registry every server-side metric lives in; callers may
@@ -208,8 +247,16 @@ impl ServerMetrics {
     }
 
     /// Records one answered query: latency histogram, and the
-    /// slow-query log when the configured threshold is crossed.
-    fn record_completion(&self, domain: Domain, request_id: u64, latency_us: u64) {
+    /// slow-query log when the configured threshold is crossed. A
+    /// traced slow query's trace is pinned (eviction-proof) and its
+    /// per-stage counts are embedded in the log entry.
+    fn record_completion(
+        &self,
+        domain: Domain,
+        request_id: u64,
+        latency_us: u64,
+        trace_id: Option<u64>,
+    ) {
         self.latency_us[lane_of(domain)].record(latency_us);
         let Some(threshold) = self.slow_query_us else {
             return;
@@ -221,8 +268,15 @@ impl ServerMetrics {
             "[pigeonring-server] slow query: domain={domain} request_id={request_id} \
              latency_us={latency_us}"
         );
+        let stages = match trace_id {
+            Some(id) => {
+                self.tracer.pin(id);
+                self.tracer.stage_breakdown(id)
+            }
+            None => Vec::new(),
+        };
         let mut log = self.slow_queries.lock().expect("slow-query mutex poisoned");
-        if log.len() == SLOW_QUERY_LOG_CAP {
+        if log.len() >= self.slow_query_cap {
             log.pop_front();
         }
         log.push_back(SlowQuery {
@@ -230,6 +284,8 @@ impl ServerMetrics {
             request_id,
             latency_us,
             at_ms: self.uptime_ms(),
+            trace_id,
+            stages,
         });
     }
 
@@ -249,9 +305,20 @@ impl ServerMetrics {
             if i > 0 {
                 out.push_str(", ");
             }
+            let trace_id = match sq.trace_id {
+                Some(id) => id.to_string(),
+                None => "null".to_string(),
+            };
+            let stages = sq
+                .stages
+                .iter()
+                .map(|(name, count)| format!("\"{name}\": {count}"))
+                .collect::<Vec<_>>()
+                .join(", ");
             out.push_str(&format!(
-                "{{\"domain\": \"{}\", \"request_id\": {}, \"latency_us\": {}, \"at_ms\": {}}}",
-                sq.domain, sq.request_id, sq.latency_us, sq.at_ms
+                "{{\"domain\": \"{}\", \"request_id\": {}, \"latency_us\": {}, \"at_ms\": {}, \
+                 \"trace_id\": {}, \"stages\": {{{}}}}}",
+                sq.domain, sq.request_id, sq.latency_us, sq.at_ms, trace_id, stages
             ));
         }
         out.push_str("]}");
@@ -317,11 +384,14 @@ impl ReplyBudget {
 
 /// A batch handler: answers one micro-batch of queries by calling
 /// `emit(slot, response)` once per query, in whatever order it
-/// completes them (the dispatcher stamps request ids on). Production
-/// uses [`EngineSet::run_streaming`] on a shared [`WorkerPool`]; tests
-/// inject stalling handlers to exercise admission control and
-/// out-of-order completion.
-pub type Handler = Arc<dyn Fn(Vec<DomainQuery>, &mut dyn FnMut(usize, Response)) + Send + Sync>;
+/// completes them (the dispatcher stamps request ids on). The
+/// [`TraceBatch`] says which slots are traced — untraced batches are
+/// the common, zero-cost case and handlers that don't trace may ignore
+/// it. Production uses [`EngineSet::run_streaming`] on a shared
+/// [`WorkerPool`]; tests inject stalling handlers to exercise
+/// admission control and out-of-order completion.
+pub type Handler =
+    Arc<dyn Fn(Vec<DomainQuery>, &TraceBatch, &mut dyn FnMut(usize, Response)) + Send + Sync>;
 
 /// A running server; dropping (or calling [`ServerHandle::shutdown`])
 /// stops the accept loop and dispatchers.
@@ -346,11 +416,11 @@ pub fn start(
     pool: WorkerPool,
     config: ServerConfig,
 ) -> std::io::Result<ServerHandle> {
-    let metrics = Arc::new(ServerMetrics::new(config.slow_query_ms));
+    let metrics = Arc::new(ServerMetrics::new(&config));
     engines.attach_metrics(metrics.registry());
     pool.attach_metrics(PoolMetrics::register(metrics.registry()));
-    let handler: Handler = Arc::new(move |queries, emit| {
-        engines.run_streaming(&pool, queries, emit);
+    let handler: Handler = Arc::new(move |queries, traces, emit| {
+        engines.run_streaming(&pool, queries, traces, emit);
     });
     start_inner(listener, handler, config, metrics)
 }
@@ -365,7 +435,7 @@ pub fn start_with_handler(
     handler: Handler,
     config: ServerConfig,
 ) -> std::io::Result<ServerHandle> {
-    let metrics = Arc::new(ServerMetrics::new(config.slow_query_ms));
+    let metrics = Arc::new(ServerMetrics::new(&config));
     start_inner(listener, handler, config, metrics)
 }
 
@@ -535,27 +605,76 @@ fn dispatch_loop(
         let mut domains = Vec::with_capacity(jobs.len());
         let mut admitted = Vec::with_capacity(jobs.len());
         let mut replies = Vec::with_capacity(jobs.len());
+        let mut traces = Vec::with_capacity(jobs.len());
+        let mut span_buf = Vec::new();
         for job in jobs.drain(..) {
             let waited_us = job.admitted_at.elapsed().as_micros().min(u64::MAX as u128) as u64;
             metrics.queue_wait_us[lane_of(job.domain)].record(waited_us);
+            if let Some(t) = &job.trace {
+                // The queue-wait span covers admission → this pop;
+                // re-dating a fresh child to the root's start makes the
+                // interval exact without carrying a second handle.
+                let mut wait = metrics.tracer.child(&t.root);
+                wait.start_us = t.root.start_us;
+                span_buf.push(metrics.tracer.finish(wait, kind::QUEUE_WAIT, "", vec![]));
+            }
             queries.push(job.query);
             ids.push(job.request_id);
             domains.push(job.domain);
             admitted.push(job.admitted_at);
             replies.push(job.reply);
+            traces.push(job.trace);
         }
+        metrics.tracer.extend(span_buf);
         let n = queries.len();
+        let trace_batch = TraceBatch::new(
+            Arc::clone(&metrics.tracer),
+            traces
+                .iter()
+                .map(|t| t.map(|t| (t.root.trace_id, t.root.id)))
+                .collect(),
+        );
         let mut answered = vec![false; n];
         // A panicking handler (engine bug) must not hang this batch's
         // clients, nor kill the dispatcher for future batches; whatever
         // the handler already emitted before the panic stands.
         let _ = catch_unwind(AssertUnwindSafe(|| {
-            handler(queries, &mut |slot, resp| {
+            handler(queries, &trace_batch, &mut |slot, resp| {
                 if slot < n && !answered[slot] {
                     answered[slot] = true;
                     let latency_us =
                         admitted[slot].elapsed().as_micros().min(u64::MAX as u128) as u64;
-                    metrics.record_completion(domains[slot], ids[slot], latency_us);
+                    // Close (and flush) the root span before exporting
+                    // or pinning, so the trace is complete the moment
+                    // the response leaves.
+                    let resp = match traces[slot] {
+                        Some(t) => {
+                            let root = metrics.tracer.finish(
+                                t.root,
+                                kind::QUERY,
+                                domains[slot].as_str(),
+                                vec![],
+                            );
+                            metrics.tracer.extend(vec![root]);
+                            match resp {
+                                Response::Results { ids, .. } if t.explain => {
+                                    Response::Explained {
+                                        request_id: 0, // stamped below
+                                        ids,
+                                        json: metrics.tracer.export_trace(t.root.trace_id).pretty(),
+                                    }
+                                }
+                                other => other,
+                            }
+                        }
+                        None => resp,
+                    };
+                    metrics.record_completion(
+                        domains[slot],
+                        ids[slot],
+                        latency_us,
+                        traces[slot].map(|t| t.root.trace_id),
+                    );
                     if matches!(resp, Response::Error { .. }) {
                         metrics.errors.inc();
                     }
@@ -566,6 +685,15 @@ fn dispatch_loop(
         }));
         for slot in 0..n {
             if !answered[slot] {
+                // A traced query that died still closes its root span,
+                // so the exported trace never has dangling parents.
+                if let Some(t) = traces[slot] {
+                    let root =
+                        metrics
+                            .tracer
+                            .finish(t.root, kind::QUERY, domains[slot].as_str(), vec![]);
+                    metrics.tracer.extend(vec![root]);
+                }
                 metrics.errors.inc();
                 let _ = replies[slot].send(Response::Error {
                     request_id: ids[slot],
@@ -661,7 +789,11 @@ fn serve_connection(
                     break;
                 }
             }
-            Ok(Request::Query { request_id, query }) => {
+            Ok(Request::Query {
+                request_id,
+                query,
+                explain,
+            }) => {
                 if !negotiated {
                     metrics.errors.inc();
                     let _ = reply_tx.send(Response::Error {
@@ -681,12 +813,20 @@ fn serve_connection(
                     break;
                 }
                 let domain = query.domain();
+                // The head-sampling decision (and the root span's
+                // clock) starts here, at admission — queue wait is part
+                // of the request's story. EXPLAIN forces it.
+                let trace = metrics
+                    .tracer
+                    .sample(explain)
+                    .map(|root| JobTrace { root, explain });
                 let job = Job {
                     request_id,
                     query,
                     domain,
                     admitted_at: Instant::now(),
                     reply: reply_tx.clone(),
+                    trace,
                 };
                 match queue.try_push(domain, job) {
                     // Pipelining: admitted — do NOT wait for the reply;
@@ -737,6 +877,33 @@ fn serve_connection(
                 let _ = reply_tx.send(Response::Stats {
                     request_id,
                     json: metrics.stats_json(),
+                });
+            }
+            // Trace follows the Stats pattern exactly: answered inline
+            // on the connection thread so recent traces stay readable
+            // while every lane is saturated.
+            Ok(Request::Trace { request_id }) => {
+                if !negotiated {
+                    metrics.errors.inc();
+                    let _ = reply_tx.send(Response::Error {
+                        request_id: CONNECTION_REQUEST_ID,
+                        code: ErrorCode::Malformed,
+                        message: "expected Hello as the first frame".into(),
+                    });
+                    break;
+                }
+                if request_id == CONNECTION_REQUEST_ID {
+                    metrics.errors.inc();
+                    let _ = reply_tx.send(Response::Error {
+                        request_id: CONNECTION_REQUEST_ID,
+                        code: ErrorCode::Malformed,
+                        message: "request id 0 is reserved for connection-scoped errors".into(),
+                    });
+                    break;
+                }
+                let _ = reply_tx.send(Response::Trace {
+                    request_id,
+                    json: metrics.tracer.export_recent().pretty(),
                 });
             }
         }

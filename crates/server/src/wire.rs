@@ -34,6 +34,16 @@
 //! is reserved for connection-scoped errors (an undecodable frame has
 //! no id to echo); clients allocate ids from `1`.
 //!
+//! **Tracing.** Every query body carries a flags byte; bit 0 is the
+//! EXPLAIN flag, which forces tracing for that request and answers it
+//! with [`Response::Explained`] — the result ids *plus* the request's
+//! span tree as JSON. Unknown flag bits are
+//! [`WireError::Malformed`] (fail closed, so a future flag cannot be
+//! silently ignored by an old peer). [`Request::Trace`] asks for the
+//! most recent sampled traces ([`Response::Trace`]) and — like
+//! `Stats` — is answered inline on the connection thread, so it works
+//! under saturation.
+//!
 //! Decoding is strict: truncated bodies are [`WireError::Truncated`],
 //! unconsumed trailing bytes are [`WireError::TrailingBytes`], unknown
 //! tags are [`WireError::BadTag`], and structurally invalid queries
@@ -217,6 +227,11 @@ pub enum Request {
         request_id: u64,
         /// The query itself.
         query: DomainQuery,
+        /// EXPLAIN mode: forces tracing for this request regardless of
+        /// the server's sampling rate and answers with
+        /// [`Response::Explained`] (result ids + the span tree)
+        /// instead of plain `Results`.
+        explain: bool,
     },
     /// Asks for a live metrics snapshot ([`Response::Stats`]). Answered
     /// directly on the connection thread — it never enters the request
@@ -225,6 +240,14 @@ pub enum Request {
     /// [`CONNECTION_REQUEST_ID`].
     Stats {
         /// The client-chosen id echoed on the snapshot response.
+        request_id: u64,
+    },
+    /// Asks for the most recent sampled traces ([`Response::Trace`]).
+    /// Answered inline on the connection thread, exactly like `Stats`,
+    /// so traces stay readable while every lane is saturated. Same id
+    /// rules as `Query`.
+    Trace {
+        /// The client-chosen id echoed on the trace response.
         request_id: u64,
     },
 }
@@ -302,6 +325,27 @@ pub enum Response {
         /// The snapshot document (UTF-8 JSON).
         json: String,
     },
+    /// Recent sampled traces answering [`Request::Trace`]. Like
+    /// `Stats`, the body is a self-describing JSON document (sampling
+    /// rate, dropped-span count, span trees) so the schema can grow
+    /// without a wire change.
+    Trace {
+        /// Id of the trace request this answers.
+        request_id: u64,
+        /// The trace document (UTF-8 JSON).
+        json: String,
+    },
+    /// An EXPLAIN query's answer: the merged result ids *plus* the
+    /// request's own span tree as JSON. Sent instead of `Results` when
+    /// the query set its EXPLAIN flag.
+    Explained {
+        /// Id of the query this answers.
+        request_id: u64,
+        /// Global record ids within the threshold, ascending.
+        ids: Vec<u32>,
+        /// The request's span tree (UTF-8 JSON).
+        json: String,
+    },
     /// Typed failure; the server closes the connection after sending
     /// this for protocol-level errors (`UnsupportedVersion`,
     /// `Malformed` — then `request_id` is [`CONNECTION_REQUEST_ID`])
@@ -326,6 +370,8 @@ impl Response {
             Response::Results { request_id, .. }
             | Response::Busy { request_id }
             | Response::Stats { request_id, .. }
+            | Response::Trace { request_id, .. }
+            | Response::Explained { request_id, .. }
             | Response::Error { request_id, .. } => *request_id,
         }
     }
@@ -346,6 +392,15 @@ impl Response {
                 request_id: id,
                 json,
             },
+            Response::Trace { json, .. } => Response::Trace {
+                request_id: id,
+                json,
+            },
+            Response::Explained { ids, json, .. } => Response::Explained {
+                request_id: id,
+                ids,
+                json,
+            },
             Response::Error { code, message, .. } => Response::Error {
                 request_id: id,
                 code,
@@ -362,11 +417,34 @@ const TAG_Q_EDIT: u8 = 0x03;
 const TAG_Q_SET: u8 = 0x04;
 const TAG_Q_GRAPH: u8 = 0x05;
 const TAG_STATS: u8 = 0x06;
+const TAG_TRACE: u8 = 0x07;
 const TAG_HELLO_OK: u8 = 0x81;
 const TAG_RESULTS: u8 = 0x82;
 const TAG_BUSY: u8 = 0x83;
 const TAG_ERROR: u8 = 0x84;
 const TAG_STATS_RESP: u8 = 0x85;
+const TAG_TRACE_RESP: u8 = 0x86;
+const TAG_EXPLAINED: u8 = 0x87;
+
+/// Query-body flags byte (follows `request_id` in every query tag).
+/// Bit 0 is EXPLAIN; the remaining bits are reserved and must be zero.
+const QUERY_FLAG_EXPLAIN: u8 = 0x01;
+
+fn encode_query_flags(explain: bool) -> u8 {
+    if explain {
+        QUERY_FLAG_EXPLAIN
+    } else {
+        0
+    }
+}
+
+fn decode_query_flags(r: &mut BodyReader<'_>) -> Result<bool, WireError> {
+    let flags = r.u8()?;
+    if flags & !QUERY_FLAG_EXPLAIN != 0 {
+        return Err(WireError::Malformed("unknown query flags"));
+    }
+    Ok(flags & QUERY_FLAG_EXPLAIN != 0)
+}
 
 // ------------------------------------------------------------- frame IO
 
@@ -537,10 +615,15 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             w.u8(*max_version);
             w.buf
         }
-        Request::Query { request_id, query } => match query {
+        Request::Query {
+            request_id,
+            query,
+            explain,
+        } => match query {
             DomainQuery::Hamming { query, tau, l } => {
                 let mut w = BodyWriter::new(TAG_Q_HAMMING);
                 w.u64(*request_id);
+                w.u8(encode_query_flags(*explain));
                 w.u32(*tau);
                 w.u32(*l);
                 w.u32(query.dims() as u32);
@@ -553,6 +636,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             DomainQuery::Edit { query, l } => {
                 let mut w = BodyWriter::new(TAG_Q_EDIT);
                 w.u64(*request_id);
+                w.u8(encode_query_flags(*explain));
                 w.u32(*l);
                 w.u32(query.len() as u32);
                 w.bytes(query);
@@ -561,6 +645,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             DomainQuery::Set { tokens, l } => {
                 let mut w = BodyWriter::new(TAG_Q_SET);
                 w.u64(*request_id);
+                w.u8(encode_query_flags(*explain));
                 w.u32(*l);
                 w.u32(tokens.len() as u32);
                 for t in tokens {
@@ -571,6 +656,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             DomainQuery::Graph { query, l } => {
                 let mut w = BodyWriter::new(TAG_Q_GRAPH);
                 w.u64(*request_id);
+                w.u8(encode_query_flags(*explain));
                 w.u32(*l);
                 w.u32(query.num_vertices() as u32);
                 for &vl in query.vlabels() {
@@ -590,6 +676,11 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             w.u64(*request_id);
             w.buf
         }
+        Request::Trace { request_id } => {
+            let mut w = BodyWriter::new(TAG_TRACE);
+            w.u64(*request_id);
+            w.buf
+        }
     }
 }
 
@@ -603,6 +694,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
         },
         TAG_Q_HAMMING => {
             let request_id = r.u64()?;
+            let explain = decode_query_flags(&mut r)?;
             let tau = r.u32()?;
             let l = r.u32()?;
             let dims = r.u32()? as usize;
@@ -616,20 +708,24 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
             Request::Query {
                 request_id,
                 query: DomainQuery::Hamming { query, tau, l },
+                explain,
             }
         }
         TAG_Q_EDIT => {
             let request_id = r.u64()?;
+            let explain = decode_query_flags(&mut r)?;
             let l = r.u32()?;
             let len = r.checked_count(1)?;
             let query = r.take(len)?.to_vec();
             Request::Query {
                 request_id,
                 query: DomainQuery::Edit { query, l },
+                explain,
             }
         }
         TAG_Q_SET => {
             let request_id = r.u64()?;
+            let explain = decode_query_flags(&mut r)?;
             let l = r.u32()?;
             let count = r.checked_count(4)?;
             let mut tokens = Vec::with_capacity(count);
@@ -639,10 +735,12 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
             Request::Query {
                 request_id,
                 query: DomainQuery::Set { tokens, l },
+                explain,
             }
         }
         TAG_Q_GRAPH => {
             let request_id = r.u64()?;
+            let explain = decode_query_flags(&mut r)?;
             let l = r.u32()?;
             let nv = r.checked_count(4)?;
             if nv == 0 {
@@ -670,9 +768,13 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
             Request::Query {
                 request_id,
                 query: DomainQuery::Graph { query, l },
+                explain,
             }
         }
         TAG_STATS => Request::Stats {
+            request_id: r.u64()?,
+        },
+        TAG_TRACE => Request::Trace {
             request_id: r.u64()?,
         },
         other => return Err(WireError::BadTag(other)),
@@ -708,6 +810,28 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::Stats { request_id, json } => {
             let mut w = BodyWriter::new(TAG_STATS_RESP);
             w.u64(*request_id);
+            w.u32(json.len() as u32);
+            w.bytes(json.as_bytes());
+            w.buf
+        }
+        Response::Trace { request_id, json } => {
+            let mut w = BodyWriter::new(TAG_TRACE_RESP);
+            w.u64(*request_id);
+            w.u32(json.len() as u32);
+            w.bytes(json.as_bytes());
+            w.buf
+        }
+        Response::Explained {
+            request_id,
+            ids,
+            json,
+        } => {
+            let mut w = BodyWriter::new(TAG_EXPLAINED);
+            w.u64(*request_id);
+            w.u32(ids.len() as u32);
+            for id in ids {
+                w.u32(*id);
+            }
             w.u32(json.len() as u32);
             w.bytes(json.as_bytes());
             w.buf
@@ -751,6 +875,29 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
             let json = String::from_utf8(r.take(len)?.to_vec())
                 .map_err(|_| WireError::Malformed("stats snapshot is not UTF-8"))?;
             Response::Stats { request_id, json }
+        }
+        TAG_TRACE_RESP => {
+            let request_id = r.u64()?;
+            let len = r.checked_count(1)?;
+            let json = String::from_utf8(r.take(len)?.to_vec())
+                .map_err(|_| WireError::Malformed("trace document is not UTF-8"))?;
+            Response::Trace { request_id, json }
+        }
+        TAG_EXPLAINED => {
+            let request_id = r.u64()?;
+            let count = r.checked_count(4)?;
+            let mut ids = Vec::with_capacity(count);
+            for _ in 0..count {
+                ids.push(r.u32()?);
+            }
+            let len = r.checked_count(1)?;
+            let json = String::from_utf8(r.take(len)?.to_vec())
+                .map_err(|_| WireError::Malformed("trace document is not UTF-8"))?;
+            Response::Explained {
+                request_id,
+                ids,
+                json,
+            }
         }
         TAG_ERROR => {
             let request_id = r.u64()?;
@@ -859,6 +1006,7 @@ mod tests {
         // A Set query declaring u32::MAX tokens with a 4-byte body.
         let mut w = BodyWriter::new(TAG_Q_SET);
         w.u64(1); // request id
+        w.u8(0); // flags
         w.u32(1); // l
         w.u32(u32::MAX); // token count
         w.u32(7); // only one token actually present
@@ -870,6 +1018,7 @@ mod tests {
         let mk = |edges: &[(u32, u32, u32)]| {
             let mut w = BodyWriter::new(TAG_Q_GRAPH);
             w.u64(1); // request id
+            w.u8(0); // flags
             w.u32(1); // l
             w.u32(3); // nv
             for vl in [1u32, 2, 3] {
@@ -912,6 +1061,15 @@ mod tests {
             Response::Busy { request_id: 9 },
             Response::Stats {
                 request_id: 9,
+                json: "{}".into(),
+            },
+            Response::Trace {
+                request_id: 9,
+                json: "{}".into(),
+            },
+            Response::Explained {
+                request_id: 9,
+                ids: vec![3],
                 json: "{}".into(),
             },
             Response::Error {
@@ -980,6 +1138,102 @@ mod tests {
             decode_response(&payload),
             Err(WireError::TrailingBytes(1))
         ));
+    }
+
+    #[test]
+    fn trace_messages_round_trip() {
+        let req = Request::Trace { request_id: 23 };
+        assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+        let resp = Response::Trace {
+            request_id: 23,
+            json: r#"{"traces": []}"#.into(),
+        };
+        assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+        let resp = Response::Explained {
+            request_id: 23,
+            ids: vec![1, 5, 9],
+            json: r#"{"trace_id": 4, "spans": []}"#.into(),
+        };
+        assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+    }
+
+    #[test]
+    fn explain_flag_round_trips_on_every_domain() {
+        let queries = [
+            DomainQuery::Hamming {
+                query: BitVector::from_words(64, vec![0x55]).unwrap(),
+                tau: 4,
+                l: 2,
+            },
+            DomainQuery::Edit {
+                query: b"abc".to_vec(),
+                l: 2,
+            },
+            DomainQuery::Set {
+                tokens: vec![1, 2, 3],
+                l: 2,
+            },
+            DomainQuery::Graph {
+                query: Graph::new(vec![1, 2]),
+                l: 2,
+            },
+        ];
+        for query in queries {
+            for explain in [false, true] {
+                let req = Request::Query {
+                    request_id: 7,
+                    query: query.clone(),
+                    explain,
+                };
+                assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_query_flag_bits_fail_closed() {
+        let req = Request::Query {
+            request_id: 7,
+            query: DomainQuery::Edit {
+                query: b"abc".to_vec(),
+                l: 2,
+            },
+            explain: false,
+        };
+        let mut payload = encode_request(&req);
+        // The flags byte sits right after [version, tag, request_id].
+        payload[2 + 8] = 0x02;
+        assert!(matches!(
+            decode_request(&payload),
+            Err(WireError::Malformed("unknown query flags"))
+        ));
+    }
+
+    #[test]
+    fn trace_response_rejects_bad_utf8_and_hostile_length() {
+        let mut payload = encode_response(&Response::Trace {
+            request_id: 1,
+            json: "ab".into(),
+        });
+        let n = payload.len();
+        payload[n - 1] = 0xff;
+        assert!(matches!(
+            decode_response(&payload),
+            Err(WireError::Malformed("trace document is not UTF-8"))
+        ));
+        // A hostile id count in an Explained body fails before sizing.
+        let mut w = BodyWriter::new(TAG_EXPLAINED);
+        w.u64(1);
+        w.u32(u32::MAX); // id count
+        w.u32(0); // json length
+        assert!(matches!(decode_response(&w.buf), Err(WireError::Truncated)));
+        // ... and so does a hostile JSON length.
+        let mut w = BodyWriter::new(TAG_EXPLAINED);
+        w.u64(1);
+        w.u32(0); // id count
+        w.u32(u32::MAX); // json length
+        w.bytes(b"{}");
+        assert!(matches!(decode_response(&w.buf), Err(WireError::Truncated)));
     }
 
     #[test]

@@ -70,7 +70,7 @@ fn queue_overflow_answers_busy_and_queued_requests_complete() {
     let served: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
     let handler: Handler = {
         let served = Arc::clone(&served);
-        Arc::new(move |queries, emit| {
+        Arc::new(move |queries, _traces, emit| {
             started_tx.send(()).expect("test alive");
             gate_rx
                 .lock()
@@ -146,7 +146,8 @@ fn shutdown_answers_terminal_internal_error_not_busy() {
     // A client that is mid-connection when the server shuts down must
     // see a *terminal* typed error, not a retryable Busy — otherwise
     // well-behaved retry loops hammer a dying server.
-    let handler: Handler = Arc::new(|queries: Vec<DomainQuery>, emit| echo(&queries, emit));
+    let handler: Handler =
+        Arc::new(|queries: Vec<DomainQuery>, _traces, emit| echo(&queries, emit));
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let handle = start_with_handler(listener, handler, config(Q)).expect("server starts");
     let addr = handle.addr();
@@ -178,7 +179,7 @@ fn busy_connection_stays_usable() {
     let (gate_tx, gate_rx) = mpsc::channel::<()>();
     let gate_rx = Mutex::new(gate_rx);
     let (started_tx, started_rx) = mpsc::channel::<()>();
-    let handler: Handler = Arc::new(move |queries: Vec<DomainQuery>, emit| {
+    let handler: Handler = Arc::new(move |queries: Vec<DomainQuery>, _traces, emit| {
         started_tx.send(()).expect("test alive");
         gate_rx
             .lock()

@@ -156,7 +156,7 @@ fn garbage_bytes_fail_closed_with_typed_error() {
     // Handler irrelevant: garbage never reaches it.
     let handle = pigeonring_server::start_with_handler(
         listener,
-        Arc::new(|_, _| {}),
+        Arc::new(|_, _, _| {}),
         ServerConfig::default(),
     )
     .expect("server starts");
@@ -191,6 +191,7 @@ fn garbage_bytes_fail_closed_with_typed_error() {
             tokens: vec![1],
             l: 1,
         },
+        explain: false,
     });
     payload[0] = 42;
     write_frame(&mut stream, &payload).expect("send bad version");
@@ -213,7 +214,7 @@ fn query_before_hello_is_refused() {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let handle = pigeonring_server::start_with_handler(
         listener,
-        Arc::new(|_, _| {}),
+        Arc::new(|_, _, _| {}),
         ServerConfig::default(),
     )
     .expect("server starts");
@@ -227,6 +228,7 @@ fn query_before_hello_is_refused() {
                 tokens: vec![1],
                 l: 1,
             },
+            explain: false,
         }),
     )
     .expect("send premature query");
@@ -253,7 +255,7 @@ fn old_client_version_is_refused_in_negotiation() {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let handle = pigeonring_server::start_with_handler(
         listener,
-        Arc::new(|_, _| {}),
+        Arc::new(|_, _, _| {}),
         ServerConfig::default(),
     )
     .expect("server starts");

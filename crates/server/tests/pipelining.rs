@@ -71,7 +71,7 @@ fn out_of_order_responses_are_matched_by_id() {
     let (gate_tx, gate_rx) = mpsc::channel::<()>();
     let gate_rx = Mutex::new(gate_rx);
     let (started_tx, started_rx) = mpsc::channel::<()>();
-    let handler: Handler = Arc::new(move |queries: Vec<DomainQuery>, emit| {
+    let handler: Handler = Arc::new(move |queries: Vec<DomainQuery>, _traces, emit| {
         for (i, q) in queries.iter().enumerate() {
             let tag = tag_of(q);
             if tag == 0 {
@@ -125,7 +125,7 @@ fn out_of_order_responses_are_matched_by_id() {
 fn pipelined_outcomes_return_in_query_order() {
     // Reverse each micro-batch's completion order so positions and ids
     // genuinely disagree within every batch.
-    let handler: Handler = Arc::new(|queries: Vec<DomainQuery>, emit| {
+    let handler: Handler = Arc::new(|queries: Vec<DomainQuery>, _traces, emit| {
         for (i, q) in queries.iter().enumerate().rev() {
             emit(i, echo(tag_of(q)));
         }
@@ -169,7 +169,7 @@ fn reply_buffering_is_bounded_per_connection() {
     let (gate_tx, gate_rx) = mpsc::channel::<()>();
     let gate_rx = Mutex::new(gate_rx);
     let (started_tx, started_rx) = mpsc::channel::<()>();
-    let handler: Handler = Arc::new(move |queries: Vec<DomainQuery>, emit| {
+    let handler: Handler = Arc::new(move |queries: Vec<DomainQuery>, _traces, emit| {
         started_tx.send(()).expect("test alive");
         gate_rx
             .lock()
@@ -256,7 +256,7 @@ fn hamming_answered_while_graph_lane_is_saturated() {
     // immediately. Crucially the handler emits the fast queries of a
     // mixed batch *before* stalling — the same order the real
     // `EngineSet::run_streaming` uses (fast domains first).
-    let handler: Handler = Arc::new(move |queries: Vec<DomainQuery>, emit| {
+    let handler: Handler = Arc::new(move |queries: Vec<DomainQuery>, _traces, emit| {
         for (i, q) in queries.iter().enumerate() {
             if !matches!(q, DomainQuery::Graph { .. }) {
                 emit(i, echo(tag_of(q)));

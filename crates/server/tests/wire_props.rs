@@ -55,6 +55,7 @@ proptest! {
         bits in prop::collection::vec(prop::bool::ANY, 1..200),
         tau in 0u32..512,
         l in 0u32..16,
+        explain in prop::bool::ANY,
     ) {
         assert_request_round_trips(&Request::Query {
             request_id,
@@ -63,6 +64,7 @@ proptest! {
                 tau,
                 l,
             },
+            explain,
         });
     }
 
@@ -71,11 +73,13 @@ proptest! {
         request_id in prop::num::u64::ANY,
         bytes in prop::collection::vec(0u64..256, 0..64),
         l in 0u32..8,
+        explain in prop::bool::ANY,
     ) {
         let query: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
         assert_request_round_trips(&Request::Query {
             request_id,
             query: DomainQuery::Edit { query, l },
+            explain,
         });
     }
 
@@ -84,11 +88,13 @@ proptest! {
         request_id in prop::num::u64::ANY,
         tokens in prop::collection::vec(prop::num::u64::ANY, 0..64),
         l in 0u32..8,
+        explain in prop::bool::ANY,
     ) {
         let tokens: Vec<u32> = tokens.into_iter().map(|t| t as u32).collect();
         assert_request_round_trips(&Request::Query {
             request_id,
             query: DomainQuery::Set { tokens, l },
+            explain,
         });
     }
 
@@ -98,6 +104,7 @@ proptest! {
         seed in prop::num::u64::ANY,
         n in 1u64..10,
         l in 0u32..8,
+        explain in prop::bool::ANY,
     ) {
         assert_request_round_trips(&Request::Query {
             request_id,
@@ -105,6 +112,7 @@ proptest! {
                 query: random_graph(seed, n as usize),
                 l,
             },
+            explain,
         });
     }
 
@@ -154,6 +162,7 @@ proptest! {
         let req = Request::Query {
             request_id,
             query: DomainQuery::Set { tokens: vec![1, 2], l: 1 },
+            explain: false,
         };
         let Request::Query { request_id: back, .. } =
             decode_request(&encode_request(&req)).expect("decodes")
@@ -182,6 +191,7 @@ proptest! {
                 tau: 5,
                 l: 3,
             },
+            explain: true,
         });
         let cut = 1 + (cut as usize) % (payload.len() - 1);
         let result = decode_request(&payload[..cut]);
@@ -233,9 +243,9 @@ proptest! {
     }
 
     /// Flipping the tag to an unassigned value is a typed BadTag
-    /// (0x01–0x06 are assigned requests, 0x81+ responses).
+    /// (0x01–0x07 are assigned requests, 0x81+ responses).
     #[test]
-    fn unknown_tags_fail_closed(tag in 0x07u64..0x81) {
+    fn unknown_tags_fail_closed(tag in 0x08u64..0x81) {
         let mut payload = encode_request(&Request::Hello { max_version: 2 });
         payload[1] = tag as u8;
         prop_assert!(matches!(
@@ -278,6 +288,7 @@ fn wrong_version_is_typed() {
                 query: b"abc".to_vec(),
                 l: 1,
             },
+            explain: false,
         });
         payload[0] = version;
         if version == PROTOCOL_VERSION {

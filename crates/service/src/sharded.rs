@@ -48,7 +48,8 @@ use std::time::Instant;
 use crate::engine::{MergeStats, SearchEngine};
 use crate::pool::{ScratchStore, WorkerPool};
 use pigeonring_core::fxhash::FxHasher;
-use pigeonring_telemetry::{Histogram, MetricsRegistry};
+use pigeonring_telemetry::trace::{kind, ShardTrace};
+use pigeonring_telemetry::{Histogram, MetricsRegistry, SpanHandle};
 
 /// Telemetry handles for one [`ShardedIndex`], attached via
 /// [`ShardedIndex::attach_metrics`]. Recorded on the shared-pool query
@@ -80,6 +81,33 @@ impl IndexMetrics {
 /// Elapsed µs since `start`, saturating into u64.
 fn elapsed_us(start: Instant) -> u64 {
     start.elapsed().as_micros().min(u64::MAX as u128) as u64
+}
+
+/// Brackets one shard's execution with a `shard` span per traced
+/// query, buffered locally and drained with a single
+/// [`TraceCollector::extend`](pigeonring_telemetry::TraceCollector::extend)
+/// — the spans reach the ring *before* the shard's results are
+/// reported, so a trace assembled right after the batch completes is
+/// never missing its shard spans.
+fn shard_spans<T>(trace: Option<&ShardTrace>, si: usize, f: impl FnOnce() -> T) -> T {
+    let handles: Option<Vec<SpanHandle>> = trace.map(|t| {
+        t.targets
+            .iter()
+            .map(|&(tid, parent)| t.collector.child_of(tid, parent))
+            .collect()
+    });
+    let out = f();
+    if let (Some(t), Some(handles)) = (trace, handles) {
+        let buf = handles
+            .into_iter()
+            .map(|h| {
+                t.collector
+                    .finish(h, kind::SHARD, "", vec![("shard", si as u64)])
+            })
+            .collect();
+        t.collector.extend(buf);
+    }
+    out
 }
 
 /// Deterministic shard assignment for global record id `id` among
@@ -433,10 +461,10 @@ impl<E: SearchEngine> ShardedIndex<E> {
                 let ns = self.shards.len();
                 let workers = threads.clamp(1, ns.max(1));
                 if workers <= 1 || ns <= 1 {
-                    return self.merge(batch.len(), self.run_serial(batch, params));
+                    return self.merge(batch.len(), self.run_serial(batch, params, None));
                 }
                 let per_shard =
-                    self.with_interior_pool(workers, |pool| self.run_on(pool, batch, params));
+                    self.with_interior_pool(workers, |pool| self.run_on(pool, batch, params, None));
                 self.merge(batch.len(), per_shard)
             }
         }
@@ -461,10 +489,10 @@ impl<E: SearchEngine> ShardedIndex<E> {
         let ns = self.shards.len();
         let workers = threads.clamp(1, ns.max(1));
         let per_shard = if workers <= 1 || ns <= 1 {
-            self.run_serial_planned(batch, plans, params)
+            self.run_serial_planned(batch, plans, params, None)
         } else {
             self.with_interior_pool(workers, |pool| {
-                self.run_on_planned(pool, batch, plans, params)
+                self.run_on_planned(pool, batch, plans, params, None)
             })
         };
         self.merge_planned(batch.len(), per_shard, plans)
@@ -484,25 +512,94 @@ impl<E: SearchEngine> ShardedIndex<E> {
         batch: &[E::Query],
         params: &E::Params,
     ) -> Vec<SearchResult<E::Stats>> {
+        self.search_batch_on_traced(pool, batch, params, None)
+    }
+
+    /// [`ShardedIndex::search_batch_on`] with per-request tracing: for
+    /// every `(trace_id, parent span)` target in `trace`, the index
+    /// emits a `plan` span bracketing the shared plan phase (plan-once
+    /// indexes only), a `pool` span bracketing the whole fan-out
+    /// window, and one `shard` child span per shard measured where the
+    /// work runs (on the worker for the parallel path, on the calling
+    /// thread for the serial fallback). `None` is the zero-cost
+    /// untraced path — byte-identical behaviour to
+    /// [`ShardedIndex::search_batch_on`].
+    pub fn search_batch_on_traced(
+        &self,
+        pool: &WorkerPool,
+        batch: &[E::Query],
+        params: &E::Params,
+        trace: Option<&ShardTrace>,
+    ) -> Vec<SearchResult<E::Stats>> {
         let start = Instant::now();
-        let merged = match self.plan_batch(batch) {
+        // One `plan` span per traced query, around the shared plan
+        // phase (absent on legacy-built indexes, which re-plan inside
+        // each shard).
+        let plan_handles: Option<Vec<SpanHandle>> = match trace {
+            Some(t) if self.plan_once && !self.shards.is_empty() => Some(
+                t.targets
+                    .iter()
+                    .map(|&(tid, parent)| t.collector.child_of(tid, parent))
+                    .collect(),
+            ),
+            _ => None,
+        };
+        let plans = self.plan_batch(batch);
+        if let (Some(t), Some(handles)) = (trace, plan_handles) {
+            let buf = handles
+                .into_iter()
+                .map(|h| {
+                    t.collector
+                        .finish(h, kind::PLAN, "", vec![("queries", batch.len() as u64)])
+                })
+                .collect();
+            t.collector.extend(buf);
+        }
+        // One `pool` span per traced query bracketing execution; shard
+        // spans parent under it, so the timeline shows fan-out window
+        // vs. per-shard work.
+        let exec = trace.map(|t| {
+            let handles: Vec<SpanHandle> = t
+                .targets
+                .iter()
+                .map(|&(tid, parent)| t.collector.child_of(tid, parent))
+                .collect();
+            let ctx = Arc::new(ShardTrace {
+                collector: Arc::clone(&t.collector),
+                targets: handles.iter().map(|h| (h.trace_id, h.id)).collect(),
+            });
+            (handles, ctx)
+        });
+        let shard_trace = exec.as_ref().map(|(_, ctx)| ctx);
+        let merged = match plans {
             Some(plans) => {
                 let per_shard = if self.shards.len() <= 1 || pool.workers() <= 1 {
-                    self.run_serial_planned(batch, &plans, params)
+                    self.run_serial_planned(batch, &plans, params, shard_trace)
                 } else {
-                    self.run_on_planned(pool, batch, &plans, params)
+                    self.run_on_planned(pool, batch, &plans, params, shard_trace)
                 };
                 self.merge_planned(batch.len(), per_shard, &plans)
             }
             None => {
                 let per_shard = if self.shards.len() <= 1 || pool.workers() <= 1 {
-                    self.run_serial(batch, params)
+                    self.run_serial(batch, params, shard_trace)
                 } else {
-                    self.run_on(pool, batch, params)
+                    self.run_on(pool, batch, params, shard_trace)
                 };
                 self.merge(batch.len(), per_shard)
             }
         };
+        if let (Some(t), Some((handles, _))) = (trace, exec) {
+            let tags = vec![
+                ("shards", self.shards.len() as u64),
+                ("queries", batch.len() as u64),
+            ];
+            let buf = handles
+                .into_iter()
+                .map(|h| t.collector.finish(h, kind::POOL, "", tags.clone()))
+                .collect();
+            t.collector.extend(buf);
+        }
         if let Some(m) = self.metrics.get() {
             m.batch_size.record(batch.len() as u64);
             m.search_us.record(elapsed_us(start));
@@ -526,11 +623,21 @@ impl<E: SearchEngine> ShardedIndex<E> {
     }
 
     /// Serial fallback: every shard on the calling thread, one scratch.
-    fn run_serial(&self, batch: &[E::Query], params: &E::Params) -> Vec<ShardBatch<E::Stats>> {
+    fn run_serial(
+        &self,
+        batch: &[E::Query],
+        params: &E::Params,
+        trace: Option<&Arc<ShardTrace>>,
+    ) -> Vec<ShardBatch<E::Stats>> {
         let mut scratch = E::Scratch::default();
         self.shards
             .iter()
-            .map(|s| s.run_batch(&mut scratch, batch, params))
+            .enumerate()
+            .map(|(si, s)| {
+                shard_spans(trace.map(Arc::as_ref), si, || {
+                    s.run_batch(&mut scratch, batch, params)
+                })
+            })
             .collect()
     }
 
@@ -541,11 +648,17 @@ impl<E: SearchEngine> ShardedIndex<E> {
         batch: &[E::Query],
         plans: &[Arc<E::Plan>],
         params: &E::Params,
+        trace: Option<&Arc<ShardTrace>>,
     ) -> Vec<ShardBatch<E::Stats>> {
         let mut scratch = E::Scratch::default();
         self.shards
             .iter()
-            .map(|s| s.run_batch_planned(&mut scratch, batch, plans, params))
+            .enumerate()
+            .map(|(si, s)| {
+                shard_spans(trace.map(Arc::as_ref), si, || {
+                    s.run_batch_planned(&mut scratch, batch, plans, params)
+                })
+            })
             .collect()
     }
 
@@ -561,12 +674,14 @@ impl<E: SearchEngine> ShardedIndex<E> {
         pool: &WorkerPool,
         batch: &[E::Query],
         params: &E::Params,
+        trace: Option<&Arc<ShardTrace>>,
     ) -> Vec<ShardBatch<E::Stats>> {
         let batch: Arc<Vec<E::Query>> = Arc::new(batch.to_vec());
         self.fan_out(
             pool,
             move |shard, scratch, params| shard.run_batch(scratch, &batch, params),
             params,
+            trace,
         )
     }
 
@@ -578,6 +693,7 @@ impl<E: SearchEngine> ShardedIndex<E> {
         batch: &[E::Query],
         plans: &[Arc<E::Plan>],
         params: &E::Params,
+        trace: Option<&Arc<ShardTrace>>,
     ) -> Vec<ShardBatch<E::Stats>> {
         let batch: Arc<Vec<E::Query>> = Arc::new(batch.to_vec());
         let plans: Arc<Vec<Arc<E::Plan>>> = Arc::new(plans.to_vec());
@@ -585,11 +701,15 @@ impl<E: SearchEngine> ShardedIndex<E> {
             pool,
             move |shard, scratch, params| shard.run_batch_planned(scratch, &batch, &plans, params),
             params,
+            trace,
         )
     }
 
     /// Shared fan-out skeleton: one job per shard on `pool`, results
-    /// collected back into fixed shard order.
+    /// collected back into fixed shard order. With a trace context,
+    /// each job opens its `shard` spans on the worker thread — queue
+    /// wait inside the pool shows up as the gap between the `pool`
+    /// span's start and the `shard` span's start.
     fn fan_out(
         &self,
         pool: &WorkerPool,
@@ -599,6 +719,7 @@ impl<E: SearchEngine> ShardedIndex<E> {
             + Sync
             + 'static,
         params: &E::Params,
+        trace: Option<&Arc<ShardTrace>>,
     ) -> Vec<ShardBatch<E::Stats>> {
         let ns = self.shards.len();
         let (tx, rx) = mpsc::channel::<(usize, ShardBatch<E::Stats>)>();
@@ -607,10 +728,14 @@ impl<E: SearchEngine> ShardedIndex<E> {
             let params = params.clone();
             let tx = tx.clone();
             let run = run.clone();
+            let trace = trace.cloned();
             pool.submit(move |store| {
                 let scratch = store.get_mut::<E::Scratch>();
+                let result = shard_spans(trace.as_deref(), si, || {
+                    run(&shards[si], scratch, &params)
+                });
                 // The receiver only hangs up on panic-unwind; ignore.
-                let _ = tx.send((si, run(&shards[si], scratch, &params)));
+                let _ = tx.send((si, result));
             })
             // Searching on a pool the caller already shut down is a
             // caller bug; failing loudly beats deadlocking below on
@@ -944,6 +1069,64 @@ mod tests {
         assert_eq!(plans.load(Ordering::SeqCst), batch.len());
         for qi in 0..batch.len() {
             assert_eq!(got[qi].ids, expect[qi].ids, "qi={qi}");
+        }
+    }
+
+    #[test]
+    fn traced_search_emits_plan_pool_and_shard_spans() {
+        use pigeonring_telemetry::json::Value;
+        use pigeonring_telemetry::TraceCollector;
+
+        let (_, index) = build_counting(300, 4, true);
+        let pool = WorkerPool::new(2);
+        let batch: Vec<i64> = (0..6).collect();
+        let collector = Arc::new(TraceCollector::new(0, 256));
+        let root = collector.sample(true).expect("forced trace");
+        let trace = ShardTrace {
+            collector: Arc::clone(&collector),
+            targets: vec![(root.trace_id, root.id)],
+        };
+
+        let plain = index.search_batch_on(&pool, &batch, &5);
+        let traced = index.search_batch_on_traced(&pool, &batch, &5, Some(&trace));
+        for qi in 0..batch.len() {
+            assert_eq!(plain[qi].ids, traced[qi].ids, "tracing changed results");
+            assert_eq!(plain[qi].stats, traced[qi].stats, "tracing changed stats");
+        }
+
+        collector.extend(vec![collector.finish(root, kind::QUERY, "", vec![])]);
+        let doc = collector.export_trace(root.trace_id);
+        let spans = match doc.get("spans") {
+            Some(Value::Arr(items)) => items.clone(),
+            other => panic!("spans missing: {other:?}"),
+        };
+        let of_kind = |k: &str| -> Vec<&Value> {
+            spans
+                .iter()
+                .filter(|s| s.get("kind").and_then(Value::as_str) == Some(k))
+                .collect()
+        };
+        assert_eq!(of_kind(kind::PLAN).len(), 1, "one plan span per query");
+        let pools = of_kind(kind::POOL);
+        assert_eq!(pools.len(), 1, "one pool span per query");
+        let pool_id = pools[0].get("id").and_then(Value::as_u64).unwrap();
+        let shards = of_kind(kind::SHARD);
+        assert_eq!(shards.len(), index.num_shards(), "one span per shard");
+        for s in &shards {
+            assert_eq!(
+                s.get("parent").and_then(Value::as_u64),
+                Some(pool_id),
+                "shard spans nest under the pool span"
+            );
+        }
+        // Every span traces back to the root.
+        let ids: Vec<u64> = spans
+            .iter()
+            .map(|s| s.get("id").and_then(Value::as_u64).unwrap())
+            .collect();
+        for s in &spans {
+            let parent = s.get("parent").and_then(Value::as_u64).unwrap();
+            assert!(parent == 0 || ids.contains(&parent), "dangling parent");
         }
     }
 

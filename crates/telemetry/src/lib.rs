@@ -29,13 +29,20 @@
 //! * [`percentile`] — the nearest-rank percentile helper shared with
 //!   the service-layer sweep driver (moved here so histograms and the
 //!   sweep use one tested implementation).
+//! * [`trace`] — span-based per-request tracing: a [`TraceCollector`]
+//!   with 1/N head sampling and a bounded span ring, [`Span`] trees
+//!   with parent/child links, and Chrome trace-event export. Metrics
+//!   say how the server is doing; traces say why *one* query was
+//!   slow.
 
 pub mod json;
 pub mod metrics;
 pub mod registry;
+pub mod trace;
 
 pub use metrics::{bucket_bound, bucket_index, Counter, Gauge, Histogram, NUM_BUCKETS};
 pub use registry::{HistogramSnapshot, MetricsRegistry, Snapshot};
+pub use trace::{Span, SpanHandle, TraceCollector};
 
 /// Nearest-rank percentile of an ascending-sorted slice; `p` in
 /// [0, 100]. Returns 0.0 on an empty slice.

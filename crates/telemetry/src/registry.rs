@@ -9,7 +9,8 @@
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
-use crate::metrics::{bucket_bound, Counter, Gauge, Histogram, NUM_BUCKETS};
+use crate::json::Value;
+use crate::metrics::{bucket_bound, bucket_index, Counter, Gauge, Histogram, NUM_BUCKETS};
 
 #[derive(Default)]
 struct Inner {
@@ -250,6 +251,37 @@ impl Snapshot {
         out
     }
 
+    /// Rebuilds a snapshot from its [`Snapshot::to_json`] exposition
+    /// (a parsed `{"counters", "gauges", "histograms"}` object). The
+    /// sparse bucket map keys are bucket upper bounds, which map back
+    /// to their bucket index exactly, so a parse → delta round trip
+    /// over the wire is lossless. This is what lets `repro stats
+    /// --watch` reuse [`Snapshot::delta`] on remote snapshots.
+    ///
+    /// Returns `None` if the document does not have the snapshot
+    /// shape.
+    pub fn from_json(doc: &Value) -> Option<Snapshot> {
+        let mut snap = Snapshot::default();
+        for (name, v) in doc.get("counters")?.entries()? {
+            snap.counters.insert(name.clone(), v.as_u64()?);
+        }
+        for (name, v) in doc.get("gauges")?.entries()? {
+            snap.gauges.insert(name.clone(), v.as_i64()?);
+        }
+        for (name, h) in doc.get("histograms")?.entries()? {
+            let mut buckets = [0u64; NUM_BUCKETS];
+            for (bound, count) in h.get("buckets")?.entries()? {
+                let bound: u64 = bound.parse().ok()?;
+                buckets[bucket_index(bound)] = count.as_u64()?;
+            }
+            snap.histograms.insert(
+                name.clone(),
+                HistogramSnapshot::from_buckets(buckets, h.get("sum")?.as_u64()?),
+            );
+        }
+        Some(snap)
+    }
+
     /// Prometheus-style text exposition: dots in names become
     /// underscores; histograms expand to `_bucket{le="..."}`
     /// cumulative series plus `_sum` and `_count`.
@@ -349,6 +381,95 @@ mod tests {
         assert_eq!(d.gauges["depth"], 1); // gauges keep the latest level
         assert_eq!(d.histograms["lat"].count, 4);
         assert_eq!(d.histograms["lat"].p50, 8191); // only the new observations
+    }
+
+    #[test]
+    fn delta_against_empty_baseline_is_the_absolute_snapshot() {
+        // First-snapshot case: no earlier snapshot exists yet, so the
+        // caller deltas against `Snapshot::default()` and must read
+        // back the absolute values unchanged.
+        let reg = MetricsRegistry::new();
+        reg.counter("n").add(9);
+        reg.gauge("depth").set(-2);
+        reg.histogram("lat").record_n(5, 3);
+        let s = reg.snapshot();
+        let d = s.delta(&Snapshot::default());
+        assert_eq!(d, s);
+    }
+
+    #[test]
+    fn metrics_appearing_between_snapshots_delta_from_zero() {
+        let reg = MetricsRegistry::new();
+        reg.counter("old").add(1);
+        let before = reg.snapshot();
+        // Registered only after the first snapshot: the delta must
+        // treat the missing earlier value as zero, not drop the
+        // series.
+        reg.counter("new").add(4);
+        reg.histogram("new.lat").record(100);
+        let d = reg.snapshot().delta(&before);
+        assert_eq!(d.counters["old"], 0);
+        assert_eq!(d.counters["new"], 4);
+        assert_eq!(d.histograms["new.lat"].count, 1);
+        assert_eq!(d.histograms["new.lat"].p50, 127);
+    }
+
+    #[test]
+    fn empty_delta_has_zero_percentiles_not_stale_ones() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat");
+        h.record_n(1 << 20, 50);
+        let before = reg.snapshot();
+        // Nothing observed in the interval: count, sum, and every
+        // percentile must be 0 — not the lifetime percentiles.
+        let d = reg.snapshot().delta(&before);
+        let hd = &d.histograms["lat"];
+        assert_eq!(hd.count, 0);
+        assert_eq!(hd.sum, 0);
+        assert_eq!((hd.p50, hd.p95, hd.p99), (0, 0, 0));
+        assert!(hd.buckets.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn sparse_bucket_deltas_subtract_per_bucket() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat");
+        // Two widely separated buckets before...
+        h.record_n(3, 10);
+        h.record_n(1 << 30, 2);
+        let before = reg.snapshot();
+        // ...and growth in one old bucket plus one brand-new bucket.
+        h.record_n(3, 5);
+        h.record_n(60_000, 7);
+        let d = reg.snapshot().delta(&before);
+        let hd = &d.histograms["lat"];
+        assert_eq!(hd.count, 12);
+        assert_eq!(hd.buckets[bucket_index(3)], 5);
+        assert_eq!(hd.buckets[bucket_index(60_000)], 7);
+        assert_eq!(hd.buckets[bucket_index(1 << 30)], 0, "unchanged bucket");
+        // Percentiles reflect only the interval's observations.
+        assert_eq!(hd.p50, bucket_bound(bucket_index(60_000)));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json_exposition() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c").add(7);
+        reg.gauge("g").set(-4);
+        let h = reg.histogram("lat");
+        h.record_n(3, 9);
+        h.record_n(12_345, 2);
+        let s = reg.snapshot();
+        let doc = crate::json::parse(&s.to_json()).expect("valid JSON");
+        let back = Snapshot::from_json(&doc).expect("snapshot shape");
+        assert_eq!(back, s);
+        // And the rebuilt snapshot deltas cleanly against the
+        // original (everything cancels).
+        let d = back.delta(&s);
+        assert!(d.counters.values().all(|&v| v == 0));
+        assert!(d.histograms.values().all(|h| h.count == 0));
+        // Non-snapshot documents are rejected, not misread.
+        assert!(Snapshot::from_json(&Value::Obj(vec![])).is_none());
     }
 
     #[test]
