@@ -246,6 +246,10 @@ mod lanes_avx2 {
         unsafe { lane_pass_impl(tmp, brow, p1, p2, ca) }
     }
 
+    // SAFETY: callers must have verified the `avx2` target feature at
+    // runtime (`available()`); `#[target_feature]` makes calling this
+    // on a CPU without it undefined behavior. Slices `brow`/`p1`/`p2`
+    // must be at least `tmp.len()` long (debug-asserted below).
     #[target_feature(enable = "avx2")]
     unsafe fn lane_pass_impl(tmp: &mut [u32], brow: &[u8], p1: &[u32], p2: &[u32], ca: u8) {
         let lanes = tmp.len();

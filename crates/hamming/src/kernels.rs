@@ -262,6 +262,9 @@ pub mod avx2 {
         head + tail + unsafe { popcount_xor_impl(ia, ib) }
     }
 
+    // SAFETY: callers must have verified the `avx2` target feature at
+    // runtime (`available()`); `#[target_feature]` makes calling this
+    // on a CPU without it undefined behavior.
     #[target_feature(enable = "avx2")]
     unsafe fn distance_within_impl(a: &[u64], b: &[u64], tau: u32) -> Option<u32> {
         let mut acc = 0u32;
@@ -293,6 +296,9 @@ pub mod avx2 {
         (acc <= tau).then_some(acc)
     }
 
+    // SAFETY: callers must have verified the `avx2` target feature at
+    // runtime (`available()`); `#[target_feature]` makes calling this
+    // on a CPU without it undefined behavior.
     #[target_feature(enable = "avx2")]
     unsafe fn popcount_xor_impl(a: &[u64], b: &[u64]) -> u32 {
         debug_assert_eq!(a.len(), b.len());

@@ -1,0 +1,108 @@
+//! Rule 5 — atomics audit.
+//!
+//! Every atomic `Ordering::` use in the instrumented crates must come
+//! from the per-pattern allowlist: `Relaxed` for counters/sampling,
+//! `Acquire`/`Release`/`AcqRel` for handoff. `SeqCst` is flagged
+//! unless the line carries `// lint: allow(seqcst) — <reason>` — a
+//! total order is almost never what a counter or a stop flag needs,
+//! and it is the ordering TSan/Miri can least help us validate by
+//! accident. `core::cmp::Ordering::{Less, Equal, Greater}` share the
+//! path name; the checker distinguishes by variant, so comparator code
+//! is never flagged.
+
+use crate::findings::{parse_pragmas, Finding, Rule};
+use crate::source::SourceFile;
+
+/// Runs the atomics-ordering rule over one file (non-test code only —
+/// tests may use `SeqCst` for brute-force simplicity).
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for i in 0..file.code.len() {
+        if file.ident(i) != Some("Ordering") || !file.punct(i + 1, ':') || !file.punct(i + 2, ':') {
+            continue;
+        }
+        let Some(variant) = file.ident(i + 3) else {
+            continue;
+        };
+        let line = file.code[i].line;
+        if file.is_test_line(line) {
+            continue;
+        }
+        match variant {
+            // The allowlist: counters/sampling and handoff pairs.
+            "Relaxed" | "Acquire" | "Release" | "AcqRel" => {}
+            "SeqCst" => {
+                match parse_pragmas(&file.lines.attached_comments(line as usize)).allow_seqcst {
+                    Some(true) => {}
+                    Some(false) => out.push(Finding {
+                        file: file.path.clone(),
+                        line,
+                        rule: Rule::Atomics,
+                        message: "`SeqCst` pragma is missing its justification: write \
+                                  `// lint: allow(seqcst) — <reason>`"
+                            .to_string(),
+                    }),
+                    None => out.push(Finding {
+                        file: file.path.clone(),
+                        line,
+                        rule: Rule::Atomics,
+                        message: "`Ordering::SeqCst` outside the allowlist (Relaxed for \
+                                  counters/sampling, Acquire/Release for handoff); use a \
+                                  weaker ordering or justify with \
+                                  `// lint: allow(seqcst) — <reason>`"
+                            .to_string(),
+                    }),
+                }
+            }
+            // `cmp::Ordering::{Less, Equal, Greater}` and anything
+            // else sharing the name: not an atomic ordering.
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        check(&SourceFile::parse("t.rs", src))
+    }
+
+    #[test]
+    fn allowlist_passes_seqcst_flagged() {
+        let src = "fn f() {\n\
+                   n.fetch_add(1, Ordering::Relaxed);\n\
+                   stop.store(true, Ordering::Release);\n\
+                   if stop.load(Ordering::Acquire) {}\n\
+                   n.fetch_or(1, Ordering::AcqRel);\n\
+                   n.load(Ordering::SeqCst);\n\
+                   }\n";
+        let f = run(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 6);
+    }
+
+    #[test]
+    fn pragma_justifies_seqcst() {
+        let src = "// lint: allow(seqcst) — cross-thread init fence, documented in the module\n\
+                   flag.store(true, Ordering::SeqCst);\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn cmp_ordering_is_not_atomic() {
+        let src = "fn f(a: u32, b: u32) -> Ordering {\n\
+                   match a.cmp(&b) { Ordering::Less => Ordering::Less, \
+                   Ordering::Equal => Ordering::Equal, o => o }\n\
+                   }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn test_code_may_use_seqcst() {
+        let src = "#[cfg(test)]\nmod tests {\n#[test]\nfn t() { n.load(Ordering::SeqCst); }\n}\n";
+        assert!(run(src).is_empty());
+    }
+}

@@ -1,0 +1,332 @@
+//! Rule 2 — metric-name registry.
+//!
+//! Every `counter`/`gauge`/`histogram` registration site must resolve
+//! to a name (or `{placeholder}` template) matching the documented
+//! grammar `layer(.segment)+`, with no duplicate registrations across
+//! sites and no drift from the README Observability catalog.
+//!
+//! Name resolution is lexical: a string literal, or a `format!`
+//! literal whose `{var}` placeholders become template placeholders
+//! (`format!("service.{domain}.queries")` ⇒
+//! `service.{domain}.queries`). A site whose name cannot be resolved
+//! lexically — or whose placeholders expand to a closed set the README
+//! enumerates (`{kind}` ⇒ `admitted`/`busy`) — declares what it
+//! registers with `// lint: metric(name, name, …)`.
+
+use crate::findings::{parse_pragmas, Finding, Rule};
+use crate::lexer::Tok;
+use crate::source::SourceFile;
+
+/// One resolved metric registration: what a site says it creates.
+#[derive(Clone, Debug)]
+pub struct MetricSite {
+    /// File the registration lives in.
+    pub file: String,
+    /// 1-based line of the registration call.
+    pub line: u32,
+    /// `counter`, `gauge`, or `histogram`.
+    pub kind: String,
+    /// The declared name/template, e.g. `server.lane.{domain}.depth`.
+    pub name: String,
+}
+
+/// Collects the registration sites in one file, flagging sites whose
+/// name cannot be resolved and names that break the grammar.
+pub fn collect(file: &SourceFile) -> (Vec<Finding>, Vec<MetricSite>) {
+    let mut findings = Vec::new();
+    let mut sites = Vec::new();
+    for i in 0..file.code.len() {
+        let Some(kind) = file.ident(i) else { continue };
+        if !matches!(kind, "counter" | "gauge" | "histogram")
+            || !file.punct(i.wrapping_sub(1), '.')
+            || !file.punct(i + 1, '(')
+        {
+            continue;
+        }
+        let line = file.code[i].line;
+        if file.is_test_line(line) {
+            continue;
+        }
+        let kind = kind.to_string();
+        let pragmas = parse_pragmas(&file.lines.attached_comments(line as usize));
+        let names: Vec<String> = if !pragmas.metrics.is_empty() {
+            pragmas.metrics
+        } else {
+            match resolve_name(file, i + 2) {
+                Some(name) => vec![name],
+                None => {
+                    findings.push(Finding {
+                        file: file.path.clone(),
+                        line,
+                        rule: Rule::Metrics,
+                        message: format!(
+                            "{kind} registration whose name is not a literal or format! \
+                             literal; declare it with `// lint: metric(<name>, …)`"
+                        ),
+                    });
+                    continue;
+                }
+            }
+        };
+        for name in names {
+            if let Err(why) = grammar_ok(&name) {
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line,
+                    rule: Rule::Metrics,
+                    message: format!(
+                        "metric name `{name}` breaks the `layer(.segment)+` grammar: {why}"
+                    ),
+                });
+            }
+            sites.push(MetricSite {
+                file: file.path.clone(),
+                line,
+                kind: kind.clone(),
+                name,
+            });
+        }
+    }
+    (findings, sites)
+}
+
+/// Resolves the first argument of a registration call starting at
+/// token index `i` (just past the `(`): a string literal or a
+/// `format!` string literal. `&` borrows are skipped.
+fn resolve_name(file: &SourceFile, mut i: usize) -> Option<String> {
+    while file.punct(i, '&') {
+        i += 1;
+    }
+    match file.code.get(i).map(|t| &t.tok) {
+        Some(Tok::Str(s)) => Some(s.clone()),
+        Some(Tok::Ident(id)) if id == "format" => {
+            if file.punct(i + 1, '!') && file.punct(i + 2, '(') {
+                match file.code.get(i + 3).map(|t| &t.tok) {
+                    Some(Tok::Str(s)) => Some(s.clone()),
+                    _ => None,
+                }
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// `layer(.segment)+` — ≥ 2 dot-separated segments; the first is a
+/// plain `[a-z0-9_]+` layer, later segments may be `{placeholder}`.
+fn grammar_ok(name: &str) -> Result<(), &'static str> {
+    let segs: Vec<&str> = name.split('.').collect();
+    if segs.len() < 2 {
+        return Err("need at least `layer.metric`");
+    }
+    for (idx, seg) in segs.iter().enumerate() {
+        let plain = !seg.is_empty()
+            && seg
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
+        let placeholder = seg.len() > 2
+            && seg.starts_with('{')
+            && seg.ends_with('}')
+            && seg[1..seg.len() - 1]
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '_');
+        if idx == 0 && !plain {
+            return Err("the layer segment must be plain [a-z0-9_]+");
+        }
+        if !plain && !placeholder {
+            return Err("segments are [a-z0-9_]+ or {placeholder}");
+        }
+    }
+    Ok(())
+}
+
+/// Cross-site checks: duplicate registrations (same name from two
+/// different sites).
+pub fn check_duplicates(sites: &[MetricSite]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut seen: std::collections::HashMap<&str, (&str, u32)> = std::collections::HashMap::new();
+    for s in sites {
+        match seen.get(s.name.as_str()) {
+            Some((file, line)) if (*file, *line) != (s.file.as_str(), s.line) => {
+                findings.push(Finding {
+                    file: s.file.clone(),
+                    line: s.line,
+                    rule: Rule::Metrics,
+                    message: format!(
+                        "metric `{}` already registered at {file}:{line}; two sites must \
+                         not claim one name",
+                        s.name
+                    ),
+                });
+            }
+            Some(_) => {}
+            None => {
+                seen.insert(&s.name, (&s.file, s.line));
+            }
+        }
+    }
+    findings
+}
+
+/// README sync: the Observability catalog must list exactly the names
+/// the code registers.
+pub fn check_readme(sites: &[MetricSite], readme: &str, readme_path: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let catalog = readme_catalog(readme);
+    let code: std::collections::BTreeSet<&str> = sites.iter().map(|s| s.name.as_str()).collect();
+    let doc: std::collections::BTreeSet<&str> = catalog.iter().map(|(n, _)| n.as_str()).collect();
+    for s in sites {
+        if !doc.contains(s.name.as_str()) && code.contains(s.name.as_str()) {
+            // report each missing name once, at its first site
+            if sites
+                .iter()
+                .find(|t| t.name == s.name)
+                .is_some_and(|t| (t.file.as_str(), t.line) == (s.file.as_str(), s.line))
+            {
+                findings.push(Finding {
+                    file: s.file.clone(),
+                    line: s.line,
+                    rule: Rule::Metrics,
+                    message: format!(
+                        "metric `{}` is registered but missing from the README \
+                         Observability catalog",
+                        s.name
+                    ),
+                });
+            }
+        }
+    }
+    for (name, line) in &catalog {
+        if !code.contains(name.as_str()) {
+            findings.push(Finding {
+                file: readme_path.to_string(),
+                line: *line,
+                rule: Rule::Metrics,
+                message: format!(
+                    "README Observability catalog lists `{name}` but no registration \
+                     site declares it"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Extracts `(name, line)` pairs from the README Observability table.
+/// Backtick spans in the first column are names; a span starting with
+/// `.` is a suffix of the previous name with its last segment(s)
+/// replaced (`index.{domain}.plan_us` / `.search_us`).
+pub fn readme_catalog(readme: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut in_section = false;
+    let mut prev: Option<String> = None;
+    for (idx, line) in readme.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        if line.starts_with("## ") {
+            in_section = line.trim() == "## Observability";
+            continue;
+        }
+        if !in_section || !line.starts_with('|') || line.contains("---") {
+            continue;
+        }
+        let Some(first_cell) = line.trim_start_matches('|').split('|').next() else {
+            continue;
+        };
+        if first_cell.trim() == "Metric" {
+            continue;
+        }
+        for (k, span) in first_cell.split('`').enumerate() {
+            if k % 2 == 0 || span.is_empty() {
+                continue;
+            }
+            let name = if let Some(suffix) = span.strip_prefix('.') {
+                let Some(base) = &prev else { continue };
+                let keep = base
+                    .split('.')
+                    .count()
+                    .saturating_sub(suffix.split('.').count());
+                let mut segs: Vec<&str> = base.split('.').take(keep.max(1)).collect();
+                segs.extend(suffix.split('.'));
+                segs.join(".")
+            } else {
+                span.to_string()
+            };
+            prev = Some(name.clone());
+            out.push((name, lineno));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect_src(src: &str) -> (Vec<Finding>, Vec<MetricSite>) {
+        collect(&SourceFile::parse("t.rs", src))
+    }
+
+    #[test]
+    fn literal_and_format_resolve() {
+        let (f, s) = collect_src(
+            "fn f(r: &R) {\n\
+             let a = r.counter(\"server.errors\");\n\
+             let b = r.histogram(&format!(\"service.{domain}.queries\"));\n\
+             }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[1].name, "service.{domain}.queries");
+    }
+
+    #[test]
+    fn unresolvable_needs_pragma() {
+        let (f, s) = collect_src("fn f(r: &R, n: &str) { r.counter(n); }\n");
+        assert_eq!(f.len(), 1);
+        assert!(s.is_empty());
+        let (f2, s2) = collect_src(
+            "fn f(r: &R, n: &str) {\n\
+             // lint: metric(pool.jobs)\n\
+             r.counter(n);\n\
+             }\n",
+        );
+        assert!(f2.is_empty());
+        assert_eq!(s2[0].name, "pool.jobs");
+    }
+
+    #[test]
+    fn grammar_violations_flagged() {
+        let (f, _) = collect_src("fn f(r: &R) { r.counter(\"BadName\"); }\n");
+        assert_eq!(f.len(), 1);
+        let (f, _) = collect_src("fn f(r: &R) { r.counter(\"nodots\"); }\n");
+        assert_eq!(f.len(), 1);
+        let (f, _) = collect_src("fn f(r: &R) { r.gauge(\"ok.{domain}.depth\"); }\n");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn duplicates_across_sites() {
+        let (_, mut s1) = collect_src("fn f(r: &R) { r.counter(\"pool.jobs\"); }\n");
+        let (_, s2) = collect_src("fn g(r: &R) {\nlet x = 1;\nr.counter(\"pool.jobs\");\n}\n");
+        s1.extend(s2);
+        assert_eq!(check_duplicates(&s1).len(), 1);
+    }
+
+    #[test]
+    fn readme_suffix_expansion() {
+        let readme = "## Observability\n\n| Metric | Kind |\n|---|---|\n\
+                      | `index.{domain}.plan_us` / `.search_us` | histogram |\n\
+                      | `pool.jobs`, `pool.queued` | counter / gauge |\n\n## Next\n";
+        let names: Vec<String> = readme_catalog(readme).into_iter().map(|(n, _)| n).collect();
+        assert_eq!(
+            names,
+            vec![
+                "index.{domain}.plan_us",
+                "index.{domain}.search_us",
+                "pool.jobs",
+                "pool.queued"
+            ]
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Rule 3 — panic policy.
+//!
+//! `unwrap()`, `expect()`, `panic!` and slice-indexing are denied in
+//! non-test server/service code: a malformed frame or a poisoned lock
+//! must surface as a typed error, never abort a connection thread. A
+//! site that is genuinely infallible carries
+//! `// lint: allow(panic) — <reason>` on (or immediately above) its
+//! line, and the reason is mandatory.
+
+use crate::findings::{parse_pragmas, Finding, Rule};
+use crate::lexer::Tok;
+use crate::source::SourceFile;
+
+/// Keywords that can directly precede `[` without the bracket being an
+/// index expression (`let [a, b] = …`, `&mut [T]`, `return [x]`, …).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "mut", "ref", "in", "as", "return", "match", "if", "else", "move", "dyn", "for",
+    "while", "loop", "break", "continue", "yield", "await", "const", "static", "impl", "where",
+    "box", "union", "unsafe", "pub", "crate", "super", "fn", "type", "use", "mod", "enum",
+    "struct", "trait",
+];
+
+/// Runs the panic-policy rule over one file.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for i in 0..file.code.len() {
+        let line = file.code[i].line;
+        if file.is_test_line(line) {
+            continue;
+        }
+        let what: Option<&str> = match file.ident(i) {
+            Some("unwrap") if file.punct(i.wrapping_sub(1), '.') && file.punct(i + 1, '(') => {
+                Some("`.unwrap()`")
+            }
+            Some("expect") if file.punct(i.wrapping_sub(1), '.') && file.punct(i + 1, '(') => {
+                Some("`.expect()`")
+            }
+            Some("panic") if file.punct(i + 1, '!') => Some("`panic!`"),
+            _ => {
+                if file.punct(i, '[') && i > 0 && is_index_prefix(file, i - 1) {
+                    Some("slice indexing")
+                } else {
+                    None
+                }
+            }
+        };
+        let Some(what) = what else { continue };
+        match parse_pragmas(&file.lines.attached_comments(line as usize)).allow_panic {
+            Some(true) => {}
+            Some(false) => out.push(Finding {
+                file: file.path.clone(),
+                line,
+                rule: Rule::Panic,
+                message: format!(
+                    "{what} pragma is missing its justification: write \
+                     `// lint: allow(panic) — <reason>`"
+                ),
+            }),
+            None => out.push(Finding {
+                file: file.path.clone(),
+                line,
+                rule: Rule::Panic,
+                message: format!(
+                    "{what} in non-test server/service code; return a typed error \
+                     or justify with `// lint: allow(panic) — <reason>`"
+                ),
+            }),
+        }
+    }
+    out
+}
+
+/// True when the token before a `[` makes it an index expression:
+/// an expression-ending ident, `]`, or `)`.
+// Three independent exclusions read clearer unfused.
+#[allow(clippy::nonminimal_bool)]
+fn is_index_prefix(file: &SourceFile, prev: usize) -> bool {
+    match file.code.get(prev).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => {
+            !NON_INDEX_KEYWORDS.contains(&s.as_str())
+                // A numeric literal before `[` (`2[…]`) cannot occur;
+                // idents that are numbers come from array types after
+                // `;` which is excluded anyway.
+                && !s.chars().next().is_some_and(|c| c.is_ascii_digit())
+                // `&'a [u8]` — a lifetime before `[` is a type, not an
+                // index expression.
+                && !(prev > 0 && file.punct(prev - 1, '\''))
+        }
+        Some(Tok::Punct(']')) | Some(Tok::Punct(')')) => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        check(&SourceFile::parse("t.rs", src))
+    }
+
+    #[test]
+    fn flags_bare_unwrap_expect_panic_index() {
+        let src = "fn f(v: &[u8]) -> u8 {\n\
+                   let a = x.unwrap();\n\
+                   let b = y.expect(\"nope\");\n\
+                   if bad { panic!(\"boom\"); }\n\
+                   v[0]\n\
+                   }\n";
+        let f = run(src);
+        assert_eq!(f.len(), 4, "{f:?}");
+    }
+
+    #[test]
+    fn pragma_with_reason_passes() {
+        let src = "fn f() {\n\
+                   // lint: allow(panic) — length checked two lines up\n\
+                   let a = x.unwrap();\n\
+                   let b = y.expect(\"e\"); // lint: allow(panic) — same-line pragma\n\
+                   }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn pragma_without_reason_is_a_finding() {
+        let src = "// lint: allow(panic)\nlet a = x.unwrap();\n";
+        let f = run(src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("justification"));
+    }
+
+    #[test]
+    fn tests_and_strings_are_exempt() {
+        let src = "fn live() { let s = \"x.unwrap()\"; }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       #[test]\n\
+                       fn t() { x.unwrap(); v[0]; panic!(); }\n\
+                   }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn non_index_brackets_pass() {
+        let src = "fn f(x: &'a [u8]) {\n\
+                   let [a, b] = pair;\n\
+                   let v = vec![1, 2];\n\
+                   let t: [u8; 4] = [0; 4];\n\
+                   let s: &mut [u8] = buf;\n\
+                   }\n";
+        assert!(run(src).is_empty());
+    }
+}

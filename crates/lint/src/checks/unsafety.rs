@@ -1,0 +1,184 @@
+//! Rule 4 — unsafe audit.
+//!
+//! Every `unsafe` keyword introducing a block, fn, impl, or trait must
+//! be immediately preceded by a comment carrying the exact
+//! precondition it relies on: a `// SAFETY:` line (attributes like
+//! `#[target_feature]` may sit between the comment and the keyword),
+//! or a doc-comment `# Safety` section for `unsafe fn`. "Immediately"
+//! is literal — a blank line between the comment and the item breaks
+//! the attachment, matching clippy's `undocumented_unsafe_blocks`.
+
+use crate::findings::{Finding, Rule};
+use crate::lexer::Tok;
+use crate::source::SourceFile;
+
+/// Runs the unsafe-audit rule over one file.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for i in 0..file.code.len() {
+        if file.ident(i) != Some("unsafe") {
+            continue;
+        }
+        let line = file.code[i].line;
+        // Start of the item the keyword belongs to: walk back over any
+        // attached `#[…]` attributes so `// SAFETY:` above
+        // `#[target_feature(...)]` still counts.
+        let start = item_start(file, i);
+        let start_line = file.code[start].line as usize;
+        if has_safety_comment(file, line as usize, start_line) {
+            continue;
+        }
+        let kind = match file.ident(i + 1) {
+            Some("fn") => "unsafe fn",
+            Some("impl") => "unsafe impl",
+            Some("trait") => "unsafe trait",
+            Some("extern") => "unsafe extern",
+            _ => "unsafe block",
+        };
+        out.push(Finding {
+            file: file.path.clone(),
+            line,
+            rule: Rule::Unsafe,
+            message: format!(
+                "{kind} without an immediately preceding `// SAFETY:` comment \
+                 stating the precondition it relies on"
+            ),
+        });
+    }
+    out
+}
+
+/// Walks back from the `unsafe` token over complete `#[…]` attribute
+/// groups (and visibility/extern qualifiers) to the first token of the
+/// item, so comment lookup starts above the attributes.
+fn item_start(file: &SourceFile, unsafe_idx: usize) -> usize {
+    let mut i = unsafe_idx;
+    loop {
+        // `pub unsafe fn`, `pub(crate) unsafe fn`.
+        if i >= 1 {
+            if file.ident(i - 1) == Some("pub") {
+                i -= 1;
+                continue;
+            }
+            if file.punct(i - 1, ')') {
+                // possibly `pub(crate)` — walk to `(`, require `pub` before.
+                let mut j = i - 1;
+                let mut depth = 0i32;
+                while j > 0 {
+                    match &file.code[j].tok {
+                        Tok::Punct(')') => depth += 1,
+                        Tok::Punct('(') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j -= 1;
+                }
+                if j >= 1 && file.ident(j - 1) == Some("pub") {
+                    i = j - 1;
+                    continue;
+                }
+            }
+            // Attribute directly above: `… #[attr] unsafe`.
+            if file.punct(i - 1, ']') {
+                let mut j = i - 1;
+                let mut depth = 0i32;
+                while j > 0 {
+                    match &file.code[j].tok {
+                        Tok::Punct(']') => depth += 1,
+                        Tok::Punct('[') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j -= 1;
+                }
+                if j >= 1 && file.punct(j - 1, '#') {
+                    i = j - 1;
+                    continue;
+                }
+            }
+        }
+        return i;
+    }
+}
+
+/// True when a SAFETY comment is attached: trailing on the keyword
+/// line, or in the contiguous run of comment-only lines immediately
+/// above the item start (doc-comment `# Safety` sections count for
+/// `unsafe fn`).
+fn has_safety_comment(file: &SourceFile, unsafe_line: usize, start_line: usize) -> bool {
+    let is_safety = |text: &str| text.contains("SAFETY:") || text.contains("# Safety");
+    let comment_at = |l: usize| file.lines.comments.get(l).map(String::as_str).unwrap_or("");
+    if is_safety(comment_at(unsafe_line)) || is_safety(comment_at(start_line)) {
+        return true;
+    }
+    let mut l = start_line.saturating_sub(1);
+    while l >= 1 {
+        let has_code = file.lines.code.get(l).copied().unwrap_or(false);
+        let comment = comment_at(l);
+        if has_code || comment.is_empty() {
+            return false;
+        }
+        if is_safety(comment) {
+            return true;
+        }
+        l -= 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        check(&SourceFile::parse("t.rs", src))
+    }
+
+    #[test]
+    fn bare_unsafe_block_flagged() {
+        let f = run("fn f() { let x = unsafe { g() }; }\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("unsafe block"));
+    }
+
+    #[test]
+    fn safety_comment_above_passes() {
+        let src = "fn f() {\n// SAFETY: avx2 checked by caller\nlet x = unsafe { g() };\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn safety_above_attributes_passes() {
+        let src = "// SAFETY: caller verified avx2\n\
+                   #[target_feature(enable = \"avx2\")]\n\
+                   unsafe fn kernel() {}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn doc_safety_section_passes_for_unsafe_fn() {
+        let src = "/// Fast path.\n///\n/// # Safety\n/// Caller must check avx2.\n\
+                   pub unsafe fn kernel() {}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn blank_line_breaks_attachment() {
+        let src = "// SAFETY: stale comment\n\nunsafe fn kernel() {}\n";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn unsafe_in_string_or_comment_ignored() {
+        let src = "fn f() { let s = \"unsafe { }\"; } // unsafe in prose\n";
+        assert!(run(src).is_empty());
+    }
+}

@@ -1,0 +1,344 @@
+//! Rule 1 — wire-protocol invariants.
+//!
+//! Over `crates/server/src/wire.rs`: every `TAG_*` constant is unique,
+//! request tags are `< 0x80` and response tags `>= 0x80` (classified
+//! by which codec functions use them), every tag appears in **both**
+//! the encode and the decode arm of its direction, and the README wire
+//! tables list exactly the tags the code defines.
+
+use crate::findings::{Finding, Rule};
+use crate::lexer::Tok;
+use crate::source::SourceFile;
+
+/// Direction of a tag, derived from codec-function usage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Used by `encode_request` / `decode_request`.
+    Request,
+    /// Used by `encode_response` / `decode_response`.
+    Response,
+    /// Used by neither (already a finding).
+    Unused,
+}
+
+/// One `TAG_*` constant as the code defines it.
+#[derive(Clone, Debug)]
+pub struct WireTag {
+    /// Constant name (`TAG_HELLO`).
+    pub name: String,
+    /// Constant value.
+    pub value: u8,
+    /// 1-based definition line.
+    pub line: u32,
+    /// Request or response, by codec usage.
+    pub direction: Direction,
+}
+
+/// Runs the wire rule. `readme` is `(path, text)` when the README
+/// cross-check should run (skipped for fixture snippets).
+pub fn check(file: &SourceFile, readme: Option<(&str, &str)>) -> (Vec<Finding>, Vec<WireTag>) {
+    let mut findings = Vec::new();
+
+    // 1. Collect `const TAG_*: u8 = <value>;` definitions.
+    let mut tags: Vec<WireTag> = Vec::new();
+    for i in 0..file.code.len() {
+        if file.ident(i) != Some("const") {
+            continue;
+        }
+        let Some(name) = file.ident(i + 1) else {
+            continue;
+        };
+        if !name.starts_with("TAG_") || !file.punct(i + 2, ':') {
+            continue;
+        }
+        let line = file.code[i].line;
+        // const TAG_X: u8 = 0xNN; — scan to the `=`, take the literal.
+        let value = (i..(i + 8).min(file.code.len()))
+            .find(|&j| file.punct(j, '='))
+            .and_then(|j| file.ident(j + 1))
+            .and_then(parse_int);
+        let Some(value) = value else {
+            findings.push(Finding {
+                file: file.path.clone(),
+                line,
+                rule: Rule::Wire,
+                message: format!("`{name}` value is not a u8 literal the linter can read"),
+            });
+            continue;
+        };
+        tags.push(WireTag {
+            name: name.to_string(),
+            value,
+            line,
+            direction: Direction::Unused,
+        });
+    }
+
+    // 2. Duplicate names / values.
+    for a in 0..tags.len() {
+        for b in 0..a {
+            if tags[a].value == tags[b].value {
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line: tags[a].line,
+                    rule: Rule::Wire,
+                    message: format!(
+                        "`{}` reuses tag value 0x{:02x} already taken by `{}`",
+                        tags[a].name, tags[a].value, tags[b].name
+                    ),
+                });
+            }
+            if tags[a].name == tags[b].name {
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line: tags[a].line,
+                    rule: Rule::Wire,
+                    message: format!("duplicate definition of `{}`", tags[a].name),
+                });
+            }
+        }
+    }
+
+    // 3. Usage in the four codec functions.
+    let enc_req = fn_tag_uses(file, "encode_request");
+    let dec_req = fn_tag_uses(file, "decode_request");
+    let enc_resp = fn_tag_uses(file, "encode_response");
+    let dec_resp = fn_tag_uses(file, "decode_response");
+    for tag in &mut tags {
+        let in_req = enc_req.contains(&tag.name) || dec_req.contains(&tag.name);
+        let in_resp = enc_resp.contains(&tag.name) || dec_resp.contains(&tag.name);
+        tag.direction = match (in_req, in_resp) {
+            (true, true) => {
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line: tag.line,
+                    rule: Rule::Wire,
+                    message: format!(
+                        "`{}` is used by both the request and the response codec",
+                        tag.name
+                    ),
+                });
+                Direction::Unused
+            }
+            (true, false) => Direction::Request,
+            (false, true) => Direction::Response,
+            (false, false) => {
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line: tag.line,
+                    rule: Rule::Wire,
+                    message: format!(
+                        "`{}` is defined but used by no encode/decode function",
+                        tag.name
+                    ),
+                });
+                Direction::Unused
+            }
+        };
+        // Value range per direction.
+        match tag.direction {
+            Direction::Request if tag.value >= 0x80 => findings.push(Finding {
+                file: file.path.clone(),
+                line: tag.line,
+                rule: Rule::Wire,
+                message: format!(
+                    "request tag `{}` = 0x{:02x} must be < 0x80",
+                    tag.name, tag.value
+                ),
+            }),
+            Direction::Response if tag.value < 0x80 => findings.push(Finding {
+                file: file.path.clone(),
+                line: tag.line,
+                rule: Rule::Wire,
+                message: format!(
+                    "response tag `{}` = 0x{:02x} must be >= 0x80",
+                    tag.name, tag.value
+                ),
+            }),
+            _ => {}
+        }
+        // Present in both the encode and the decode arm of its direction.
+        let missing = match tag.direction {
+            Direction::Request => [
+                (!enc_req.contains(&tag.name), "encode_request"),
+                (!dec_req.contains(&tag.name), "decode_request"),
+            ],
+            Direction::Response => [
+                (!enc_resp.contains(&tag.name), "encode_response"),
+                (!dec_resp.contains(&tag.name), "decode_response"),
+            ],
+            Direction::Unused => continue,
+        };
+        for (is_missing, func) in missing {
+            if is_missing {
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line: tag.line,
+                    rule: Rule::Wire,
+                    message: format!("`{}` never appears in `{func}`", tag.name),
+                });
+            }
+        }
+    }
+
+    // 4. README wire-table sync.
+    if let Some((readme_path, readme)) = readme {
+        findings.extend(check_readme(&tags, readme, readme_path));
+    }
+
+    (findings, tags)
+}
+
+/// Compares the README wire-table tag values against the code's.
+fn check_readme(tags: &[WireTag], readme: &str, readme_path: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut doc: Vec<(u8, u32)> = Vec::new();
+    for (idx, line) in readme.lines().enumerate() {
+        if !line.starts_with('|') {
+            continue;
+        }
+        let Some(cell) = line.trim_start_matches('|').split('|').next() else {
+            continue;
+        };
+        let cell = cell.trim();
+        let Some(hex) = cell.strip_prefix("`0x").and_then(|c| c.strip_suffix('`')) else {
+            continue;
+        };
+        if let Ok(v) = u8::from_str_radix(hex, 16) {
+            doc.push((v, idx as u32 + 1));
+        }
+    }
+    for tag in tags {
+        if tag.direction == Direction::Unused {
+            continue;
+        }
+        if !doc.iter().any(|(v, _)| *v == tag.value) {
+            findings.push(Finding {
+                file: readme_path.to_string(),
+                line: 1,
+                rule: Rule::Wire,
+                message: format!(
+                    "README wire tables are missing tag 0x{:02x} (`{}`)",
+                    tag.value, tag.name
+                ),
+            });
+        }
+    }
+    for (v, line) in &doc {
+        if !tags.iter().any(|t| t.value == *v) {
+            findings.push(Finding {
+                file: readme_path.to_string(),
+                line: *line,
+                rule: Rule::Wire,
+                message: format!("README wire table lists tag 0x{v:02x} the code does not define"),
+            });
+        }
+    }
+    findings
+}
+
+/// The set of `TAG_*` idents appearing inside the body of `fn name`.
+fn fn_tag_uses(file: &SourceFile, name: &str) -> std::collections::BTreeSet<String> {
+    let mut uses = std::collections::BTreeSet::new();
+    let mut i = 0usize;
+    while i < file.code.len() {
+        if file.ident(i) == Some("fn") && file.ident(i + 1) == Some(name) {
+            // Find the body: first `{`, then brace-match.
+            let mut j = i + 2;
+            while j < file.code.len() && !file.punct(j, '{') {
+                j += 1;
+            }
+            let mut depth = 0i32;
+            while j < file.code.len() {
+                match &file.code[j].tok {
+                    Tok::Punct('{') => depth += 1,
+                    Tok::Punct('}') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    Tok::Ident(s) if s.starts_with("TAG_") => {
+                        uses.insert(s.clone());
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    uses
+}
+
+/// Parses `0xNN` / decimal ident text into a u8.
+fn parse_int(s: &str) -> Option<u8> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u8::from_str_radix(&hex.replace('_', ""), 16).ok()
+    } else {
+        s.replace('_', "").parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+const TAG_A: u8 = 0x01;\n\
+const TAG_B: u8 = 0x81;\n\
+fn encode_request() { use_tag(TAG_A); }\n\
+fn decode_request() { match t { TAG_A => {} } }\n\
+fn encode_response() { use_tag(TAG_B); }\n\
+fn decode_response() { match t { TAG_B => {} } }\n";
+
+    #[test]
+    fn clean_snippet_passes() {
+        let (f, tags) = check(&SourceFile::parse("wire.rs", GOOD), None);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(tags.len(), 2);
+        assert_eq!(tags[0].direction, Direction::Request);
+        assert_eq!(tags[1].direction, Direction::Response);
+    }
+
+    #[test]
+    fn duplicate_value_flagged() {
+        let src = GOOD.replace("0x81", "0x01");
+        let (f, _) = check(&SourceFile::parse("wire.rs", &src), None);
+        assert!(
+            f.iter().any(|x| x.message.contains("reuses tag value")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn response_below_0x80_flagged() {
+        let src = GOOD.replace("0x81", "0x02");
+        let (f, _) = check(&SourceFile::parse("wire.rs", &src), None);
+        assert!(f.iter().any(|x| x.message.contains("must be >= 0x80")));
+    }
+
+    #[test]
+    fn missing_decode_arm_flagged() {
+        let src = GOOD.replace("match t { TAG_A => {} }", "{}");
+        let (f, _) = check(&SourceFile::parse("wire.rs", &src), None);
+        assert!(
+            f.iter().any(|x| x.message.contains("decode_request")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn readme_drift_both_directions() {
+        let readme = "| `0x01` | A |\n| `0x82` | stale |\n";
+        let (f, _) = check(
+            &SourceFile::parse("wire.rs", GOOD),
+            Some(("README.md", readme)),
+        );
+        assert!(f.iter().any(|x| x.message.contains("missing tag 0x81")));
+        assert!(f
+            .iter()
+            .any(|x| x.message.contains("0x82 the code does not define")));
+    }
+}

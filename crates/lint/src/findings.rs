@@ -1,0 +1,171 @@
+//! Finding type shared by every checker, and the pragma grammar.
+
+use std::fmt;
+
+/// Stable rule identifiers — these are the machine-readable contract
+/// (`file:line: [rule] message`) CI and editors key on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Rule 1 — wire-protocol invariants over `crates/server/src/wire.rs`
+    /// and the README wire tables.
+    Wire,
+    /// Rule 2 — metric-name grammar, duplicates, and README catalog sync.
+    Metrics,
+    /// Rule 3 — panic policy: `unwrap`/`expect`/`panic!`/slice-indexing
+    /// denied on non-test server/service code without a pragma.
+    Panic,
+    /// Rule 4 — every `unsafe` block/fn/impl is preceded by `// SAFETY:`.
+    Unsafe,
+    /// Rule 5 — atomics orderings from the per-pattern allowlist;
+    /// `SeqCst` needs a pragma.
+    Atomics,
+}
+
+impl Rule {
+    /// The rule id as printed in findings (`wire-tags`, `metric-names`,
+    /// `panic-policy`, `safety-comment`, `atomic-ordering`).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::Wire => "wire-tags",
+            Rule::Metrics => "metric-names",
+            Rule::Panic => "panic-policy",
+            Rule::Unsafe => "safety-comment",
+            Rule::Atomics => "atomic-ordering",
+        }
+    }
+}
+
+/// One violation: where, which rule, and what went wrong.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Path as scanned (workspace-relative when driven by the CLI).
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.id(),
+            self.message
+        )
+    }
+}
+
+/// Parsed `// lint: …` pragmas attached to a source line.
+///
+/// Grammar (inside any comment):
+///
+/// * `lint: allow(panic) — <reason>` — justifies one panic-policy site.
+/// * `lint: allow(seqcst) — <reason>` — justifies one `SeqCst` use.
+/// * `lint: metric(name, name, …)` — declares the metric name(s) a
+///   registration site produces when the name is built dynamically.
+///
+/// The em-dash may also be written `--` or `:`. A reason is mandatory
+/// for `allow` pragmas — an empty justification is itself a finding.
+#[derive(Debug, Default)]
+pub struct Pragmas {
+    /// `allow(panic)` present, with whether a non-empty reason followed.
+    pub allow_panic: Option<bool>,
+    /// `allow(seqcst)` present, with whether a non-empty reason followed.
+    pub allow_seqcst: Option<bool>,
+    /// Declared metric names from `metric(…)` pragmas, in order.
+    pub metrics: Vec<String>,
+}
+
+/// Parses every pragma out of a blob of comment text (possibly several
+/// comments joined with newlines).
+pub fn parse_pragmas(comments: &str) -> Pragmas {
+    let mut p = Pragmas::default();
+    for (pos, _) in comments.match_indices("lint:") {
+        let rest = comments[pos + "lint:".len()..].trim_start();
+        if let Some(args) = rest.strip_prefix("allow(") {
+            let Some(close) = args.find(')') else {
+                continue;
+            };
+            let what = args[..close].trim();
+            let reason_ok = has_reason(&args[close + 1..]);
+            match what {
+                "panic" => p.allow_panic = Some(reason_ok),
+                "seqcst" => p.allow_seqcst = Some(reason_ok),
+                _ => {}
+            }
+        } else if let Some(args) = rest.strip_prefix("metric(") {
+            let Some(close) = args.find(')') else {
+                continue;
+            };
+            for name in args[..close].split(',') {
+                let name = name.trim();
+                if !name.is_empty() {
+                    p.metrics.push(name.to_string());
+                }
+            }
+        }
+    }
+    p
+}
+
+/// True when the text after `allow(…)` carries a separator (`—`, `--`,
+/// or `:`) followed by at least one word of justification.
+fn has_reason(after: &str) -> bool {
+    let after = after.trim_start();
+    let body = after
+        .strip_prefix('—')
+        .or_else(|| after.strip_prefix("--"))
+        .or_else(|| after.strip_prefix(':'))
+        .or_else(|| after.strip_prefix('-'));
+    matches!(body, Some(b) if !b.trim().is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_panic_requires_reason() {
+        assert_eq!(
+            parse_pragmas("// lint: allow(panic) — guarded by take()").allow_panic,
+            Some(true)
+        );
+        assert_eq!(
+            parse_pragmas("// lint: allow(panic)").allow_panic,
+            Some(false)
+        );
+        assert_eq!(
+            parse_pragmas("// lint: allow(panic) — ").allow_panic,
+            Some(false)
+        );
+        assert_eq!(parse_pragmas("// nothing here").allow_panic, None);
+    }
+
+    #[test]
+    fn metric_pragma_lists() {
+        let p = parse_pragmas(
+            "// lint: metric(server.lane.{domain}.admitted, server.lane.{domain}.busy)",
+        );
+        assert_eq!(
+            p.metrics,
+            vec![
+                "server.lane.{domain}.admitted".to_string(),
+                "server.lane.{domain}.busy".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn seqcst_pragma() {
+        assert_eq!(
+            parse_pragmas("// lint: allow(seqcst) -- total order documented").allow_seqcst,
+            Some(true)
+        );
+    }
+}

@@ -1,0 +1,393 @@
+//! A minimal Rust token scanner — the foundation every checker shares.
+//!
+//! This is deliberately **not** a parser: the five lint rules only need
+//! to see identifiers, punctuation, string-literal *values*, and
+//! comments, each tagged with the 1-based source line it starts on. The
+//! scanner's one hard job is classification — an `unwrap` inside a
+//! string or a `SeqCst` inside a comment must never reach a checker as
+//! code — so it tracks every literal form that can hide bytes from a
+//! naive substring search: line and (nested) block comments, string
+//! literals with escapes, raw strings with `#` fences, byte and C
+//! variants, char literals, and lifetimes.
+
+/// What a token is. Numeric literals are folded into [`Tok::Ident`]
+/// (the wire checker parses `0x81` out of the ident text itself);
+/// every punctuation byte is emitted individually.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier, keyword, or numeric literal.
+    Ident(String),
+    /// String literal — the *content* between the quotes, escapes left
+    /// un-decoded (`\n` stays two bytes). Raw/byte/C strings included.
+    Str(String),
+    /// One punctuation character.
+    Punct(char),
+    /// A comment, including its `//` / `/*` introducer. Doc comments
+    /// are comments too — checkers that care look at the text.
+    Comment(String),
+}
+
+/// One token plus the 1-based line it starts on.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Token kind and payload.
+    pub tok: Tok,
+    /// 1-based source line of the token's first byte.
+    pub line: u32,
+}
+
+/// Scans `src` into a token stream. Unterminated literals consume to
+/// end of input rather than erroring: the linter must degrade, not
+/// abort, on the code it audits.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                let start = i;
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+                out.push(Token {
+                    tok: Tok::Comment(b[start..i].iter().collect()),
+                    line,
+                });
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                let (start, start_line) = (i, line);
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::Comment(b[start..i].iter().collect()),
+                    line: start_line,
+                });
+            }
+            '"' => {
+                let start_line = line;
+                let s = scan_string(&b, &mut i, &mut line);
+                out.push(Token {
+                    tok: Tok::Str(s),
+                    line: start_line,
+                });
+            }
+            '\'' => scan_char_or_lifetime(&b, &mut i, &mut line, &mut out),
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                let ident: String = b[start..i].iter().collect();
+                // A raw/byte string prefix glues the ident to the
+                // opening quote: r"…", r#"…"#, b"…", br#"…"#, c"…".
+                let raw_ok = matches!(ident.as_str(), "r" | "b" | "br" | "rb" | "c" | "cr");
+                if raw_ok && matches!(b.get(i), Some('"') | Some('#')) {
+                    let start_line = line;
+                    if let Some(s) = scan_raw_or_prefixed(&b, &mut i, &mut line) {
+                        out.push(Token {
+                            tok: Tok::Str(s),
+                            line: start_line,
+                        });
+                        continue;
+                    }
+                }
+                // b'x' byte-char literal: consume it so the `'` is not
+                // misread as a lifetime introducer.
+                if ident == "b" && b.get(i) == Some(&'\'') {
+                    scan_char_or_lifetime(&b, &mut i, &mut line, &mut out);
+                    continue;
+                }
+                out.push(Token {
+                    tok: Tok::Ident(ident),
+                    line,
+                });
+            }
+            p => {
+                out.push(Token {
+                    tok: Tok::Punct(p),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Consumes a `"…"` string starting at the opening quote; returns the
+/// content (escapes preserved). Leaves `i` past the closing quote.
+fn scan_string(b: &[char], i: &mut usize, line: &mut u32) -> String {
+    let mut s = String::new();
+    *i += 1; // opening quote
+    while *i < b.len() {
+        match b[*i] {
+            '\\' => {
+                s.push(b[*i]);
+                if let Some(&e) = b.get(*i + 1) {
+                    if e == '\n' {
+                        *line += 1;
+                    }
+                    s.push(e);
+                }
+                *i += 2;
+            }
+            '"' => {
+                *i += 1;
+                return s;
+            }
+            ch => {
+                if ch == '\n' {
+                    *line += 1;
+                }
+                s.push(ch);
+                *i += 1;
+            }
+        }
+    }
+    s
+}
+
+/// Consumes a string that follows a raw/byte prefix: `i` points at `"`
+/// (plain byte/C string) or `#` (raw fence). Returns `None` if the
+/// shape is not actually a string (e.g. `r#raw_ident`).
+fn scan_raw_or_prefixed(b: &[char], i: &mut usize, line: &mut u32) -> Option<String> {
+    if b.get(*i) == Some(&'"') {
+        return Some(scan_string(b, i, line));
+    }
+    // Count the `#` fence; a raw identifier (`r#match`) has ident
+    // chars after a single `#` instead of a quote.
+    let mut hashes = 0usize;
+    while b.get(*i + hashes) == Some(&'#') {
+        hashes += 1;
+    }
+    if b.get(*i + hashes) != Some(&'"') {
+        return None;
+    }
+    *i += hashes + 1;
+    let mut s = String::new();
+    'outer: while *i < b.len() {
+        if b[*i] == '"' {
+            // Close only on `"` followed by the full fence.
+            let mut ok = true;
+            for k in 0..hashes {
+                if b.get(*i + 1 + k) != Some(&'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                *i += 1 + hashes;
+                break 'outer;
+            }
+        }
+        if b[*i] == '\n' {
+            *line += 1;
+        }
+        s.push(b[*i]);
+        *i += 1;
+    }
+    Some(s)
+}
+
+/// Disambiguates `'a'` / `'\n'` (char literal — consumed silently)
+/// from `'static` (lifetime — emitted as punct + ident so attribute
+/// scanning stays aligned).
+fn scan_char_or_lifetime(b: &[char], i: &mut usize, line: &mut u32, out: &mut Vec<Token>) {
+    let open = *i;
+    *i += 1; // the quote
+    if b.get(*i) == Some(&'\\') {
+        // Escaped char literal: skip escape payload to the closing quote.
+        *i += 2;
+        while *i < b.len() && b[*i] != '\'' {
+            *i += 1;
+        }
+        *i += 1;
+        return;
+    }
+    // `'x'` is a char literal; `'xyz` with no near close quote is a
+    // lifetime (or loop label).
+    if b.get(*i).is_some() && b.get(*i + 1) == Some(&'\'') {
+        *i += 2;
+        return;
+    }
+    out.push(Token {
+        tok: Tok::Punct('\''),
+        line: *line,
+    });
+    let start = *i;
+    while *i < b.len() && (b[*i].is_alphanumeric() || b[*i] == '_') {
+        *i += 1;
+    }
+    if *i > start {
+        out.push(Token {
+            tok: Tok::Ident(b[start..*i].iter().collect()),
+            line: *line,
+        });
+    }
+    let _ = open;
+}
+
+/// Per-line digest of a token stream: which lines hold code, and the
+/// concatenated comment text per line — what the pragma and `SAFETY:`
+/// checks key on.
+#[derive(Debug, Default)]
+pub struct LineMap {
+    /// `code[l]` — line `l` (1-based; index 0 unused) has at least one
+    /// non-comment token.
+    pub code: Vec<bool>,
+    /// `comments[l]` — all comment text that *starts* on line `l`,
+    /// joined with `\n`.
+    pub comments: Vec<String>,
+}
+
+impl LineMap {
+    /// Builds the digest for a token stream over a source of
+    /// `num_lines` lines.
+    pub fn build(tokens: &[Token], num_lines: usize) -> LineMap {
+        let n = num_lines + 2;
+        let mut map = LineMap {
+            code: vec![false; n],
+            comments: vec![String::new(); n],
+        };
+        for t in tokens {
+            let l = t.line as usize;
+            if l >= n {
+                continue;
+            }
+            match &t.tok {
+                Tok::Comment(text) => {
+                    if !map.comments[l].is_empty() {
+                        map.comments[l].push('\n');
+                    }
+                    map.comments[l].push_str(text);
+                }
+                _ => map.code[l] = true,
+            }
+        }
+        map
+    }
+
+    /// The comment text "attached" to `line`: comments on the line
+    /// itself plus any run of comment-only lines immediately above it
+    /// (attribute-only lines in between are skipped by callers that
+    /// need that — see the unsafe checker).
+    pub fn attached_comments(&self, line: usize) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        let mut l = line;
+        // Walk up over comment-only lines above the target.
+        loop {
+            if l == 0 || l >= self.code.len() {
+                break;
+            }
+            if l < line {
+                let comment_only = !self.code[l] && !self.comments[l].is_empty();
+                if !comment_only {
+                    break;
+                }
+            }
+            if !self.comments[l].is_empty() {
+                parts.push(&self.comments[l]);
+            }
+            if l == 0 {
+                break;
+            }
+            l -= 1;
+        }
+        parts.reverse();
+        parts.join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_code() {
+        let src = r##"
+let x = "unwrap() inside a string";
+// unwrap() inside a comment
+/* block unwrap() */
+let r = r#"raw unwrap()"#;
+let b = b"byte unwrap()";
+real.unwrap();
+"##;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|s| *s == "unwrap").count(), 1);
+    }
+
+    #[test]
+    fn raw_fence_and_nested_block() {
+        let src =
+            r####"let s = r##"has "# inside"##; /* outer /* inner */ still comment */ after"####;
+        let toks = lex(src);
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Str(s) if s.contains("has"))));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Ident(s) if s == "after")));
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; let bc = b'y'; }";
+        let ids = idents(src);
+        assert!(ids.contains(&"a".to_string()));
+        // Char literal contents never surface as idents.
+        assert!(!ids.contains(&"x ".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_in_literals() {
+        let src = "let a = \"two\nlines\";\nmarker";
+        let toks = lex(src);
+        let marker = toks
+            .iter()
+            .find(|t| matches!(&t.tok, Tok::Ident(s) if s == "marker"))
+            .unwrap();
+        assert_eq!(marker.line, 3);
+    }
+
+    #[test]
+    fn attached_comments_walk_up() {
+        let src = "// SAFETY: top\n// more\nunsafe { x }\n";
+        let toks = lex(src);
+        let map = LineMap::build(&toks, 4);
+        let attached = map.attached_comments(3);
+        assert!(attached.contains("SAFETY: top"));
+        assert!(attached.contains("more"));
+    }
+}

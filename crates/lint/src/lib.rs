@@ -1,0 +1,43 @@
+//! `pigeonring-lint` — in-repo static analysis for the invariants the
+//! type system can't see.
+//!
+//! Five rules over the workspace source (see the README "Static
+//! analysis" section for the policy rationale and pragma syntax):
+//!
+//! 1. **`wire-tags`** — `TAG_*` constants in
+//!    `crates/server/src/wire.rs` are unique, requests `< 0x80` /
+//!    responses `>= 0x80`, every tag has both an encode and a decode
+//!    arm, and the README wire tables match the code exactly.
+//! 2. **`metric-names`** — registration sites resolve to names in the
+//!    `layer(.segment)+` grammar, no duplicates, no drift from the
+//!    README Observability catalog.
+//! 3. **`panic-policy`** — `unwrap`/`expect`/`panic!`/slice-indexing
+//!    denied in non-test `crates/server/src` + `crates/service/src`
+//!    without `// lint: allow(panic) — <reason>`.
+//! 4. **`safety-comment`** — every `unsafe` block/fn/impl immediately
+//!    preceded by `// SAFETY:` (or a doc `# Safety` section).
+//! 5. **`atomic-ordering`** — `Ordering::` uses in telemetry, service,
+//!    and server from the allowlist (`Relaxed` counters/sampling,
+//!    `Acquire`/`Release`/`AcqRel` handoff); `SeqCst` needs
+//!    `// lint: allow(seqcst) — <reason>`.
+//!
+//! Dependency-free by construction (the workspace vendors only test
+//! stand-ins): the foundation is the hand-rolled token scanner in
+//! [`lexer`], not `syn`.
+
+pub mod checks {
+    //! The five rule implementations.
+    pub mod atomics;
+    pub mod metrics;
+    pub mod panics;
+    pub mod unsafety;
+    pub mod wire;
+}
+pub mod findings;
+pub mod lexer;
+pub mod report;
+pub mod source;
+pub mod workspace;
+
+pub use findings::{Finding, Rule};
+pub use source::SourceFile;

@@ -1,0 +1,85 @@
+//! CLI: `cargo run -p pigeonring-lint -- [--fix-report] [PATHS…]`
+//!
+//! Findings print one per line as `file:line: [rule-id] message` —
+//! machine-readable for CI and editors — and the exit code is the
+//! gate: `0` clean, `1` findings, `2` usage/IO error. `PATHS`
+//! (workspace-relative prefixes) restrict the per-file rules;
+//! cross-file rules (wire/README sync, metric duplicates + catalog)
+//! run only on a full, unfiltered scan.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pigeonring_lint::{report, workspace};
+
+fn main() -> ExitCode {
+    let mut fix_report = false;
+    let mut filters: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--fix-report" => fix_report = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: cargo run -p pigeonring-lint -- [--fix-report] [PATHS…]\n\
+                     \n\
+                     Runs the five repo-invariant rules (wire-tags, metric-names,\n\
+                     panic-policy, safety-comment, atomic-ordering) over the\n\
+                     workspace. PATHS restrict per-file rules to matching\n\
+                     workspace-relative prefixes. --fix-report prints the\n\
+                     code-derived wire-tag table and metric catalog as markdown."
+                );
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag {flag}; see --help");
+                return ExitCode::from(2);
+            }
+            path => filters.push(PathBuf::from(path)),
+        }
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot read current directory: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(root) = workspace::find_root(&cwd) else {
+        eprintln!("no workspace Cargo.toml found above {}", cwd.display());
+        return ExitCode::from(2);
+    };
+
+    let run = match workspace::run(&root, &filters) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if fix_report {
+        print!("{}", report::render(&run.wire_tags, &run.metric_sites));
+        return ExitCode::SUCCESS;
+    }
+
+    for f in &run.findings {
+        println!("{f}");
+    }
+    if run.findings.is_empty() {
+        eprintln!(
+            "lint clean: {} files, {} wire tags, {} metric registrations",
+            run.files_scanned,
+            run.wire_tags.len(),
+            run.metric_sites.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "{} finding(s) across {} files",
+            run.findings.len(),
+            run.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}

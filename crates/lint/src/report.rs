@@ -1,0 +1,35 @@
+//! `--fix-report` — renders the code-derived wire-tag and metric
+//! inventories as markdown, the source of truth the README tables are
+//! regenerated from when rule 1 or 2 reports drift.
+
+use crate::checks::metrics::MetricSite;
+use crate::checks::wire::{Direction, WireTag};
+
+/// Renders both inventories as a markdown document.
+pub fn render(tags: &[WireTag], sites: &[MetricSite]) -> String {
+    let mut out = String::new();
+    out.push_str("# Lint fix-report (generated from the code)\n");
+
+    out.push_str("\n## Wire tags\n\n| Tag | Constant | Direction |\n|---|---|---|\n");
+    let mut tags: Vec<&WireTag> = tags.iter().collect();
+    tags.sort_by_key(|t| t.value);
+    for t in tags {
+        let dir = match t.direction {
+            Direction::Request => "request",
+            Direction::Response => "response",
+            Direction::Unused => "UNUSED",
+        };
+        out.push_str(&format!("| `0x{:02x}` | `{}` | {dir} |\n", t.value, t.name));
+    }
+
+    out.push_str("\n## Metric catalog\n\n| Metric | Kind | Registered at |\n|---|---|---|\n");
+    let mut sites: Vec<&MetricSite> = sites.iter().collect();
+    sites.sort_by(|a, b| a.name.cmp(&b.name));
+    for s in sites {
+        out.push_str(&format!(
+            "| `{}` | {} | {}:{} |\n",
+            s.name, s.kind, s.file, s.line
+        ));
+    }
+    out
+}

@@ -1,0 +1,187 @@
+//! Per-file source model shared by the checkers: token stream, line
+//! digest, and the `#[cfg(test)]` / `#[test]` region mask.
+
+use crate::lexer::{lex, LineMap, Tok, Token};
+
+/// One lexed source file, ready for checking.
+pub struct SourceFile {
+    /// Display path (workspace-relative when driven by the CLI).
+    pub path: String,
+    /// Non-comment tokens, in order. Comments live in [`SourceFile::lines`].
+    pub code: Vec<Token>,
+    /// Per-line code/comment digest (pragma and SAFETY lookups).
+    pub lines: LineMap,
+    /// `test[l]` — line `l` is inside a `#[cfg(test)]` or `#[test]`
+    /// item (including the attribute line itself).
+    test: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Lexes `src` into the model.
+    pub fn parse(path: &str, src: &str) -> SourceFile {
+        let tokens = lex(src);
+        let num_lines = src.lines().count().max(1);
+        let lines = LineMap::build(&tokens, num_lines);
+        let code: Vec<Token> = tokens
+            .into_iter()
+            .filter(|t| !matches!(t.tok, Tok::Comment(_)))
+            .collect();
+        let test = test_mask(&code, num_lines);
+        SourceFile {
+            path: path.to_string(),
+            code,
+            lines,
+            test,
+        }
+    }
+
+    /// True when `line` (1-based) is inside test-gated code.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test.get(line as usize).copied().unwrap_or(false)
+    }
+
+    /// The token's ident text, if it is an ident.
+    pub fn ident(&self, i: usize) -> Option<&str> {
+        match self.code.get(i).map(|t| &t.tok) {
+            Some(Tok::Ident(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when token `i` is the punctuation `c`.
+    pub fn punct(&self, i: usize, c: char) -> bool {
+        matches!(self.code.get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
+    }
+}
+
+/// Marks every line belonging to an item introduced by a test attribute
+/// (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]`) — attribute line
+/// through the item's closing brace (or terminating semicolon).
+fn test_mask(code: &[Token], num_lines: usize) -> Vec<bool> {
+    let mut mask = vec![false; num_lines + 2];
+    let mut i = 0usize;
+    while i < code.len() {
+        if !(matches!(code[i].tok, Tok::Punct('#'))
+            && matches!(code.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('['))))
+        {
+            i += 1;
+            continue;
+        }
+        // Attribute extent: match the square brackets.
+        let attr_start = i;
+        let mut j = i + 2;
+        let mut depth = 1i32;
+        let mut is_test = false;
+        while j < code.len() && depth > 0 {
+            match &code[j].tok {
+                Tok::Punct('[') => depth += 1,
+                Tok::Punct(']') => depth -= 1,
+                Tok::Ident(s) if s == "test" => is_test = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !is_test {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes between the test attribute and
+        // the item header.
+        while matches!(code.get(j).map(|t| &t.tok), Some(Tok::Punct('#')))
+            && matches!(code.get(j + 1).map(|t| &t.tok), Some(Tok::Punct('[')))
+        {
+            let mut d = 1i32;
+            let mut k = j + 2;
+            while k < code.len() && d > 0 {
+                match &code[k].tok {
+                    Tok::Punct('[') => d += 1,
+                    Tok::Punct(']') => d -= 1,
+                    _ => {}
+                }
+                k += 1;
+            }
+            j = k;
+        }
+        // Item body: first `{` (brace-matched) or a `;` before any `{`.
+        let mut end_line = code.get(j).map(|t| t.line).unwrap_or(code[attr_start].line);
+        let mut k = j;
+        let mut found = false;
+        while k < code.len() {
+            match &code[k].tok {
+                Tok::Punct(';') => {
+                    end_line = code[k].line;
+                    k += 1;
+                    found = true;
+                    break;
+                }
+                Tok::Punct('{') => {
+                    let mut d = 1i32;
+                    k += 1;
+                    while k < code.len() && d > 0 {
+                        match &code[k].tok {
+                            Tok::Punct('{') => d += 1,
+                            Tok::Punct('}') => d -= 1,
+                            _ => {}
+                        }
+                        end_line = code[k].line;
+                        k += 1;
+                    }
+                    found = true;
+                    break;
+                }
+                _ => {
+                    end_line = code[k].line;
+                    k += 1;
+                }
+            }
+        }
+        let start_line = code[attr_start].line as usize;
+        let end_line = end_line as usize;
+        // An attribute at EOF can leave end < start; a `a..=b` range
+        // loop tolerated that, a slice index would panic.
+        let end_line = end_line.min(num_lines + 1);
+        if start_line <= end_line {
+            for flag in &mut mask[start_line..=end_line] {
+                *flag = true;
+            }
+        }
+        i = if found { k } else { j };
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let src = "fn live() { a.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       #[test]\n\
+                       fn t() { b.unwrap(); }\n\
+                   }\n\
+                   fn live2() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(5));
+        assert!(!f.is_test_line(7));
+    }
+
+    #[test]
+    fn cfg_all_test_counts() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nfn helper() { y.unwrap(); }\nfn live() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.is_test_line(2));
+        assert!(!f.is_test_line(3));
+    }
+
+    #[test]
+    fn feature_string_test_is_not_test() {
+        let src = "#[cfg(feature = \"test\")]\nfn not_test() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.is_test_line(2));
+    }
+}

@@ -1,0 +1,153 @@
+//! Workspace driver: file discovery, per-rule scoping, and the
+//! full-repo run the CLI and the self-check test share.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::checks::{atomics, metrics, panics, unsafety, wire};
+use crate::findings::Finding;
+use crate::source::SourceFile;
+
+/// Everything one full run produces: the findings plus the inventories
+/// `--fix-report` renders.
+pub struct LintRun {
+    /// All findings, sorted by file then line.
+    pub findings: Vec<Finding>,
+    /// The wire tags as defined by the code.
+    pub wire_tags: Vec<wire::WireTag>,
+    /// Every metric registration site.
+    pub metric_sites: Vec<metrics::MetricSite>,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+}
+
+/// Walks up from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Runs all five rules over the workspace rooted at `root`. `filters`
+/// (workspace-relative path prefixes) restrict which files the
+/// per-file rules scan; cross-file rules (wire/README, metric
+/// duplicates and catalog) only run unfiltered, since a partial view
+/// would report spurious drift.
+pub fn run(root: &Path, filters: &[PathBuf]) -> io::Result<LintRun> {
+    let mut findings = Vec::new();
+    let mut metric_sites = Vec::new();
+    let mut wire_tags = Vec::new();
+    let mut files_scanned = 0usize;
+
+    let mut files = Vec::new();
+    for dir in source_dirs(root) {
+        walk(&dir, &mut files)?;
+    }
+    files.sort();
+
+    let readme_path = root.join("README.md");
+    let readme = fs::read_to_string(&readme_path).unwrap_or_default();
+
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if !filters.is_empty()
+            && !filters
+                .iter()
+                .any(|f| Path::new(&rel).starts_with(f) || path.starts_with(f))
+        {
+            continue;
+        }
+        let src = fs::read_to_string(path)?;
+        let file = SourceFile::parse(&rel, &src);
+        files_scanned += 1;
+
+        if rel.starts_with("crates/server/src") || rel.starts_with("crates/service/src") {
+            findings.extend(panics::check(&file));
+        }
+        if rel.starts_with("crates/telemetry/src")
+            || rel.starts_with("crates/server/src")
+            || rel.starts_with("crates/service/src")
+        {
+            findings.extend(atomics::check(&file));
+        }
+        // Unsafe audit: everywhere.
+        findings.extend(unsafety::check(&file));
+        // Metric registry: every instrumented layer; the telemetry
+        // crate (the mechanism itself) and this linter are exempt.
+        if !rel.starts_with("crates/telemetry") && !rel.starts_with("crates/lint") {
+            let (f, sites) = metrics::collect(&file);
+            findings.extend(f);
+            metric_sites.extend(sites);
+        }
+        if rel == "crates/server/src/wire.rs" {
+            let readme_arg = if filters.is_empty() && !readme.is_empty() {
+                Some(("README.md", readme.as_str()))
+            } else {
+                None
+            };
+            let (f, tags) = wire::check(&file, readme_arg);
+            findings.extend(f);
+            wire_tags = tags;
+        }
+    }
+
+    if filters.is_empty() {
+        findings.extend(metrics::check_duplicates(&metric_sites));
+        findings.extend(metrics::check_readme(&metric_sites, &readme, "README.md"));
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(LintRun {
+        findings,
+        wire_tags,
+        metric_sites,
+        files_scanned,
+    })
+}
+
+/// The directories the linter audits: every first-party crate's `src`
+/// plus the facade crate's. Vendored stand-ins are third-party code
+/// and exempt; `tests/` trees hold fixtures and test binaries the
+/// panic policy deliberately does not govern.
+fn source_dirs(root: &Path) -> Vec<PathBuf> {
+    let mut dirs = vec![root.join("src")];
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        let mut crates: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path().join("src"))
+            .filter(|p| p.is_dir())
+            .collect();
+        crates.sort();
+        dirs.extend(crates);
+    }
+    dirs.retain(|d| d.is_dir());
+    dirs
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

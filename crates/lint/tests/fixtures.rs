@@ -1,0 +1,165 @@
+//! Per-rule fixture tests: every rule flags its bad fixture and passes
+//! its clean (or correctly pragma'd) twin, and the live workspace
+//! itself stays lint-clean — the linter gates the repo that ships it.
+
+use pigeonring_lint::checks::{atomics, metrics, panics, unsafety, wire};
+use pigeonring_lint::{Rule, SourceFile};
+
+fn fixture(name: &str) -> SourceFile {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    SourceFile::parse(name, &text)
+}
+
+fn fixture_text(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+#[test]
+fn panic_policy_flags_bad_fixture() {
+    let findings = panics::check(&fixture("panic_bad.rs"));
+    // frames[0], .unwrap(), .expect(), panic! — four distinct sites.
+    assert_eq!(findings.len(), 4, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == Rule::Panic));
+}
+
+#[test]
+fn panic_policy_passes_good_fixture() {
+    let findings = panics::check(&fixture("panic_good.rs"));
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn safety_comment_flags_bad_fixture() {
+    let findings = unsafety::check(&fixture("unsafety_bad.rs"));
+    // The bare unsafe block and the bare unsafe fn; the fn's inner
+    // block inherits no comment either — three sites total.
+    assert_eq!(findings.len(), 3, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == Rule::Unsafe));
+}
+
+#[test]
+fn safety_comment_passes_good_fixture() {
+    let findings = unsafety::check(&fixture("unsafety_good.rs"));
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn atomic_ordering_flags_bad_fixture() {
+    let findings = atomics::check(&fixture("atomics_bad.rs"));
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, Rule::Atomics);
+    assert!(findings[0].message.contains("SeqCst"));
+}
+
+#[test]
+fn atomic_ordering_passes_good_fixture() {
+    let findings = atomics::check(&fixture("atomics_good.rs"));
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn metric_names_flags_bad_fixture() {
+    let (findings, _) = metrics::collect(&fixture("metrics_bad.rs"));
+    // "queries" misses the layer, dynamic_name() is not lexically
+    // resolvable, and "Server.Latency" breaks the grammar.
+    assert_eq!(findings.len(), 3, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == Rule::Metrics));
+}
+
+#[test]
+fn metric_names_passes_good_fixture() {
+    let (findings, sites) = metrics::collect(&fixture("metrics_good.rs"));
+    assert!(findings.is_empty(), "{findings:?}");
+    let names: Vec<&str> = sites.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(
+        names,
+        [
+            "server.queries",
+            "server.{suffix}.depth",
+            "server.latency_us"
+        ]
+    );
+}
+
+#[test]
+fn wire_tags_flags_bad_fixture() {
+    let (findings, _) = wire::check(&fixture("wire_bad.rs"), None);
+    let messages: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(
+        messages.iter().any(|m| m.contains("reuses tag value")),
+        "{messages:?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("must be >= 0x80")),
+        "{messages:?}"
+    );
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("never appears in `decode_request`")),
+        "{messages:?}"
+    );
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("used by no encode/decode function")),
+        "{messages:?}"
+    );
+}
+
+#[test]
+fn wire_tags_passes_good_fixture_and_readme() {
+    let readme = fixture_text("wire_readme_good.md");
+    let (findings, tags) = wire::check(
+        &fixture("wire_good.rs"),
+        Some(("wire_readme_good.md", &readme)),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(tags.len(), 2);
+}
+
+#[test]
+fn wire_tags_flags_readme_drift() {
+    let readme = fixture_text("wire_readme_bad.md");
+    let (findings, _) = wire::check(
+        &fixture("wire_good.rs"),
+        Some(("wire_readme_bad.md", &readme)),
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("missing tag 0x81")),
+        "{findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("0x02 the code does not define")),
+        "{findings:?}"
+    );
+}
+
+/// The repo that ships the linter must itself be clean: a full
+/// unfiltered scan (cross-file rules included) over the live workspace.
+#[test]
+fn live_workspace_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels under the workspace root")
+        .to_path_buf();
+    let run = pigeonring_lint::workspace::run(&root, &[]).expect("workspace scan");
+    assert!(
+        run.findings.is_empty(),
+        "live workspace has lint findings:\n{}",
+        run.findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(run.files_scanned > 50, "scan looks truncated");
+    assert!(!run.wire_tags.is_empty() && !run.metric_sites.is_empty());
+}

@@ -1,0 +1,5 @@
+use std::sync::atomic::{AtomicBool, Ordering};
+
+fn stop(flag: &AtomicBool) {
+    flag.store(true, Ordering::SeqCst);
+}

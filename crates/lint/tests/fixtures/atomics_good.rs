@@ -1,0 +1,11 @@
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+fn stop(flag: &AtomicBool, epoch: &AtomicU64) {
+    flag.store(true, Ordering::Release);
+    epoch.fetch_add(1, Ordering::Relaxed);
+    // lint: allow(seqcst) — this fence orders the flag against the
+    // epoch for an (imaginary) remote observer; justified, so allowed.
+    epoch.store(0, Ordering::SeqCst);
+    let _ = flag.load(Ordering::Acquire);
+    let _ = std::cmp::Ordering::Less;
+}

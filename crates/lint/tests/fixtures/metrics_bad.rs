@@ -1,0 +1,5 @@
+fn register(registry: &MetricsRegistry, suffix: &str) {
+    let _ = registry.counter("queries");
+    let _ = registry.gauge(&dynamic_name(suffix));
+    let _ = registry.histogram("Server.Latency");
+}

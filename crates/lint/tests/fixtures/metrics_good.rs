@@ -1,0 +1,6 @@
+fn register(registry: &MetricsRegistry, suffix: &str) {
+    let _ = registry.counter("server.queries");
+    let _ = registry.gauge(&format!("server.{suffix}.depth"));
+    // lint: metric(server.latency_us)
+    let _ = registry.histogram(&dynamic_name());
+}

@@ -1,0 +1,9 @@
+fn handle(frames: &[u8], lock: &std::sync::Mutex<u32>) -> u8 {
+    let first = frames[0];
+    let guard = lock.lock().unwrap();
+    let tag = frames.last().expect("non-empty frame");
+    if *tag != first {
+        panic!("tag mismatch");
+    }
+    *guard as u8
+}

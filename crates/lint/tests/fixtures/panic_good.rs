@@ -1,0 +1,20 @@
+fn handle(frames: &[u8], lock: &std::sync::Mutex<u32>) -> Option<u8> {
+    let first = *frames.first()?;
+    let guard = lock.lock().unwrap_or_else(|e| e.into_inner());
+    // lint: allow(panic) — first()? above proves frames is non-empty
+    let tag = frames[frames.len() - 1];
+    if tag != first {
+        return None;
+    }
+    let _ = *guard;
+    Some(first)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic_freely() {
+        let v: Vec<u8> = vec![1];
+        assert_eq!(v[0], v.last().copied().unwrap());
+    }
+}

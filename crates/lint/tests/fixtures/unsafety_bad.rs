@@ -1,0 +1,13 @@
+fn sum(ptr: *const u64, n: usize) -> u64 {
+    let mut acc = 0;
+    for i in 0..n {
+        unsafe {
+            acc += *ptr.add(i);
+        }
+    }
+    acc
+}
+
+unsafe fn load(ptr: *const u64) -> u64 {
+    unsafe { *ptr }
+}

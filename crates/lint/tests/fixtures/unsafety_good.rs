@@ -1,0 +1,18 @@
+fn sum(words: &[u64]) -> u64 {
+    let mut acc = 0;
+    for i in 0..words.len() {
+        // SAFETY: i < words.len(), so the pointer stays inside the
+        // slice allocation.
+        unsafe {
+            acc += *words.as_ptr().add(i);
+        }
+    }
+    acc
+}
+
+// SAFETY: callers must pass a pointer that is valid for reads of one
+// u64.
+unsafe fn load(ptr: *const u64) -> u64 {
+    // SAFETY: validity is the caller's contract, stated above.
+    unsafe { *ptr }
+}

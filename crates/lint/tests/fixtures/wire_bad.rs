@@ -1,0 +1,27 @@
+const TAG_PING: u8 = 0x01;
+const TAG_ECHO: u8 = 0x01;
+const TAG_PONG: u8 = 0x02;
+const TAG_LOST: u8 = 0x03;
+
+fn encode_request(out: &mut Vec<u8>) {
+    out.push(TAG_PING);
+    out.push(TAG_ECHO);
+}
+
+fn decode_request(tag: u8) {
+    match tag {
+        TAG_ECHO => {}
+        _ => {}
+    }
+}
+
+fn encode_response(out: &mut Vec<u8>) {
+    out.push(TAG_PONG);
+}
+
+fn decode_response(tag: u8) {
+    match tag {
+        TAG_PONG => {}
+        _ => {}
+    }
+}

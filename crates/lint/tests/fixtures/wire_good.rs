@@ -1,0 +1,24 @@
+const TAG_PING: u8 = 0x01;
+const TAG_PONG: u8 = 0x81;
+
+fn encode_request(out: &mut Vec<u8>) {
+    out.push(TAG_PING);
+}
+
+fn decode_request(tag: u8) {
+    match tag {
+        TAG_PING => {}
+        _ => {}
+    }
+}
+
+fn encode_response(out: &mut Vec<u8>) {
+    out.push(TAG_PONG);
+}
+
+fn decode_response(tag: u8) {
+    match tag {
+        TAG_PONG => {}
+        _ => {}
+    }
+}

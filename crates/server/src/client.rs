@@ -321,6 +321,7 @@ impl Client {
         let mut done = 0usize;
         while done < queries.len() {
             while in_flight.len() < window && next < queries.len() {
+                // lint: allow(panic) — the loop condition bounds next < queries.len()
                 let id = self.send_query(queries[next].clone())?;
                 in_flight.insert(id, next);
                 next += 1;
@@ -329,13 +330,15 @@ impl Client {
             let slot = in_flight
                 .remove(&id)
                 .ok_or(ClientError::Protocol("response for unknown request id"))?;
-            outcomes[slot] = Some(outcome);
+            *outcomes
+                .get_mut(slot)
+                .ok_or(ClientError::Protocol("response slot out of range"))? = Some(outcome);
             done += 1;
         }
-        Ok(outcomes
+        outcomes
             .into_iter()
-            .map(|o| o.expect("every query answered"))
-            .collect())
+            .map(|o| o.ok_or(ClientError::Protocol("query left unanswered")))
+            .collect()
     }
 
     fn read_response(&mut self) -> Result<Response, ClientError> {

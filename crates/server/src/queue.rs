@@ -23,11 +23,20 @@
 //!   domains under the old global FIFO).
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 
 use pigeonring_telemetry::Gauge;
 
 use crate::wire::Domain;
+
+/// Locks `m`, recovering the data on poison. Queue state holds no
+/// invariant a mid-panic unwind can half-apply (every mutation is a
+/// single `VecDeque` op or a flag write), so recovery is always sound
+/// — and a connection thread must never abort because a sibling
+/// thread died while holding the lock.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Why `try_push` refused an item; the item rides back in either case.
 ///
@@ -84,7 +93,7 @@ impl<T> BoundedQueue<T> {
 
     /// Number of items currently buffered (racy outside tests/metrics).
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue mutex poisoned").items.len()
+        lock_recover(&self.state).items.len()
     }
 
     /// Whether the queue is currently empty (racy outside tests).
@@ -96,7 +105,7 @@ impl<T> BoundedQueue<T> {
     /// [`PushError::Full`] at capacity (retryable `Busy`) or
     /// [`PushError::Closed`] after [`BoundedQueue::close`] (terminal).
     pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut state = self.state.lock().expect("queue mutex poisoned");
+        let mut state = lock_recover(&self.state);
         if state.closed {
             return Err(PushError::Closed(item));
         }
@@ -115,7 +124,7 @@ impl<T> BoundedQueue<T> {
     /// consumer's shutdown signal.
     pub fn pop_batch(&self, max: usize, out: &mut Vec<T>) -> bool {
         out.clear();
-        let mut state = self.state.lock().expect("queue mutex poisoned");
+        let mut state = lock_recover(&self.state);
         loop {
             if !state.items.is_empty() {
                 let take = max.max(1).min(state.items.len());
@@ -128,14 +137,14 @@ impl<T> BoundedQueue<T> {
             state = self
                 .not_empty
                 .wait(state)
-                .expect("queue mutex poisoned while waiting");
+                .unwrap_or_else(|e| e.into_inner());
         }
     }
 
     /// Closes the queue: future pushes fail with [`PushError::Closed`],
     /// and consumers unblock once the remaining items are drained.
     pub fn close(&self) {
-        self.state.lock().expect("queue mutex poisoned").closed = true;
+        lock_recover(&self.state).closed = true;
         self.not_empty.notify_all();
     }
 }
@@ -202,6 +211,7 @@ impl<T> FairQueue<T> {
 
     /// The attached depth gauge for `domain`'s lane, if any.
     pub fn depth_gauge(&self, domain: Domain) -> Option<&Arc<Gauge>> {
+        // lint: allow(panic) — lane_of is always < NUM_LANES, the array length
         self.depth_gauges.get().map(|g| &g[lane_of(domain)])
     }
 
@@ -212,7 +222,7 @@ impl<T> FairQueue<T> {
 
     /// Items currently buffered across all lanes (racy outside tests).
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue mutex poisoned").total()
+        lock_recover(&self.state).total()
     }
 
     /// Whether every lane is currently empty (racy outside tests).
@@ -222,7 +232,8 @@ impl<T> FairQueue<T> {
 
     /// Items currently buffered in `domain`'s lane (racy outside tests).
     pub fn lane_len(&self, domain: Domain) -> usize {
-        self.state.lock().expect("queue mutex poisoned").lanes[lane_of(domain)].len()
+        // lint: allow(panic) — lane_of is always < NUM_LANES, the array length
+        lock_recover(&self.state).lanes[lane_of(domain)].len()
     }
 
     /// Attempts to enqueue into `domain`'s lane. Returns immediately —
@@ -231,10 +242,11 @@ impl<T> FairQueue<T> {
     /// consume Hamming's admission budget) or [`PushError::Closed`]
     /// after [`FairQueue::close`].
     pub fn try_push(&self, domain: Domain, item: T) -> Result<(), PushError<T>> {
-        let mut state = self.state.lock().expect("queue mutex poisoned");
+        let mut state = lock_recover(&self.state);
         if state.closed {
             return Err(PushError::Closed(item));
         }
+        // lint: allow(panic) — lane_of is always < NUM_LANES, the array length
         let lane = &mut state.lanes[lane_of(domain)];
         if lane.len() >= self.lane_capacity {
             return Err(PushError::Full(item));
@@ -242,6 +254,7 @@ impl<T> FairQueue<T> {
         lane.push_back(item);
         drop(state);
         if let Some(gauges) = self.depth_gauges.get() {
+            // lint: allow(panic) — lane_of is always < NUM_LANES, the array length
             gauges[lane_of(domain)].inc();
         }
         self.not_empty.notify_one();
@@ -258,23 +271,27 @@ impl<T> FairQueue<T> {
     pub fn pop_batch(&self, max: usize, out: &mut Vec<T>) -> bool {
         out.clear();
         let max = max.max(1);
-        let mut state = self.state.lock().expect("queue mutex poisoned");
+        let mut state = lock_recover(&self.state);
         loop {
             if state.total() > 0 {
                 let mut taken = [0usize; NUM_LANES];
                 while out.len() < max && state.total() > 0 {
                     let li = state.cursor % NUM_LANES;
                     state.cursor = state.cursor.wrapping_add(1);
+                    // lint: allow(panic) — li is cursor % NUM_LANES, in bounds for all three arrays
                     let quota = self.weights[li].min(max - out.len());
+                    // lint: allow(panic) — li is cursor % NUM_LANES, in bounds
                     let lane = &mut state.lanes[li];
                     let take = quota.min(lane.len());
                     out.extend(lane.drain(..take));
+                    // lint: allow(panic) — li is cursor % NUM_LANES, in bounds
                     taken[li] += take;
                 }
                 drop(state);
                 if let Some(gauges) = self.depth_gauges.get() {
                     for (li, &n) in taken.iter().enumerate() {
                         if n > 0 {
+                            // lint: allow(panic) — li enumerates a NUM_LANES array
                             gauges[li].sub(n as i64);
                         }
                     }
@@ -287,14 +304,14 @@ impl<T> FairQueue<T> {
             state = self
                 .not_empty
                 .wait(state)
-                .expect("queue mutex poisoned while waiting");
+                .unwrap_or_else(|e| e.into_inner());
         }
     }
 
     /// Closes every lane: future pushes fail with [`PushError::Closed`],
     /// and consumers unblock once the remaining items are drained.
     pub fn close(&self) {
-        self.state.lock().expect("queue mutex poisoned").closed = true;
+        lock_recover(&self.state).closed = true;
         self.not_empty.notify_all();
     }
 }
@@ -304,6 +321,7 @@ pub fn lane_of(domain: Domain) -> usize {
     Domain::ALL
         .iter()
         .position(|&d| d == domain)
+        // lint: allow(panic) — Domain::ALL enumerates every variant by construction
         .expect("every domain has a lane")
 }
 

@@ -114,6 +114,15 @@ impl Default for ServerConfig {
     }
 }
 
+/// Locks a mutex, recovering the guard when a panicking holder
+/// poisoned it. Every mutex in this file guards state that is
+/// consistent after any partial update (a ring of owned entries, a
+/// counter pair), so serving on recovered state is always sound —
+/// aborting the connection or the Stats snapshot would not be.
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// How long the writer half waits on a blocked socket before declaring
 /// the client wedged and tearing the connection down (which frees its
 /// buffered replies and unparks a backpressured reader).
@@ -191,10 +200,14 @@ pub struct ServerMetrics {
 impl ServerMetrics {
     fn new(config: &ServerConfig) -> Self {
         let registry = Arc::new(MetricsRegistry::new());
-        let lane_counter =
-            |kind: &str| Domain::ALL.map(|d| registry.counter(&format!("server.lane.{d}.{kind}")));
-        let domain_histogram =
-            |kind: &str| Domain::ALL.map(|d| registry.histogram(&format!("server.{d}.{kind}")));
+        let lane_counter = |kind: &str| {
+            // lint: metric(server.lane.{domain}.admitted, server.lane.{domain}.busy)
+            Domain::ALL.map(|domain| registry.counter(&format!("server.lane.{domain}.{kind}")))
+        };
+        let domain_histogram = |kind: &str| {
+            // lint: metric(server.{domain}.latency_us, server.{domain}.queue_wait_us)
+            Domain::ALL.map(|domain| registry.histogram(&format!("server.{domain}.{kind}")))
+        };
         ServerMetrics {
             started: Instant::now(),
             machine_json: MachineFingerprint::detect().to_json(),
@@ -238,12 +251,7 @@ impl ServerMetrics {
     /// The retained slow queries, oldest first (empty unless
     /// [`ServerConfig::slow_query_ms`] is set).
     pub fn slow_queries(&self) -> Vec<SlowQuery> {
-        self.slow_queries
-            .lock()
-            .expect("slow-query mutex poisoned")
-            .iter()
-            .cloned()
-            .collect()
+        lock_recover(&self.slow_queries).iter().cloned().collect()
     }
 
     /// Records one answered query: latency histogram, and the
@@ -257,6 +265,7 @@ impl ServerMetrics {
         latency_us: u64,
         trace_id: Option<u64>,
     ) {
+        // lint: allow(panic) — lane_of is always < NUM_LANES, the array length
         self.latency_us[lane_of(domain)].record(latency_us);
         let Some(threshold) = self.slow_query_us else {
             return;
@@ -275,7 +284,7 @@ impl ServerMetrics {
             }
             None => Vec::new(),
         };
-        let mut log = self.slow_queries.lock().expect("slow-query mutex poisoned");
+        let mut log = lock_recover(&self.slow_queries);
         if log.len() >= self.slow_query_cap {
             log.pop_front();
         }
@@ -355,12 +364,9 @@ impl ReplyBudget {
     /// when the writer is gone (client wedged or disconnected) — the
     /// reader should wind the connection down instead of admitting.
     fn reserve(&self) -> bool {
-        let mut state = self.state.lock().expect("budget mutex poisoned");
+        let mut state = lock_recover(&self.state);
         while state.0 >= self.cap && !state.1 {
-            state = self
-                .changed
-                .wait(state)
-                .expect("budget mutex poisoned while waiting");
+            state = self.changed.wait(state).unwrap_or_else(|e| e.into_inner());
         }
         if state.1 {
             return false;
@@ -371,13 +377,13 @@ impl ReplyBudget {
 
     /// Releases one slot (a response reached the socket).
     fn release(&self) {
-        self.state.lock().expect("budget mutex poisoned").0 -= 1;
+        lock_recover(&self.state).0 -= 1;
         self.changed.notify_all();
     }
 
     /// Marks the writer as gone, unparking any backpressured reader.
     fn writer_gone(&self) {
-        self.state.lock().expect("budget mutex poisoned").1 = true;
+        lock_recover(&self.state).1 = true;
         self.changed.notify_all();
     }
 }
@@ -450,9 +456,11 @@ fn start_inner(
         config.lane_depth,
         config.lane_weights,
     ));
-    queue.attach_depth_gauges(
-        Domain::ALL.map(|d| metrics.registry.gauge(&format!("server.lane.{d}.depth"))),
-    );
+    queue.attach_depth_gauges(Domain::ALL.map(|domain| {
+        metrics
+            .registry
+            .gauge(&format!("server.lane.{domain}.depth"))
+    }));
     let stop = Arc::new(AtomicBool::new(false));
 
     let dispatch_threads = (0..config.dispatchers.max(1))
@@ -474,7 +482,7 @@ fn start_inner(
             .name("pigeonring-accept".into())
             .spawn(move || {
                 for stream in listener.incoming() {
-                    if stop.load(Ordering::SeqCst) {
+                    if stop.load(Ordering::Acquire) {
                         break;
                     }
                     let Ok(stream) = stream else {
@@ -549,7 +557,9 @@ impl ServerHandle {
     }
 
     fn stop_threads(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        // Release/Acquire pairs with the accept loop's load; the flag
+        // carries no data, only the shutdown edge.
+        self.stop.store(true, Ordering::Release);
         // Unblock the accept loop with a throwaway connection. When the
         // listener is bound to a wildcard address (0.0.0.0 / ::),
         // dialing that address is platform-dependent and can hang;
@@ -591,6 +601,20 @@ impl Drop for ServerHandle {
 /// until the queue is closed and drained. Several dispatchers run this
 /// loop concurrently; replies carry request ids, so completion order
 /// across batches is free to interleave.
+/// Everything a dispatcher needs to answer (or fail) one slot of a
+/// micro-batch. One struct per slot instead of parallel arrays: the
+/// emit callback reaches all of it through a single checked
+/// `get_mut(slot)`, so a buggy handler emitting an out-of-range slot
+/// is ignored rather than panicking the dispatcher.
+struct SlotState {
+    id: u64,
+    domain: Domain,
+    admitted: Instant,
+    reply: mpsc::Sender<Response>,
+    trace: Option<JobTrace>,
+    answered: bool,
+}
+
 fn dispatch_loop(
     queue: &FairQueue<Job>,
     handler: &Handler,
@@ -601,14 +625,11 @@ fn dispatch_loop(
     while queue.pop_batch(micro_batch, &mut jobs) {
         metrics.dispatch_batch.record(jobs.len() as u64);
         let mut queries = Vec::with_capacity(jobs.len());
-        let mut ids = Vec::with_capacity(jobs.len());
-        let mut domains = Vec::with_capacity(jobs.len());
-        let mut admitted = Vec::with_capacity(jobs.len());
-        let mut replies = Vec::with_capacity(jobs.len());
-        let mut traces = Vec::with_capacity(jobs.len());
+        let mut slots: Vec<SlotState> = Vec::with_capacity(jobs.len());
         let mut span_buf = Vec::new();
         for job in jobs.drain(..) {
             let waited_us = job.admitted_at.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            // lint: allow(panic) — lane_of is always < NUM_LANES, the array length
             metrics.queue_wait_us[lane_of(job.domain)].record(waited_us);
             if let Some(t) = &job.trace {
                 // The queue-wait span covers admission → this pop;
@@ -619,84 +640,84 @@ fn dispatch_loop(
                 span_buf.push(metrics.tracer.finish(wait, kind::QUEUE_WAIT, "", vec![]));
             }
             queries.push(job.query);
-            ids.push(job.request_id);
-            domains.push(job.domain);
-            admitted.push(job.admitted_at);
-            replies.push(job.reply);
-            traces.push(job.trace);
+            slots.push(SlotState {
+                id: job.request_id,
+                domain: job.domain,
+                admitted: job.admitted_at,
+                reply: job.reply,
+                trace: job.trace,
+                answered: false,
+            });
         }
         metrics.tracer.extend(span_buf);
-        let n = queries.len();
         let trace_batch = TraceBatch::new(
             Arc::clone(&metrics.tracer),
-            traces
+            slots
                 .iter()
-                .map(|t| t.map(|t| (t.root.trace_id, t.root.id)))
+                .map(|s| s.trace.map(|t| (t.root.trace_id, t.root.id)))
                 .collect(),
         );
-        let mut answered = vec![false; n];
         // A panicking handler (engine bug) must not hang this batch's
         // clients, nor kill the dispatcher for future batches; whatever
         // the handler already emitted before the panic stands.
         let _ = catch_unwind(AssertUnwindSafe(|| {
             handler(queries, &trace_batch, &mut |slot, resp| {
-                if slot < n && !answered[slot] {
-                    answered[slot] = true;
-                    let latency_us =
-                        admitted[slot].elapsed().as_micros().min(u64::MAX as u128) as u64;
-                    // Close (and flush) the root span before exporting
-                    // or pinning, so the trace is complete the moment
-                    // the response leaves.
-                    let resp = match traces[slot] {
-                        Some(t) => {
-                            let root = metrics.tracer.finish(
-                                t.root,
-                                kind::QUERY,
-                                domains[slot].as_str(),
-                                vec![],
-                            );
-                            metrics.tracer.extend(vec![root]);
-                            match resp {
-                                Response::Results { ids, .. } if t.explain => {
-                                    Response::Explained {
-                                        request_id: 0, // stamped below
-                                        ids,
-                                        json: metrics.tracer.export_trace(t.root.trace_id).pretty(),
-                                    }
-                                }
-                                other => other,
-                            }
-                        }
-                        None => resp,
-                    };
-                    metrics.record_completion(
-                        domains[slot],
-                        ids[slot],
-                        latency_us,
-                        traces[slot].map(|t| t.root.trace_id),
-                    );
-                    if matches!(resp, Response::Error { .. }) {
-                        metrics.errors.inc();
-                    }
-                    // Receiver gone ⇒ client left; nothing to do.
-                    let _ = replies[slot].send(resp.with_request_id(ids[slot]));
+                let Some(st) = slots.get_mut(slot) else {
+                    return;
+                };
+                if st.answered {
+                    return;
                 }
+                st.answered = true;
+                let latency_us = st.admitted.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                // Close (and flush) the root span before exporting
+                // or pinning, so the trace is complete the moment
+                // the response leaves.
+                let resp = match st.trace {
+                    Some(t) => {
+                        let root =
+                            metrics
+                                .tracer
+                                .finish(t.root, kind::QUERY, st.domain.as_str(), vec![]);
+                        metrics.tracer.extend(vec![root]);
+                        match resp {
+                            Response::Results { ids, .. } if t.explain => Response::Explained {
+                                request_id: 0, // stamped below
+                                ids,
+                                json: metrics.tracer.export_trace(t.root.trace_id).pretty(),
+                            },
+                            other => other,
+                        }
+                    }
+                    None => resp,
+                };
+                metrics.record_completion(
+                    st.domain,
+                    st.id,
+                    latency_us,
+                    st.trace.map(|t| t.root.trace_id),
+                );
+                if matches!(resp, Response::Error { .. }) {
+                    metrics.errors.inc();
+                }
+                // Receiver gone ⇒ client left; nothing to do.
+                let _ = st.reply.send(resp.with_request_id(st.id));
             });
         }));
-        for slot in 0..n {
-            if !answered[slot] {
+        for st in &slots {
+            if !st.answered {
                 // A traced query that died still closes its root span,
                 // so the exported trace never has dangling parents.
-                if let Some(t) = traces[slot] {
+                if let Some(t) = st.trace {
                     let root =
                         metrics
                             .tracer
-                            .finish(t.root, kind::QUERY, domains[slot].as_str(), vec![]);
+                            .finish(t.root, kind::QUERY, st.domain.as_str(), vec![]);
                     metrics.tracer.extend(vec![root]);
                 }
                 metrics.errors.inc();
-                let _ = replies[slot].send(Response::Error {
-                    request_id: ids[slot],
+                let _ = st.reply.send(Response::Error {
+                    request_id: st.id,
                     code: ErrorCode::Internal,
                     message: "query execution failed".into(),
                 });
@@ -831,9 +852,11 @@ fn serve_connection(
                 match queue.try_push(domain, job) {
                     // Pipelining: admitted — do NOT wait for the reply;
                     // the dispatcher sends it to the writer directly.
+                    // lint: allow(panic) — lane_of is always < NUM_LANES
                     Ok(()) => metrics.admitted[lane_of(domain)].inc(),
                     // This lane is at capacity right now: retryable.
                     Err(PushError::Full(_)) => {
+                        // lint: allow(panic) — lane_of is always < NUM_LANES
                         metrics.busy[lane_of(domain)].inc();
                         let _ = reply_tx.send(Response::Busy { request_id });
                     }

@@ -477,6 +477,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
     let mut len_buf = [0u8; 4];
     let mut filled = 0;
     while filled < 4 {
+        // lint: allow(panic) — `filled < 4` bounds the range into the 4-byte buffer
         let n = r.read(&mut len_buf[filled..])?;
         if n == 0 {
             return if filled == 0 {
@@ -554,6 +555,7 @@ impl<'a> BodyReader<'a> {
         if self.remaining() < n {
             return Err(WireError::Truncated);
         }
+        // lint: allow(panic) — the remaining() guard above keeps pos + n in bounds
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
@@ -564,15 +566,15 @@ impl<'a> BodyReader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        // take(4) returns exactly 4 bytes, so the conversion cannot
+        // fail; mapping to Truncated keeps the path panic-free anyway.
+        let bytes = self.take(4)?.try_into().map_err(|_| WireError::Truncated)?;
+        Ok(u32::from_le_bytes(bytes))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        let bytes = self.take(8)?.try_into().map_err(|_| WireError::Truncated)?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     /// Reads a `count`-prefixed length, validating that `count * width`

@@ -76,9 +76,10 @@ pub fn cores() -> usize {
 pub fn default_shard_counts() -> Vec<usize> {
     let mut counts = vec![1usize, 2, 4, 8];
     let cores = cores();
-    while *counts.last().expect("non-empty ladder") < cores {
-        let next = counts.last().expect("non-empty ladder") * 2;
-        counts.push(next);
+    let mut top = 8usize;
+    while top < cores {
+        top *= 2;
+        counts.push(top);
     }
     counts
 }

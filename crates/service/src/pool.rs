@@ -105,6 +105,8 @@ impl ScratchStore {
             .entry(TypeId::of::<S>())
             .or_insert_with(|| Box::new(S::default()))
             .downcast_mut::<S>()
+            // lint: allow(panic) — the entry is keyed by TypeId::of::<S>, so it
+            // always holds an S
             .expect("slot keyed by TypeId::of::<S> holds an S")
     }
 
@@ -116,6 +118,14 @@ impl ScratchStore {
 }
 
 type Job = Box<dyn FnOnce(&mut ScratchStore) + Send>;
+
+/// Locks the pool mutex, recovering from poison: the guarded state (a
+/// queue of owned jobs plus the shutdown flag) is consistent after any
+/// partial update, and a job panic is already survived by the workers,
+/// so submission must survive it too.
+fn lock_recover<'a>(m: &'a Mutex<PoolState>) -> std::sync::MutexGuard<'a, PoolState> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 struct PoolState {
     jobs: VecDeque<Job>,
@@ -154,6 +164,8 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("pigeonring-worker-{i}"))
                     .spawn(move || worker_loop(&shared))
+                    // lint: allow(panic) — spawn failure at pool construction is
+                    // an unrecoverable resource exhaustion; fail loudly at startup
                     .expect("spawn worker thread")
             })
             .collect();
@@ -214,7 +226,7 @@ impl WorkerPool {
             }
             None => Box::new(job),
         };
-        let mut state = self.shared.state.lock().expect("pool mutex poisoned");
+        let mut state = lock_recover(&self.shared.state);
         if state.shutdown {
             return Err(JobRejected);
         }
@@ -232,11 +244,7 @@ impl WorkerPool {
     /// every later [`WorkerPool::submit`] returns [`JobRejected`].
     /// Workers exit once the queue drains; [`Drop`] joins them.
     pub fn shutdown(&self) {
-        self.shared
-            .state
-            .lock()
-            .expect("pool mutex poisoned")
-            .shutdown = true;
+        lock_recover(&self.shared.state).shutdown = true;
         self.shared.available.notify_all();
     }
 }
@@ -250,6 +258,8 @@ impl Drop for WorkerPool {
             if handle.join().is_err() {
                 // Already unwinding? Don't double-panic out of drop.
                 if !std::thread::panicking() {
+                    // lint: allow(panic) — a worker dying outside a job is a pool
+                    // bug; propagating the panic is the only honest signal
                     panic!("worker thread panicked outside a job");
                 }
             }
@@ -261,7 +271,7 @@ fn worker_loop(shared: &PoolShared) {
     let mut scratch = ScratchStore::default();
     loop {
         let job = {
-            let mut state = shared.state.lock().expect("pool mutex poisoned");
+            let mut state = lock_recover(&shared.state);
             loop {
                 if let Some(job) = state.jobs.pop_front() {
                     break job;
@@ -272,7 +282,7 @@ fn worker_loop(shared: &PoolShared) {
                 state = shared
                     .available
                     .wait(state)
-                    .expect("pool mutex poisoned while waiting");
+                    .unwrap_or_else(|e| e.into_inner());
             }
         };
         // A panicking job must not kill the worker (later jobs would

@@ -71,8 +71,11 @@ impl IndexMetrics {
     /// `.batch_size`).
     pub fn register(registry: &MetricsRegistry, prefix: &str) -> Self {
         IndexMetrics {
+            // lint: metric(index.{domain}.plan_us)
             plan_us: registry.histogram(&format!("{prefix}.plan_us")),
+            // lint: metric(index.{domain}.search_us)
             search_us: registry.histogram(&format!("{prefix}.search_us")),
+            // lint: metric(index.{domain}.batch_size)
             batch_size: registry.histogram(&format!("{prefix}.batch_size")),
         }
     }
@@ -156,6 +159,8 @@ impl<E: SearchEngine> Shard<E> {
                 let mut out = Vec::new();
                 let stats = self.engine.search_into(scratch, q, params, &mut out);
                 for id in &mut out {
+                    // lint: allow(panic) — engines emit shard-local ids, which
+                    // index the shard's own id table by construction
                     *id = self.ids[*id as usize];
                 }
                 (out, stats)
@@ -182,6 +187,8 @@ impl<E: SearchEngine> Shard<E> {
                     .engine
                     .search_planned(scratch, plan, q, params, &mut out);
                 for id in &mut out {
+                    // lint: allow(panic) — engines emit shard-local ids, which
+                    // index the shard's own id table by construction
                     *id = self.ids[*id as usize];
                 }
                 (out, stats)
@@ -226,8 +233,10 @@ fn partition<R>(records: Vec<R>, shards: usize) -> Vec<(Vec<u32>, Vec<R>)> {
     let mut parts: Vec<(Vec<u32>, Vec<R>)> = (0..shards).map(|_| Default::default()).collect();
     for (id, record) in records.into_iter().enumerate() {
         let s = shard_of(id as u64, shards);
-        parts[s].0.push(id as u32);
-        parts[s].1.push(record);
+        // lint: allow(panic) — shard_of reduces modulo `shards`, the length
+        let part = &mut parts[s];
+        part.0.push(id as u32);
+        part.1.push(record);
     }
     parts.retain(|(ids, _)| !ids.is_empty());
     parts
@@ -366,11 +375,9 @@ impl<E: SearchEngine> ShardedIndex<E> {
             return None;
         }
         let shard0 = self.shards.first()?;
-        let mut guard = match self.planner.try_lock() {
-            Ok(store) => Some(store),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-            Err(std::sync::TryLockError::Poisoned(e)) => panic!("planner mutex poisoned: {e}"),
-        };
+        // A poisoned planner scratch (a plan panicked mid-update) is treated
+        // like contention: plan against a fresh local scratch instead.
+        let mut guard = self.planner.try_lock().ok();
         let mut local: Option<E::Scratch> = None;
         let scratch: &mut E::Scratch = match guard.as_mut() {
             Some(store) => store.get_mut::<E::Scratch>(),
@@ -419,11 +426,15 @@ impl<E: SearchEngine> ShardedIndex<E> {
                 ),
                 None => shard.run_batch(&mut scratch, std::slice::from_ref(query), params),
             };
+            // lint: allow(panic) — run_batch returns one entry per query and
+            // exactly one query was passed
             let (ids, stats) = res.pop().expect("one query in, one result out");
             merged.ids.extend(ids);
             merged.stats.merge(&stats);
         }
         if let Some(p) = &plan {
+            // lint: allow(panic) — plan_batch returned Some, so shards is
+            // non-empty
             let shard0 = self.shards.first().expect("plan implies a shard");
             merged.stats.merge(&shard0.engine.plan_stats(p));
         }
@@ -615,11 +626,15 @@ impl<E: SearchEngine> ShardedIndex<E> {
         workers: usize,
         f: impl FnOnce(&WorkerPool) -> Vec<ShardBatch<E::Stats>>,
     ) -> Vec<ShardBatch<E::Stats>> {
-        let mut pool = self.pool.lock().expect("interior pool mutex poisoned");
-        if pool.as_ref().is_none_or(|p| p.workers() != workers) {
-            *pool = Some(WorkerPool::new(workers));
+        // Poison recovery: the guarded Option<WorkerPool> is replaced
+        // wholesale, never half-updated, so a panicking holder leaves it
+        // consistent.
+        let mut guard = self.pool.lock().unwrap_or_else(|e| e.into_inner());
+        let pool = guard.get_or_insert_with(|| WorkerPool::new(workers));
+        if pool.workers() != workers {
+            *pool = WorkerPool::new(workers);
         }
-        f(pool.as_ref().expect("pool just ensured"))
+        f(pool)
     }
 
     /// Serial fallback: every shard on the calling thread, one scratch.
@@ -732,6 +747,7 @@ impl<E: SearchEngine> ShardedIndex<E> {
             pool.submit(move |store| {
                 let scratch = store.get_mut::<E::Scratch>();
                 let result = shard_spans(trace.as_deref(), si, || {
+                    // lint: allow(panic) — si ranges over 0..shards.len()
                     run(&shards[si], scratch, &params)
                 });
                 // The receiver only hangs up on panic-unwind; ignore.
@@ -740,6 +756,7 @@ impl<E: SearchEngine> ShardedIndex<E> {
             // Searching on a pool the caller already shut down is a
             // caller bug; failing loudly beats deadlocking below on
             // results that will never arrive.
+            // lint: allow(panic) — deliberate: deadlock is the alternative
             .expect("search_batch_on called on a shut-down worker pool");
         }
         drop(tx);
@@ -747,11 +764,15 @@ impl<E: SearchEngine> ShardedIndex<E> {
         for _ in 0..ns {
             // A worker job that panicked drops its sender without
             // sending; recv then fails once all senders are gone.
+            // lint: allow(panic) — a shard worker panicked; this batch cannot
+            // be answered, and the server's dispatcher catches the unwind
             let (si, res) = rx.recv().expect("search worker panicked");
+            // lint: allow(panic) — si comes from the submit loop, always < ns
             slots[si] = Some(res);
         }
         slots
             .into_iter()
+            // lint: allow(panic) — ns successful receives fill every slot
             .map(|s| s.expect("every shard served"))
             .collect()
     }
@@ -771,8 +792,11 @@ impl<E: SearchEngine> ShardedIndex<E> {
             .collect();
         for shard_results in per_shard {
             for (qi, (ids, stats)) in shard_results.into_iter().enumerate() {
-                merged[qi].ids.extend(ids);
-                merged[qi].stats.merge(&stats);
+                // lint: allow(panic) — every shard batch has one entry per
+                // query, so qi < batch_len, the length of merged
+                let slot = &mut merged[qi];
+                slot.ids.extend(ids);
+                slot.stats.merge(&stats);
             }
         }
         for res in &mut merged {

@@ -226,6 +226,8 @@ impl Sweep {
             let batch_results = match (shared_plans, &chunk_plans) {
                 (Some((plans, _)), _) => index.search_batch_planned(
                     chunk,
+                    // lint: allow(panic) — plans has one entry per query; served
+                    // + chunk.len() never exceeds queries.len() by the chunking
                     &plans[served..served + chunk.len()],
                     params,
                     threads,
@@ -276,6 +278,7 @@ impl Sweep {
             dict_build_ms: index.dictionary_build_ms(),
             result_hash: hasher.finish(),
         });
+        // lint: allow(panic) — the row was pushed two statements above
         (self.rows.last().expect("row just pushed"), agg)
     }
 
