@@ -20,11 +20,20 @@
 //!   full lane answers `Busy` for *that domain only* and weighted
 //!   round-robin batch formation stops a slow-domain burst from
 //!   inflating every domain's tail.
-//! * [`server`] — accept loop, pipelined per-connection reader/writer
-//!   threads, and the weighted-fair dispatchers that coalesce up to `B`
-//!   queued queries per fan-out so the network path inherits the
-//!   service layer's batch amortization on the shared persistent
-//!   [`WorkerPool`](pigeonring_service::WorkerPool).
+//! * [`server`] — connection handling (a nonblocking [`sys`]-backed
+//!   reactor by default, so connection count costs file descriptors
+//!   instead of threads; the PR 4 thread-per-connection backend stays
+//!   selectable via [`Backend`] for differential testing) and the
+//!   weighted-fair dispatchers that coalesce up to `B` queued queries
+//!   per fan-out so the network path inherits the service layer's
+//!   batch amortization on the shared persistent
+//!   [`WorkerPool`](pigeonring_service::WorkerPool). Lane weights come
+//!   from a validated [`LaneWeightPolicy`] — derived live from the
+//!   measured per-domain cost EMA by default.
+//! * [`sys`] — dependency-free readiness syscalls: hand-rolled
+//!   `extern "C"` epoll bindings with a portable `poll(2)` fallback,
+//!   and the UDP-pair waker that lets dispatchers interrupt a blocked
+//!   poll wait.
 //! * [`registry`] — deterministic engine construction
 //!   ([`EngineSpec`] → [`EngineSet`]) from the same data loaders the
 //!   `repro` harness uses, so a server and an in-process run built from
@@ -41,16 +50,23 @@
 
 pub mod client;
 pub mod queue;
+#[cfg(unix)]
+pub(crate) mod reactor;
 pub mod registry;
 pub mod server;
+#[cfg(unix)]
+pub mod sys;
+pub mod weights;
 pub mod wire;
 
 pub use client::{Client, ClientError, Outcome};
 pub use queue::{lane_of, BoundedQueue, FairQueue, PushError, NUM_LANES};
 pub use registry::{EngineSet, EngineSpec};
 pub use server::{
-    start, start_with_handler, Handler, ServerConfig, ServerHandle, ServerMetrics, SlowQuery,
+    start, start_with_handler, Backend, Handler, ServerConfig, ServerHandle, ServerMetrics,
+    SlowQuery,
 };
+pub use weights::{CostEmaWeights, LaneWeightPolicy, WeightConfigError, DEFAULT_STATIC_WEIGHTS};
 pub use wire::{
     Domain, DomainQuery, ErrorCode, Request, Response, WireError, CONNECTION_REQUEST_ID,
     MAX_FRAME_LEN, PROTOCOL_VERSION,

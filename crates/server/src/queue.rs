@@ -23,6 +23,7 @@
 //!   domains under the old global FIFO).
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 
 use pigeonring_telemetry::Gauge;
@@ -177,7 +178,11 @@ pub struct FairQueue<T> {
     state: Mutex<FairState<T>>,
     not_empty: Condvar,
     lane_capacity: usize,
-    weights: [usize; NUM_LANES],
+    /// Per-sweep lane shares. Atomics so the cost-EMA weight tuner can
+    /// retune a live queue without touching the queue mutex; each
+    /// weight is read independently per sweep step, so a mid-sweep
+    /// retune simply takes effect lane by lane.
+    weights: [AtomicUsize; NUM_LANES],
     /// Optional per-lane depth gauges, maintained at push/pop so depth
     /// can be read without taking the queue mutex.
     depth_gauges: OnceLock<[Arc<Gauge>; NUM_LANES]>,
@@ -197,9 +202,27 @@ impl<T> FairQueue<T> {
             }),
             not_empty: Condvar::new(),
             lane_capacity: lane_capacity.max(1),
-            weights: weights.map(|w| w.max(1)),
+            weights: weights.map(|w| AtomicUsize::new(w.max(1))),
             depth_gauges: OnceLock::new(),
         }
+    }
+
+    /// Replaces the per-lane weights (each clamped to ≥ 1). Safe to
+    /// call while consumers are popping: the next sweep step over a
+    /// lane observes its new share. This is the cost-EMA tuner's entry
+    /// point; static configurations simply never call it.
+    pub fn set_weights(&self, weights: [usize; NUM_LANES]) {
+        for (slot, w) in self.weights.iter().zip(weights) {
+            slot.store(w.max(1), Ordering::Relaxed);
+        }
+    }
+
+    /// The current per-lane weights ([`Domain::ALL`] order).
+    pub fn weights(&self) -> [usize; NUM_LANES] {
+        std::array::from_fn(|i| {
+            // lint: allow(panic) — from_fn indexes 0..NUM_LANES, the array length
+            self.weights[i].load(Ordering::Relaxed)
+        })
     }
 
     /// Attaches one depth gauge per lane ([`Domain::ALL`] order);
@@ -279,7 +302,9 @@ impl<T> FairQueue<T> {
                     let li = state.cursor % NUM_LANES;
                     state.cursor = state.cursor.wrapping_add(1);
                     // lint: allow(panic) — li is cursor % NUM_LANES, in bounds for all three arrays
-                    let quota = self.weights[li].min(max - out.len());
+                    let quota = self.weights[li]
+                        .load(Ordering::Relaxed)
+                        .min(max - out.len());
                     // lint: allow(panic) — li is cursor % NUM_LANES, in bounds
                     let lane = &mut state.lanes[li];
                     let take = quota.min(lane.len());
@@ -476,6 +501,28 @@ mod tests {
         let hamming = out.iter().filter(|(d, _)| *d == Domain::Hamming).count();
         let graph = out.iter().filter(|(d, _)| *d == Domain::Graph).count();
         assert_eq!((hamming, graph), (3, 1), "weighted shares: {out:?}");
+    }
+
+    #[test]
+    fn fair_weights_can_be_retuned_live() {
+        let q: FairQueue<(Domain, u32)> = FairQueue::new(16, [1, 1, 1, 1]);
+        assert_eq!(q.weights(), [1, 1, 1, 1]);
+        q.set_weights([3, 1, 1, 0]); // zero clamps to 1 — no lane starves
+        assert_eq!(q.weights(), [3, 1, 1, 1]);
+        for i in 0..6 {
+            q.try_push(Domain::Hamming, (Domain::Hamming, i))
+                .expect("room");
+            q.try_push(Domain::Graph, (Domain::Graph, i)).expect("room");
+        }
+        let mut out = Vec::new();
+        assert!(q.pop_batch(4, &mut out));
+        let hamming = out.iter().filter(|(d, _)| *d == Domain::Hamming).count();
+        let graph = out.iter().filter(|(d, _)| *d == Domain::Graph).count();
+        assert_eq!(
+            (hamming, graph),
+            (3, 1),
+            "retuned weights drive the mix: {out:?}"
+        );
     }
 
     #[test]

@@ -336,6 +336,17 @@ impl EngineSet {
         &self.spec
     }
 
+    /// Current per-domain cost EMA in nanoseconds per query
+    /// ([`Domain::ALL`] order, `0` = not sampled yet) — the signal the
+    /// server's cost-EMA lane-weight tuner reads to size each domain's
+    /// share of a dispatch micro-batch.
+    pub fn cost_ema_ns(&self) -> [u64; 4] {
+        std::array::from_fn(|i| {
+            // lint: allow(panic) — from_fn indexes 0..4, the array length
+            self.cost_ema_ns[i].load(Ordering::Relaxed)
+        })
+    }
+
     /// The sharded Hamming index (for direct in-process comparison).
     pub fn hamming_index(&self) -> &ShardedIndex<RingHamming> {
         &self.hamming

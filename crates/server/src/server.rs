@@ -1,28 +1,47 @@
-//! The TCP frontend: accept loop, pipelined per-connection reader /
-//! writer threads, and the weighted-fair dispatchers between the
+//! The TCP frontend: connection handling (a nonblocking reactor by
+//! default, the PR 4 thread-per-connection backend as a selectable
+//! alternative) and the weighted-fair dispatchers between the
 //! per-domain lanes and the worker pool.
 //!
-//! Data path of one request (wire v2):
+//! Data path of one request (wire v2, reactor backend):
 //!
 //! ```text
-//! client ══frames══▶ reader thread ──try_push──▶ FairQueue (4 lanes, ≤ Q each)
-//!   ║                     │  lane full? ◀────────────┘
-//!   ║                     ▼  Busy{id} ──▶ reply channel
-//!   ║                dispatchers (D threads) ──WRR pop_batch(≤ B)──▶ handler
-//!   ║                     │ streams Response{id} per domain group
-//! client ◀══frames══ writer thread ◀──reply channel──┘
+//! client ══frames══▶ reactor (1 thread, epoll/poll) ──try_push──▶ FairQueue
+//!   ║          readable: FrameDecoder ▶ handle_payload  (4 lanes, ≤ Q each)
+//!   ║               │ lane full? ▶ Busy{id} ─┐     │
+//!   ║          dispatchers (D threads) ◀──WRR pop_batch(≤ B)──┘
+//!   ║               │ streams Response{id} per domain group
+//!   ║               ▼ ReplySink ──pending + waker──▶ reactor
+//! client ◀══frames══ per-connection write buffer, EPOLLOUT re-armed
 //! ```
 //!
-//! * **Pipelining**: the reader admits frames without waiting for
-//!   replies, so many requests per connection are in flight at once;
-//!   the writer drains a per-connection reply channel and responses
+//! * **Readiness, not threads**: one reactor thread owns every
+//!   connection — accepting, incrementally decoding frames on
+//!   readable events ([`FrameDecoder`]), and draining per-connection
+//!   write buffers on writable events. Connection count costs file
+//!   descriptors and buffer bytes, never OS threads. The threaded
+//!   backend ([`Backend::Threaded`]) keeps the PR 4 reader/writer
+//!   pair per connection for differential testing.
+//! * **Pipelining**: frames are admitted without waiting for replies,
+//!   so many requests per connection are in flight at once; responses
 //!   return in completion order, matched to requests by id — out of
 //!   order is normal and expected.
+//! * **Backpressure**: each connection may have at most
+//!   [`ServerConfig::conn_in_flight`] responses admitted-or-unwritten.
+//!   At the cap the reactor stops parsing and drops read interest —
+//!   the kernel's receive window fills and the client blocks: honest
+//!   TCP backpressure, bit-identical in admission behavior to the
+//!   threaded backend's blocking [`ReplyBudget`]. A client that stops
+//!   draining its socket for 30 s is torn down (a reactor deadline on
+//!   the stalled connection; a write timeout in the threaded backend)
+//!   with a terminal typed error, counted in `server.writer.stalls`.
 //! * **Weighted-fair admission**: each domain owns a bounded lane; a
 //!   full lane answers [`Response::Busy`] for *that domain only*, so a
 //!   graph burst can't consume Hamming's admission budget, and
 //!   [`FairQueue::pop_batch`] assembles every micro-batch by weighted
-//!   round-robin so no backlog starves another lane.
+//!   round-robin so no backlog starves another lane. Lane weights come
+//!   from a validated [`LaneWeightPolicy`] — by default derived live
+//!   from the engines' measured per-domain cost EMA.
 //! * **Streamed replies**: the handler answers each domain *group* of a
 //!   micro-batch as it completes, cheapest measured group first — see
 //!   [`EngineSet::run_streaming`](crate::registry::EngineSet::run_streaming) —
@@ -38,24 +57,74 @@ use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use pigeonring_service::{MachineFingerprint, PoolMetrics, WorkerPool};
 use pigeonring_telemetry::trace::{kind, TraceBatch, DEFAULT_TRACE_BUFFER};
-use pigeonring_telemetry::{Counter, Histogram, MetricsRegistry, SpanHandle, TraceCollector};
+use pigeonring_telemetry::{
+    Counter, Gauge, Histogram, MetricsRegistry, SpanHandle, TraceCollector,
+};
 
 use crate::queue::{lane_of, FairQueue, PushError, NUM_LANES};
 use crate::registry::EngineSet;
+use crate::weights::{CostEmaWeights, LaneWeightPolicy};
 use crate::wire::{
     decode_request, encode_response, read_frame, write_frame, Domain, DomainQuery, ErrorCode,
     Request, Response, WireError, CONNECTION_REQUEST_ID, MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 
+#[cfg(unix)]
+use crate::reactor;
+
+/// Which connection-handling engine serves the sockets. Both backends
+/// share the lanes, dispatchers, handler, frame handling
+/// (`handle_payload`) and metrics — only how bytes move between
+/// sockets and the queue differs, which is what makes them
+/// differentially testable.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// PR 4's thread-per-connection backend: a blocking reader thread
+    /// plus a writer thread per connection. Simple, but connection
+    /// count costs 2 OS threads each.
+    Threaded,
+    /// The nonblocking reactor (default): one thread multiplexes every
+    /// connection over epoll (Linux) or `poll(2)`.
+    #[default]
+    Reactor,
+}
+
+impl Backend {
+    /// Parses a CLI/config name (`"threaded"` / `"reactor"`).
+    pub fn parse_name(name: &str) -> Option<Backend> {
+        match name {
+            "threaded" => Some(Backend::Threaded),
+            "reactor" => Some(Backend::Reactor),
+            _ => None,
+        }
+    }
+
+    /// The canonical name (round-trips through [`Backend::parse_name`]).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Backend::Threaded => "threaded",
+            Backend::Reactor => "reactor",
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Server tuning knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct ServerConfig {
+    /// Connection-handling backend (default: [`Backend::Reactor`]).
+    pub backend: Backend,
     /// Bounded per-lane queue depth `Q` (admission control): request
     /// `Q+1` of a domain while `Q` are buffered in its lane receives
     /// [`Response::Busy`]; other domains' lanes are unaffected.
@@ -66,11 +135,15 @@ pub struct ServerConfig {
     /// batch dispatch while a slow batch is still executing — combined
     /// with streamed replies this is what decouples per-domain tails.
     pub dispatchers: usize,
-    /// Weighted-round-robin share per lane (in [`Domain::ALL`] order:
-    /// Hamming, edit, set, graph): how many items a lane contributes
-    /// per sweep when batches are assembled. Slow domains get smaller
-    /// weights so one micro-batch never carries a long slow-domain run.
-    pub lane_weights: [usize; 4],
+    /// How each lane's weighted-round-robin share is chosen (in
+    /// [`Domain::ALL`] order: Hamming, edit, set, graph). The default
+    /// [`LaneWeightPolicy::CostEma`] sizes shares inversely to the
+    /// measured per-domain cost EMA, retuned live, so one micro-batch
+    /// never carries a long slow-domain run no matter which domains
+    /// are slow *on this dataset*; [`LaneWeightPolicy::Static`] pins
+    /// explicit shares instead. Validated at startup — an out-of-range
+    /// configuration fails [`start`] with `InvalidInput`.
+    pub lane_weights: LaneWeightPolicy,
     /// Per-connection reply budget: the maximum responses a connection
     /// may have admitted-or-unwritten at once. Beyond it the reader
     /// stops reading frames (real TCP backpressure) until the writer
@@ -97,14 +170,15 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
+            backend: Backend::default(),
             lane_depth: 64,
             micro_batch: 16,
             dispatchers: 4,
             // Hamming/setsim answer in ~µs, editdist in ~100µs, graph
-            // GED in ~ms (see results/BENCH_server.json): weight the
-            // fast lanes up so their share of every batch is large and
-            // the slow lanes' share is bounded.
-            lane_weights: [8, 4, 8, 2],
+            // GED in ~ms (see results/BENCH_server.json) — but instead
+            // of hard-coding that, derive each lane's share from the
+            // live cost EMA (cheap lanes large, expensive bounded).
+            lane_weights: LaneWeightPolicy::CostEma(CostEmaWeights::default()),
             conn_in_flight: 32,
             slow_query_ms: None,
             slow_query_ring: 64,
@@ -119,24 +193,58 @@ impl Default for ServerConfig {
 /// consistent after any partial update (a ring of owned entries, a
 /// counter pair), so serving on recovered state is always sound —
 /// aborting the connection or the Stats snapshot would not be.
-fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// How long the writer half waits on a blocked socket before declaring
 /// the client wedged and tearing the connection down (which frees its
 /// buffered replies and unparks a backpressured reader).
-const WRITER_STALL_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
+pub(crate) const WRITER_STALL_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
+
+/// Where a finished response goes: the backend-specific half of the
+/// reply path. Dispatchers (and the inline Stats/Trace answers) are
+/// backend-agnostic — they call [`ReplySink::send`] and the sink
+/// routes to the connection's writer thread (threaded backend) or to
+/// the reactor's pending-reply mailbox plus a wakeup.
+#[derive(Clone)]
+pub(crate) enum ReplySink {
+    /// Threaded backend: the connection's reply channel; its writer
+    /// thread serializes the frames.
+    Channel(mpsc::Sender<Response>),
+    /// Reactor backend: connection token + the shared mailbox the
+    /// reactor drains when woken.
+    #[cfg(unix)]
+    Reactor {
+        conn: u64,
+        shared: Arc<reactor::ReactorShared>,
+    },
+}
+
+impl ReplySink {
+    /// Delivers one response toward the owning connection. Delivery to
+    /// a connection that already went away is silently dropped, like a
+    /// send on a closed channel.
+    pub(crate) fn send(&self, response: Response) {
+        match self {
+            ReplySink::Channel(tx) => {
+                let _ = tx.send(response);
+            }
+            #[cfg(unix)]
+            ReplySink::Reactor { conn, shared } => shared.send(*conn, response),
+        }
+    }
+}
 
 /// One queued request: the decoded query, the id to echo, and the
-/// connection's reply channel (shared by every in-flight request of
-/// that connection; the writer thread serializes the frames).
-struct Job {
+/// connection's reply sink (shared by every in-flight request of that
+/// connection).
+pub(crate) struct Job {
     request_id: u64,
     query: DomainQuery,
     domain: Domain,
     admitted_at: Instant,
-    reply: mpsc::Sender<Response>,
+    reply: ReplySink,
     trace: Option<JobTrace>,
 }
 
@@ -187,10 +295,18 @@ pub struct ServerMetrics {
     busy: [Arc<Counter>; NUM_LANES],
     latency_us: [Arc<Histogram>; NUM_LANES],
     queue_wait_us: [Arc<Histogram>; NUM_LANES],
-    errors: Arc<Counter>,
-    frames_rejected: Arc<Counter>,
+    pub(crate) errors: Arc<Counter>,
+    pub(crate) frames_rejected: Arc<Counter>,
     dispatch_batch: Arc<Histogram>,
-    writer_stalls: Arc<Counter>,
+    pub(crate) writer_stalls: Arc<Counter>,
+    /// Open connections right now (either backend).
+    pub(crate) conns: Arc<Gauge>,
+    /// Reactor poll returns (the threaded backend leaves these at 0).
+    pub(crate) reactor_wakeups: Arc<Counter>,
+    /// Readiness events delivered per poll return.
+    pub(crate) reactor_events_per_wake: Arc<Histogram>,
+    /// Write-buffer flush passes that made progress on a socket.
+    pub(crate) reactor_write_flushes: Arc<Counter>,
     slow_query_us: Option<u64>,
     slow_query_cap: usize,
     slow_queries: Mutex<VecDeque<SlowQuery>>,
@@ -219,6 +335,10 @@ impl ServerMetrics {
             frames_rejected: registry.counter("server.frames_rejected"),
             dispatch_batch: registry.histogram("server.dispatch.batch_size"),
             writer_stalls: registry.counter("server.writer.stalls"),
+            conns: registry.gauge("server.conns"),
+            reactor_wakeups: registry.counter("server.reactor.wakeups"),
+            reactor_events_per_wake: registry.histogram("server.reactor.events_per_wake"),
+            reactor_write_flushes: registry.counter("server.reactor.write_flushes"),
             slow_query_us: config.slow_query_ms.map(|ms| ms.saturating_mul(1000)),
             slow_query_cap: config.slow_query_ring.max(1),
             slow_queries: Mutex::new(VecDeque::new()),
@@ -388,6 +508,38 @@ impl ReplyBudget {
     }
 }
 
+/// Retunes the [`FairQueue`] lane weights from a live per-domain cost
+/// signal, once every [`CostEmaWeights::refresh_batches`] dispatched
+/// batches. Shared by all dispatcher threads; the counter is atomic
+/// and a retune is a handful of relaxed stores, so the dispatch hot
+/// path pays one `fetch_add` per batch.
+pub(crate) struct WeightTuner {
+    /// Reads the current per-lane cost estimate (ns/query, 0 = no
+    /// sample) — in production, [`EngineSet::cost_ema_ns`].
+    source: Arc<dyn Fn() -> [u64; NUM_LANES] + Send + Sync>,
+    cfg: CostEmaWeights,
+    batches: AtomicU32,
+}
+
+impl WeightTuner {
+    fn new(source: Arc<dyn Fn() -> [u64; NUM_LANES] + Send + Sync>, cfg: CostEmaWeights) -> Self {
+        WeightTuner {
+            source,
+            cfg,
+            batches: AtomicU32::new(0),
+        }
+    }
+
+    /// Called once per popped batch; applies freshly derived weights on
+    /// the configured cadence.
+    fn batch_dispatched(&self, queue: &FairQueue<Job>) {
+        let n = self.batches.fetch_add(1, Ordering::Relaxed).wrapping_add(1);
+        if n % self.cfg.refresh_batches == 0 {
+            queue.set_weights(self.cfg.derive((self.source)()));
+        }
+    }
+}
+
 /// A batch handler: answers one micro-batch of queries by calling
 /// `emit(slot, response)` once per query, in whatever order it
 /// completes them (the dispatcher stamps request ids on). The
@@ -406,7 +558,11 @@ pub struct ServerHandle {
     queue: Arc<FairQueue<Job>>,
     stop: Arc<AtomicBool>,
     metrics: Arc<ServerMetrics>,
+    /// Threaded backend: the accept loop's thread.
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    /// Reactor backend: the event loop's thread + wake handle.
+    #[cfg(unix)]
+    reactor: Option<reactor::ReactorControl>,
     dispatch_threads: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -425,10 +581,22 @@ pub fn start(
     let metrics = Arc::new(ServerMetrics::new(&config));
     engines.attach_metrics(metrics.registry());
     pool.attach_metrics(PoolMetrics::register(metrics.registry()));
+    // The cost-EMA lane-weight tuner reads the same per-domain EMA the
+    // streaming executor maintains for shortest-job-first ordering.
+    let tuner = match config.lane_weights {
+        LaneWeightPolicy::CostEma(cfg) => {
+            let engines = Arc::clone(&engines);
+            Some(Arc::new(WeightTuner::new(
+                Arc::new(move || engines.cost_ema_ns()),
+                cfg,
+            )))
+        }
+        LaneWeightPolicy::Static(_) => None,
+    };
     let handler: Handler = Arc::new(move |queries, traces, emit| {
         engines.run_streaming(&pool, queries, traces, emit);
     });
-    start_inner(listener, handler, config, metrics)
+    start_inner(listener, handler, config, metrics, tuner)
 }
 
 /// [`start`], but with an arbitrary batch handler (test seam: inject a
@@ -442,7 +610,9 @@ pub fn start_with_handler(
     config: ServerConfig,
 ) -> std::io::Result<ServerHandle> {
     let metrics = Arc::new(ServerMetrics::new(&config));
-    start_inner(listener, handler, config, metrics)
+    // No engine set here, so a CostEma policy has no cost signal: it
+    // simply serves on its initial (static fallback) weights.
+    start_inner(listener, handler, config, metrics, None)
 }
 
 fn start_inner(
@@ -450,11 +620,21 @@ fn start_inner(
     handler: Handler,
     config: ServerConfig,
     metrics: Arc<ServerMetrics>,
+    tuner: Option<Arc<WeightTuner>>,
 ) -> std::io::Result<ServerHandle> {
+    // Reject an out-of-range weight configuration before any thread
+    // spawns: startup is the only place the error has a caller to
+    // reach.
+    if let Err(e) = config.lane_weights.validate() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            e.to_string(),
+        ));
+    }
     let addr = listener.local_addr()?;
     let queue = Arc::new(FairQueue::<Job>::new(
         config.lane_depth,
-        config.lane_weights,
+        config.lane_weights.initial_weights(),
     ));
     queue.attach_depth_gauges(Domain::ALL.map(|domain| {
         metrics
@@ -468,52 +648,97 @@ fn start_inner(
             let queue = Arc::clone(&queue);
             let handler = Arc::clone(&handler);
             let metrics = Arc::clone(&metrics);
+            let tuner = tuner.clone();
             std::thread::Builder::new()
                 .name(format!("pigeonring-dispatch-{i}"))
-                .spawn(move || dispatch_loop(&queue, &handler, config.micro_batch, &metrics))
+                .spawn(move || {
+                    dispatch_loop(
+                        &queue,
+                        &handler,
+                        config.micro_batch,
+                        &metrics,
+                        tuner.as_deref(),
+                    )
+                })
         })
         .collect::<std::io::Result<Vec<_>>>()?;
 
-    let accept_thread = {
-        let queue = Arc::clone(&queue);
-        let stop = Arc::clone(&stop);
-        let metrics = Arc::clone(&metrics);
-        std::thread::Builder::new()
-            .name("pigeonring-accept".into())
-            .spawn(move || {
-                for stream in listener.incoming() {
-                    if stop.load(Ordering::Acquire) {
-                        break;
-                    }
-                    let Ok(stream) = stream else {
-                        // Persistent accept errors (fd exhaustion under
-                        // load) would otherwise busy-spin this loop at
-                        // 100% CPU; back off briefly so closing
-                        // connections can release their fds.
-                        std::thread::sleep(std::time::Duration::from_millis(10));
-                        continue;
-                    };
-                    let queue = Arc::clone(&queue);
-                    let metrics = Arc::clone(&metrics);
-                    let conn_in_flight = config.conn_in_flight;
-                    // Connection threads are detached: they exit when
-                    // the peer hangs up or a protocol error closes the
-                    // stream.
-                    let _ = std::thread::Builder::new()
-                        .name("pigeonring-conn".into())
-                        .spawn(move || serve_connection(stream, &queue, conn_in_flight, &metrics));
-                }
-            })?
-    };
-
-    Ok(ServerHandle {
-        addr,
-        queue,
-        stop,
-        metrics,
-        accept_thread: Some(accept_thread),
-        dispatch_threads,
-    })
+    match config.backend {
+        Backend::Reactor => {
+            #[cfg(unix)]
+            {
+                let control = reactor::spawn(
+                    listener,
+                    Arc::clone(&queue),
+                    Arc::clone(&stop),
+                    Arc::clone(&metrics),
+                    config.conn_in_flight,
+                )?;
+                Ok(ServerHandle {
+                    addr,
+                    queue,
+                    stop,
+                    metrics,
+                    accept_thread: None,
+                    reactor: Some(control),
+                    dispatch_threads,
+                })
+            }
+            #[cfg(not(unix))]
+            {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::Unsupported,
+                    "the reactor backend requires a unix platform; use Backend::Threaded",
+                ))
+            }
+        }
+        Backend::Threaded => {
+            let accept_thread = {
+                let queue = Arc::clone(&queue);
+                let stop = Arc::clone(&stop);
+                let metrics = Arc::clone(&metrics);
+                std::thread::Builder::new()
+                    .name("pigeonring-accept".into())
+                    .spawn(move || {
+                        for stream in listener.incoming() {
+                            if stop.load(Ordering::Acquire) {
+                                break;
+                            }
+                            let Ok(stream) = stream else {
+                                // Persistent accept errors (fd exhaustion
+                                // under load) would otherwise busy-spin
+                                // this loop at 100% CPU; back off briefly
+                                // so closing connections can release
+                                // their fds.
+                                std::thread::sleep(std::time::Duration::from_millis(10));
+                                continue;
+                            };
+                            let queue = Arc::clone(&queue);
+                            let metrics = Arc::clone(&metrics);
+                            let conn_in_flight = config.conn_in_flight;
+                            // Connection threads are detached: they exit
+                            // when the peer hangs up or a protocol error
+                            // closes the stream.
+                            let _ = std::thread::Builder::new()
+                                .name("pigeonring-conn".into())
+                                .spawn(move || {
+                                    serve_connection(stream, &queue, conn_in_flight, &metrics)
+                                });
+                        }
+                    })?
+            };
+            Ok(ServerHandle {
+                addr,
+                queue,
+                stop,
+                metrics,
+                accept_thread: Some(accept_thread),
+                #[cfg(unix)]
+                reactor: None,
+                dispatch_threads,
+            })
+        }
+    }
 }
 
 impl ServerHandle {
@@ -557,9 +782,31 @@ impl ServerHandle {
     }
 
     fn stop_threads(&mut self) {
-        // Release/Acquire pairs with the accept loop's load; the flag
-        // carries no data, only the shutdown edge.
+        // Release/Acquire pairs with the accept/reactor loop's load;
+        // the flag carries no data, only the shutdown edge.
         self.stop.store(true, Ordering::Release);
+        #[cfg(unix)]
+        let reactor_control = self.reactor.take();
+        #[cfg(unix)]
+        if let Some(mut control) = reactor_control {
+            // Wake the reactor so it observes the stop flag and closes
+            // the listener; wait for that edge so no connection is
+            // accepted after shutdown() returns.
+            control.wake();
+            control.wait_listener_closed();
+            self.queue.close();
+            for t in self.dispatch_threads.drain(..) {
+                let _ = t.join();
+            }
+            // The reactor itself keeps serving connections that are
+            // still open (their queries now draw the terminal
+            // "shutting down" error from the closed queue) and exits
+            // once the last one closes — join promptly when they are
+            // already gone, otherwise detach and let it wind down.
+            control.wake();
+            control.join_or_detach();
+            return;
+        }
         // Unblock the accept loop with a throwaway connection. When the
         // listener is bound to a wildcard address (0.0.0.0 / ::),
         // dialing that address is platform-dependent and can hang;
@@ -610,7 +857,7 @@ struct SlotState {
     id: u64,
     domain: Domain,
     admitted: Instant,
-    reply: mpsc::Sender<Response>,
+    reply: ReplySink,
     trace: Option<JobTrace>,
     answered: bool,
 }
@@ -620,9 +867,13 @@ fn dispatch_loop(
     handler: &Handler,
     micro_batch: usize,
     metrics: &ServerMetrics,
+    tuner: Option<&WeightTuner>,
 ) {
     let mut jobs: Vec<Job> = Vec::new();
     while queue.pop_batch(micro_batch, &mut jobs) {
+        if let Some(tuner) = tuner {
+            tuner.batch_dispatched(queue);
+        }
         metrics.dispatch_batch.record(jobs.len() as u64);
         let mut queries = Vec::with_capacity(jobs.len());
         let mut slots: Vec<SlotState> = Vec::with_capacity(jobs.len());
@@ -701,7 +952,7 @@ fn dispatch_loop(
                     metrics.errors.inc();
                 }
                 // Receiver gone ⇒ client left; nothing to do.
-                let _ = st.reply.send(resp.with_request_id(st.id));
+                st.reply.send(resp.with_request_id(st.id));
             });
         }));
         for st in &slots {
@@ -716,7 +967,7 @@ fn dispatch_loop(
                     metrics.tracer.extend(vec![root]);
                 }
                 metrics.errors.inc();
-                let _ = st.reply.send(Response::Error {
+                st.reply.send(Response::Error {
                     request_id: st.id,
                     code: ErrorCode::Internal,
                     message: "query execution failed".into(),
@@ -747,6 +998,7 @@ fn serve_connection(
         Ok(s) => s,
         Err(_) => return,
     });
+    metrics.conns.inc();
     // A client that stops draining its socket must not pin the writer
     // (and the replies the budget still counts) forever.
     let _ = stream.set_write_timeout(Some(WRITER_STALL_TIMEOUT));
@@ -760,9 +1012,11 @@ fn serve_connection(
             .spawn(move || writer_loop(BufWriter::new(stream), &reply_rx, &budget, &stalls))
     };
     let Ok(writer_thread) = writer_thread else {
+        metrics.conns.dec();
         return;
     };
 
+    let sink = ReplySink::Channel(reply_tx.clone());
     let mut negotiated = false;
     loop {
         let payload = match read_frame(&mut reader) {
@@ -777,166 +1031,190 @@ fn serve_connection(
                 break;
             }
         };
-        // Every frame below produces exactly one response; reserve its
-        // reply slot up front. Blocking here *is* the backpressure: a
+        // Every frame produces exactly one response; reserve its reply
+        // slot up front. Blocking here *is* the backpressure: a
         // connection with `conn_in_flight` responses admitted or
         // unwritten stops being read until the writer drains.
         if !budget.reserve() {
             break; // writer gone: client wedged or disconnected
         }
-        match decode_request(&payload) {
-            Err(e) => {
-                // Fail closed on any undecodable frame.
-                metrics.frames_rejected.inc();
-                metrics.errors.inc();
-                let _ = reply_tx.send(error_response(&e));
-                break;
-            }
-            Ok(Request::Hello { max_version }) => {
-                if max_version >= PROTOCOL_VERSION {
-                    negotiated = true;
-                    let _ = reply_tx.send(Response::HelloOk {
-                        version: PROTOCOL_VERSION,
-                    });
-                } else {
-                    metrics.errors.inc();
-                    let _ = reply_tx.send(Response::Error {
-                        request_id: CONNECTION_REQUEST_ID,
-                        code: ErrorCode::UnsupportedVersion,
-                        message: format!(
-                            "client speaks up to v{max_version}, server requires v{PROTOCOL_VERSION}"
-                        ),
-                    });
-                    break;
-                }
-            }
-            Ok(Request::Query {
-                request_id,
-                query,
-                explain,
-            }) => {
-                if !negotiated {
-                    metrics.errors.inc();
-                    let _ = reply_tx.send(Response::Error {
-                        request_id: CONNECTION_REQUEST_ID,
-                        code: ErrorCode::Malformed,
-                        message: "expected Hello as the first frame".into(),
-                    });
-                    break;
-                }
-                if request_id == CONNECTION_REQUEST_ID {
-                    metrics.errors.inc();
-                    let _ = reply_tx.send(Response::Error {
-                        request_id: CONNECTION_REQUEST_ID,
-                        code: ErrorCode::Malformed,
-                        message: "request id 0 is reserved for connection-scoped errors".into(),
-                    });
-                    break;
-                }
-                let domain = query.domain();
-                // The head-sampling decision (and the root span's
-                // clock) starts here, at admission — queue wait is part
-                // of the request's story. EXPLAIN forces it.
-                let trace = metrics
-                    .tracer
-                    .sample(explain)
-                    .map(|root| JobTrace { root, explain });
-                let job = Job {
-                    request_id,
-                    query,
-                    domain,
-                    admitted_at: Instant::now(),
-                    reply: reply_tx.clone(),
-                    trace,
-                };
-                match queue.try_push(domain, job) {
-                    // Pipelining: admitted — do NOT wait for the reply;
-                    // the dispatcher sends it to the writer directly.
-                    // lint: allow(panic) — lane_of is always < NUM_LANES
-                    Ok(()) => metrics.admitted[lane_of(domain)].inc(),
-                    // This lane is at capacity right now: retryable.
-                    Err(PushError::Full(_)) => {
-                        // lint: allow(panic) — lane_of is always < NUM_LANES
-                        metrics.busy[lane_of(domain)].inc();
-                        let _ = reply_tx.send(Response::Busy { request_id });
-                    }
-                    // Shutdown: terminal, not Busy — retrying a dying
-                    // server is a retry storm, not persistence.
-                    Err(PushError::Closed(_)) => {
-                        metrics.errors.inc();
-                        let _ = reply_tx.send(Response::Error {
-                            request_id,
-                            code: ErrorCode::Internal,
-                            message: "server shutting down".into(),
-                        });
-                        break;
-                    }
-                }
-            }
-            // Stats never enters the queue: it is answered right here
-            // on the connection thread, so a snapshot is available even
-            // while every lane is saturated (which is exactly when you
-            // want one). Same preconditions as a query: negotiated
-            // connection, non-reserved id.
-            Ok(Request::Stats { request_id }) => {
-                if !negotiated {
-                    metrics.errors.inc();
-                    let _ = reply_tx.send(Response::Error {
-                        request_id: CONNECTION_REQUEST_ID,
-                        code: ErrorCode::Malformed,
-                        message: "expected Hello as the first frame".into(),
-                    });
-                    break;
-                }
-                if request_id == CONNECTION_REQUEST_ID {
-                    metrics.errors.inc();
-                    let _ = reply_tx.send(Response::Error {
-                        request_id: CONNECTION_REQUEST_ID,
-                        code: ErrorCode::Malformed,
-                        message: "request id 0 is reserved for connection-scoped errors".into(),
-                    });
-                    break;
-                }
-                let _ = reply_tx.send(Response::Stats {
-                    request_id,
-                    json: metrics.stats_json(),
-                });
-            }
-            // Trace follows the Stats pattern exactly: answered inline
-            // on the connection thread so recent traces stay readable
-            // while every lane is saturated.
-            Ok(Request::Trace { request_id }) => {
-                if !negotiated {
-                    metrics.errors.inc();
-                    let _ = reply_tx.send(Response::Error {
-                        request_id: CONNECTION_REQUEST_ID,
-                        code: ErrorCode::Malformed,
-                        message: "expected Hello as the first frame".into(),
-                    });
-                    break;
-                }
-                if request_id == CONNECTION_REQUEST_ID {
-                    metrics.errors.inc();
-                    let _ = reply_tx.send(Response::Error {
-                        request_id: CONNECTION_REQUEST_ID,
-                        code: ErrorCode::Malformed,
-                        message: "request id 0 is reserved for connection-scoped errors".into(),
-                    });
-                    break;
-                }
-                let _ = reply_tx.send(Response::Trace {
-                    request_id,
-                    json: metrics.tracer.export_recent().pretty(),
-                });
-            }
+        match handle_payload(&payload, &mut negotiated, &sink, queue, metrics) {
+            FrameDisposition::Continue => {}
+            FrameDisposition::Terminal => break,
         }
     }
     // Dropping the reader's sender lets the writer exit once every
     // in-flight request's sender (held by queued jobs / dispatchers)
     // is gone too — admitted work still answers before the socket
     // closes.
+    drop(sink);
     drop(reply_tx);
     let _ = writer_thread.join();
+    metrics.conns.dec();
+}
+
+/// What the connection owner should do after one frame was handled.
+pub(crate) enum FrameDisposition {
+    /// Keep reading frames.
+    Continue,
+    /// Protocol error or shutdown: the response just sent is the
+    /// connection's last; stop reading and wind the connection down
+    /// (after draining buffered replies).
+    Terminal,
+}
+
+/// Enforces the shared `Hello`-first / reserved-id preconditions of
+/// every identified request; on violation, sends the typed
+/// connection-scoped error and reports `true` (caller answers
+/// [`FrameDisposition::Terminal`]).
+fn precondition_failed(
+    negotiated: bool,
+    request_id: u64,
+    sink: &ReplySink,
+    metrics: &ServerMetrics,
+) -> bool {
+    if !negotiated {
+        metrics.errors.inc();
+        sink.send(Response::Error {
+            request_id: CONNECTION_REQUEST_ID,
+            code: ErrorCode::Malformed,
+            message: "expected Hello as the first frame".into(),
+        });
+        return true;
+    }
+    if request_id == CONNECTION_REQUEST_ID {
+        metrics.errors.inc();
+        sink.send(Response::Error {
+            request_id: CONNECTION_REQUEST_ID,
+            code: ErrorCode::Malformed,
+            message: "request id 0 is reserved for connection-scoped errors".into(),
+        });
+        return true;
+    }
+    false
+}
+
+/// Decodes and handles one complete frame payload: negotiation,
+/// admission (or `Busy`/shutdown refusal), and the inline Stats/Trace
+/// answers. **Both backends call exactly this function**, which is
+/// what makes their protocol behavior identical by construction; the
+/// caller owns backend-specific concerns (reply budgeting, reading,
+/// writing). Every call sends exactly one response — immediately, or
+/// later via the admitted job's sink.
+pub(crate) fn handle_payload(
+    payload: &[u8],
+    negotiated: &mut bool,
+    sink: &ReplySink,
+    queue: &FairQueue<Job>,
+    metrics: &ServerMetrics,
+) -> FrameDisposition {
+    match decode_request(payload) {
+        Err(e) => {
+            // Fail closed on any undecodable frame.
+            metrics.frames_rejected.inc();
+            metrics.errors.inc();
+            sink.send(error_response(&e));
+            FrameDisposition::Terminal
+        }
+        Ok(Request::Hello { max_version }) => {
+            if max_version >= PROTOCOL_VERSION {
+                *negotiated = true;
+                sink.send(Response::HelloOk {
+                    version: PROTOCOL_VERSION,
+                });
+                FrameDisposition::Continue
+            } else {
+                metrics.errors.inc();
+                sink.send(Response::Error {
+                    request_id: CONNECTION_REQUEST_ID,
+                    code: ErrorCode::UnsupportedVersion,
+                    message: format!(
+                        "client speaks up to v{max_version}, server requires v{PROTOCOL_VERSION}"
+                    ),
+                });
+                FrameDisposition::Terminal
+            }
+        }
+        Ok(Request::Query {
+            request_id,
+            query,
+            explain,
+        }) => {
+            if precondition_failed(*negotiated, request_id, sink, metrics) {
+                return FrameDisposition::Terminal;
+            }
+            let domain = query.domain();
+            // The head-sampling decision (and the root span's clock)
+            // starts here, at admission — queue wait is part of the
+            // request's story. EXPLAIN forces it.
+            let trace = metrics
+                .tracer
+                .sample(explain)
+                .map(|root| JobTrace { root, explain });
+            let job = Job {
+                request_id,
+                query,
+                domain,
+                admitted_at: Instant::now(),
+                reply: sink.clone(),
+                trace,
+            };
+            match queue.try_push(domain, job) {
+                // Pipelining: admitted — do NOT wait for the reply;
+                // the dispatcher sends it through the sink directly.
+                Ok(()) => {
+                    // lint: allow(panic) — lane_of is always < NUM_LANES
+                    metrics.admitted[lane_of(domain)].inc();
+                    FrameDisposition::Continue
+                }
+                // This lane is at capacity right now: retryable.
+                Err(PushError::Full(_)) => {
+                    // lint: allow(panic) — lane_of is always < NUM_LANES
+                    metrics.busy[lane_of(domain)].inc();
+                    sink.send(Response::Busy { request_id });
+                    FrameDisposition::Continue
+                }
+                // Shutdown: terminal, not Busy — retrying a dying
+                // server is a retry storm, not persistence.
+                Err(PushError::Closed(_)) => {
+                    metrics.errors.inc();
+                    sink.send(Response::Error {
+                        request_id,
+                        code: ErrorCode::Internal,
+                        message: "server shutting down".into(),
+                    });
+                    FrameDisposition::Terminal
+                }
+            }
+        }
+        // Stats never enters the queue: it is answered right here on
+        // the calling thread, so a snapshot is available even while
+        // every lane is saturated (which is exactly when you want
+        // one). Same preconditions as a query: negotiated connection,
+        // non-reserved id.
+        Ok(Request::Stats { request_id }) => {
+            if precondition_failed(*negotiated, request_id, sink, metrics) {
+                return FrameDisposition::Terminal;
+            }
+            sink.send(Response::Stats {
+                request_id,
+                json: metrics.stats_json(),
+            });
+            FrameDisposition::Continue
+        }
+        // Trace follows the Stats pattern exactly: answered inline so
+        // recent traces stay readable while every lane is saturated.
+        Ok(Request::Trace { request_id }) => {
+            if precondition_failed(*negotiated, request_id, sink, metrics) {
+                return FrameDisposition::Terminal;
+            }
+            sink.send(Response::Trace {
+                request_id,
+                json: metrics.tracer.export_recent().pretty(),
+            });
+            FrameDisposition::Continue
+        }
+    }
 }
 
 /// One connection, writer half: frames every response — there is no
@@ -976,7 +1254,7 @@ fn writer_loop(
 /// answer instead of a connection that dies on an unsendable frame.
 /// Every outbound frame goes through here; nothing calls
 /// [`encode_response`] + [`write_frame`] directly.
-fn response_payload(response: &Response) -> Vec<u8> {
+pub(crate) fn response_payload(response: &Response) -> Vec<u8> {
     let payload = encode_response(response);
     if payload.len() <= MAX_FRAME_LEN as usize {
         return payload;
@@ -994,7 +1272,7 @@ fn response_payload(response: &Response) -> Vec<u8> {
 
 /// Maps a decode failure to the typed connection-scoped error the peer
 /// sees before the connection closes.
-fn error_response(e: &WireError) -> Response {
+pub(crate) fn error_response(e: &WireError) -> Response {
     let code = match e {
         WireError::BadVersion(_) => ErrorCode::UnsupportedVersion,
         _ => ErrorCode::Malformed,

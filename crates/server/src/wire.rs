@@ -503,6 +503,80 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
     Ok(Some(payload))
 }
 
+/// Incremental frame parser for nonblocking readers: feed whatever
+/// bytes a readiness event yielded, pull out as many complete frames
+/// as those bytes contain. The reactor backend's per-connection state
+/// machine is built on this; the cap check mirrors [`read_frame`] —
+/// an oversized declared length is rejected from the 4-byte prefix
+/// alone, before any payload allocation.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Appends bytes read from the socket.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact before growing: consumed prefix space is reclaimed
+        // once it dominates the buffer, so a long-lived connection's
+        // decoder does not grow monotonically.
+        if self.pos > 4096 && self.pos * 2 >= self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Extracts the next complete frame payload, if the buffered bytes
+    /// contain one. `Ok(None)` means "need more bytes"; an oversized
+    /// length prefix is a hard protocol error, detected as soon as the
+    /// prefix itself is complete.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            return Ok(None);
+        }
+        // lint: allow(panic) — `avail >= 4` bounds the 4-byte prefix slice
+        let len_bytes: [u8; 4] = self.buf[self.pos..self.pos + 4]
+            .try_into()
+            .unwrap_or([0; 4]);
+        let len = u32::from_le_bytes(len_bytes);
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::Oversized(len));
+        }
+        let total = 4 + len as usize;
+        if avail < total {
+            return Ok(None);
+        }
+        // lint: allow(panic) — `avail >= total` bounds the payload slice
+        let payload = self.buf[self.pos + 4..self.pos + total].to_vec();
+        self.pos += total;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        }
+        Ok(Some(payload))
+    }
+
+    /// True when bytes of an incomplete frame are buffered — at EOF
+    /// this is the difference between a clean close and
+    /// [`WireError::Truncated`].
+    pub fn has_partial(&self) -> bool {
+        self.pos < self.buf.len()
+    }
+
+    /// Number of not-yet-consumed buffered bytes.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
 // --------------------------------------------------- body read / write
 
 /// Append-only little-endian body writer.
@@ -968,6 +1042,85 @@ mod tests {
             read_frame(&mut r),
             Err(WireError::Oversized(n)) if n == MAX_FRAME_LEN + 1
         ));
+    }
+
+    #[test]
+    fn decoder_reassembles_byte_by_byte_feeds() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"hello").expect("write to vec");
+        write_frame(&mut stream, b"").expect("write to vec");
+        write_frame(&mut stream, b"worlds").expect("write to vec");
+        let mut dec = FrameDecoder::new();
+        let mut frames = Vec::new();
+        for b in stream {
+            dec.feed(&[b]);
+            while let Some(p) = dec.next_frame().expect("valid stream") {
+                frames.push(p);
+            }
+        }
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0], b"hello");
+        assert_eq!(frames[1], b"");
+        assert_eq!(frames[2], b"worlds");
+        assert!(!dec.has_partial());
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn decoder_reports_partial_frames() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"abcdef").expect("write to vec");
+        let mut dec = FrameDecoder::new();
+        dec.feed(&stream[..7]); // prefix + half the body
+        assert!(matches!(dec.next_frame(), Ok(None)));
+        assert!(dec.has_partial());
+        dec.feed(&stream[7..]);
+        assert_eq!(
+            dec.next_frame().expect("complete now").as_deref(),
+            Some(&b"abcdef"[..])
+        );
+        assert!(!dec.has_partial());
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_prefix_before_payload_arrives() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        assert!(matches!(
+            dec.next_frame(),
+            Err(WireError::Oversized(n)) if n == MAX_FRAME_LEN + 1
+        ));
+    }
+
+    #[test]
+    fn decoder_handles_many_frames_in_one_feed() {
+        let mut stream = Vec::new();
+        for i in 0..100u8 {
+            write_frame(&mut stream, &[i; 3]).expect("write to vec");
+        }
+        let mut dec = FrameDecoder::new();
+        dec.feed(&stream);
+        for i in 0..100u8 {
+            assert_eq!(
+                dec.next_frame().expect("valid").as_deref(),
+                Some(&[i; 3][..])
+            );
+        }
+        assert!(matches!(dec.next_frame(), Ok(None)));
+    }
+
+    #[test]
+    fn decoder_compacts_consumed_prefix() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &[7u8; 4096]).expect("write to vec");
+        let mut dec = FrameDecoder::new();
+        for _ in 0..8 {
+            dec.feed(&stream);
+            assert!(dec.next_frame().expect("valid").is_some());
+        }
+        assert_eq!(dec.buffered(), 0);
+        // Internal buffer must not have retained all eight frames.
+        assert!(dec.buf.len() < 2 * stream.len());
     }
 
     #[test]

@@ -3,12 +3,14 @@
 //! immediately, without queueing — and every previously queued request
 //! still completes once the pool unstalls.
 
+mod common;
+
 use std::net::TcpListener;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use pigeonring_server::server::{start_with_handler, Handler, ServerConfig};
+use pigeonring_server::server::{start_with_handler, Backend, Handler, ServerConfig};
 use pigeonring_server::wire::{DomainQuery, ErrorCode, Response, CONNECTION_REQUEST_ID};
 use pigeonring_server::{Client, ClientError, Outcome};
 
@@ -17,8 +19,9 @@ const Q: usize = 3;
 /// A single-dispatcher config so the tests can reason about exactly one
 /// in-flight batch (the pipelining tests cover multi-dispatcher
 /// behavior).
-fn config(lane_depth: usize) -> ServerConfig {
+fn config(backend: Backend, lane_depth: usize) -> ServerConfig {
     ServerConfig {
+        backend,
         lane_depth,
         micro_batch: 1,
         dispatchers: 1,
@@ -61,6 +64,10 @@ fn wait_for(what: &str, cond: impl Fn() -> bool) {
 
 #[test]
 fn queue_overflow_answers_busy_and_queued_requests_complete() {
+    common::for_each_backend(queue_overflow_answers_busy_and_queued_requests_complete_on);
+}
+
+fn queue_overflow_answers_busy_and_queued_requests_complete_on(backend: Backend) {
     // A handler that blocks on a gate: the "stalled pool". It records
     // which queries it eventually served so we can prove none of the
     // admitted requests was dropped or corrupted.
@@ -88,7 +95,7 @@ fn queue_overflow_answers_busy_and_queued_requests_complete() {
     };
 
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
-    let handle = start_with_handler(listener, handler, config(Q)).expect("server starts");
+    let handle = start_with_handler(listener, handler, config(backend, Q)).expect("server starts");
     let addr = handle.addr();
 
     // Request 0 is popped by the dispatcher, which then stalls on the
@@ -143,13 +150,17 @@ fn queue_overflow_answers_busy_and_queued_requests_complete() {
 
 #[test]
 fn shutdown_answers_terminal_internal_error_not_busy() {
+    common::for_each_backend(shutdown_answers_terminal_internal_error_not_busy_on);
+}
+
+fn shutdown_answers_terminal_internal_error_not_busy_on(backend: Backend) {
     // A client that is mid-connection when the server shuts down must
     // see a *terminal* typed error, not a retryable Busy — otherwise
     // well-behaved retry loops hammer a dying server.
     let handler: Handler =
         Arc::new(|queries: Vec<DomainQuery>, _traces, emit| echo(&queries, emit));
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
-    let handle = start_with_handler(listener, handler, config(Q)).expect("server starts");
+    let handle = start_with_handler(listener, handler, config(backend, Q)).expect("server starts");
     let addr = handle.addr();
 
     let mut client = Client::connect(addr).expect("connect");
@@ -175,6 +186,10 @@ fn shutdown_answers_terminal_internal_error_not_busy() {
 
 #[test]
 fn busy_connection_stays_usable() {
+    common::for_each_backend(busy_connection_stays_usable_on);
+}
+
+fn busy_connection_stays_usable_on(backend: Backend) {
     // After a Busy, the same connection can retry and succeed.
     let (gate_tx, gate_rx) = mpsc::channel::<()>();
     let gate_rx = Mutex::new(gate_rx);
@@ -197,7 +212,7 @@ fn busy_connection_stays_usable() {
         }
     });
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
-    let handle = start_with_handler(listener, handler, config(1)).expect("server starts");
+    let handle = start_with_handler(listener, handler, config(backend, 1)).expect("server starts");
     let addr = handle.addr();
 
     let head = std::thread::spawn(move || {

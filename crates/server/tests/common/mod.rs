@@ -1,0 +1,122 @@
+//! Shared two-backend harness: every integration suite that exercises
+//! connection handling runs its body once per [`Backend`], so the
+//! nonblocking reactor and the PR 4 thread-per-connection path are
+//! held to bit-identical protocol semantics by the same assertions.
+
+// Each test binary includes this module and uses its own subset.
+#![allow(dead_code)]
+
+use pigeonring_editdist::EditParams;
+use pigeonring_graph::GraphParams;
+use pigeonring_hamming::HammingParams;
+use pigeonring_server::server::Backend;
+use pigeonring_server::wire::{Domain, DomainQuery};
+use pigeonring_server::EngineSet;
+use pigeonring_service::ResultHasher;
+use pigeonring_setsim::SetParams;
+
+/// The backends under differential test. `Backend::Reactor` needs the
+/// Unix readiness syscalls; elsewhere only the threaded path exists.
+pub fn backends() -> &'static [Backend] {
+    #[cfg(unix)]
+    {
+        &[Backend::Threaded, Backend::Reactor]
+    }
+    #[cfg(not(unix))]
+    {
+        &[Backend::Threaded]
+    }
+}
+
+/// Runs `body` once per backend, labeling failures with the backend so
+/// a differential regression names the guilty implementation.
+pub fn for_each_backend(body: impl Fn(Backend)) {
+    for &backend in backends() {
+        eprintln!("--- backend: {backend} ---");
+        body(backend);
+    }
+}
+
+/// Fingerprint of a direct in-process `search_batch` run over the
+/// domain's standard query set.
+pub fn in_process_hash(engines: &EngineSet, domain: Domain, queries: &[DomainQuery]) -> u64 {
+    let mut hasher = ResultHasher::new();
+    match domain {
+        Domain::Hamming => {
+            let batch: Vec<_> = queries
+                .iter()
+                .map(|q| {
+                    let DomainQuery::Hamming { query, .. } = q else {
+                        panic!("mixed domain")
+                    };
+                    query.clone()
+                })
+                .collect();
+            let DomainQuery::Hamming { tau, l, .. } = &queries[0] else {
+                panic!("mixed domain")
+            };
+            let params = HammingParams {
+                tau: *tau,
+                l: *l as usize,
+            };
+            for r in engines.hamming_index().search_batch(&batch, &params, 2) {
+                hasher.push(&r.ids);
+            }
+        }
+        Domain::Edit => {
+            let batch: Vec<_> = queries
+                .iter()
+                .map(|q| {
+                    let DomainQuery::Edit { query, .. } = q else {
+                        panic!("mixed domain")
+                    };
+                    query.clone()
+                })
+                .collect();
+            let DomainQuery::Edit { l, .. } = &queries[0] else {
+                panic!("mixed domain")
+            };
+            let params = EditParams { l: *l as usize };
+            for r in engines.edit_index().search_batch(&batch, &params, 2) {
+                hasher.push(&r.ids);
+            }
+        }
+        Domain::Set => {
+            let batch: Vec<_> = queries
+                .iter()
+                .map(|q| {
+                    let DomainQuery::Set { tokens, .. } = q else {
+                        panic!("mixed domain")
+                    };
+                    tokens.clone()
+                })
+                .collect();
+            let DomainQuery::Set { l, .. } = &queries[0] else {
+                panic!("mixed domain")
+            };
+            let params = SetParams { l: *l as usize };
+            for r in engines.set_index().search_batch(&batch, &params, 2) {
+                hasher.push(&r.ids);
+            }
+        }
+        Domain::Graph => {
+            let batch: Vec<_> = queries
+                .iter()
+                .map(|q| {
+                    let DomainQuery::Graph { query, .. } = q else {
+                        panic!("mixed domain")
+                    };
+                    query.clone()
+                })
+                .collect();
+            let DomainQuery::Graph { l, .. } = &queries[0] else {
+                panic!("mixed domain")
+            };
+            let params = GraphParams { l: *l as usize };
+            for r in engines.graph_index().search_batch(&batch, &params, 2) {
+                hasher.push(&r.ids);
+            }
+        }
+    }
+    hasher.finish()
+}

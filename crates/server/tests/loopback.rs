@@ -5,20 +5,19 @@
 //! covers version negotiation and fail-closed behavior on garbage
 //! bytes.
 
+mod common;
+
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
 
-use pigeonring_editdist::EditParams;
-use pigeonring_graph::GraphParams;
-use pigeonring_hamming::HammingParams;
+use pigeonring_server::server::Backend;
 use pigeonring_server::wire::{
     encode_request, read_frame, write_frame, Domain, DomainQuery, ErrorCode, Request,
     PROTOCOL_VERSION,
 };
 use pigeonring_server::{start, Client, ClientError, EngineSet, EngineSpec, Outcome, ServerConfig};
 use pigeonring_service::{ResultHasher, WorkerPool};
-use pigeonring_setsim::SetParams;
 
 fn tiny_spec() -> EngineSpec {
     EngineSpec {
@@ -32,99 +31,22 @@ fn tiny_spec() -> EngineSpec {
     }
 }
 
-/// Fingerprint of a direct in-process `search_batch` run over the
-/// domain's standard query set.
-fn in_process_hash(engines: &EngineSet, domain: Domain, queries: &[DomainQuery]) -> u64 {
-    let mut hasher = ResultHasher::new();
-    match domain {
-        Domain::Hamming => {
-            let batch: Vec<_> = queries
-                .iter()
-                .map(|q| {
-                    let DomainQuery::Hamming { query, .. } = q else {
-                        panic!("mixed domain")
-                    };
-                    query.clone()
-                })
-                .collect();
-            let DomainQuery::Hamming { tau, l, .. } = &queries[0] else {
-                panic!("mixed domain")
-            };
-            let params = HammingParams {
-                tau: *tau,
-                l: *l as usize,
-            };
-            for r in engines.hamming_index().search_batch(&batch, &params, 2) {
-                hasher.push(&r.ids);
-            }
-        }
-        Domain::Edit => {
-            let batch: Vec<_> = queries
-                .iter()
-                .map(|q| {
-                    let DomainQuery::Edit { query, .. } = q else {
-                        panic!("mixed domain")
-                    };
-                    query.clone()
-                })
-                .collect();
-            let DomainQuery::Edit { l, .. } = &queries[0] else {
-                panic!("mixed domain")
-            };
-            let params = EditParams { l: *l as usize };
-            for r in engines.edit_index().search_batch(&batch, &params, 2) {
-                hasher.push(&r.ids);
-            }
-        }
-        Domain::Set => {
-            let batch: Vec<_> = queries
-                .iter()
-                .map(|q| {
-                    let DomainQuery::Set { tokens, .. } = q else {
-                        panic!("mixed domain")
-                    };
-                    tokens.clone()
-                })
-                .collect();
-            let DomainQuery::Set { l, .. } = &queries[0] else {
-                panic!("mixed domain")
-            };
-            let params = SetParams { l: *l as usize };
-            for r in engines.set_index().search_batch(&batch, &params, 2) {
-                hasher.push(&r.ids);
-            }
-        }
-        Domain::Graph => {
-            let batch: Vec<_> = queries
-                .iter()
-                .map(|q| {
-                    let DomainQuery::Graph { query, .. } = q else {
-                        panic!("mixed domain")
-                    };
-                    query.clone()
-                })
-                .collect();
-            let DomainQuery::Graph { l, .. } = &queries[0] else {
-                panic!("mixed domain")
-            };
-            let params = GraphParams { l: *l as usize };
-            for r in engines.graph_index().search_batch(&batch, &params, 2) {
-                hasher.push(&r.ids);
-            }
-        }
-    }
-    hasher.finish()
-}
-
 #[test]
 fn loopback_round_trip_matches_in_process_for_all_domains() {
+    common::for_each_backend(loopback_round_trip_matches_in_process_for_all_domains_on);
+}
+
+fn loopback_round_trip_matches_in_process_for_all_domains_on(backend: Backend) {
     let engines = Arc::new(EngineSet::build(tiny_spec()));
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let handle = start(
         listener,
         Arc::clone(&engines),
         WorkerPool::new(2),
-        ServerConfig::default(),
+        ServerConfig {
+            backend,
+            ..ServerConfig::default()
+        },
     )
     .expect("server starts");
 
@@ -140,7 +62,7 @@ fn loopback_round_trip_matches_in_process_for_all_domains() {
                 other => panic!("unloaded server must answer results, got {other:?}"),
             }
         }
-        let expect = in_process_hash(&engines, domain, &queries);
+        let expect = common::in_process_hash(&engines, domain, &queries);
         assert_eq!(
             server_hasher.finish(),
             expect,
@@ -152,12 +74,19 @@ fn loopback_round_trip_matches_in_process_for_all_domains() {
 
 #[test]
 fn garbage_bytes_fail_closed_with_typed_error() {
+    common::for_each_backend(garbage_bytes_fail_closed_with_typed_error_on);
+}
+
+fn garbage_bytes_fail_closed_with_typed_error_on(backend: Backend) {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     // Handler irrelevant: garbage never reaches it.
     let handle = pigeonring_server::start_with_handler(
         listener,
         Arc::new(|_, _, _| {}),
-        ServerConfig::default(),
+        ServerConfig {
+            backend,
+            ..ServerConfig::default()
+        },
     )
     .expect("server starts");
 
@@ -211,11 +140,18 @@ fn garbage_bytes_fail_closed_with_typed_error() {
 
 #[test]
 fn query_before_hello_is_refused() {
+    common::for_each_backend(query_before_hello_is_refused_on);
+}
+
+fn query_before_hello_is_refused_on(backend: Backend) {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let handle = pigeonring_server::start_with_handler(
         listener,
         Arc::new(|_, _, _| {}),
-        ServerConfig::default(),
+        ServerConfig {
+            backend,
+            ..ServerConfig::default()
+        },
     )
     .expect("server starts");
 
@@ -252,11 +188,18 @@ fn query_before_hello_is_refused() {
 
 #[test]
 fn old_client_version_is_refused_in_negotiation() {
+    common::for_each_backend(old_client_version_is_refused_in_negotiation_on);
+}
+
+fn old_client_version_is_refused_in_negotiation_on(backend: Backend) {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let handle = pigeonring_server::start_with_handler(
         listener,
         Arc::new(|_, _, _| {}),
-        ServerConfig::default(),
+        ServerConfig {
+            backend,
+            ..ServerConfig::default()
+        },
     )
     .expect("server starts");
 

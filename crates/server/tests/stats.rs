@@ -6,9 +6,12 @@
 //! batching-invariant), and which embeds the machine fingerprint and
 //! per-lane depth gauges.
 
+mod common;
+
 use std::net::TcpListener;
 use std::sync::Arc;
 
+use pigeonring_server::server::Backend;
 use pigeonring_server::wire::Domain;
 use pigeonring_server::{start, Client, EngineSet, EngineSpec, Outcome, ServerConfig};
 use pigeonring_service::WorkerPool;
@@ -30,6 +33,10 @@ const QUERIES_PER_DOMAIN: usize = 3;
 
 #[test]
 fn stats_snapshot_matches_known_query_batch() {
+    common::for_each_backend(stats_snapshot_matches_known_query_batch_on);
+}
+
+fn stats_snapshot_matches_known_query_batch_on(backend: Backend) {
     let spec = tiny_spec();
     let engines = Arc::new(EngineSet::build(spec.clone()));
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
@@ -37,7 +44,10 @@ fn stats_snapshot_matches_known_query_batch() {
         listener,
         Arc::clone(&engines),
         WorkerPool::new(2),
-        ServerConfig::default(),
+        ServerConfig {
+            backend,
+            ..ServerConfig::default()
+        },
     )
     .expect("server starts");
 
